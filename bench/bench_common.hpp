@@ -1,0 +1,43 @@
+#pragma once
+// Shared helpers for the experiment harness binaries.
+
+#include <cstdio>
+#include <span>
+
+#include "gauge/gauge_field.hpp"
+#include "gauge/heatbath.hpp"
+#include "lattice/field.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd::bench {
+
+/// Quenched, mildly thermalized configuration for solver experiments.
+inline GaugeFieldD thermalized(const LatticeGeometry& geo, double beta,
+                               std::uint64_t seed, int sweeps = 8) {
+  GaugeFieldD u(geo);
+  u.set_random(SiteRngFactory(seed));
+  Heatbath hb(u, {.beta = beta, .or_per_hb = 1, .seed = seed + 1});
+  for (int i = 0; i < sweeps; ++i) hb.sweep();
+  return u;
+}
+
+inline void fill_gaussian(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+template <typename T>
+std::span<const WilsonSpinor<T>> cspan(std::span<WilsonSpinor<T>> s) {
+  return {s.data(), s.size()};
+}
+
+inline void rule(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+}  // namespace lqcd::bench

@@ -1,0 +1,139 @@
+// Experiment T1: single-node dslash & clover throughput (GFLOP/s) vs
+// local volume and precision — the kernel table every LQCD solver paper
+// opens with. Google-benchmark micro-bench.
+
+#include <benchmark/benchmark.h>
+
+#include "dirac/clover.hpp"
+#include "dirac/naive.hpp"
+#include "dirac/wilson.hpp"
+#include "staggered/staggered.hpp"
+#include "gauge/gauge_field.hpp"
+#include "lattice/field.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lqcd;
+
+template <typename T>
+struct Setup {
+  explicit Setup(const Coord& dims)
+      : geo(dims), u(geo), in(geo), out(geo) {
+    GaugeFieldD ud(geo);
+    ud.set_random(SiteRngFactory(42));
+    convert_gauge(u, ud);
+    SiteRngFactory rngs(43);
+    for (std::int64_t s = 0; s < geo.volume(); ++s) {
+      CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+      for (int sp = 0; sp < Ns; ++sp)
+        for (int c = 0; c < Nc; ++c)
+          in[s].s[sp].c[c] = Cplx<T>(static_cast<T>(rng.gaussian()),
+                                     static_cast<T>(rng.gaussian()));
+    }
+  }
+  LatticeGeometry geo;
+  GaugeField<T> u;
+  FermionField<T> in;
+  FermionField<T> out;
+};
+
+template <typename T>
+void BM_DslashProjected(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  Setup<T> s({l, l, l, l});
+  for (auto _ : state) {
+    dslash_full(s.out.span(),
+                std::span<const WilsonSpinor<T>>(s.in.span().data(),
+                                                 s.in.span().size()),
+                s.u);
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  const double flops = kDslashFlopsPerSite *
+                       static_cast<double>(s.geo.volume()) *
+                       static_cast<double>(state.iterations());
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+  state.counters["sites"] = static_cast<double>(s.geo.volume());
+}
+
+template <typename T>
+void BM_DslashNaive(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  Setup<T> s({l, l, l, l});
+  for (auto _ : state) {
+    dslash_full_naive(s.out.span(),
+                      std::span<const WilsonSpinor<T>>(
+                          s.in.span().data(), s.in.span().size()),
+                      s.u);
+    benchmark::DoNotOptimize(s.out.data());
+  }
+  const double flops = kNaiveDslashFlopsPerSite *
+                       static_cast<double>(s.geo.volume()) *
+                       static_cast<double>(state.iterations());
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+
+template <typename T>
+void BM_CloverApply(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  LatticeGeometry geo({l, l, l, l});
+  GaugeFieldD ud(geo);
+  ud.set_random(SiteRngFactory(44));
+  CloverTerm<T> clover(ud, {.kappa = 0.12, .csw = 1.0});
+  FermionField<T> in(geo), out(geo);
+  for (auto& psi : in.span()) psi.s[0].c[0] = Cplx<T>(T(1));
+  for (auto _ : state) {
+    clover.apply(out.span(),
+                 std::span<const WilsonSpinor<T>>(in.span().data(),
+                                                  in.span().size()),
+                 0, geo.volume());
+    benchmark::DoNotOptimize(out.data());
+  }
+  const double flops = 2.0 * 288.0 * static_cast<double>(geo.volume()) *
+                       static_cast<double>(state.iterations());
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+
+BENCHMARK_TEMPLATE(BM_DslashProjected, double)
+    ->Arg(4)->Arg(6)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_DslashProjected, float)
+    ->Arg(4)->Arg(6)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_DslashNaive, double)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+void BM_StaggeredDslash(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  LatticeGeometry geo({l, l, l, l});
+  GaugeFieldD u(geo);
+  u.set_random(SiteRngFactory(45));
+  const auto n = static_cast<std::size_t>(geo.volume());
+  aligned_vector<ColorVector<double>> in(n), out(n);
+  for (auto& v : in) v.c[0] = Cplxd(1.0);
+  for (auto _ : state) {
+    staggered_dslash({out.data(), n},
+                     std::span<const ColorVector<double>>(in.data(), n), u);
+    benchmark::DoNotOptimize(out.data());
+  }
+  // 8 su3 mat-vec (66 flops) + phases/adds per site ~ 570 flops/site.
+  const double flops = 570.0 * static_cast<double>(geo.volume()) *
+                       static_cast<double>(state.iterations());
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StaggeredDslash)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_TEMPLATE(BM_CloverApply, double)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_TEMPLATE(BM_CloverApply, float)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Experiment T4: gauge ensemble generation throughput and correctness
+// diagnostics — heatbath/over-relaxation sweep times and plaquettes over
+// a beta sweep, plus HMC dH / acceptance at two step sizes.
+
+#include <cmath>
+#include <cstdio>
+
+#include "gauge/flow.hpp"
+#include "gauge/heatbath.hpp"
+#include "gauge/observables.hpp"
+#include "hmc/hmc.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace lqcd;
+  const LatticeGeometry geo({8, 8, 8, 8});
+
+  std::printf("T4a: heatbath + 2x over-relaxation on 8^4, 10 measured "
+              "sweeps after 10 thermalization sweeps\n");
+  std::printf("%6s %12s %12s %14s %14s\n", "beta", "<P>", "err",
+              "sweep[ms]", "strong/weak ref");
+  for (const double beta : {0.5, 5.7, 6.0, 6.2}) {
+    GaugeFieldD u(geo);
+    u.set_random(SiteRngFactory(40));
+    Heatbath hb(u, {.beta = beta, .or_per_hb = 2, .seed = 41});
+    for (int i = 0; i < 10; ++i) hb.sweep();
+    std::vector<double> plaq;
+    WallTimer t;
+    for (int i = 0; i < 10; ++i) plaq.push_back(hb.sweep());
+    const double ms = t.seconds() * 1e3 / 10;
+    const double ref = beta < 2.0 ? plaquette_strong_coupling(beta)
+                                  : plaquette_weak_coupling(beta);
+    std::printf("%6.2f %12.5f %12.5f %14.1f %14.4f\n", beta, mean(plaq),
+                standard_error(plaq), ms, ref);
+  }
+
+  std::printf("\nT4b: pure-gauge HMC on 8^4 at beta=5.7 (Omelyan, "
+              "trajectory length 1)\n");
+  std::printf("%8s %12s %12s %12s %14s\n", "steps", "<|dH|>", "accept",
+              "<P>", "traj[ms]");
+  for (const int steps : {8, 16}) {
+    GaugeFieldD u(geo);
+    u.set_random(SiteRngFactory(42));
+    {
+      Heatbath pre(u, {.beta = 5.7, .or_per_hb = 1, .seed = 43});
+      for (int i = 0; i < 8; ++i) pre.sweep();
+    }
+    Hmc hmc(u, {.beta = 5.7,
+                .trajectory_length = 1.0,
+                .steps = steps,
+                .integrator = Integrator::Omelyan,
+                .seed = 44});
+    std::vector<double> adh, plaq;
+    WallTimer t;
+    const int n = 8;
+    for (int i = 0; i < n; ++i) {
+      const TrajectoryResult r = hmc.trajectory();
+      adh.push_back(std::abs(r.delta_h));
+      plaq.push_back(r.plaquette);
+    }
+    std::printf("%8d %12.4f %11.0f%% %12.5f %14.1f\n", steps, mean(adh),
+                100.0 * hmc.acceptance_rate(), mean(plaq),
+                t.seconds() * 1e3 / n);
+  }
+  std::printf("\nT4c: Wilson flow scale setting on the beta=6.0 stream "
+              "(t^2<E> vs flow time)\n");
+  {
+    GaugeFieldD u(geo);
+    u.set_random(SiteRngFactory(45));
+    Heatbath hb(u, {.beta = 6.0, .or_per_hb = 2, .seed = 46});
+    for (int i = 0; i < 15; ++i) hb.sweep();
+    const auto hist = wilson_flow(u, {.step = 0.02, .steps = 10});
+    std::printf("%8s %12s %12s %12s\n", "t", "<E>", "t^2<E>", "plaq");
+    for (const auto& o : hist)
+      std::printf("%8.3f %12.4f %12.5f %12.5f\n", o.t, o.energy, o.t2e,
+                  o.plaquette);
+  }
+
+  std::printf("\nShape: plaquette tracks beta/18 at strong coupling and "
+              "1 - 2/beta at weak coupling; HMC |dH| drops ~4x when the "
+              "step count doubles (2nd-order integrator) and its "
+              "plaquette agrees with the heatbath stream.\n");
+  return 0;
+}

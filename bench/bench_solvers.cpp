@@ -1,0 +1,73 @@
+// Experiment T2: solver iterations and wall time vs quark mass (critical
+// slowing down) for CG on the normal even-odd system, BiCGStab on M, and
+// GCR — the standard solver-comparison table, measured on a thermalized
+// quenched configuration.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dirac/eo.hpp"
+#include "dirac/normal.hpp"
+#include "linalg/blas.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/cg.hpp"
+#include "solver/gcr.hpp"
+
+int main() {
+  using namespace lqcd;
+  using namespace lqcd::bench;
+
+  const LatticeGeometry geo({8, 8, 8, 8});
+  const GaugeFieldD u = thermalized(geo, 5.9, 10);
+  FermionFieldD b(geo);
+  fill_gaussian(b.span(), 11);
+  const auto hv = static_cast<std::size_t>(geo.half_volume());
+
+  std::printf("T2: solver comparison on a thermalized 8^4 quenched "
+              "configuration (beta=5.9, tol=1e-8)\n");
+  std::printf("%8s | %22s | %22s | %22s\n", "kappa", "eo-CG (normal eq)",
+              "BiCGStab (full M)", "GCR(16) (full M)");
+  std::printf("%8s | %10s %11s | %10s %11s | %10s %11s\n", "", "iters",
+              "time[ms]", "iters", "time[ms]", "iters", "time[ms]");
+
+  SolverParams p{.tol = 1e-8, .max_iterations = 20000};
+  for (const double kappa : {0.100, 0.110, 0.118, 0.124}) {
+    // Even-odd CG.
+    SchurWilsonOperator<double> shat(u, kappa);
+    NormalOperator<double> nhat(shat);
+    aligned_vector<WilsonSpinorD> bhat(hv), bhat2(hv), xo(hv), tmp(hv);
+    shat.prepare_rhs({bhat.data(), hv}, b.span());
+    apply_dagger_g5<double>(shat, {bhat2.data(), hv},
+                            {bhat.data(), hv}, {tmp.data(), hv});
+    const SolverResult r_cg = cg_solve<double>(
+        nhat, {xo.data(), hv},
+        std::span<const WilsonSpinorD>(bhat2.data(), hv), p);
+
+    // BiCGStab on the full operator.
+    WilsonOperator<double> m(u, kappa);
+    FermionFieldD x1(geo), x2(geo);
+    const SolverResult r_bi = bicgstab_solve<double>(m, x1.span(),
+                                                     b.span(), p);
+
+    // GCR on the full operator.
+    GcrParams gp;
+    gp.base = p;
+    gp.restart_length = 16;
+    const SolverResult r_gcr = gcr_solve<double>(m, x2.span(), b.span(),
+                                                 gp);
+
+    std::printf("%8.3f | %10d %11.2f | %10d %11.2f | %10d %11.2f%s\n",
+                kappa, r_cg.iterations, r_cg.seconds * 1e3,
+                r_bi.iterations, r_bi.seconds * 1e3, r_gcr.iterations,
+                r_gcr.seconds * 1e3,
+                (r_cg.converged && r_bi.converged && r_gcr.converged)
+                    ? ""
+                    : "  [!] unconverged");
+  }
+  std::printf("\nShape check: every column's iteration count must grow "
+              "toward kappa_c (critical slowing down);\n"
+              "eo-CG does half-volume work per iteration, BiCGStab ~2 "
+              "full applies, GCR pays orthogonalization.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment F5: the end-to-end "origin of mass" measurement — hadron
+// correlators and effective masses on a quenched configuration, with the
+// exact free-field curve overlaid and the wall-time budget broken down by
+// phase (generation / solves / contractions), as production campaign
+// tables report.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/api.hpp"
+#include "spectro/free_field.hpp"
+#include "staggered/staggered.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace lqcd;
+  const int L = 4, T = 16;
+  const double beta = 5.9, kappa = 0.150;
+
+  std::printf("F5: spectroscopy on %d^3 x %d, beta=%.1f, kappa=%.3f\n", L,
+              T, beta, kappa);
+
+  WallTimer t_total;
+  Context ctx({L, L, L, T}, 777);
+  EnsembleGenerator gen(ctx, {.beta = beta,
+                              .or_per_hb = 2,
+                              .thermalization_sweeps = 15,
+                              .sweeps_between_configs = 0});
+  WallTimer t_gen;
+  const GaugeFieldD& u = gen.next_config();
+  const double gen_s = t_gen.seconds();
+
+  SpectroscopyParams sp;
+  sp.propagator.kappa = kappa;
+  sp.propagator.solver.tol = 1e-9;
+  sp.plateau_t_min = 3;
+  sp.plateau_t_max = T / 2 - 2;
+  WallTimer t_meas;
+  const SpectroscopyResult res = run_spectroscopy(u, sp);
+  const double meas_s = t_meas.seconds();
+
+  // The free-theory overlay only exists below the free critical point
+  // kappa_c = 1/8; on a thermalized lattice kappa_c shifts upward, so the
+  // interacting run can use a larger kappa. Overlay a lighter free kappa
+  // for shape comparison in that case.
+  const double kappa_free = std::min(kappa, 0.120);
+  const auto free_ref = free_pion_correlator({L, L, L, T}, kappa_free);
+  const auto meff_pi = effective_mass_cosh(res.pion.c);
+  const auto meff_rho = effective_mass_cosh(res.rho.c);
+  std::vector<double> nuc_abs(res.nucleon.c.size());
+  for (std::size_t i = 0; i < nuc_abs.size(); ++i)
+    nuc_abs[i] = std::abs(res.nucleon.c[i]);
+  const auto meff_n = effective_mass_log(nuc_abs);
+
+  std::printf("\n%3s %13s %13s %13s | %9s %9s %9s\n", "t", "C_pi", "C_rho",
+              "C_pi(free)", "m_pi(t)", "m_rho(t)", "m_N(t)");
+  for (int t = 0; t < T; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+    const double mpi = t < T - 1 ? meff_pi[ts] : NAN;
+    const double mrho = t < T - 1 ? meff_rho[ts] : NAN;
+    const double mn = t < T - 1 ? meff_n[ts] : NAN;
+    std::printf("%3d %13.5e %13.5e %13.5e | %9.4f %9.4f %9.4f\n", t,
+                res.pion.c[ts], res.rho.c[ts], free_ref[ts], mpi, mrho,
+                mn);
+  }
+
+  std::printf("\nplateau masses (window [%d, %d]):\n", sp.plateau_t_min,
+              sp.plateau_t_max);
+  std::printf("  m_pi  = %.4f (spread %.4f)\n", res.pion_mass.mass,
+              res.pion_mass.spread);
+  std::printf("  m_rho = %.4f (spread %.4f)\n", res.rho_mass.mass,
+              res.rho_mass.spread);
+  std::printf("  m_N   = %.4f (spread %.4f)\n", res.nucleon_mass.mass,
+              res.nucleon_mass.spread);
+  std::printf("  free-quark reference (kappa=%.3f): 2 m_q = %.4f\n",
+              kappa_free, 2.0 * free_quark_mass(kappa_free));
+
+  // Baseline discretization: staggered (MILC-style) Goldstone pion on
+  // the same configuration. Different lattice artifacts, same physics
+  // channel — the classic cross-discretization consistency check.
+  WallTimer t_stag;
+  const StaggeredPionResult stag =
+      staggered_pion_correlator(u, 0.3, {0, 0, 0, 0}, 1e-9);
+  const double stag_s = t_stag.seconds();
+  std::printf("\nstaggered baseline (m_q = 0.3): C(1..4) =");
+  for (int t = 1; t <= 4; ++t) std::printf(" %.3e", stag.correlator[t]);
+  std::printf("\n  even-slice m_pi = %.4f, %d CG iterations over 3 "
+              "colors, %.2fs (vs %.2fs for 12 Wilson columns)\n",
+              0.5 * std::log(stag.correlator[4] / stag.correlator[6]),
+              stag.total_iterations, stag_s, meas_s);
+
+  const double total_s = t_total.seconds();
+  std::printf("\ntime budget: generation %.2fs (%.0f%%), solves+"
+              "contractions %.2fs (%.0f%%), total %.2fs; %d CG "
+              "iterations over 12 columns\n",
+              gen_s, 100.0 * gen_s / total_s, meas_s,
+              100.0 * meas_s / total_s, total_s,
+              res.solve_stats.total_iterations);
+  std::printf("\nShape: m_pi < m_rho < m_N with interactions switched on; "
+              "the measured pion correlator sits below the free curve at "
+              "large t (binding). Solve time dominates the budget — the "
+              "motivation for every solver optimization in this "
+              "library.\n");
+  return 0;
+}

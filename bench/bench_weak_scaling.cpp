@@ -1,0 +1,39 @@
+// Experiment F2: weak scaling (sustained PFLOP/s at fixed local volume)
+// out to ~10^5 nodes on the machine presets — the "machine fills up"
+// figure. Modeled; see DESIGN.md for the substitution rationale.
+
+#include <cstdio>
+#include <vector>
+
+#include "comm/machine.hpp"
+#include "comm/perf_model.hpp"
+
+int main() {
+  using namespace lqcd;
+  PerfModelOptions opt;
+  opt.precision_bytes = 8;
+
+  const std::vector<int> nodes = {16,    64,    256,   1024, 4096,
+                                  16384, 49152, 98304};
+
+  std::printf("F2: weak scaling, even-odd CG iteration (modeled)\n");
+  for (const auto& machine : {blue_gene_q(), k_computer(),
+                              generic_cluster()}) {
+    for (const Coord local : {Coord{8, 8, 8, 8}, Coord{16, 16, 16, 16}}) {
+      std::printf("\n=== %dx%dx%dx%d per node on %s ===\n", local[0],
+                  local[1], local[2], local[3], machine.name.c_str());
+      std::printf("%8s %12s %12s %9s %8s\n", "nodes", "t_iter[us]",
+                  "TFLOP/s", "eff", "comm%");
+      for (const auto& p : weak_scaling(local, machine, opt, nodes))
+        std::printf("%8d %12.2f %12.1f %8.1f%% %7.1f%%\n", p.nodes,
+                    p.cost.t_iter * 1e6, p.sustained_tflops,
+                    100.0 * p.efficiency, 100.0 * p.cost.comm_fraction);
+    }
+  }
+  std::printf("\nShape: near-flat efficiency (nearest-neighbor halos are "
+              "node-count independent); the slow decay is the log(N) "
+              "allreduce. Larger local volumes sit closer to 100%%. The "
+              "single-rail cluster preset pays visibly more than the "
+              "torus machines at small local volume.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The deconfinement transition: scan the Polyakov loop across the
+// finite-temperature transition on an N_t = 4 lattice.
+//
+//   ./deconfinement [--L 8] [--Nt 4] [--sweeps 60] [--measure 40]
+//
+// Below beta_c (~5.69 for N_t = 4) the Polyakov loop averages to zero
+// (confinement: infinite free energy for an isolated quark); above it
+// the Z(3) center symmetry breaks and |<L>| jumps — the same physics
+// that confines the quarks whose binding energy is "the origin of mass".
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "gauge/heatbath.hpp"
+#include "gauge/observables.hpp"
+#include "gauge/wilson_loops.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lqcd;
+  Cli cli(argc, argv);
+  const int L = cli.get_int("L", 8);
+  const int nt = cli.get_int("Nt", 4);
+  const int therm = cli.get_int("sweeps", 60);
+  const int measure = cli.get_int("measure", 40);
+  cli.finish();
+
+  const LatticeGeometry geo({L, L, L, nt});
+  std::printf("deconfinement scan on %d^3 x %d (beta_c ~ 5.69 for "
+              "N_t = 4)\n\n",
+              L, nt);
+  std::printf("%6s %12s %12s %12s %14s\n", "beta", "<|L|>", "err",
+              "<P>", "chi(2,2)");
+
+  for (const double beta : {5.2, 5.5, 5.65, 5.75, 5.9, 6.2}) {
+    GaugeFieldD u(geo);
+    u.set_random(SiteRngFactory(77));
+    Heatbath hb(u, {.beta = beta, .or_per_hb = 2, .seed = 78});
+    for (int i = 0; i < therm; ++i) hb.sweep();
+    std::vector<double> absl, plaq;
+    for (int i = 0; i < measure; ++i) {
+      hb.sweep();
+      const Cplxd l = polyakov_loop(u);
+      absl.push_back(std::sqrt(norm2(l)));
+      plaq.push_back(average_plaquette(u));
+    }
+    double chi = 0.0;
+    const auto loops = wilson_loop_table(u, 2, 2);
+    bool chi_ok = true;
+    try {
+      chi = creutz_ratio(loops, 2, 2);
+    } catch (const Error&) {
+      chi_ok = false;  // loops too noisy at strong coupling
+    }
+    std::printf("%6.2f %12.4f %12.4f %12.5f %14s\n", beta, mean(absl),
+                standard_error(absl), mean(plaq),
+                chi_ok ? std::to_string(chi).c_str() : "n/a");
+  }
+
+  std::printf("\nReading: <|L|> is small (noise-level, falling with "
+              "volume) in the confined phase and jumps across beta_c ~ "
+              "5.69; the Creutz ratio (string tension estimate) drops as "
+              "the system deconfines.\n");
+  return 0;
+}

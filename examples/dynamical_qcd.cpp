@@ -1,0 +1,99 @@
+// Full QCD: two-flavor dynamical Wilson fermions via HMC.
+//
+//   ./dynamical_qcd [--L 4] [--T 4] [--beta 5.4] [--kappa 0.1]
+//                   [--trajectories 10] [--steps 10] [--length 0.5]
+//
+// Every trajectory integrates the gauge field against the *sea quark*
+// force — each force evaluation solves the Dirac equation — and ends in
+// an exact Metropolis step. This is the algorithm behind every modern
+// dynamical ensemble; the quenched generator (examples/ensemble_
+// generation) is the historical approximation it replaced.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "gauge/heatbath.hpp"
+#include "gauge/observables.hpp"
+#include "hmc/dynamical.hpp"
+#include "hmc/rhmc.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lqcd;
+  Cli cli(argc, argv);
+  const int L = cli.get_int("L", 4);
+  const int T = cli.get_int("T", 4);
+  DynamicalHmcParams params;
+  params.beta = cli.get_double("beta", 5.4);
+  params.kappa = cli.get_double("kappa", 0.10);
+  params.trajectory_length = cli.get_double("length", 0.5);
+  params.steps = cli.get_int("steps", 10);
+  params.seed = static_cast<std::uint64_t>(cli.get_long("seed", 20130402));
+  const int n_traj = cli.get_int("trajectories", 10);
+  const int flavors = cli.get_int("flavors", 2);
+  cli.finish();
+  if (flavors != 1 && flavors != 2) {
+    std::fprintf(stderr, "--flavors must be 1 (RHMC) or 2 (HMC)\n");
+    return 1;
+  }
+
+  std::printf("%s dynamical sampling: %d^3 x %d, beta=%.2f, "
+              "kappa=%.3f, tau=%.2f in %d steps\n\n",
+              flavors == 2 ? "two-flavor HMC" : "one-flavor RHMC", L, L, T,
+              params.beta, params.kappa, params.trajectory_length,
+              params.steps);
+
+  const LatticeGeometry geo({L, L, L, T});
+  GaugeFieldD u(geo);
+  u.set_random(SiteRngFactory(params.seed ^ 0xabcULL));
+  {
+    // Cheap pre-thermalization with the quenched heatbath.
+    Heatbath pre(u, {.beta = params.beta, .or_per_hb = 1,
+                     .seed = params.seed + 1});
+    for (int i = 0; i < 10; ++i) pre.sweep();
+  }
+
+  std::vector<double> plaq;
+  long cg_total = 0;
+  double acceptance = 0.0;
+  std::printf("%5s %10s %8s %10s %10s\n", "traj", "dH", "acc", "plaq",
+              "CG iters");
+  if (flavors == 2) {
+    DynamicalHmc hmc(u, params);
+    for (int i = 0; i < n_traj; ++i) {
+      const DynamicalTrajectoryResult r = hmc.trajectory();
+      plaq.push_back(r.plaquette);
+      cg_total += r.cg_iterations;
+      std::printf("%5d %+10.4f %8s %10.5f %10d\n", i + 1, r.delta_h,
+                  r.accepted ? "yes" : "NO", r.plaquette, r.cg_iterations);
+    }
+    acceptance = hmc.acceptance_rate();
+  } else {
+    RhmcParams rp;
+    rp.beta = params.beta;
+    rp.kappa = params.kappa;
+    rp.trajectory_length = params.trajectory_length;
+    rp.steps = params.steps;
+    rp.seed = params.seed;
+    Rhmc rhmc(u, rp);
+    for (int i = 0; i < n_traj; ++i) {
+      const RhmcTrajectoryResult r = rhmc.trajectory();
+      plaq.push_back(r.plaquette);
+      cg_total += r.cg_iterations;
+      std::printf("%5d %+10.4f %8s %10.5f %10d\n", i + 1, r.delta_h,
+                  r.accepted ? "yes" : "NO", r.plaquette, r.cg_iterations);
+    }
+    acceptance = rhmc.acceptance_rate();
+  }
+
+  std::printf("\nacceptance %.0f%%, <P> = %.5f +- %.5f, total CG "
+              "iterations %ld (%.0f per trajectory)\n",
+              100.0 * acceptance, mean(plaq), standard_error(plaq),
+              cg_total, static_cast<double>(cg_total) / n_traj);
+  std::printf("\nThe solve cost per trajectory is why dynamical QCD "
+              "needed petascale machines — and why this library's solver "
+              "stack (eo-preconditioning, mixed precision, SAP) exists.\n");
+  return 0;
+}

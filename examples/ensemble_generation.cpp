@@ -1,0 +1,95 @@
+// Gauge ensemble generation: heatbath vs HMC on the same box, with
+// configuration I/O (checksummed) and autocorrelation diagnostics.
+//
+//   ./ensemble_generation [--L 4] [--T 4] [--beta 5.7] [--sweeps 40]
+//                         [--trajectories 20] [--out /tmp/lqcd_cfgs]
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "gauge/heatbath.hpp"
+#include "gauge/io.hpp"
+#include "gauge/observables.hpp"
+#include "hmc/hmc.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lqcd;
+  Cli cli(argc, argv);
+  const int L = cli.get_int("L", 4);
+  const int T = cli.get_int("T", 4);
+  const double beta = cli.get_double("beta", 5.7);
+  const int sweeps = cli.get_int("sweeps", 40);
+  const int trajectories = cli.get_int("trajectories", 20);
+  const std::string out_dir = cli.get_string(
+      "out", (std::filesystem::temp_directory_path() / "lqcd_cfgs")
+                 .string());
+  cli.finish();
+
+  const LatticeGeometry geo({L, L, L, T});
+  std::filesystem::create_directories(out_dir);
+
+  // --- Heatbath stream -----------------------------------------------
+  std::printf("=== heatbath + over-relaxation, beta=%.2f ===\n", beta);
+  GaugeFieldD u_hb(geo);
+  u_hb.set_random(SiteRngFactory(1));
+  Heatbath hb(u_hb, {.beta = beta, .or_per_hb = 2, .seed = 2});
+  std::vector<double> plaq_hb;
+  for (int i = 0; i < sweeps; ++i) {
+    plaq_hb.push_back(hb.sweep());
+    if ((i + 1) % 10 == 0)
+      std::printf("sweep %3d: plaquette %.5f\n", i + 1, plaq_hb.back());
+  }
+  const std::size_t half = plaq_hb.size() / 2;
+  std::vector<double> thermal(plaq_hb.begin() + half, plaq_hb.end());
+  std::printf("thermal half: <P> = %.5f +- %.5f, tau_int = %.2f sweeps\n",
+              mean(thermal), standard_error(thermal),
+              integrated_autocorrelation(thermal));
+
+  // Save + reload round trip with CRC protection.
+  const std::string cfg = out_dir + "/heatbath.cfg";
+  save_gauge(u_hb, cfg, beta);
+  GaugeFieldD reload(geo);
+  load_gauge(reload, cfg);
+  std::printf("saved %s (reload plaquette %.5f)\n\n", cfg.c_str(),
+              average_plaquette(reload));
+
+  // --- HMC stream -----------------------------------------------------
+  std::printf("=== pure-gauge HMC (Omelyan), beta=%.2f ===\n", beta);
+  GaugeFieldD u_hmc(geo);
+  u_hmc.set_random(SiteRngFactory(3));
+  {
+    // Pre-thermalize cheaply with a few heatbath sweeps.
+    Heatbath pre(u_hmc, {.beta = beta, .or_per_hb = 1, .seed = 4});
+    for (int i = 0; i < 10; ++i) pre.sweep();
+  }
+  Hmc hmc(u_hmc, {.beta = beta,
+                  .trajectory_length = 1.0,
+                  .steps = 12,
+                  .integrator = Integrator::Omelyan,
+                  .seed = 5});
+  std::vector<double> plaq_hmc, dh;
+  for (int i = 0; i < trajectories; ++i) {
+    const TrajectoryResult r = hmc.trajectory();
+    plaq_hmc.push_back(r.plaquette);
+    dh.push_back(r.delta_h);
+    if ((i + 1) % 5 == 0)
+      std::printf("traj %3d: dH %+8.4f  %s  plaquette %.5f\n", i + 1,
+                  r.delta_h, r.accepted ? "acc" : "REJ", r.plaquette);
+  }
+  std::printf("acceptance %.0f%%, <|dH|> = %.4f, <P> = %.5f +- %.5f\n",
+              100.0 * hmc.acceptance_rate(),
+              mean([&] {
+                std::vector<double> a(dh.size());
+                for (std::size_t i = 0; i < dh.size(); ++i)
+                  a[i] = std::abs(dh[i]);
+                return a;
+              }()),
+              mean(plaq_hmc), standard_error(plaq_hmc));
+  std::printf("heatbath vs HMC plaquette: %.5f vs %.5f (same theory, two "
+              "samplers)\n",
+              mean(thermal), mean(plaq_hmc));
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "comm/halo.hpp"
+
+namespace lqcd {
+
+HaloLattice::HaloLattice(const Coord& local_dims) : l_(local_dims) {
+  interior_vol_ = 1;
+  ext_vol_ = 1;
+  for (int mu = 0; mu < Nd; ++mu) {
+    LQCD_REQUIRE(l_[mu] >= 2, "local extent must be >= 2 for depth-1 halos");
+    e_[mu] = l_[mu] + 2;
+    interior_vol_ *= l_[mu];
+    ext_vol_ *= e_[mu];
+  }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,365 @@
+#pragma once
+// Virtual cluster: a functional multi-rank domain decomposition running
+// inside one process.
+//
+// Each rank owns a local sub-lattice stored with a depth-1 ghost frame
+// (the "halo"). exchange() packs boundary planes into per-message buffers
+// and delivers them into the neighbor rank's ghost frame — the same
+// pack/send/recv/unpack structure an MPI backend would run, with memcpy as
+// the transport. Byte and message counts are recorded so the analytic
+// network model can be cross-checked against the functional path.
+//
+// DistributedWilsonOperator applies the full Wilson matrix through this
+// machinery and is validated bit-for-bit against the single-domain
+// operator — the correctness anchor for every scaling claim in the bench
+// harness.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/process_grid.hpp"
+#include "dirac/operator.hpp"
+#include "dirac/wilson.hpp"
+#include "gauge/gauge_field.hpp"
+#include "lattice/field.hpp"
+#include "linalg/gamma.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+/// Local sub-lattice with a depth-1 ghost frame. Extended coordinates run
+/// -1 .. l[mu]; ext_index() offsets them into a dense array.
+class HaloLattice {
+ public:
+  explicit HaloLattice(const Coord& local_dims);
+
+  [[nodiscard]] const Coord& local_dims() const noexcept { return l_; }
+  [[nodiscard]] std::int64_t interior_volume() const noexcept {
+    return interior_vol_;
+  }
+  [[nodiscard]] std::int64_t extended_volume() const noexcept {
+    return ext_vol_;
+  }
+
+  /// Dense index of an extended coordinate (components in [-1, l]).
+  [[nodiscard]] std::int64_t ext_index(const Coord& x) const noexcept {
+    return (x[0] + 1) +
+           static_cast<std::int64_t>(e_[0]) *
+               ((x[1] + 1) +
+                static_cast<std::int64_t>(e_[1]) *
+                    ((x[2] + 1) +
+                     static_cast<std::int64_t>(e_[2]) * (x[3] + 1)));
+  }
+
+  /// Interior coordinate of the i-th interior site (lexicographic).
+  [[nodiscard]] Coord interior_coords(std::int64_t i) const noexcept {
+    Coord x{};
+    x[0] = static_cast<int>(i % l_[0]);
+    i /= l_[0];
+    x[1] = static_cast<int>(i % l_[1]);
+    i /= l_[1];
+    x[2] = static_cast<int>(i % l_[2]);
+    i /= l_[2];
+    x[3] = static_cast<int>(i);
+    return x;
+  }
+
+  /// Number of sites on the face orthogonal to mu.
+  [[nodiscard]] std::int64_t face_volume(int mu) const noexcept {
+    return interior_vol_ / l_[mu];
+  }
+
+ private:
+  Coord l_;
+  Coord e_;
+  std::int64_t interior_vol_;
+  std::int64_t ext_vol_;
+};
+
+/// Communication counters accumulated by exchange operations.
+struct CommStats {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  std::int64_t exchanges = 0;
+  void reset() { *this = CommStats{}; }
+};
+
+/// A lattice decomposed over a virtual process grid, with resident
+/// per-rank fermion and gauge storage.
+template <typename T>
+class VirtualCluster {
+ public:
+  VirtualCluster(const LatticeGeometry& global, const ProcessGrid& grid)
+      : global_(&global),
+        grid_(grid),
+        local_dims_(grid.local_dims(global.dims())),
+        halo_(local_dims_) {
+    origins_.resize(static_cast<std::size_t>(grid_.size()));
+    for (int r = 0; r < grid_.size(); ++r) {
+      const Coord rc = grid_.coords_of(r);
+      for (int mu = 0; mu < Nd; ++mu)
+        origins_[static_cast<std::size_t>(r)][mu] =
+            rc[mu] * local_dims_[mu];
+    }
+  }
+
+  [[nodiscard]] const LatticeGeometry& global_geometry() const {
+    return *global_;
+  }
+  [[nodiscard]] const ProcessGrid& grid() const { return grid_; }
+  [[nodiscard]] const HaloLattice& halo() const { return halo_; }
+  [[nodiscard]] int ranks() const { return grid_.size(); }
+  [[nodiscard]] const Coord& origin(int rank) const {
+    return origins_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] CommStats& stats() const { return stats_; }
+
+  /// Per-rank fermion storage on the extended (haloed) volume.
+  using RankFermion = aligned_vector<WilsonSpinor<T>>;
+  /// Per-rank gauge storage on the extended volume.
+  using RankGauge = aligned_vector<LinkSite<T>>;
+
+  [[nodiscard]] std::vector<RankFermion> make_fermion() const {
+    return std::vector<RankFermion>(
+        static_cast<std::size_t>(ranks()),
+        RankFermion(static_cast<std::size_t>(halo_.extended_volume())));
+  }
+
+  /// Distribute a global checkerboard-layout fermion field.
+  void scatter(std::vector<RankFermion>& dst,
+               std::span<const WilsonSpinor<T>> src) const {
+    LQCD_REQUIRE(src.size() == static_cast<std::size_t>(global_->volume()),
+                 "scatter: global field size");
+    for_each_rank([&](int r) {
+      RankFermion& loc = dst[static_cast<std::size_t>(r)];
+      for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+        const Coord xl = halo_.interior_coords(i);
+        loc[static_cast<std::size_t>(halo_.ext_index(xl))] =
+            src[static_cast<std::size_t>(global_->cb_index(
+                global_coords(r, xl)))];
+      }
+    });
+  }
+
+  /// Collect rank-local interiors back into a global field.
+  void gather(std::span<WilsonSpinor<T>> dst,
+              const std::vector<RankFermion>& src) const {
+    LQCD_REQUIRE(dst.size() == static_cast<std::size_t>(global_->volume()),
+                 "gather: global field size");
+    for_each_rank([&](int r) {
+      const RankFermion& loc = src[static_cast<std::size_t>(r)];
+      for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+        const Coord xl = halo_.interior_coords(i);
+        dst[static_cast<std::size_t>(
+            global_->cb_index(global_coords(r, xl)))] =
+            loc[static_cast<std::size_t>(halo_.ext_index(xl))];
+      }
+    });
+  }
+
+  /// Distribute a gauge field and fill its ghost links (one-time setup
+  /// exchange, as a production code does after loading a configuration).
+  [[nodiscard]] std::vector<RankGauge> scatter_gauge(
+      const GaugeField<T>& u) const {
+    std::vector<RankGauge> out(
+        static_cast<std::size_t>(ranks()),
+        RankGauge(static_cast<std::size_t>(halo_.extended_volume())));
+    for_each_rank([&](int r) {
+      RankGauge& loc = out[static_cast<std::size_t>(r)];
+      for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+        const Coord xl = halo_.interior_coords(i);
+        loc[static_cast<std::size_t>(halo_.ext_index(xl))] =
+            u.site(global_->cb_index(global_coords(r, xl)));
+      }
+    });
+    exchange_gauge(out);
+    return out;
+  }
+
+  /// Halo exchange for a fermion field: fill every rank's ghost frame
+  /// from the neighbors' boundary planes.
+  void exchange(std::vector<RankFermion>& f) const {
+    exchange_impl<WilsonSpinor<T>>(f);
+  }
+
+  /// Halo exchange for gauge ghosts.
+  void exchange_gauge(std::vector<RankGauge>& g) const {
+    exchange_impl<LinkSite<T>>(g);
+  }
+
+  /// Global coordinate of rank-local coordinate xl (periodic wrap).
+  [[nodiscard]] Coord global_coords(int rank, const Coord& xl) const {
+    Coord xg{};
+    const Coord& o = origins_[static_cast<std::size_t>(rank)];
+    for (int mu = 0; mu < Nd; ++mu)
+      xg[mu] = (o[mu] + xl[mu] + global_->dim(mu)) % global_->dim(mu);
+    return xg;
+  }
+
+ private:
+  template <typename F>
+  void for_each_rank(F&& body) const {
+    parallel_for(static_cast<std::size_t>(ranks()),
+                 [&](std::size_t r) { body(static_cast<int>(r)); });
+  }
+
+  template <typename SiteT>
+  void exchange_impl(std::vector<std::vector<SiteT, AlignedAllocator<SiteT>>>&
+                         field) const {
+    // Pull model: every rank fills its 8 ghost planes by packing the
+    // matching boundary plane of the neighbor rank through a message
+    // buffer (mimicking send/recv).
+    const Coord& l = local_dims_;
+    for_each_rank([&](int r) {
+      auto& mine = field[static_cast<std::size_t>(r)];
+      std::vector<SiteT> buffer;
+      for (int mu = 0; mu < Nd; ++mu) {
+        for (int dir = -1; dir <= 1; dir += 2) {
+          const int nbr = grid_.neighbor(r, mu, dir);
+          const auto& theirs = field[static_cast<std::size_t>(nbr)];
+          // Ghost plane at x[mu] = l (dir=+1) or -1 (dir=-1) receives the
+          // neighbor's interior plane x[mu] = 0 (resp. l-1).
+          const int ghost_coord = dir > 0 ? l[mu] : -1;
+          const int src_coord = dir > 0 ? 0 : l[mu] - 1;
+          buffer.clear();
+          buffer.reserve(static_cast<std::size_t>(halo_.face_volume(mu)));
+          // Pack (neighbor side).
+          Coord x{};
+          for (x[3] = 0; x[3] < l[3]; ++x[3])
+            for (x[2] = 0; x[2] < l[2]; ++x[2])
+              for (x[1] = 0; x[1] < l[1]; ++x[1])
+                for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+                  if (x[mu] != 0) continue;  // iterate the face once
+                  Coord src = x;
+                  src[mu] = src_coord;
+                  buffer.push_back(theirs[static_cast<std::size_t>(
+                      halo_.ext_index(src))]);
+                }
+          // Unpack (our ghost plane), same traversal order.
+          std::size_t k = 0;
+          for (x[3] = 0; x[3] < l[3]; ++x[3])
+            for (x[2] = 0; x[2] < l[2]; ++x[2])
+              for (x[1] = 0; x[1] < l[1]; ++x[1])
+                for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+                  if (x[mu] != 0) continue;
+                  Coord dst = x;
+                  dst[mu] = ghost_coord;
+                  mine[static_cast<std::size_t>(halo_.ext_index(dst))] =
+                      buffer[k++];
+                }
+          stats_.messages += 1;
+          stats_.bytes +=
+              static_cast<std::int64_t>(buffer.size() * sizeof(SiteT));
+        }
+      }
+    });
+    stats_.exchanges += 1;
+  }
+
+  const LatticeGeometry* global_;
+  ProcessGrid grid_;
+  Coord local_dims_;
+  HaloLattice halo_;
+  std::vector<Coord> origins_;
+  mutable CommStats stats_;
+};
+
+/// Full Wilson operator evaluated through the virtual cluster. Implements
+/// LinearOperator on *global* fields (scatter/exchange/compute/gather), so
+/// any solver in the library runs "distributed" unchanged and must produce
+/// identical iterates to the single-domain operator.
+template <typename T>
+class DistributedWilsonOperator final : public LinearOperator<T> {
+ public:
+  DistributedWilsonOperator(const GaugeField<T>& u, double kappa,
+                            const ProcessGrid& grid,
+                            TimeBoundary bc = TimeBoundary::Antiperiodic)
+      : cluster_(u.geometry(), grid), kappa_(static_cast<T>(kappa)) {
+    LQCD_REQUIRE(kappa > 0.0 && kappa < 0.25, "kappa out of (0, 0.25)");
+    const GaugeField<T> links = make_fermion_links(u, bc);
+    gauge_ = cluster_.scatter_gauge(links);
+    in_ranks_ = cluster_.make_fermion();
+    out_ranks_ = cluster_.make_fermion();
+  }
+
+  void apply(std::span<WilsonSpinor<T>> out,
+             std::span<const WilsonSpinor<T>> in) const override {
+    cluster_.scatter(in_ranks_, in);
+    cluster_.exchange(in_ranks_);
+    const HaloLattice& halo = cluster_.halo();
+    const T k = kappa_;
+    parallel_for(static_cast<std::size_t>(cluster_.ranks()),
+                 [&](std::size_t r) {
+      const auto& psi = in_ranks_[r];
+      const auto& ug = gauge_[r];
+      auto& res = out_ranks_[r];
+      for (std::int64_t i = 0; i < halo.interior_volume(); ++i) {
+        const Coord x = halo.interior_coords(i);
+        const std::int64_t xe = halo.ext_index(x);
+        WilsonSpinor<T> acc{};
+        hop_dir<0>(acc, x, xe, psi, ug, halo);
+        hop_dir<1>(acc, x, xe, psi, ug, halo);
+        hop_dir<2>(acc, x, xe, psi, ug, halo);
+        hop_dir<3>(acc, x, xe, psi, ug, halo);
+        acc *= k;
+        WilsonSpinor<T> v = psi[static_cast<std::size_t>(xe)];
+        v -= acc;
+        res[static_cast<std::size_t>(xe)] = v;
+      }
+    });
+    cluster_.gather(out, out_ranks_);
+  }
+
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return cluster_.global_geometry().volume();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    return static_cast<double>(vector_size()) * (kDslashFlopsPerSite + 48.0);
+  }
+  [[nodiscard]] const VirtualCluster<T>& cluster() const { return cluster_; }
+
+ private:
+  template <int Mu>
+  void hop_dir(WilsonSpinor<T>& acc, const Coord& x, std::int64_t /*xe*/,
+               const typename VirtualCluster<T>::RankFermion& psi,
+               const typename VirtualCluster<T>::RankGauge& ug,
+               const HaloLattice& halo) const {
+    Coord xp = x;
+    ++xp[Mu];
+    Coord xm = x;
+    --xm[Mu];
+    const std::int64_t xpe = halo.ext_index(xp);
+    const std::int64_t xme = halo.ext_index(xm);
+    const std::int64_t xe0 = halo.ext_index(x);
+    {
+      const HalfSpinor<T> h =
+          project<Mu, -1>(psi[static_cast<std::size_t>(xpe)]);
+      const ColorMatrix<T>& u =
+          ug[static_cast<std::size_t>(xe0)][static_cast<std::size_t>(Mu)];
+      HalfSpinor<T> uh;
+      uh.s[0] = mul(u, h.s[0]);
+      uh.s[1] = mul(u, h.s[1]);
+      accum_reconstruct<Mu, -1>(acc, uh);
+    }
+    {
+      const HalfSpinor<T> h =
+          project<Mu, +1>(psi[static_cast<std::size_t>(xme)]);
+      const ColorMatrix<T>& u =
+          ug[static_cast<std::size_t>(xme)][static_cast<std::size_t>(Mu)];
+      HalfSpinor<T> uh;
+      uh.s[0] = adj_mul(u, h.s[0]);
+      uh.s[1] = adj_mul(u, h.s[1]);
+      accum_reconstruct<Mu, +1>(acc, uh);
+    }
+  }
+
+  VirtualCluster<T> cluster_;
+  std::vector<typename VirtualCluster<T>::RankGauge> gauge_;
+  mutable std::vector<typename VirtualCluster<T>::RankFermion> in_ranks_;
+  mutable std::vector<typename VirtualCluster<T>::RankFermion> out_ranks_;
+  T kappa_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,57 @@
+#include "comm/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+MachineModel blue_gene_q() {
+  MachineModel m;
+  m.name = "BlueGene/Q";
+  m.node_gflops_double = 204.8;
+  m.node_gflops_single = 409.6;
+  m.mem_bw_gbs = 42.6;
+  m.compute_efficiency = 0.55;
+  m.link_bw_gbs = 2.0;
+  m.links_per_node = 10;
+  m.link_latency_us = 1.2;
+  m.allreduce_latency_us = 1.5;  // hardware collective assist
+  return m;
+}
+
+MachineModel k_computer() {
+  MachineModel m;
+  m.name = "K computer (Tofu)";
+  m.node_gflops_double = 128.0;
+  m.node_gflops_single = 256.0;
+  m.mem_bw_gbs = 64.0;
+  m.compute_efficiency = 0.6;
+  m.link_bw_gbs = 5.0;
+  m.links_per_node = 10;
+  m.link_latency_us = 1.0;
+  m.allreduce_latency_us = 2.0;
+  return m;
+}
+
+MachineModel generic_cluster() {
+  MachineModel m;
+  m.name = "InfiniBand FDR cluster";
+  m.node_gflops_double = 345.6;
+  m.node_gflops_single = 691.2;
+  m.mem_bw_gbs = 102.0;
+  m.compute_efficiency = 0.5;
+  m.link_bw_gbs = 6.8;
+  m.links_per_node = 1;  // single rail shared by all directions
+  m.link_latency_us = 1.5;
+  m.allreduce_latency_us = 3.0;
+  return m;
+}
+
+MachineModel machine_by_name(const std::string& name) {
+  if (name == "bgq") return blue_gene_q();
+  if (name == "k") return k_computer();
+  if (name == "cluster") return generic_cluster();
+  throw Error("unknown machine preset: " + name +
+              " (expected bgq | k | cluster)");
+}
+
+}  // namespace lqcd

@@ -1,0 +1,53 @@
+#pragma once
+// Analytic machine models for the scaling studies.
+//
+// A MachineModel bundles the per-node roofline (peak flops + memory
+// bandwidth) with a torus-style network alpha-beta model. Presets follow
+// the published specs of the petascale systems lattice QCD ran on around
+// SC'13 (Blue Gene/Q, the K computer) plus a generic InfiniBand cluster.
+// Absolute numbers are machine constants; the scaling *shape* the model
+// produces (surface-to-volume bend, latency floor, allreduce decay) is
+// what the benches reproduce.
+
+#include <string>
+
+namespace lqcd {
+
+struct MachineModel {
+  std::string name;
+
+  // Per-node compute roofline.
+  double node_gflops_double = 0.0;  ///< peak DP GFLOP/s per node
+  double node_gflops_single = 0.0;  ///< peak SP GFLOP/s per node
+  double mem_bw_gbs = 0.0;          ///< STREAM-class memory bandwidth, GB/s
+  double compute_efficiency = 0.55;  ///< sustained fraction of the roofline
+
+  // Network (alpha-beta per link).
+  double link_bw_gbs = 0.0;      ///< bandwidth per link per direction, GB/s
+  int links_per_node = 8;        ///< concurrently usable links
+  double link_latency_us = 1.0;  ///< per-message latency
+  double allreduce_latency_us = 2.0;  ///< per log2(N) combining stage
+
+  /// Peak GFLOP/s for the given element size (8 = double, 4 = float;
+  /// 2 models QUDA-style half precision, which computes in single).
+  [[nodiscard]] double peak_gflops(int precision_bytes) const {
+    return precision_bytes >= 8 ? node_gflops_double : node_gflops_single;
+  }
+};
+
+/// IBM Blue Gene/Q: 204.8 DP GF/node, 42.6 GB/s memory, 5-D torus with
+/// 10 x 2 GB/s links, ~1.2 us nearest-neighbor latency.
+MachineModel blue_gene_q();
+
+/// K computer: 128 DP GF/node, 64 GB/s memory, Tofu 6-D mesh/torus with
+/// 10 x 5 GB/s links, ~1 us latency.
+MachineModel k_computer();
+
+/// Generic 2013 InfiniBand FDR cluster: dual-socket Xeon nodes,
+/// ~345 DP GF/node, 102 GB/s memory, one 6.8 GB/s rail, ~1.5 us latency.
+MachineModel generic_cluster();
+
+/// Look up a preset by name ("bgq", "k", "cluster"); throws on unknown.
+MachineModel machine_by_name(const std::string& name);
+
+}  // namespace lqcd

@@ -1,0 +1,263 @@
+#include "comm/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "dirac/wilson.hpp"
+#include "gauge/gauge_field.hpp"
+#include "lattice/field.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace lqcd {
+
+namespace {
+std::int64_t volume_of(const Coord& c) {
+  std::int64_t v = 1;
+  for (int mu = 0; mu < Nd; ++mu) v *= c[mu];
+  return v;
+}
+}  // namespace
+
+DslashCost model_dslash(const Coord& local, const Coord& grid,
+                        const MachineModel& m, const PerfModelOptions& opt) {
+  DslashCost c;
+  const double vloc = static_cast<double>(volume_of(local));
+  const double prec = static_cast<double>(opt.precision_bytes);
+
+  c.flops = 1320.0 * vloc;
+  // Per site: 8 SU(3) links (18 reals each) + 8 neighbor spinors +
+  // 1 diagonal read + 1 write (24 reals each).
+  c.mem_bytes = vloc * (8.0 * 18.0 + 10.0 * 24.0) * prec;
+
+  const double peak = m.peak_gflops(opt.precision_bytes) * 1e9 *
+                      m.compute_efficiency;
+  const double bw = m.mem_bw_gbs * 1e9 * m.compute_efficiency;
+  c.t_compute =
+      opt.calibration * std::max(c.flops / peak, c.mem_bytes / bw);
+
+  // Halos: one face pair per decomposed direction; a projected halo
+  // carries 12 reals per site, a full spinor 24.
+  const double halo_reals = opt.half_spinor_comm ? 12.0 : 24.0;
+  int active = 0;
+  double max_face_bytes = 0.0;
+  for (int mu = 0; mu < Nd; ++mu) {
+    if (grid[mu] <= 1) continue;
+    ++active;
+    const double face_sites = vloc / static_cast<double>(local[mu]);
+    const double bytes = face_sites * halo_reals * prec;
+    c.comm_bytes += 2.0 * bytes;  // forward and backward faces
+    max_face_bytes = std::max(max_face_bytes, bytes);
+    c.messages += 2;
+  }
+  if (active > 0) {
+    const int concurrency = std::min(m.links_per_node, 2 * active);
+    c.t_comm = m.link_latency_us * 1e-6 +
+               c.comm_bytes / (m.link_bw_gbs * 1e9 *
+                               static_cast<double>(concurrency));
+  }
+
+  // Overlap: the overlappable share of comm hides behind compute.
+  const double hidden = std::min(c.t_comm * opt.overlap, c.t_compute);
+  c.t_total = c.t_compute + c.t_comm - hidden;
+  return c;
+}
+
+IterationCost model_cg_iteration(const Coord& local, const Coord& grid,
+                                 int nodes, const MachineModel& m,
+                                 const PerfModelOptions& opt) {
+  IterationCost it;
+  // Normal Schur operator: 4 half-volume dslashes = 2 full dslash
+  // applications worth of flops/bytes/halos.
+  DslashCost one = model_dslash(local, grid, m, opt);
+  it.dslash = one;
+  it.dslash.flops *= 2.0;
+  it.dslash.mem_bytes *= 2.0;
+  it.dslash.comm_bytes *= 2.0;
+  it.dslash.messages *= 2;
+  it.dslash.t_compute *= 2.0;
+  it.dslash.t_comm *= 2.0;
+  it.dslash.t_total *= 2.0;
+
+  // Level-1 ops on the half volume: ~5 axpy/dot passes, 24 reals/site,
+  // 2 accesses each. Strictly memory bound.
+  const double vhalf = static_cast<double>(volume_of(local)) / 2.0;
+  const double prec = static_cast<double>(opt.precision_bytes);
+  const double bytes = 5.0 * 2.0 * 24.0 * prec * vhalf;
+  it.t_linalg = opt.calibration * bytes /
+                (m.mem_bw_gbs * 1e9 * m.compute_efficiency);
+
+  // 2 allreduces over a log2 combining tree.
+  const double stages = nodes > 1 ? std::ceil(std::log2(nodes)) : 0.0;
+  it.t_allreduce = 2.0 * m.allreduce_latency_us * 1e-6 * stages;
+
+  it.t_iter = it.dslash.t_total + it.t_linalg + it.t_allreduce;
+  const double comm =
+      (it.dslash.t_total - it.dslash.t_compute) + it.t_allreduce;
+  it.comm_fraction = it.t_iter > 0.0 ? std::max(0.0, comm) / it.t_iter : 0.0;
+  return it;
+}
+
+IterationCost model_sap_gcr_iteration(const Coord& local, const Coord& grid,
+                                      int nodes, const MachineModel& m,
+                                      const PerfModelOptions& opt,
+                                      int cycles, int mr_iters) {
+  IterationCost it;
+  // Block solves: communication-free local dslash sweeps.
+  DslashCost local_only = model_dslash(local, Coord{1, 1, 1, 1}, m, opt);
+  const double local_sweeps =
+      static_cast<double>(cycles) * (2.0 + static_cast<double>(mr_iters));
+  // One global residual-refresh dslash per color per cycle communicates.
+  DslashCost global = model_dslash(local, grid, m, opt);
+  const double global_sweeps = 2.0 * static_cast<double>(cycles);
+
+  it.dslash.flops =
+      local_only.flops * local_sweeps + global.flops * global_sweeps;
+  it.dslash.mem_bytes =
+      local_only.mem_bytes * local_sweeps + global.mem_bytes * global_sweeps;
+  it.dslash.comm_bytes = global.comm_bytes * global_sweeps;
+  it.dslash.messages = global.messages * static_cast<int>(global_sweeps);
+  it.dslash.t_compute = local_only.t_compute * local_sweeps +
+                        global.t_compute * global_sweeps;
+  it.dslash.t_comm = global.t_comm * global_sweeps;
+  it.dslash.t_total = local_only.t_total * local_sweeps +
+                      global.t_total * global_sweeps;
+
+  const double vloc = static_cast<double>(volume_of(local));
+  const double prec = static_cast<double>(opt.precision_bytes);
+  const double bytes = 8.0 * 2.0 * 24.0 * prec * vloc;
+  it.t_linalg = opt.calibration * bytes /
+                (m.mem_bw_gbs * 1e9 * m.compute_efficiency);
+
+  const double stages = nodes > 1 ? std::ceil(std::log2(nodes)) : 0.0;
+  // GCR needs ~3 reductions per iteration (orthogonalization + norms).
+  it.t_allreduce = 3.0 * m.allreduce_latency_us * 1e-6 * stages;
+
+  it.t_iter = it.dslash.t_total + it.t_linalg + it.t_allreduce;
+  const double comm =
+      (it.dslash.t_total - it.dslash.t_compute) + it.t_allreduce;
+  it.comm_fraction = it.t_iter > 0.0 ? std::max(0.0, comm) / it.t_iter : 0.0;
+  return it;
+}
+
+namespace {
+std::vector<ScalingPoint> scaling_curve(
+    const std::vector<int>& nodes, const MachineModel& m,
+    const PerfModelOptions& opt,
+    const std::function<bool(int, Coord&, Coord&)>& layout) {
+  std::vector<ScalingPoint> out;
+  for (const int n : nodes) {
+    Coord grid{}, local{};
+    if (!layout(n, grid, local)) continue;
+    ScalingPoint pt;
+    pt.nodes = n;
+    pt.grid = grid;
+    pt.local = local;
+    pt.cost = model_cg_iteration(local, grid, n, m, opt);
+    pt.sustained_tflops = pt.cost.dslash.flops * n /
+                          pt.cost.t_iter * 1e-12;
+    out.push_back(pt);
+  }
+  if (!out.empty()) {
+    // Efficiency normalized to the first (smallest) point's
+    // flops-per-node-second.
+    const double base = out.front().sustained_tflops /
+                        static_cast<double>(out.front().nodes);
+    for (auto& pt : out)
+      pt.efficiency =
+          (pt.sustained_tflops / static_cast<double>(pt.nodes)) / base;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<ScalingPoint> strong_scaling(const Coord& global,
+                                         const MachineModel& m,
+                                         const PerfModelOptions& opt,
+                                         const std::vector<int>& nodes) {
+  return scaling_curve(nodes, m, opt,
+                       [&](int n, Coord& grid, Coord& local) {
+                         if (!can_decompose(global, n)) return false;
+                         grid = choose_grid(global, n);
+                         const ProcessGrid pg(grid);
+                         local = pg.local_dims(global);
+                         return true;
+                       });
+}
+
+std::vector<ScalingPoint> weak_scaling(const Coord& local,
+                                       const MachineModel& m,
+                                       const PerfModelOptions& opt,
+                                       const std::vector<int>& nodes) {
+  return scaling_curve(nodes, m, opt,
+                       [&](int n, Coord& grid, Coord& loc) {
+                         // Build the grid by factorizing n over directions
+                         // round-robin (weak scaling keeps local fixed).
+                         grid = {1, 1, 1, 1};
+                         int rem = n;
+                         int mu = 3;
+                         while (rem > 1) {
+                           int p = 0;
+                           for (int cand : {2, 3, 5, 7})
+                             if (rem % cand == 0) {
+                               p = cand;
+                               break;
+                             }
+                           if (p == 0) return false;
+                           grid[mu] *= p;
+                           rem /= p;
+                           mu = (mu + 3) % Nd;  // cycle t,z,y,x
+                         }
+                         loc = local;
+                         return true;
+                       });
+}
+
+double calibrate_node(const MachineModel& m, int precision_bytes) {
+  // Time the real dslash kernel on an 8^4 local volume, single domain.
+  const LatticeGeometry geo({8, 8, 8, 8});
+  const double vol = static_cast<double>(geo.volume());
+
+  double measured = 0.0;
+  if (precision_bytes >= 8) {
+    GaugeFieldD u(geo);
+    u.set_random(SiteRngFactory(77));
+    FermionFieldD in(geo), out(geo);
+    for (auto& s : in.span()) s.s[0].c[0] = Cplxd(1.0);
+    WallTimer t;
+    const int reps = 10;
+    for (int i = 0; i < reps; ++i)
+      dslash_full(out.span(),
+                  std::span<const WilsonSpinor<double>>(in.span().data(),
+                                                        in.span().size()),
+                  u);
+    measured = t.seconds() / reps;
+  } else {
+    GaugeFieldD ud(geo);
+    ud.set_random(SiteRngFactory(77));
+    GaugeFieldF u(geo);
+    convert_gauge(u, ud);
+    FermionFieldF in(geo), out(geo);
+    for (auto& s : in.span()) s.s[0].c[0] = Cplxf(1.0f);
+    WallTimer t;
+    const int reps = 10;
+    for (int i = 0; i < reps; ++i)
+      dslash_full(out.span(),
+                  std::span<const WilsonSpinor<float>>(in.span().data(),
+                                                       in.span().size()),
+                  u);
+    measured = t.seconds() / reps;
+  }
+
+  PerfModelOptions opt;
+  opt.precision_bytes = precision_bytes;
+  opt.calibration = 1.0;
+  const DslashCost modeled =
+      model_dslash({8, 8, 8, 8}, {1, 1, 1, 1}, m, opt);
+  LQCD_ASSERT(modeled.t_compute > 0.0, "model produced zero time");
+  (void)vol;
+  return measured / modeled.t_compute;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,94 @@
+#pragma once
+// Performance model for distributed lattice solvers.
+//
+// Substitution for the paper's cluster-scale evaluation (see DESIGN.md):
+// the per-node kernel cost comes from a roofline (max of compute-bound and
+// memory-bound time), halo communication from an alpha-beta torus model,
+// and the CG allreduce from a log2(N) combining tree. The functional
+// virtual cluster (halo.hpp) validates the *structure* (message counts,
+// bytes) the model charges for; local kernels can be timed with
+// calibrate_node() so the model's absolute scale matches this machine.
+
+#include <vector>
+
+#include "comm/machine.hpp"
+#include "comm/process_grid.hpp"
+
+namespace lqcd {
+
+/// Cost breakdown of one dslash (full lattice worth of work) on one node.
+struct DslashCost {
+  double flops = 0.0;       ///< floating-point ops per node
+  double mem_bytes = 0.0;   ///< DRAM traffic per node
+  double comm_bytes = 0.0;  ///< halo bytes sent per node
+  int messages = 0;         ///< messages per node per application
+  double t_compute = 0.0;   ///< seconds (roofline)
+  double t_comm = 0.0;      ///< seconds (alpha-beta)
+  double t_total = 0.0;     ///< with compute/comm overlap applied
+};
+
+struct PerfModelOptions {
+  int precision_bytes = 8;      ///< 8 double, 4 float, 2 "half"
+  bool half_spinor_comm = true;  ///< send projected 2-spin halos
+  double overlap = 0.8;  ///< fraction of comm hidden behind compute
+  /// Multiplies the modeled kernel time; set from calibrate_node() to pin
+  /// the model to measured single-node throughput. 1.0 = pure roofline.
+  double calibration = 1.0;
+};
+
+/// Model one Wilson dslash over local volume `local`, with halos exchanged
+/// in every direction where `grid` > 1.
+DslashCost model_dslash(const Coord& local, const Coord& grid,
+                        const MachineModel& m, const PerfModelOptions& opt);
+
+/// One even-odd preconditioned CG iteration: the dslash work of one full
+/// application of the normal Schur operator (4 half-volume dslashes),
+/// level-1 field updates, and 2 global reductions.
+struct IterationCost {
+  DslashCost dslash;        ///< aggregated dslash part
+  double t_linalg = 0.0;    ///< axpy/dot memory-bound time
+  double t_allreduce = 0.0; ///< 2 reductions per iteration
+  double t_iter = 0.0;
+  double comm_fraction = 0.0;  ///< (halo + allreduce) share of t_iter
+};
+IterationCost model_cg_iteration(const Coord& local, const Coord& grid,
+                                 int nodes, const MachineModel& m,
+                                 const PerfModelOptions& opt);
+
+/// One SAP-preconditioned GCR iteration: `cycles * (mr_iters + 2)` local
+/// (communication-free) block dslash sweeps plus one global dslash and
+/// 2(+k) reductions. Captures the DD trade: more local flops, less halo.
+IterationCost model_sap_gcr_iteration(const Coord& local, const Coord& grid,
+                                      int nodes, const MachineModel& m,
+                                      const PerfModelOptions& opt,
+                                      int cycles, int mr_iters);
+
+/// One point of a scaling curve.
+struct ScalingPoint {
+  int nodes = 0;
+  Coord grid{};
+  Coord local{};
+  IterationCost cost;
+  double sustained_tflops = 0.0;  ///< whole-machine sustained TFLOP/s
+  double efficiency = 1.0;        ///< parallel efficiency vs first point
+};
+
+/// Strong scaling: fixed global lattice, growing node counts. Node counts
+/// that do not factor onto the lattice are skipped.
+std::vector<ScalingPoint> strong_scaling(const Coord& global,
+                                         const MachineModel& m,
+                                         const PerfModelOptions& opt,
+                                         const std::vector<int>& nodes);
+
+/// Weak scaling: fixed local volume per node.
+std::vector<ScalingPoint> weak_scaling(const Coord& local,
+                                       const MachineModel& m,
+                                       const PerfModelOptions& opt,
+                                       const std::vector<int>& nodes);
+
+/// Measure this machine's actual dslash time per site (seconds) for the
+/// given precision on a small local volume, and return the ratio
+/// measured / modeled as a calibration factor for PerfModelOptions.
+double calibrate_node(const MachineModel& m, int precision_bytes);
+
+}  // namespace lqcd

@@ -1,0 +1,72 @@
+#include "comm/process_grid.hpp"
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+ProcessGrid::ProcessGrid(const Coord& grid) : grid_(grid) {
+  size_ = 1;
+  for (int mu = 0; mu < Nd; ++mu) {
+    LQCD_REQUIRE(grid_[mu] >= 1, "process grid extent must be >= 1");
+    size_ *= grid_[mu];
+  }
+}
+
+Coord ProcessGrid::local_dims(const Coord& global) const {
+  Coord local{};
+  for (int mu = 0; mu < Nd; ++mu) {
+    LQCD_REQUIRE(global[mu] % grid_[mu] == 0,
+                 "process grid does not divide the lattice");
+    local[mu] = global[mu] / grid_[mu];
+    LQCD_REQUIRE(local[mu] % 2 == 0,
+                 "local extents must stay even for checkerboarding");
+  }
+  return local;
+}
+
+namespace {
+bool try_choose(const Coord& global, int nodes, Coord& grid) {
+  grid = {1, 1, 1, 1};
+  Coord local = global;
+  int remaining = nodes;
+  // Peel off prime factors; for each, split the direction with the largest
+  // local extent that stays even and divisible.
+  while (remaining > 1) {
+    int p = 0;
+    for (int cand : {2, 3, 5, 7}) {
+      if (remaining % cand == 0) {
+        p = cand;
+        break;
+      }
+    }
+    if (p == 0) return false;  // large prime factor: give up
+    int best = -1;
+    for (int mu = 0; mu < Nd; ++mu) {
+      if (local[mu] % p != 0) continue;
+      if ((local[mu] / p) % 2 != 0) continue;  // keep local extents even
+      if (best < 0 || local[mu] >= local[best]) best = mu;
+    }
+    if (best < 0) return false;
+    local[best] /= p;
+    grid[best] *= p;
+    remaining /= p;
+  }
+  return true;
+}
+}  // namespace
+
+Coord choose_grid(const Coord& global, int nodes) {
+  LQCD_REQUIRE(nodes >= 1, "node count must be positive");
+  Coord grid;
+  LQCD_REQUIRE(try_choose(global, nodes, grid),
+               "cannot decompose lattice onto this node count");
+  return grid;
+}
+
+bool can_decompose(const Coord& global, int nodes) {
+  if (nodes < 1) return false;
+  Coord grid;
+  return try_choose(global, nodes, grid);
+}
+
+}  // namespace lqcd

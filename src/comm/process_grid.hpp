@@ -1,0 +1,68 @@
+#pragma once
+// 4-D process grid: the rank layout of a distributed lattice job.
+//
+// This is the MPI_Cart_create analogue of the virtual cluster. Ranks are
+// laid out lexicographically over a 4-d grid; each rank owns an equal
+// local sub-lattice. choose_grid() reproduces the standard job-script
+// heuristic: split the longest lattice extent first, keeping local
+// volumes as close to hypercubic as possible.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lattice/geometry.hpp"
+
+namespace lqcd {
+
+class ProcessGrid {
+ public:
+  /// `grid[mu]` ranks along direction mu.
+  explicit ProcessGrid(const Coord& grid);
+
+  [[nodiscard]] const Coord& dims() const noexcept { return grid_; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  [[nodiscard]] int rank_of(const Coord& rc) const noexcept {
+    return rc[0] +
+           grid_[0] * (rc[1] + grid_[1] * (rc[2] + grid_[2] * rc[3]));
+  }
+  [[nodiscard]] Coord coords_of(int rank) const noexcept {
+    Coord rc{};
+    rc[0] = rank % grid_[0];
+    rank /= grid_[0];
+    rc[1] = rank % grid_[1];
+    rank /= grid_[1];
+    rc[2] = rank % grid_[2];
+    rank /= grid_[2];
+    rc[3] = rank;
+    return rc;
+  }
+
+  /// Neighbor rank in direction mu (+1 forward / -1 backward), periodic.
+  [[nodiscard]] int neighbor(int rank, int mu, int dir) const noexcept {
+    Coord rc = coords_of(rank);
+    rc[mu] = (rc[mu] + (dir > 0 ? 1 : grid_[mu] - 1)) % grid_[mu];
+    return rank_of(rc);
+  }
+
+  /// Local extents for a given global lattice (throws if indivisible).
+  [[nodiscard]] Coord local_dims(const Coord& global) const;
+
+ private:
+  Coord grid_;
+  int size_;
+};
+
+/// Pick a process grid for `nodes` ranks over lattice `global`:
+/// repeatedly halve the direction with the largest local extent (ties go
+/// to the highest direction index, so time is split first, as production
+/// codes prefer for temporal-extent-dominated lattices).
+/// Throws if `nodes` cannot be factored onto the lattice with even local
+/// extents (checkerboarding requires local extents to stay even).
+Coord choose_grid(const Coord& global, int nodes);
+
+/// True if choose_grid would succeed.
+bool can_decompose(const Coord& global, int nodes);
+
+}  // namespace lqcd

@@ -1,0 +1,78 @@
+#include "core/api.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "gauge/observables.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/log.hpp"
+
+namespace lqcd {
+
+Version version() { return Version{1, 0, 0, "1.0.0"}; }
+
+Context::Context(const Coord& dims, std::uint64_t seed, std::size_t threads)
+    : geo_(dims), seed_(seed) {
+  if (threads > 0) ThreadPool::set_global_threads(threads);
+}
+
+EnsembleGenerator::EnsembleGenerator(const Context& ctx,
+                                     const EnsembleParams& params)
+    : ctx_(&ctx),
+      params_(params),
+      u_(ctx.geometry()),
+      heatbath_(u_, HeatbathParams{.beta = params.beta,
+                                   .or_per_hb = params.or_per_hb,
+                                   .seed = ctx.seed()}) {
+  u_.set_random(SiteRngFactory(ctx.seed() ^ 0x5eedULL));
+}
+
+void EnsembleGenerator::thermalize() {
+  if (thermalized_) return;
+  for (int i = 0; i < params_.thermalization_sweeps; ++i) {
+    const double p = heatbath_.sweep();
+    if ((i + 1) % 10 == 0)
+      log_info("thermalization sweep ", i + 1, "/",
+               params_.thermalization_sweeps, " plaquette ", p);
+  }
+  thermalized_ = true;
+}
+
+const GaugeFieldD& EnsembleGenerator::next_config() {
+  thermalize();
+  for (int i = 0; i < params_.sweeps_between_configs; ++i)
+    heatbath_.sweep();
+  return u_;
+}
+
+double EnsembleGenerator::plaquette() const { return average_plaquette(u_); }
+
+SpectroscopyResult run_spectroscopy(const GaugeFieldD& u,
+                                    const SpectroscopyParams& params) {
+  SpectroscopyResult res;
+  Propagator prop(u.geometry());
+  res.solve_stats = compute_point_propagator(prop, u, params.propagator,
+                                             params.source_point);
+  const int t0 = params.source_point[3];
+  res.pion = pion_correlator(prop, t0);
+  res.rho = rho_correlator(prop, t0);
+  res.nucleon = nucleon_correlator(prop, t0);
+
+  const auto m_pi = effective_mass_cosh(res.pion.c);
+  const auto m_rho = effective_mass_cosh(res.rho.c);
+  // Baryons are not cosh-symmetric (forward state only): use log masses
+  // on |C| — the interpolator's overall sign is convention-dependent.
+  std::vector<double> nuc_abs(res.nucleon.c.size());
+  for (std::size_t t = 0; t < nuc_abs.size(); ++t)
+    nuc_abs[t] = std::abs(res.nucleon.c[t]);
+  const auto m_n = effective_mass_log(nuc_abs);
+  res.pion_mass = plateau_mass(m_pi, params.plateau_t_min,
+                               params.plateau_t_max);
+  res.rho_mass = plateau_mass(m_rho, params.plateau_t_min,
+                              params.plateau_t_max);
+  res.nucleon_mass = plateau_mass(m_n, params.plateau_t_min,
+                                  params.plateau_t_max);
+  return res;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,126 @@
+#pragma once
+// Public facade of the lqcd library.
+//
+// A downstream user needs three things to go from nothing to hadron
+// masses: a Context (lattice + RNG + threads), an EnsembleGenerator
+// (thermalized gauge configurations), and run_spectroscopy() (propagators,
+// correlators, effective masses). ScalingStudy wraps the machine-model
+// side. Everything here is a thin composition of the module-level APIs,
+// which remain fully public for advanced use.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/machine.hpp"
+#include "comm/perf_model.hpp"
+#include "gauge/gauge_field.hpp"
+#include "gauge/heatbath.hpp"
+#include "lattice/geometry.hpp"
+#include "spectro/correlator.hpp"
+#include "spectro/effective_mass.hpp"
+#include "spectro/propagator.hpp"
+
+namespace lqcd {
+
+struct Version {
+  int major = 0;
+  int minor = 0;
+  int patch = 0;
+  const char* string = "";
+};
+Version version();
+
+/// Owns the lattice geometry and global run configuration.
+class Context {
+ public:
+  /// `threads` = 0 keeps the current global pool.
+  explicit Context(const Coord& dims, std::uint64_t seed = 1,
+                   std::size_t threads = 0);
+
+  [[nodiscard]] const LatticeGeometry& geometry() const { return geo_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  LatticeGeometry geo_;
+  std::uint64_t seed_;
+};
+
+struct EnsembleParams {
+  double beta = 6.0;
+  int or_per_hb = 3;
+  int thermalization_sweeps = 50;
+  int sweeps_between_configs = 10;
+};
+
+/// Quenched ensemble generation: thermalize once, then pull decorrelated
+/// configurations.
+class EnsembleGenerator {
+ public:
+  EnsembleGenerator(const Context& ctx, const EnsembleParams& params);
+
+  /// Run the thermalization sweeps (idempotent).
+  void thermalize();
+
+  /// Advance by `sweeps_between_configs` and return the current field.
+  const GaugeFieldD& next_config();
+
+  [[nodiscard]] const GaugeFieldD& current() const { return u_; }
+  [[nodiscard]] double plaquette() const;
+  [[nodiscard]] bool thermalized() const { return thermalized_; }
+
+ private:
+  const Context* ctx_;
+  EnsembleParams params_;
+  GaugeFieldD u_;
+  Heatbath heatbath_;
+  bool thermalized_ = false;
+};
+
+/// One full spectroscopy measurement on one configuration.
+struct SpectroscopyResult {
+  Correlator pion;
+  Correlator rho;
+  Correlator nucleon;
+  PlateauEstimate pion_mass;
+  PlateauEstimate rho_mass;
+  PlateauEstimate nucleon_mass;
+  PropagatorStats solve_stats;
+};
+
+struct SpectroscopyParams {
+  PropagatorParams propagator;
+  Coord source_point{0, 0, 0, 0};
+  int plateau_t_min = 2;  ///< effective-mass averaging window
+  int plateau_t_max = 6;
+};
+
+/// Point-source propagator + pion/rho/nucleon correlators + plateau
+/// effective masses.
+SpectroscopyResult run_spectroscopy(const GaugeFieldD& u,
+                                    const SpectroscopyParams& params);
+
+/// Scaling-study wrapper over the analytic machine model (the simulated
+/// substitute for the paper's cluster-scale runs; see DESIGN.md).
+class ScalingStudy {
+ public:
+  ScalingStudy(const MachineModel& machine, const PerfModelOptions& options)
+      : machine_(machine), options_(options) {}
+
+  [[nodiscard]] std::vector<ScalingPoint> strong(
+      const Coord& global, const std::vector<int>& nodes) const {
+    return strong_scaling(global, machine_, options_, nodes);
+  }
+  [[nodiscard]] std::vector<ScalingPoint> weak(
+      const Coord& local, const std::vector<int>& nodes) const {
+    return weak_scaling(local, machine_, options_, nodes);
+  }
+  [[nodiscard]] const MachineModel& machine() const { return machine_; }
+
+ private:
+  MachineModel machine_;
+  PerfModelOptions options_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,174 @@
+#include "dirac/clover.hpp"
+
+#include "linalg/gamma.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lqcd {
+
+ColorMatrixD clover_field_strength(const GaugeFieldD& links, std::int64_t cb,
+                                   int mu, int nu) {
+  const LatticeGeometry& geo = links.geometry();
+  const std::int64_t xpmu = geo.fwd(cb, mu);
+  const std::int64_t xpnu = geo.fwd(cb, nu);
+  const std::int64_t xmmu = geo.bwd(cb, mu);
+  const std::int64_t xmnu = geo.bwd(cb, nu);
+  const std::int64_t xmmu_pnu = geo.fwd(xmmu, nu);
+  const std::int64_t xmmu_mnu = geo.bwd(xmmu, nu);
+  const std::int64_t xpmu_mnu = geo.bwd(xpmu, nu);
+
+  // Leaf 1: x -> x+mu -> x+mu+nu -> x+nu -> x
+  ColorMatrixD q = mul_adj(mul(links(cb, mu), links(xpmu, nu)),
+                           links(xpnu, mu));
+  ColorMatrixD leaf = mul_adj(q, links(cb, nu));
+
+  // Leaf 2: x -> x+nu -> x+nu-mu -> x-mu -> x
+  q = mul_adj(links(cb, nu), links(xmmu_pnu, mu));
+  q = mul_adj(q, links(xmmu, nu));
+  leaf += mul(q, links(xmmu, mu));
+
+  // Leaf 3: x -> x-mu -> x-mu-nu -> x-nu -> x
+  q = adj_mul(links(xmmu, mu), dagger(links(xmmu_mnu, nu)));
+  q = mul(q, links(xmmu_mnu, mu));
+  leaf += mul(q, links(xmnu, nu));
+
+  // Leaf 4: x -> x-nu -> x-nu+mu -> x+mu -> x
+  q = adj_mul(links(xmnu, nu), links(xmnu, mu));
+  q = mul(q, links(xpmu_mnu, nu));
+  leaf += mul_adj(q, links(cb, mu));
+
+  // F = (leaf - leaf^dagger) / (8 i), then remove the trace part.
+  ColorMatrixD f{};
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c) {
+      const Cplxd d = leaf.m[r][c] - conj(leaf.m[c][r]);
+      // divide by 8i: (a+bi)/(8i) = (b - ai)/8
+      f.m[r][c] = Cplxd(d.im / 8.0, -d.re / 8.0);
+    }
+  const Cplxd tr = trace(f);
+  const Cplxd sub(tr.re / Nc, tr.im / Nc);
+  for (int i = 0; i < Nc; ++i) f.m[i][i] -= sub;
+  return f;
+}
+
+template <typename T>
+CloverTerm<T>::CloverTerm(const GaugeFieldD& u, const CloverParams& params)
+    : geo_(&u.geometry()), params_(params) {
+  LQCD_REQUIRE(params.csw >= 0.0, "csw must be non-negative");
+  const GaugeFieldD links = make_fermion_links(u, params.bc);
+  const std::int64_t vol = geo_->volume();
+  a_.resize(static_cast<std::size_t>(vol) * kBlocks);
+  ainv_.resize(static_cast<std::size_t>(vol) * kBlocks);
+
+  // Dense sigma matrices once (block-diagonality is checked by tests).
+  SpinMatrix sig[4][4];
+  for (int mu = 0; mu < Nd; ++mu)
+    for (int nu = mu + 1; nu < Nd; ++nu) sig[mu][nu] = sigma_munu(mu, nu);
+
+  const double coeff = params.csw * params.kappa;
+
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    // Accumulate the two 6x6 blocks in double.
+    SmallMat<double, 6> blk[kBlocks];
+    for (int b = 0; b < kBlocks; ++b)
+      blk[b] = SmallMat<double, 6>::identity();
+
+    for (int mu = 0; mu < Nd; ++mu)
+      for (int nu = mu + 1; nu < Nd; ++nu) {
+        const ColorMatrixD f = clover_field_strength(links, cb, mu, nu);
+        const SpinMatrix& sg = sig[mu][nu];
+        for (int b = 0; b < kBlocks; ++b)
+          for (int si = 0; si < 2; ++si)
+            for (int sj = 0; sj < 2; ++sj) {
+              const Cplxd w = sg.m[2 * b + si][2 * b + sj];
+              if (w.re == 0.0 && w.im == 0.0) continue;
+              for (int ci = 0; ci < Nc; ++ci)
+                for (int cj = 0; cj < Nc; ++cj) {
+                  const Cplxd add =
+                      Cplxd(-coeff) * w * f.m[ci][cj];
+                  blk[b].m[3 * si + ci][3 * sj + cj] += add;
+                }
+            }
+      }
+
+    for (int b = 0; b < kBlocks; ++b) {
+      const SmallMat<double, 6> inv = inverse(blk[b]);
+      SmallMat<T, 6>& dst = a_[s * kBlocks + static_cast<std::size_t>(b)];
+      SmallMat<T, 6>& dsti =
+          ainv_[s * kBlocks + static_cast<std::size_t>(b)];
+      for (int r = 0; r < 6; ++r)
+        for (int c = 0; c < 6; ++c) {
+          dst.m[r][c] = Cplx<T>(blk[b].m[r][c]);
+          dsti.m[r][c] = Cplx<T>(inv.m[r][c]);
+        }
+    }
+  });
+}
+
+namespace {
+// Gather/scatter between a Wilson spinor's chirality block and a 6-vector.
+template <typename T>
+SmallVec<T, 6> gather_block(const WilsonSpinor<T>& psi, int b) {
+  SmallVec<T, 6> v;
+  for (int si = 0; si < 2; ++si)
+    for (int ci = 0; ci < Nc; ++ci)
+      v.v[3 * si + ci] = psi.s[2 * b + si].c[ci];
+  return v;
+}
+
+template <typename T>
+void scatter_block(WilsonSpinor<T>& psi, int b, const SmallVec<T, 6>& v) {
+  for (int si = 0; si < 2; ++si)
+    for (int ci = 0; ci < Nc; ++ci)
+      psi.s[2 * b + si].c[ci] = v.v[3 * si + ci];
+}
+}  // namespace
+
+template <typename T>
+void CloverTerm<T>::apply(std::span<WilsonSpinor<T>> out,
+                          std::span<const WilsonSpinor<T>> in,
+                          std::int64_t site_begin,
+                          std::int64_t site_end) const {
+  LQCD_REQUIRE(site_begin >= 0 && site_end <= geo_->volume() &&
+                   out.size() == in.size(),
+               "CloverTerm::apply range");
+  const auto n = static_cast<std::size_t>(site_end - site_begin);
+  parallel_for(n, [&](std::size_t i) {
+    const std::size_t s = static_cast<std::size_t>(site_begin) + i;
+    WilsonSpinor<T> r;
+    for (int b = 0; b < kBlocks; ++b) {
+      const SmallVec<T, 6> v = gather_block(in[s], b);
+      const SmallVec<T, 6> w =
+          mul(a_[s * kBlocks + static_cast<std::size_t>(b)], v);
+      scatter_block(r, b, w);
+    }
+    out[s] = r;
+  });
+}
+
+template <typename T>
+void CloverTerm<T>::apply_inverse(std::span<WilsonSpinor<T>> out,
+                                  std::span<const WilsonSpinor<T>> in,
+                                  std::int64_t site_begin,
+                                  std::int64_t site_end) const {
+  LQCD_REQUIRE(site_begin >= 0 && site_end <= geo_->volume() &&
+                   out.size() == in.size(),
+               "CloverTerm::apply_inverse range");
+  const auto n = static_cast<std::size_t>(site_end - site_begin);
+  parallel_for(n, [&](std::size_t i) {
+    const std::size_t s = static_cast<std::size_t>(site_begin) + i;
+    WilsonSpinor<T> r;
+    for (int b = 0; b < kBlocks; ++b) {
+      const SmallVec<T, 6> v = gather_block(in[s], b);
+      const SmallVec<T, 6> w =
+          mul(ainv_[s * kBlocks + static_cast<std::size_t>(b)], v);
+      scatter_block(r, b, w);
+    }
+    out[s] = r;
+  });
+}
+
+template class CloverTerm<float>;
+template class CloverTerm<double>;
+
+}  // namespace lqcd

@@ -1,0 +1,133 @@
+#pragma once
+// "Half precision" (compressed 16-bit) fermion matrix — the third rung of
+// the QUDA-style precision ladder (double / single / half).
+//
+// Storage model: gauge links as int16 fixed point (entries of an SU(3)
+// matrix are bounded by 1), spinors as int16 with one float scale per
+// site (block float). HalfWilsonOperator materializes exactly the values
+// a half-storage kernel would compute with — links are
+// quantize/dequantized once at construction, the input spinor on every
+// apply — and then runs the validated float kernels. This reproduces the
+// *precision* behaviour of half storage (iteration-count overhead in the
+// inner solver of a mixed-precision chain); the *bandwidth* effect is
+// modeled separately by PerfModelOptions::precision_bytes = 2.
+
+#include <cstdint>
+#include <vector>
+
+#include "dirac/operator.hpp"
+#include "dirac/wilson.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace detail16 {
+
+inline constexpr float kQScale = 32767.0f;
+
+inline std::int16_t quantize_one(float x, float inv_scale) {
+  float v = x * inv_scale * kQScale;
+  if (v > kQScale) v = kQScale;
+  if (v < -kQScale) v = -kQScale;
+  return static_cast<std::int16_t>(v >= 0.0f ? v + 0.5f : v - 0.5f);
+}
+
+inline float dequantize_one(std::int16_t q, float scale) {
+  return static_cast<float>(q) * (scale / kQScale);
+}
+
+}  // namespace detail16
+
+/// Round-trip a color matrix through int16 fixed point (scale 1).
+inline ColorMatrix<float> quantize_link(const ColorMatrix<float>& u) {
+  ColorMatrix<float> out;
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c) {
+      out.m[r][c] = Cplx<float>(
+          detail16::dequantize_one(
+              detail16::quantize_one(u.m[r][c].re, 1.0f), 1.0f),
+          detail16::dequantize_one(
+              detail16::quantize_one(u.m[r][c].im, 1.0f), 1.0f));
+    }
+  return out;
+}
+
+/// Round-trip a spinor through int16 with a per-site block-float scale
+/// (the max |component|). Returns the reconstruction.
+inline WilsonSpinor<float> quantize_spinor(const WilsonSpinor<float>& psi) {
+  float amax = 0.0f;
+  for (int s = 0; s < Ns; ++s)
+    for (int c = 0; c < Nc; ++c) {
+      const float re = psi.s[s].c[c].re < 0 ? -psi.s[s].c[c].re
+                                            : psi.s[s].c[c].re;
+      const float im = psi.s[s].c[c].im < 0 ? -psi.s[s].c[c].im
+                                            : psi.s[s].c[c].im;
+      if (re > amax) amax = re;
+      if (im > amax) amax = im;
+    }
+  if (amax == 0.0f) return WilsonSpinor<float>{};
+  const float inv = 1.0f / amax;
+  WilsonSpinor<float> out;
+  for (int s = 0; s < Ns; ++s)
+    for (int c = 0; c < Nc; ++c)
+      out.s[s].c[c] = Cplx<float>(
+          detail16::dequantize_one(
+              detail16::quantize_one(psi.s[s].c[c].re, inv), amax),
+          detail16::dequantize_one(
+              detail16::quantize_one(psi.s[s].c[c].im, inv), amax));
+  return out;
+}
+
+/// Wilson operator with half-storage semantics: quantized links (once) and
+/// quantized input spinors (every apply). gamma5-hermitian like its parent.
+class HalfWilsonOperator final : public LinearOperator<float> {
+ public:
+  HalfWilsonOperator(const GaugeField<float>& u, double kappa,
+                     TimeBoundary bc = TimeBoundary::Antiperiodic)
+      : links_(make_fermion_links(u, bc)),
+        kappa_(static_cast<float>(kappa)) {
+    LQCD_REQUIRE(kappa > 0.0 && kappa < 0.25, "kappa out of (0, 0.25)");
+    // Quantize the (boundary-folded) links in place. The BC sign flips
+    // some entries to -1 exactly, which int16 fixed point represents
+    // exactly, so folding before quantization is safe.
+    const std::int64_t vol = links_.geometry().volume();
+    for (std::int64_t s = 0; s < vol; ++s)
+      for (int mu = 0; mu < Nd; ++mu)
+        links_(s, mu) = quantize_link(links_(s, mu));
+    buf_.resize(static_cast<std::size_t>(vol));
+  }
+
+  void apply(std::span<WilsonSpinor<float>> out,
+             std::span<const WilsonSpinor<float>> in) const override {
+    // Input round-trips through half storage.
+    parallel_for(in.size(),
+                 [&](std::size_t i) { buf_[i] = quantize_spinor(in[i]); });
+    dslash_full(out,
+                std::span<const WilsonSpinor<float>>(buf_.data(),
+                                                     buf_.size()),
+                links_);
+    const float k = kappa_;
+    parallel_for(out.size(), [&](std::size_t i) {
+      WilsonSpinor<float> h = out[i];
+      h *= k;
+      WilsonSpinor<float> r = buf_[i];
+      r -= h;
+      out[i] = r;
+    });
+  }
+
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return links_.geometry().volume();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    return static_cast<double>(vector_size()) * (kDslashFlopsPerSite + 48.0);
+  }
+
+ private:
+  GaugeField<float> links_;
+  float kappa_;
+  mutable aligned_vector<WilsonSpinor<float>> buf_;
+};
+
+}  // namespace lqcd

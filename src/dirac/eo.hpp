@@ -1,0 +1,264 @@
+#pragma once
+// Even-odd (checkerboard) preconditioning.
+//
+// In block form over parities, with A the site-diagonal part (identity for
+// plain Wilson, the clover matrix otherwise) and D the hopping term:
+//
+//        M = [  A_ee     -kappa D_eo ]
+//            [ -kappa D_oe    A_oo   ]
+//
+// the odd-odd Schur complement is
+//
+//   Mhat = A_oo - kappa^2 D_oe A_ee^{-1} D_eo,
+//
+// with rhs  bhat_o = b_o + kappa D_oe A_ee^{-1} b_e  and reconstruction
+// x_e = A_ee^{-1} (b_e + kappa D_eo x_o). Solving Mhat on half the volume
+// roughly halves work per iteration *and* halves the condition number —
+// the first optimization every production LQCD solver ships.
+//
+// Mhat is gamma5-hermitian, so NormalOperator<T> applies.
+
+#include "dirac/clover.hpp"
+#include "dirac/operator.hpp"
+#include "dirac/wilson.hpp"
+#include "linalg/blas.hpp"
+
+namespace lqcd {
+
+/// Schur complement of the plain Wilson operator (A = 1).
+template <typename T>
+class SchurWilsonOperator final : public LinearOperator<T> {
+ public:
+  SchurWilsonOperator(const GaugeField<T>& u, double kappa,
+                      TimeBoundary bc = TimeBoundary::Antiperiodic)
+      : links_(make_fermion_links(u, bc)),
+        kappa_(static_cast<T>(kappa)),
+        f1_(static_cast<std::size_t>(u.geometry().volume())),
+        f2_(static_cast<std::size_t>(u.geometry().volume())) {
+    LQCD_REQUIRE(kappa > 0.0 && kappa < 0.25, "kappa out of (0, 0.25)");
+  }
+
+  void apply(std::span<WilsonSpinor<T>> out,
+             std::span<const WilsonSpinor<T>> in) const override {
+    const LatticeGeometry& geo = links_.geometry();
+    const std::int64_t hv = geo.half_volume();
+    LQCD_REQUIRE(out.size() == static_cast<std::size_t>(hv) &&
+                     in.size() == out.size(),
+                 "Schur apply span sizes");
+    std::span<WilsonSpinor<T>> f1(f1_.data(), f1_.size());
+    std::span<WilsonSpinor<T>> f2(f2_.data(), f2_.size());
+    // Odd block of f1 <- in.
+    auto f1_odd = f1.subspan(static_cast<std::size_t>(hv));
+    blas::copy(f1_odd, in);
+    // Even block of f2 <- D_eo in.
+    dslash_parity(f2, std::span<const WilsonSpinor<T>>(f1.data(), f1.size()),
+                  links_, 0);
+    // Odd block of f1 <- D_oe D_eo in.
+    dslash_parity(f1, std::span<const WilsonSpinor<T>>(f2.data(), f2.size()),
+                  links_, 1);
+    const T k2 = kappa_ * kappa_;
+    parallel_for(out.size(), [&](std::size_t i) {
+      WilsonSpinor<T> h = f1_odd[i];
+      h *= k2;
+      WilsonSpinor<T> r = in[i];
+      r -= h;
+      out[i] = r;
+    });
+  }
+
+  /// bhat_o = b_o + kappa D_oe b_e (b is a full-volume field).
+  void prepare_rhs(std::span<WilsonSpinor<T>> bhat,
+                   std::span<const WilsonSpinor<T>> b_full) const {
+    const LatticeGeometry& geo = links_.geometry();
+    const std::int64_t hv = geo.half_volume();
+    std::span<WilsonSpinor<T>> f1(f1_.data(), f1_.size());
+    dslash_parity(f1, b_full, links_, 1);  // odd f1 = D_oe b_e
+    auto f1_odd = std::span<const WilsonSpinor<T>>(f1.data(), f1.size())
+                      .subspan(static_cast<std::size_t>(hv));
+    auto b_odd = b_full.subspan(static_cast<std::size_t>(hv));
+    const T k = kappa_;
+    parallel_for(bhat.size(), [&](std::size_t i) {
+      WilsonSpinor<T> h = f1_odd[i];
+      h *= k;
+      h += b_odd[i];
+      bhat[i] = h;
+    });
+  }
+
+  /// x_full: odd block <- x_odd; even block <- b_e + kappa D_eo x_o.
+  void reconstruct(std::span<WilsonSpinor<T>> x_full,
+                   std::span<const WilsonSpinor<T>> x_odd,
+                   std::span<const WilsonSpinor<T>> b_full) const {
+    const LatticeGeometry& geo = links_.geometry();
+    const std::int64_t hv = geo.half_volume();
+    auto x_full_odd = x_full.subspan(static_cast<std::size_t>(hv));
+    blas::copy(x_full_odd, x_odd);
+    std::span<WilsonSpinor<T>> f1(f1_.data(), f1_.size());
+    dslash_parity(f1, std::span<const WilsonSpinor<T>>(x_full.data(),
+                                                       x_full.size()),
+                  links_, 0);  // even f1 = D_eo x_o
+    const T k = kappa_;
+    parallel_for(static_cast<std::size_t>(hv), [&](std::size_t i) {
+      WilsonSpinor<T> h = f1[i];
+      h *= k;
+      h += b_full[i];
+      x_full[i] = h;
+    });
+  }
+
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return links_.geometry().half_volume();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    // Two half-volume dslashes + combine.
+    return static_cast<double>(links_.geometry().volume()) *
+               kDslashFlopsPerSite +
+           static_cast<double>(vector_size()) * 48.0;
+  }
+  [[nodiscard]] double kappa() const { return static_cast<double>(kappa_); }
+  [[nodiscard]] const LatticeGeometry& geometry() const {
+    return links_.geometry();
+  }
+
+ private:
+  GaugeField<T> links_;
+  T kappa_;
+  mutable aligned_vector<WilsonSpinor<T>> f1_;
+  mutable aligned_vector<WilsonSpinor<T>> f2_;
+};
+
+/// Schur complement of the clover-Wilson operator.
+template <typename T>
+class SchurCloverOperator final : public LinearOperator<T> {
+ public:
+  SchurCloverOperator(const GaugeField<T>& u, const GaugeFieldD& u_double,
+                      const CloverParams& params)
+      : links_(make_fermion_links(u, params.bc)),
+        clover_(u_double, params),
+        kappa_(static_cast<T>(params.kappa)),
+        f1_(static_cast<std::size_t>(u.geometry().volume())),
+        f2_(static_cast<std::size_t>(u.geometry().volume())) {
+    LQCD_REQUIRE(params.kappa > 0.0 && params.kappa < 0.25,
+                 "kappa out of (0, 0.25)");
+  }
+
+  void apply(std::span<WilsonSpinor<T>> out,
+             std::span<const WilsonSpinor<T>> in) const override {
+    const LatticeGeometry& geo = links_.geometry();
+    const std::int64_t hv = geo.half_volume();
+    LQCD_REQUIRE(out.size() == static_cast<std::size_t>(hv) &&
+                     in.size() == out.size(),
+                 "Schur apply span sizes");
+    std::span<WilsonSpinor<T>> f1(f1_.data(), f1_.size());
+    std::span<WilsonSpinor<T>> f2(f2_.data(), f2_.size());
+    auto f1_odd = f1.subspan(static_cast<std::size_t>(hv));
+    blas::copy(f1_odd, in);
+    // even f2 = D_eo in
+    dslash_parity(f2, std::span<const WilsonSpinor<T>>(f1.data(), f1.size()),
+                  links_, 0);
+    // even f2 <- A_ee^{-1} (even f2)
+    clover_.apply_inverse(f2, std::span<const WilsonSpinor<T>>(f2.data(),
+                                                               f2.size()),
+                          0, hv);
+    // odd f1 = D_oe A_ee^{-1} D_eo in
+    dslash_parity(f1, std::span<const WilsonSpinor<T>>(f2.data(), f2.size()),
+                  links_, 1);
+    // odd f2 = A_oo in
+    auto f2_odd = f2.subspan(static_cast<std::size_t>(hv));
+    {
+      // CloverTerm works on absolute site ranges of full-volume spans;
+      // build a temporary full view whose odd block is `in`.
+      std::span<WilsonSpinor<T>> fa(fa_storage(), f1_.size());
+      auto fa_odd = fa.subspan(static_cast<std::size_t>(hv));
+      blas::copy(fa_odd, in);
+      clover_.apply(f2, std::span<const WilsonSpinor<T>>(fa.data(),
+                                                         fa.size()),
+                    hv, geo.volume());
+    }
+    const T k2 = kappa_ * kappa_;
+    parallel_for(out.size(), [&](std::size_t i) {
+      WilsonSpinor<T> h = f1_odd[i];
+      h *= k2;
+      WilsonSpinor<T> r = f2_odd[i];
+      r -= h;
+      out[i] = r;
+    });
+  }
+
+  /// bhat_o = b_o + kappa D_oe A_ee^{-1} b_e.
+  void prepare_rhs(std::span<WilsonSpinor<T>> bhat,
+                   std::span<const WilsonSpinor<T>> b_full) const {
+    const LatticeGeometry& geo = links_.geometry();
+    const std::int64_t hv = geo.half_volume();
+    std::span<WilsonSpinor<T>> f1(f1_.data(), f1_.size());
+    std::span<WilsonSpinor<T>> f2(f2_.data(), f2_.size());
+    // even f2 = A_ee^{-1} b_e
+    clover_.apply_inverse(f2, b_full, 0, hv);
+    // odd f1 = D_oe A_ee^{-1} b_e
+    dslash_parity(f1, std::span<const WilsonSpinor<T>>(f2.data(), f2.size()),
+                  links_, 1);
+    auto f1_odd = std::span<const WilsonSpinor<T>>(f1.data(), f1.size())
+                      .subspan(static_cast<std::size_t>(hv));
+    auto b_odd = b_full.subspan(static_cast<std::size_t>(hv));
+    const T k = kappa_;
+    parallel_for(bhat.size(), [&](std::size_t i) {
+      WilsonSpinor<T> h = f1_odd[i];
+      h *= k;
+      h += b_odd[i];
+      bhat[i] = h;
+    });
+  }
+
+  /// x_e = A_ee^{-1} (b_e + kappa D_eo x_o).
+  void reconstruct(std::span<WilsonSpinor<T>> x_full,
+                   std::span<const WilsonSpinor<T>> x_odd,
+                   std::span<const WilsonSpinor<T>> b_full) const {
+    const LatticeGeometry& geo = links_.geometry();
+    const std::int64_t hv = geo.half_volume();
+    auto x_full_odd = x_full.subspan(static_cast<std::size_t>(hv));
+    blas::copy(x_full_odd, x_odd);
+    std::span<WilsonSpinor<T>> f1(f1_.data(), f1_.size());
+    dslash_parity(f1, std::span<const WilsonSpinor<T>>(x_full.data(),
+                                                       x_full.size()),
+                  links_, 0);
+    const T k = kappa_;
+    parallel_for(static_cast<std::size_t>(hv), [&](std::size_t i) {
+      WilsonSpinor<T> h = f1[i];
+      h *= k;
+      h += b_full[i];
+      f1[i] = h;
+    });
+    clover_.apply_inverse(x_full, std::span<const WilsonSpinor<T>>(
+                                      f1.data(), f1.size()),
+                          0, hv);
+  }
+
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return links_.geometry().half_volume();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    return static_cast<double>(links_.geometry().volume()) *
+               kDslashFlopsPerSite +
+           static_cast<double>(vector_size()) * (2.0 * 288.0 + 48.0);
+  }
+  [[nodiscard]] double kappa() const { return static_cast<double>(kappa_); }
+  [[nodiscard]] const CloverTerm<T>& clover() const { return clover_; }
+  [[nodiscard]] const LatticeGeometry& geometry() const {
+    return links_.geometry();
+  }
+
+ private:
+  WilsonSpinor<T>* fa_storage() const {
+    if (fa_.size() != f1_.size()) fa_.resize(f1_.size());
+    return fa_.data();
+  }
+
+  GaugeField<T> links_;
+  CloverTerm<T> clover_;
+  T kappa_;
+  mutable aligned_vector<WilsonSpinor<T>> f1_;
+  mutable aligned_vector<WilsonSpinor<T>> f2_;
+  mutable aligned_vector<WilsonSpinor<T>> fa_;
+};
+
+}  // namespace lqcd

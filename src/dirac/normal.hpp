@@ -1,0 +1,71 @@
+#pragma once
+// Normal operator M^† M for gamma5-hermitian fermion matrices.
+//
+// Every Dirac operator in this library (Wilson, clover, and their even-odd
+// Schur complements) satisfies gamma5 M gamma5 = M^†, where gamma5 acts
+// sitewise — so the dagger costs one extra sitewise flip on each side and
+// no second operator implementation. The resulting M^†M is hermitian
+// positive definite and is what CG solves.
+
+#include "dirac/operator.hpp"
+#include "linalg/gamma.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/aligned.hpp"
+
+namespace lqcd {
+
+/// In-place sitewise gamma5.
+template <typename T>
+void apply_g5_inplace(std::span<WilsonSpinor<T>> x) {
+  parallel_for(x.size(), [&](std::size_t s) { x[s] = apply_gamma5(x[s]); });
+}
+
+/// out = M^† in, assuming M is gamma5-hermitian. `tmp` is caller scratch of
+/// the same length.
+template <typename T>
+void apply_dagger_g5(const LinearOperator<T>& m,
+                     std::span<WilsonSpinor<T>> out,
+                     std::span<const WilsonSpinor<T>> in,
+                     std::span<WilsonSpinor<T>> tmp) {
+  parallel_for(in.size(),
+               [&](std::size_t s) { tmp[s] = apply_gamma5(in[s]); });
+  m.apply(out, std::span<const WilsonSpinor<T>>(tmp.data(), tmp.size()));
+  apply_g5_inplace(out);
+}
+
+/// Hermitian positive-definite M^† M of a gamma5-hermitian M.
+template <typename T>
+class NormalOperator final : public LinearOperator<T> {
+ public:
+  explicit NormalOperator(const LinearOperator<T>& m)
+      : m_(&m),
+        tmp1_(static_cast<std::size_t>(m.vector_size())),
+        tmp2_(static_cast<std::size_t>(m.vector_size())) {}
+
+  void apply(std::span<WilsonSpinor<T>> out,
+             std::span<const WilsonSpinor<T>> in) const override {
+    std::span<WilsonSpinor<T>> t1(tmp1_.data(), tmp1_.size());
+    std::span<WilsonSpinor<T>> t2(tmp2_.data(), tmp2_.size());
+    m_->apply(t1, in);
+    apply_dagger_g5(*m_, out,
+                    std::span<const WilsonSpinor<T>>(t1.data(), t1.size()),
+                    t2);
+  }
+
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return m_->vector_size();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    return 2.0 * m_->flops_per_apply();
+  }
+  [[nodiscard]] bool hermitian_positive() const override { return true; }
+
+  [[nodiscard]] const LinearOperator<T>& inner() const { return *m_; }
+
+ private:
+  const LinearOperator<T>* m_;
+  mutable aligned_vector<WilsonSpinor<T>> tmp1_;
+  mutable aligned_vector<WilsonSpinor<T>> tmp2_;
+};
+
+}  // namespace lqcd

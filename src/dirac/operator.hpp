@@ -1,0 +1,42 @@
+#pragma once
+// Abstract fermion linear operator interface shared by the Dirac
+// operators, preconditioners and Krylov solvers.
+//
+// Operators act on flat spans of Wilson spinors; the span length is
+// operator-defined (full volume for unpreconditioned operators, half
+// volume for even-odd preconditioned ones), so solvers are agnostic to
+// the underlying lattice structure.
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/spinor.hpp"
+
+namespace lqcd {
+
+template <typename T>
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// out = Op * in. `out` and `in` must not alias.
+  virtual void apply(std::span<WilsonSpinor<T>> out,
+                     std::span<const WilsonSpinor<T>> in) const = 0;
+
+  /// Vector length in spinor sites.
+  [[nodiscard]] virtual std::int64_t vector_size() const = 0;
+
+  /// Floating-point operations per apply (0 if unknown) — drives the
+  /// throughput reporting in the bench harness.
+  [[nodiscard]] virtual double flops_per_apply() const { return 0.0; }
+
+  /// True if the operator is hermitian positive definite (CG-safe).
+  [[nodiscard]] virtual bool hermitian_positive() const { return false; }
+};
+
+/// Wilson dslash flop count per output site: 8 directions x
+/// (projection 12 cplx adds + SU(3) half-spinor mult 2x66 + reconstruction)
+/// = the standard 1320 flops/site figure.
+inline constexpr double kDslashFlopsPerSite = 1320.0;
+
+}  // namespace lqcd

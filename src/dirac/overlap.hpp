@@ -1,0 +1,114 @@
+#pragma once
+// Overlap (Ginsparg–Wilson) fermions — exact lattice chiral symmetry.
+//
+//   D_ov = rho * ( 1 + gamma5 * eps(H) ),
+//   H = gamma5 * D_w(-m0),   rho = m0 in (0, 2),
+//
+// where D_w(-m0) is the Wilson operator with a negative bare mass (kappa
+// between 1/8 and 1/4) and eps is the matrix sign function. The sign
+// function is evaluated through the rational inverse square root:
+//
+//   eps(H) x = H (H^2)^{-1/2} x,   H^2 = M_w^† M_w,
+//
+// one multishift CG per application. D_ov satisfies the Ginsparg–Wilson
+// relation
+//
+//   gamma5 D + D gamma5 = (1/rho) D gamma5 D,
+//
+// i.e. chiral symmetry at finite lattice spacing — the structural reason
+// overlap quarks have no additive mass renormalization. Tests verify
+// eps(H)^2 = 1 and the GW relation on random vectors to the rational
+// approximation's accuracy.
+
+#include "dirac/normal.hpp"
+#include "dirac/wilson.hpp"
+#include "solver/rational.hpp"
+
+namespace lqcd {
+
+struct OverlapParams {
+  double m0 = 1.4;        ///< negative Wilson mass, in (0, 2)
+  int poles = 24;         ///< rational approximation order
+  double spectrum_min = 0.05;  ///< H^2 spectral window for pole scaling
+  double spectrum_max = 30.0;
+  SolverParams inner{.tol = 1e-10, .max_iterations = 20000,
+                     .check_true_residual = false};
+  TimeBoundary bc = TimeBoundary::Antiperiodic;
+};
+
+/// Massless overlap operator. apply() costs one multishift CG.
+template <typename T>
+class OverlapOperator final : public LinearOperator<T> {
+ public:
+  OverlapOperator(const GaugeField<T>& u, const OverlapParams& params)
+      : params_(params),
+        // kappa for bare mass -m0: kappa = 1 / (2(-m0) + 8).
+        wilson_(u, 1.0 / (8.0 - 2.0 * params.m0), params.bc),
+        normal_(wilson_),
+        approx_(rational_inverse_sqrt_scaled(
+            params.poles, params.spectrum_min, params.spectrum_max)) {
+    LQCD_REQUIRE(params.m0 > 0.0 && params.m0 < 2.0,
+                 "overlap m0 must lie in (0, 2)");
+  }
+
+  /// out = eps(H) in = gamma5 M_w (M_w^† M_w)^{-1/2} in.
+  /// Exposed for the eps^2 = 1 test.
+  void apply_sign(std::span<WilsonSpinor<T>> out,
+                  std::span<const WilsonSpinor<T>> in) const {
+    const std::size_t n = in.size();
+    if (tmp_.size() != n) tmp_.resize(n);
+    std::span<WilsonSpinor<T>> tmp(tmp_.data(), n);
+    const RationalApplyResult r =
+        apply_rational(normal_, approx_, tmp,
+                       in, params_.inner);
+    LQCD_REQUIRE(r.converged, "overlap inner multishift did not converge");
+    total_inner_iterations_ += r.iterations;
+    // H (H^2)^{-1/2} = gamma5 M_w (...); M_w then gamma5, sitewise.
+    wilson_.apply(out, std::span<const WilsonSpinor<T>>(tmp.data(), n));
+    apply_g5_inplace(out);
+  }
+
+  /// out = D_ov in = rho (in + gamma5 eps(H) in).
+  void apply(std::span<WilsonSpinor<T>> out,
+             std::span<const WilsonSpinor<T>> in) const override {
+    const std::size_t n = in.size();
+    if (tmp2_.size() != n) tmp2_.resize(n);
+    std::span<WilsonSpinor<T>> sgn(tmp2_.data(), n);
+    apply_sign(sgn, in);
+    const T rho = static_cast<T>(params_.m0);
+    parallel_for(n, [&](std::size_t i) {
+      WilsonSpinor<T> v = apply_gamma5(sgn[i]);
+      v += in[i];
+      v *= rho;
+      out[i] = v;
+    });
+  }
+
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return wilson_.vector_size();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    // Dominated by the multishift inner solve; report one Wilson apply
+    // per pole iteration as a lower bound.
+    return normal_.flops_per_apply();
+  }
+
+  [[nodiscard]] double rho() const { return params_.m0; }
+  [[nodiscard]] long total_inner_iterations() const {
+    return total_inner_iterations_;
+  }
+  [[nodiscard]] const RationalApprox& approximation() const {
+    return approx_;
+  }
+
+ private:
+  OverlapParams params_;
+  WilsonOperator<T> wilson_;
+  NormalOperator<T> normal_;
+  RationalApprox approx_;
+  mutable aligned_vector<WilsonSpinor<T>> tmp_;
+  mutable aligned_vector<WilsonSpinor<T>> tmp2_;
+  mutable long total_inner_iterations_ = 0;
+};
+
+}  // namespace lqcd

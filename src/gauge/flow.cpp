@@ -1,0 +1,99 @@
+#include "gauge/flow.hpp"
+
+#include "gauge/observables.hpp"
+#include "gauge/staples.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+double flow_energy_density(const GaugeFieldD& u) {
+  const LatticeGeometry& geo = u.geometry();
+  const std::int64_t vol = geo.volume();
+  const double sum = parallel_reduce_sum(
+      static_cast<std::size_t>(vol), [&](std::size_t s) {
+        const auto cb = static_cast<std::int64_t>(s);
+        double acc = 0.0;
+        for (int mu = 0; mu < Nd; ++mu)
+          for (int nu = mu + 1; nu < Nd; ++nu)
+            acc += 2.0 * (3.0 - re_trace(plaquette_matrix(u, cb, mu, nu)));
+        return acc;
+      });
+  return sum / static_cast<double>(vol);
+}
+
+namespace {
+using ZField = Field<LinkSite<double>>;
+
+// Z(u)(x,mu) = -TA[U A] scaled by eps, accumulated as
+// z <- coeff_new * eps * Z(u) + coeff_old * z.
+void accumulate_z(ZField& z, const GaugeFieldD& u, double eps,
+                  double coeff_new, double coeff_old) {
+  const LatticeGeometry& geo = u.geometry();
+  parallel_for(static_cast<std::size_t>(geo.volume()), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    for (int mu = 0; mu < Nd; ++mu) {
+      ColorMatrixD g =
+          traceless_antiherm(mul(u(cb, mu), staple_sum(u, cb, mu)));
+      g *= -eps * coeff_new;
+      ColorMatrixD& zl = z[cb][static_cast<std::size_t>(mu)];
+      ColorMatrixD old = zl;
+      old *= coeff_old;
+      zl = g;
+      zl += old;
+    }
+  });
+}
+
+// u <- exp(z) u per link.
+void apply_exp(GaugeFieldD& u, const ZField& z) {
+  const LatticeGeometry& geo = u.geometry();
+  parallel_for(static_cast<std::size_t>(geo.volume()), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    for (int mu = 0; mu < Nd; ++mu)
+      u(cb, mu) =
+          mul(exp_matrix(z[cb][static_cast<std::size_t>(mu)]), u(cb, mu));
+  });
+}
+}  // namespace
+
+void wilson_flow_step(GaugeFieldD& u, double eps) {
+  LQCD_REQUIRE(eps > 0.0, "flow step must be positive");
+  ZField z(u.geometry());
+  // W1 = exp(1/4 Z0) W0
+  accumulate_z(z, u, eps, 0.25, 0.0);
+  apply_exp(u, z);
+  // W2 = exp(8/9 Z1 - 17/36 Z0) W1 ; note z currently holds Z0/4:
+  // 8/9 Z1 - 17/36 Z0 = (8/9) eps Z(W1) + (-17/9) * (Z0/4).
+  accumulate_z(z, u, eps, 8.0 / 9.0, -17.0 / 9.0);
+  apply_exp(u, z);
+  // V' = exp(3/4 Z2 - 8/9 Z1 + 17/36 Z0) W2
+  //    = exp( (3/4) eps Z(W2) - [8/9 Z1 - 17/36 Z0] ).
+  accumulate_z(z, u, eps, 0.75, -1.0);
+  apply_exp(u, z);
+}
+
+std::vector<FlowObservable> wilson_flow(GaugeFieldD& u,
+                                        const FlowParams& params) {
+  LQCD_REQUIRE(params.steps >= 0, "step count must be non-negative");
+  std::vector<FlowObservable> history;
+  history.reserve(static_cast<std::size_t>(params.steps) + 1);
+  double t = 0.0;
+  auto record = [&] {
+    FlowObservable obs;
+    obs.t = t;
+    obs.energy = flow_energy_density(u);
+    obs.t2e = t * t * obs.energy;
+    obs.plaquette = average_plaquette(u);
+    history.push_back(obs);
+  };
+  record();
+  for (int i = 0; i < params.steps; ++i) {
+    wilson_flow_step(u, params.step);
+    t += params.step;
+    record();
+  }
+  return history;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,53 @@
+#pragma once
+// Wilson (gradient) flow.
+//
+// The flow evolves the gauge field down the gradient of the Wilson
+// plaquette action,
+//
+//   dV/dt = Z(V) V,   Z(x,mu) = -TA[ V_mu(x) A(x,mu) ],
+//
+// (A the staple sum, TA the traceless anti-hermitian projection; the
+// overall normalization is the standard one used by Grid/chroma flow
+// implementations). Integration uses Lüscher's third-order Runge–Kutta
+// scheme (arXiv:1006.4518, appendix C):
+//
+//   W0 = V
+//   W1 = exp(1/4 Z0) W0
+//   W2 = exp(8/9 Z1 - 17/36 Z0) W1
+//   V' = exp(3/4 Z2 - 8/9 Z1 + 17/36 Z0) W2,   Zi = eps Z(Wi).
+//
+// The flow smooths UV fluctuations; t^2 <E(t)> defines the reference
+// scale t0 via t^2<E> = 0.3.
+
+#include <vector>
+
+#include "gauge/gauge_field.hpp"
+
+namespace lqcd {
+
+struct FlowParams {
+  double step = 0.01;  ///< integration step eps
+  int steps = 10;      ///< number of RK3 steps
+};
+
+/// Plaquette discretization of the action/energy density:
+/// E = (1/V) sum_x sum_{mu<nu} 2 Re tr[1 - P_mu_nu(x)].
+double flow_energy_density(const GaugeFieldD& u);
+
+/// One RK3 step of size eps.
+void wilson_flow_step(GaugeFieldD& u, double eps);
+
+/// History point of a flow trajectory.
+struct FlowObservable {
+  double t = 0.0;        ///< flow time
+  double energy = 0.0;   ///< <E(t)>
+  double t2e = 0.0;      ///< t^2 <E(t)>
+  double plaquette = 0.0;
+};
+
+/// Integrate the flow, recording observables after every step
+/// (element 0 is the t = 0 starting point).
+std::vector<FlowObservable> wilson_flow(GaugeFieldD& u,
+                                        const FlowParams& params);
+
+}  // namespace lqcd

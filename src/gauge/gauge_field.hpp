@@ -1,0 +1,108 @@
+#pragma once
+// SU(3) gauge field: four link matrices per site, checkerboard layout.
+//
+// U(x, mu) is the parallel transporter from x to x + mu-hat. Generation
+// (heatbath, HMC) always runs in double; the solvers may take a float
+// copy via convert_gauge().
+
+#include <array>
+
+#include "lattice/field.hpp"
+#include "lattice/geometry.hpp"
+#include "linalg/su3.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+
+template <typename T>
+using LinkSite = std::array<ColorMatrix<T>, Nd>;
+
+template <typename T>
+class GaugeField {
+ public:
+  explicit GaugeField(const LatticeGeometry& geo) : field_(geo) {}
+
+  [[nodiscard]] const LatticeGeometry& geometry() const noexcept {
+    return field_.geometry();
+  }
+
+  ColorMatrix<T>& operator()(std::int64_t cb, int mu) {
+    return field_[cb][static_cast<std::size_t>(mu)];
+  }
+  const ColorMatrix<T>& operator()(std::int64_t cb, int mu) const {
+    return field_[cb][static_cast<std::size_t>(mu)];
+  }
+
+  LinkSite<T>& site(std::int64_t cb) { return field_[cb]; }
+  const LinkSite<T>& site(std::int64_t cb) const { return field_[cb]; }
+
+  [[nodiscard]] std::span<LinkSite<T>> span() noexcept {
+    return field_.span();
+  }
+  [[nodiscard]] std::span<const LinkSite<T>> span() const noexcept {
+    return field_.span();
+  }
+
+  /// Cold start: all links = identity (free field).
+  void set_unit() {
+    for (auto& site : field_.span())
+      for (auto& u : site) u = unit_matrix<T>();
+  }
+
+  /// Hot start: independent Haar-ish random links, reproducible for any
+  /// decomposition (streams keyed on global checkerboard index).
+  void set_random(const SiteRngFactory& rngs) {
+    const std::int64_t vol = field_.volume();
+    for (std::int64_t s = 0; s < vol; ++s)
+      for (int mu = 0; mu < Nd; ++mu) {
+        CounterRng rng =
+            rngs.make(static_cast<std::uint64_t>(s), static_cast<unsigned>(mu));
+        (*this)(s, mu) = random_su3<T>(rng);
+      }
+  }
+
+  /// Project every link back to SU(3); returns the max pre-projection
+  /// unitarity error (monitoring drift during long HMC runs).
+  T reunitarize_all() {
+    T worst = T(0);
+    for (auto& site : field_.span())
+      for (auto& u : site) {
+        const T err = unitarity_error(u);
+        if (err > worst) worst = err;
+        reunitarize(u);
+      }
+    return worst;
+  }
+
+  /// Largest unitarity violation across all links.
+  [[nodiscard]] T max_unitarity_error() const {
+    T worst = T(0);
+    for (const auto& site : field_.span())
+      for (const auto& u : site) {
+        const T err = unitarity_error(u);
+        if (err > worst) worst = err;
+      }
+    return worst;
+  }
+
+ private:
+  Field<LinkSite<T>> field_;
+};
+
+/// Precision-converting copy (double -> float for the inner solver).
+template <typename To, typename From>
+void convert_gauge(GaugeField<To>& dst, const GaugeField<From>& src) {
+  LQCD_REQUIRE(dst.geometry() == src.geometry(),
+               "convert_gauge geometry mismatch");
+  const std::int64_t vol = src.geometry().volume();
+  for (std::int64_t s = 0; s < vol; ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      for (int r = 0; r < Nc; ++r)
+        for (int c = 0; c < Nc; ++c)
+          dst(s, mu).m[r][c] = Cplx<To>(src(s, mu).m[r][c]);
+}
+
+using GaugeFieldF = GaugeField<float>;
+using GaugeFieldD = GaugeField<double>;
+
+}  // namespace lqcd

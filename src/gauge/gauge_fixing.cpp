@@ -1,0 +1,121 @@
+#include "gauge/gauge_fixing.hpp"
+
+#include <cmath>
+
+#include "gauge/su2.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace {
+
+int fix_dirs(GaugeCondition c) {
+  return c == GaugeCondition::Landau ? 4 : 3;
+}
+
+/// s^omega for a unit quaternion: rotate by omega times the angle.
+Su2 su2_power(const Su2& s, double omega) {
+  const double vec = std::sqrt(s.a1 * s.a1 + s.a2 * s.a2 + s.a3 * s.a3);
+  if (vec < 1e-300) return Su2{};
+  const double theta = std::atan2(vec, s.a0);
+  const double nt = omega * theta;
+  const double f = std::sin(nt) / vec;
+  return {std::cos(nt), f * s.a1, f * s.a2, f * s.a3};
+}
+
+/// Apply the gauge rotation g = embedded su2(r) at site x:
+/// U_mu(x) <- g U_mu(x); U_mu(x - mu) <- U_mu(x - mu) g^†.
+void apply_local_rotation(GaugeFieldD& u, std::int64_t cb, const Su2& r,
+                          int p, int q) {
+  const LatticeGeometry& geo = u.geometry();
+  for (int mu = 0; mu < Nd; ++mu) {
+    su2_left_mul(u(cb, mu), r, p, q);
+    // Right-multiply the incoming link by g^†: (V g^†) = (g V^†)^†.
+    const std::int64_t xm = geo.bwd(cb, mu);
+    ColorMatrixD vdag = dagger(u(xm, mu));
+    su2_left_mul(vdag, r, p, q);
+    u(xm, mu) = dagger(vdag);
+  }
+}
+
+constexpr int kSubgroups[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+
+}  // namespace
+
+double gauge_functional(const GaugeFieldD& u, GaugeCondition condition) {
+  const LatticeGeometry& geo = u.geometry();
+  const int nd = fix_dirs(condition);
+  const double sum = parallel_reduce_sum(
+      static_cast<std::size_t>(geo.volume()), [&](std::size_t s) {
+        double acc = 0.0;
+        for (int mu = 0; mu < nd; ++mu)
+          acc += re_trace(u(static_cast<std::int64_t>(s), mu));
+        return acc;
+      });
+  return sum / (static_cast<double>(geo.volume()) * nd * Nc);
+}
+
+double gauge_fix_residual(const GaugeFieldD& u, GaugeCondition condition) {
+  const LatticeGeometry& geo = u.geometry();
+  const int nd = fix_dirs(condition);
+  const double sum = parallel_reduce_sum(
+      static_cast<std::size_t>(geo.volume()), [&](std::size_t s) {
+        const auto cb = static_cast<std::int64_t>(s);
+        ColorMatrixD div{};
+        for (int mu = 0; mu < nd; ++mu) {
+          div += traceless_antiherm(u(cb, mu));
+          div -= traceless_antiherm(u(geo.bwd(cb, mu), mu));
+        }
+        return norm2(div);
+      });
+  return sum / (static_cast<double>(geo.volume()) * Nc);
+}
+
+GaugeFixResult fix_gauge(GaugeFieldD& u, const GaugeFixParams& params) {
+  LQCD_REQUIRE(params.overrelax >= 1.0 && params.overrelax < 2.0,
+               "over-relaxation parameter must lie in [1, 2)");
+  LQCD_REQUIRE(params.max_sweeps >= 1, "need at least one sweep");
+  const LatticeGeometry& geo = u.geometry();
+  const int nd = fix_dirs(params.condition);
+  const std::int64_t hv = geo.half_volume();
+
+  GaugeFixResult res;
+  for (int sweep = 0; sweep < params.max_sweeps; ++sweep) {
+    for (int parity = 0; parity < 2; ++parity) {
+      parallel_for(static_cast<std::size_t>(hv), [&](std::size_t i) {
+        const std::int64_t cb =
+            static_cast<std::int64_t>(parity) * hv +
+            static_cast<std::int64_t>(i);
+        // K(x) = sum_mu U_mu(x) + U_mu^†(x-mu): the local functional is
+        // Re tr[g K].
+        ColorMatrixD k{};
+        for (int mu = 0; mu < nd; ++mu) {
+          k += u(cb, mu);
+          k += dagger(u(geo.bwd(cb, mu), mu));
+        }
+        for (const auto& sub : kSubgroups) {
+          Su2 s;
+          const double kk = su2_project(k, sub[0], sub[1], s);
+          if (kk < 1e-14) continue;
+          // Maximizer of the subgroup functional is s^†; over-relax it.
+          const Su2 r = su2_power(conj(s), params.overrelax);
+          apply_local_rotation(u, cb, r, sub[0], sub[1]);
+          // Keep K consistent for the remaining subgroups.
+          su2_left_mul(k, r, sub[0], sub[1]);
+        }
+      });
+    }
+    res.sweeps = sweep + 1;
+    res.theta = gauge_fix_residual(u, params.condition);
+    if (res.theta < params.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  u.reunitarize_all();
+  res.functional = gauge_functional(u, params.condition);
+  return res;
+}
+
+}  // namespace lqcd

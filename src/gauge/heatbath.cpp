@@ -1,0 +1,85 @@
+#include "gauge/heatbath.hpp"
+
+#include "gauge/observables.hpp"
+#include "gauge/staples.hpp"
+#include "gauge/su2.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lqcd {
+
+namespace {
+constexpr int kSubgroups[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+}
+
+Heatbath::Heatbath(GaugeFieldD& u, const HeatbathParams& params)
+    : u_(u), params_(params) {
+  LQCD_REQUIRE(params.beta > 0.0, "beta must be positive");
+  LQCD_REQUIRE(params.or_per_hb >= 0, "or_per_hb must be >= 0");
+}
+
+void Heatbath::update_slice(int parity, int mu, bool heatbath) {
+  const LatticeGeometry& geo = u_.geometry();
+  const std::int64_t hv = geo.half_volume();
+  const SiteRngFactory rngs(params_.seed, epoch_);
+  const double beta = params_.beta;
+
+  parallel_for(static_cast<std::size_t>(hv), [&](std::size_t i) {
+    const std::int64_t cb =
+        static_cast<std::int64_t>(parity) * hv + static_cast<std::int64_t>(i);
+    // Per-link RNG stream: keyed on global cb index and direction, so the
+    // update is reproducible for any thread count.
+    CounterRng rng = rngs.make(static_cast<std::uint64_t>(cb),
+                               static_cast<std::uint64_t>(mu));
+
+    const ColorMatrixD a = staple_sum(u_, cb, mu);
+    ColorMatrixD& link = u_(cb, mu);
+    ColorMatrixD w = mul(link, a);  // action weight: exp((beta/3) Re tr W)
+
+    for (const auto& sub : kSubgroups) {
+      const int p = sub[0];
+      const int q = sub[1];
+      Su2 s;
+      const double k = su2_project(w, p, q, s);
+      Su2 r;
+      if (heatbath) {
+        if (k < 1e-12) {
+          r = su2_random(rng);
+        } else {
+          const Su2 rprime = su2_heatbath_sample((2.0 / 3.0) * beta * k, rng);
+          r = mul(rprime, conj(s));
+        }
+      } else {
+        // Over-relaxation: r s = s^dagger (reflects around the action
+        // minimum, leaving Re tr unchanged -> microcanonical).
+        if (k < 1e-12) continue;
+        r = conj(mul(s, s));
+      }
+      su2_left_mul(link, r, p, q);
+      su2_left_mul(w, r, p, q);
+    }
+    reunitarize(link);
+  });
+  ++epoch_;
+}
+
+void Heatbath::heatbath_pass() {
+  for (int parity = 0; parity < 2; ++parity)
+    for (int mu = 0; mu < Nd; ++mu) update_slice(parity, mu, true);
+}
+
+void Heatbath::overrelax_pass() {
+  for (int parity = 0; parity < 2; ++parity)
+    for (int mu = 0; mu < Nd; ++mu) update_slice(parity, mu, false);
+}
+
+double Heatbath::sweep() {
+  heatbath_pass();
+  for (int i = 0; i < params_.or_per_hb; ++i) overrelax_pass();
+  return average_plaquette(u_);
+}
+
+double plaquette_strong_coupling(double beta) { return beta / 18.0; }
+
+double plaquette_weak_coupling(double beta) { return 1.0 - 2.0 / beta; }
+
+}  // namespace lqcd

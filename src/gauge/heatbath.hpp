@@ -1,0 +1,55 @@
+#pragma once
+// Quenched gauge-field generation: Cabibbo–Marinari SU(2)-subgroup
+// pseudo-heatbath (Kennedy–Pendleton sampling) plus micro-canonical
+// over-relaxation for the Wilson plaquette action.
+//
+// Updates run parity-by-parity and direction-by-direction; within one
+// (parity, direction) slice the staples of the updated links are disjoint
+// from each other, so the slice is embarrassingly parallel and the result
+// is independent of the thread count.
+
+#include <cstdint>
+
+#include "gauge/gauge_field.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+
+struct HeatbathParams {
+  double beta = 6.0;         ///< Wilson gauge coupling
+  int or_per_hb = 3;         ///< over-relaxation sweeps per heatbath sweep
+  std::uint64_t seed = 42;   ///< RNG seed (epoch advances per sweep)
+};
+
+/// Quenched ensemble generator. One `sweep()` = one heatbath pass over all
+/// links followed by `or_per_hb` over-relaxation passes.
+class Heatbath {
+ public:
+  Heatbath(GaugeFieldD& u, const HeatbathParams& params);
+
+  /// One combined update sweep; returns the average plaquette afterwards.
+  double sweep();
+
+  /// Individual passes (exposed for tests and ablations).
+  void heatbath_pass();
+  void overrelax_pass();
+
+  [[nodiscard]] const HeatbathParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t sweeps_done() const { return epoch_; }
+
+ private:
+  void update_slice(int parity, int mu, bool heatbath);
+
+  GaugeFieldD& u_;
+  HeatbathParams params_;
+  std::uint64_t epoch_ = 0;  // advances every pass -> fresh RNG streams
+};
+
+/// Strong-coupling expansion of the average plaquette for SU(3):
+/// <P> = beta/18 + O(beta^2) — used by thermalization tests at small beta.
+double plaquette_strong_coupling(double beta);
+
+/// Weak-coupling (one-loop) estimate <P> ~ 1 - 2/beta for SU(3).
+double plaquette_weak_coupling(double beta);
+
+}  // namespace lqcd

@@ -1,0 +1,105 @@
+#include "gauge/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace {
+constexpr char kMagic[8] = {'L', 'Q', 'C', 'D', 'G', 'F', '0', '1'};
+
+// Serialize one site's links as 4 * 9 complex doubles.
+constexpr std::size_t kSiteBytes = Nd * Nc * Nc * 2 * sizeof(double);
+}  // namespace
+
+void save_gauge(const GaugeFieldD& u, const std::string& path, double beta) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  LQCD_REQUIRE(os.good(), "cannot open for write: " + path);
+
+  os.write(kMagic, sizeof(kMagic));
+  for (int mu = 0; mu < Nd; ++mu) {
+    const std::int32_t d = u.geometry().dim(mu);
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  os.write(reinterpret_cast<const char*>(&beta), sizeof(beta));
+
+  const std::int64_t vol = u.geometry().volume();
+  std::vector<double> buf(Nd * Nc * Nc * 2);
+  std::uint32_t crc = 0;
+  for (std::int64_t s = 0; s < vol; ++s) {
+    std::size_t k = 0;
+    for (int mu = 0; mu < Nd; ++mu)
+      for (int r = 0; r < Nc; ++r)
+        for (int c = 0; c < Nc; ++c) {
+          buf[k++] = u(s, mu).m[r][c].re;
+          buf[k++] = u(s, mu).m[r][c].im;
+        }
+    crc = crc32(buf.data(), kSiteBytes, crc);
+    os.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(kSiteBytes));
+  }
+  os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  LQCD_REQUIRE(os.good(), "write failed: " + path);
+}
+
+namespace {
+GaugeFileHeader read_header(std::ifstream& is, const std::string& path) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  LQCD_REQUIRE(is.good() && std::memcmp(magic, kMagic, 8) == 0,
+               "not a lqcd gauge file: " + path);
+  GaugeFileHeader h;
+  for (int mu = 0; mu < Nd; ++mu) {
+    std::int32_t d = 0;
+    is.read(reinterpret_cast<char*>(&d), sizeof(d));
+    h.dims[mu] = d;
+  }
+  is.read(reinterpret_cast<char*>(&h.beta), sizeof(h.beta));
+  LQCD_REQUIRE(is.good(), "truncated header: " + path);
+  return h;
+}
+}  // namespace
+
+GaugeFileHeader read_gauge_header(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  LQCD_REQUIRE(is.good(), "cannot open: " + path);
+  return read_header(is, path);
+}
+
+GaugeFileHeader load_gauge(GaugeFieldD& u, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  LQCD_REQUIRE(is.good(), "cannot open: " + path);
+  const GaugeFileHeader h = read_header(is, path);
+  for (int mu = 0; mu < Nd; ++mu)
+    LQCD_REQUIRE(h.dims[mu] == u.geometry().dim(mu),
+                 "gauge file dimension mismatch: " + path);
+
+  const std::int64_t vol = u.geometry().volume();
+  std::vector<double> buf(Nd * Nc * Nc * 2);
+  std::uint32_t crc = 0;
+  for (std::int64_t s = 0; s < vol; ++s) {
+    is.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(kSiteBytes));
+    LQCD_REQUIRE(is.good(), "truncated gauge data: " + path);
+    crc = crc32(buf.data(), kSiteBytes, crc);
+    std::size_t k = 0;
+    for (int mu = 0; mu < Nd; ++mu)
+      for (int r = 0; r < Nc; ++r)
+        for (int c = 0; c < Nc; ++c) {
+          u(s, mu).m[r][c] = Cplxd(buf[k], buf[k + 1]);
+          k += 2;
+        }
+  }
+  std::uint32_t stored = 0;
+  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  LQCD_REQUIRE(is.good(), "truncated checksum: " + path);
+  LQCD_REQUIRE(stored == crc, "gauge file CRC mismatch (corrupt): " + path);
+  return h;
+}
+
+}  // namespace lqcd

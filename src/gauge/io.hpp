@@ -1,0 +1,31 @@
+#pragma once
+// Gauge configuration I/O: a simple self-describing binary format with a
+// CRC-32 integrity check (stand-in for ILDG/SciDAC formats).
+//
+// Layout: magic "LQCDGF01" | 4 x int32 dims | float64 beta |
+//         link data (site-major, direction-minor, row-major complex
+//         doubles, checkerboard site order) | uint32 CRC of the link data.
+
+#include <string>
+
+#include "gauge/gauge_field.hpp"
+
+namespace lqcd {
+
+struct GaugeFileHeader {
+  Coord dims{};
+  double beta = 0.0;
+};
+
+/// Write a gauge configuration. Throws lqcd::Error on I/O failure.
+void save_gauge(const GaugeFieldD& u, const std::string& path,
+                double beta);
+
+/// Read a configuration into a field on a matching geometry.
+/// Throws lqcd::Error on dimension mismatch, truncation or CRC mismatch.
+GaugeFileHeader load_gauge(GaugeFieldD& u, const std::string& path);
+
+/// Read only the header (cheap inspection).
+GaugeFileHeader read_gauge_header(const std::string& path);
+
+}  // namespace lqcd

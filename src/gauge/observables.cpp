@@ -1,0 +1,88 @@
+#include "gauge/observables.hpp"
+
+#include "gauge/staples.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lqcd {
+
+namespace {
+// Sum of (1/3) Re tr P over the requested planes at every site.
+double plaquette_sum(const GaugeFieldD& u, bool spatial, bool temporal,
+                     long& nplanes) {
+  const LatticeGeometry& geo = u.geometry();
+  const std::int64_t vol = geo.volume();
+  nplanes = 0;
+  for (int mu = 0; mu < Nd; ++mu)
+    for (int nu = mu + 1; nu < Nd; ++nu) {
+      const bool is_temporal = (nu == 3);
+      if ((is_temporal && temporal) || (!is_temporal && spatial)) ++nplanes;
+    }
+  return parallel_reduce_sum(
+      static_cast<std::size_t>(vol), [&](std::size_t s) {
+        const auto cb = static_cast<std::int64_t>(s);
+        double acc = 0.0;
+        for (int mu = 0; mu < Nd; ++mu)
+          for (int nu = mu + 1; nu < Nd; ++nu) {
+            const bool is_temporal = (nu == 3);
+            if (!((is_temporal && temporal) || (!is_temporal && spatial)))
+              continue;
+            acc += re_trace(plaquette_matrix(u, cb, mu, nu)) / 3.0;
+          }
+        return acc;
+      });
+}
+}  // namespace
+
+double average_plaquette(const GaugeFieldD& u) {
+  long nplanes = 0;
+  const double s = plaquette_sum(u, true, true, nplanes);
+  return s / (static_cast<double>(u.geometry().volume()) *
+              static_cast<double>(nplanes));
+}
+
+double average_plaquette_temporal(const GaugeFieldD& u) {
+  long nplanes = 0;
+  const double s = plaquette_sum(u, false, true, nplanes);
+  return s / (static_cast<double>(u.geometry().volume()) *
+              static_cast<double>(nplanes));
+}
+
+double average_plaquette_spatial(const GaugeFieldD& u) {
+  long nplanes = 0;
+  const double s = plaquette_sum(u, true, false, nplanes);
+  return s / (static_cast<double>(u.geometry().volume()) *
+              static_cast<double>(nplanes));
+}
+
+double wilson_action(const GaugeFieldD& u, double beta) {
+  long nplanes = 0;
+  const double s = plaquette_sum(u, true, true, nplanes);
+  const double total_plaq =
+      static_cast<double>(u.geometry().volume()) *
+      static_cast<double>(nplanes);
+  return beta * (total_plaq - s);
+}
+
+Cplxd polyakov_loop(const GaugeFieldD& u) {
+  const LatticeGeometry& geo = u.geometry();
+  const int lt = geo.dim(3);
+  Cplxd acc{};
+  long count = 0;
+  Coord x{};
+  for (x[2] = 0; x[2] < geo.dim(2); ++x[2])
+    for (x[1] = 0; x[1] < geo.dim(1); ++x[1])
+      for (x[0] = 0; x[0] < geo.dim(0); ++x[0]) {
+        ColorMatrixD line = unit_matrix<double>();
+        Coord y = x;
+        for (int t = 0; t < lt; ++t) {
+          y[3] = t;
+          line = mul(line, u(geo.cb_index(y), 3));
+        }
+        acc += trace(line);
+        ++count;
+      }
+  return Cplxd(acc.re / (3.0 * static_cast<double>(count)),
+               acc.im / (3.0 * static_cast<double>(count)));
+}
+
+}  // namespace lqcd

@@ -1,0 +1,25 @@
+#pragma once
+// Pure-gauge observables: average plaquette, Wilson action, Polyakov loop.
+
+#include "gauge/gauge_field.hpp"
+#include "linalg/cplx.hpp"
+
+namespace lqcd {
+
+/// Average plaquette, normalized so the free field gives 1:
+/// <(1/3) Re tr P_{mu nu}> averaged over all 6 planes and all sites.
+double average_plaquette(const GaugeFieldD& u);
+
+/// Wilson gauge action S = beta * sum_{x, mu<nu} (1 - (1/3) Re tr P).
+double wilson_action(const GaugeFieldD& u, double beta);
+
+/// Volume-averaged Polyakov loop (deconfinement order parameter):
+/// (1/V3) sum_xvec (1/3) tr prod_t U_t(xvec, t).
+Cplxd polyakov_loop(const GaugeFieldD& u);
+
+/// Spatially averaged plaquette restricted to time-like (mu=3) or
+/// space-like planes — useful thermalization diagnostics.
+double average_plaquette_temporal(const GaugeFieldD& u);
+double average_plaquette_spatial(const GaugeFieldD& u);
+
+}  // namespace lqcd

@@ -1,0 +1,100 @@
+#include "gauge/smear.hpp"
+
+#include "gauge/staples.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lqcd {
+
+namespace {
+// Staple sum restricted to directions nu in [0, nu_max).
+ColorMatrixD staple_sum_restricted(const GaugeFieldD& u, std::int64_t cb,
+                                   int mu, int nu_max) {
+  const LatticeGeometry& geo = u.geometry();
+  ColorMatrixD acc{};
+  const std::int64_t xpmu = geo.fwd(cb, mu);
+  for (int nu = 0; nu < nu_max; ++nu) {
+    if (nu == mu) continue;
+    {
+      const std::int64_t xpnu = geo.fwd(cb, nu);
+      const ColorMatrixD a = mul_adj(u(xpmu, nu), u(xpnu, mu));
+      acc += mul_adj(a, u(cb, nu));
+    }
+    {
+      const std::int64_t xmnu = geo.bwd(cb, nu);
+      const std::int64_t xpmu_mnu = geo.bwd(xpmu, nu);
+      const ColorMatrixD a = adj_mul(u(xpmu_mnu, nu), dagger(u(xmnu, mu)));
+      acc += mul(a, u(xmnu, nu));
+    }
+  }
+  return acc;
+}
+}  // namespace
+
+void ape_smear_step(GaugeFieldD& u, const ApeParams& params) {
+  const LatticeGeometry& geo = u.geometry();
+  const std::int64_t vol = geo.volume();
+  const int mu_max = params.spatial_only ? 3 : Nd;
+  const int nu_max = params.spatial_only ? 3 : Nd;
+  const int n_staples = 2 * (nu_max - 1);
+
+  GaugeFieldD next(geo);
+  // Copy unsmeared directions (e.g. temporal links).
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    for (int mu = 0; mu < Nd; ++mu) {
+      if (mu >= mu_max) {
+        next(cb, mu) = u(cb, mu);
+        continue;
+      }
+      // Staples must close within the smeared directions: a smeared link's
+      // staple uses only nu < nu_max.
+      ColorMatrixD a = staple_sum_restricted(u, cb, mu, nu_max);
+      // The staple as defined satisfies Re tr(U A); the "fat link" sums
+      // parallel transporters, which is A^dagger.
+      ColorMatrixD fat = dagger(a);
+      fat *= params.alpha / static_cast<double>(n_staples);
+      ColorMatrixD w = u(cb, mu);
+      w *= (1.0 - params.alpha);
+      w += fat;
+      reunitarize(w);
+      next(cb, mu) = w;
+    }
+  });
+  // Swap the data back.
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    u.site(cb) = next.site(cb);
+  });
+}
+
+void ape_smear(GaugeFieldD& u, const ApeParams& params) {
+  for (int i = 0; i < params.iterations; ++i) ape_smear_step(u, params);
+}
+
+void stout_smear_step(GaugeFieldD& u, const StoutParams& params) {
+  const LatticeGeometry& geo = u.geometry();
+  const std::int64_t vol = geo.volume();
+  GaugeFieldD next(geo);
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    for (int mu = 0; mu < Nd; ++mu) {
+      // C = rho * sum of staple transporters = rho * A^†.
+      ColorMatrixD c = dagger(staple_sum(u, cb, mu));
+      c *= params.rho;
+      // Omega = C U^†; U' = exp(TA(Omega)) U.
+      const ColorMatrixD omega = mul_adj(c, u(cb, mu));
+      const ColorMatrixD q = traceless_antiherm(omega);
+      next(cb, mu) = mul(exp_matrix(q), u(cb, mu));
+    }
+  });
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    u.site(cb) = next.site(cb);
+  });
+}
+
+void stout_smear(GaugeFieldD& u, const StoutParams& params) {
+  for (int i = 0; i < params.iterations; ++i) stout_smear_step(u, params);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,39 @@
+#pragma once
+// APE link smearing (spatial), used to build smeared spectroscopy sources
+// and to tame ultraviolet noise in gauge observables.
+
+#include "gauge/gauge_field.hpp"
+
+namespace lqcd {
+
+struct ApeParams {
+  double alpha = 0.7;  ///< staple weight
+  int iterations = 3;  ///< smearing steps
+  bool spatial_only = true;  ///< smear only spatial links/staples
+};
+
+/// One APE step:
+///   U'_mu(x) = Proj_SU(3)[ (1-alpha) U_mu(x)
+///                          + (alpha/n_staples) * staple_sum ],
+/// where the projection is the Gram–Schmidt reunitarization.
+void ape_smear_step(GaugeFieldD& u, const ApeParams& params);
+
+/// `params.iterations` steps.
+void ape_smear(GaugeFieldD& u, const ApeParams& params);
+
+struct StoutParams {
+  double rho = 0.1;   ///< isotropic staple weight
+  int iterations = 3;
+};
+
+/// One stout (Morningstar–Peardon) smearing step:
+///   U' = exp( TA[ Omega ] ) U,   Omega = rho * C U^†,
+/// with C the sum of staple transporters and TA the traceless
+/// anti-hermitian projection. Unlike APE, the update is analytic in U
+/// (differentiable), which is why production HMC actions smear this way.
+void stout_smear_step(GaugeFieldD& u, const StoutParams& params);
+
+/// `params.iterations` steps.
+void stout_smear(GaugeFieldD& u, const StoutParams& params);
+
+}  // namespace lqcd

@@ -1,0 +1,54 @@
+#pragma once
+// Staple sums for the Wilson plaquette action.
+//
+// With the plaquette P_{mu nu}(x) = U_mu(x) U_nu(x+mu) U_mu^†(x+nu)
+// U_nu^†(x), the staple A(x,mu) is defined so that every plaquette
+// containing U_mu(x) contributes Re tr[ U_mu(x) A(x,mu) ]:
+//
+//   A(x,mu) = sum_{nu != mu}  U_nu(x+mu) U_mu^†(x+nu) U_nu^†(x)
+//                           + U_nu^†(x+mu-nu) U_mu^†(x-nu) U_nu(x-nu)
+//
+// Both the heatbath and the HMC gauge force are built from this.
+
+#include "gauge/gauge_field.hpp"
+
+namespace lqcd {
+
+/// Staple sum for link (cb, mu).
+template <typename T>
+ColorMatrix<T> staple_sum(const GaugeField<T>& u, std::int64_t cb, int mu) {
+  const LatticeGeometry& geo = u.geometry();
+  ColorMatrix<T> acc{};
+  const std::int64_t xpmu = geo.fwd(cb, mu);
+  for (int nu = 0; nu < Nd; ++nu) {
+    if (nu == mu) continue;
+    // Upper staple: U_nu(x+mu) U_mu^†(x+nu) U_nu^†(x)
+    {
+      const std::int64_t xpnu = geo.fwd(cb, nu);
+      const ColorMatrix<T> a = mul_adj(u(xpmu, nu), u(xpnu, mu));
+      acc += mul_adj(a, u(cb, nu));
+    }
+    // Lower staple: U_nu^†(x+mu-nu) U_mu^†(x-nu) U_nu(x-nu)
+    {
+      const std::int64_t xmnu = geo.bwd(cb, nu);
+      const std::int64_t xpmu_mnu = geo.bwd(xpmu, nu);
+      const ColorMatrix<T> a = adj_mul(u(xpmu_mnu, nu), dagger(u(xmnu, mu)));
+      acc += mul(a, u(xmnu, nu));
+    }
+  }
+  return acc;
+}
+
+/// Plaquette matrix P_{mu nu}(x) (mu != nu).
+template <typename T>
+ColorMatrix<T> plaquette_matrix(const GaugeField<T>& u, std::int64_t cb,
+                                int mu, int nu) {
+  const LatticeGeometry& geo = u.geometry();
+  const std::int64_t xpmu = geo.fwd(cb, mu);
+  const std::int64_t xpnu = geo.fwd(cb, nu);
+  ColorMatrix<T> p = mul(u(cb, mu), u(xpmu, nu));
+  p = mul_adj(p, u(xpnu, mu));
+  return mul_adj(p, u(cb, nu));
+}
+
+}  // namespace lqcd

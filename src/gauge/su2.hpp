@@ -1,0 +1,128 @@
+#pragma once
+// SU(2) quaternion helpers for the Cabibbo–Marinari subgroup updates.
+//
+// An SU(2) element is parameterized as  a0 + i (a1 s1 + a2 s2 + a3 s3)
+// with s_i the Pauli matrices and a0^2 + |a|^2 = 1, i.e. the 2x2 matrix
+//
+//   [ a0 + i a3    a2 + i a1 ]
+//   [-a2 + i a1    a0 - i a3 ].
+
+#include <cmath>
+
+#include "linalg/su3.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+
+struct Su2 {
+  double a0 = 1.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+};
+
+inline double norm(const Su2& s) {
+  return std::sqrt(s.a0 * s.a0 + s.a1 * s.a1 + s.a2 * s.a2 + s.a3 * s.a3);
+}
+
+inline Su2 conj(const Su2& s) { return {s.a0, -s.a1, -s.a2, -s.a3}; }
+
+/// Quaternion product matching 2x2 matrix multiplication of the
+/// parameterization above.
+inline Su2 mul(const Su2& a, const Su2& b) {
+  Su2 c;
+  c.a0 = a.a0 * b.a0 - a.a1 * b.a1 - a.a2 * b.a2 - a.a3 * b.a3;
+  c.a1 = a.a0 * b.a1 + a.a1 * b.a0 - (a.a2 * b.a3 - a.a3 * b.a2);
+  c.a2 = a.a0 * b.a2 + a.a2 * b.a0 - (a.a3 * b.a1 - a.a1 * b.a3);
+  c.a3 = a.a0 * b.a3 + a.a3 * b.a0 - (a.a1 * b.a2 - a.a2 * b.a1);
+  return c;
+}
+
+/// Project the (p,q) 2x2 block of a 3x3 matrix onto the quaternion part:
+/// returns k >= 0 and the normalized SU(2) element s such that the block's
+/// "SU(2) component" equals k*s. (k = 0 gives s = identity.)
+inline double su2_project(const ColorMatrixD& w, int p, int q, Su2& s) {
+  const Cplxd m00 = w.m[p][p];
+  const Cplxd m01 = w.m[p][q];
+  const Cplxd m10 = w.m[q][p];
+  const Cplxd m11 = w.m[q][q];
+  Su2 a;
+  a.a0 = 0.5 * (m00.re + m11.re);
+  a.a3 = 0.5 * (m00.im - m11.im);
+  a.a1 = 0.5 * (m01.im + m10.im);
+  a.a2 = 0.5 * (m01.re - m10.re);
+  const double k = norm(a);
+  if (k < 1e-300) {
+    s = Su2{};
+    return 0.0;
+  }
+  s = {a.a0 / k, a.a1 / k, a.a2 / k, a.a3 / k};
+  return k;
+}
+
+/// Left-multiply the (p,q) subgroup block of a 3x3 matrix by the embedded
+/// SU(2) element r: rows p and q of `w` are replaced.
+inline void su2_left_mul(ColorMatrixD& w, const Su2& r, int p, int q) {
+  const Cplxd r00(r.a0, r.a3), r01(r.a2, r.a1);
+  const Cplxd r10(-r.a2, r.a1), r11(r.a0, -r.a3);
+  for (int c = 0; c < Nc; ++c) {
+    const Cplxd wp = w.m[p][c];
+    const Cplxd wq = w.m[q][c];
+    w.m[p][c] = r00 * wp + r01 * wq;
+    w.m[q][c] = r10 * wp + r11 * wq;
+  }
+}
+
+/// Embed an SU(2) element into SU(3) (identity outside the (p,q) block).
+inline ColorMatrixD su2_embed(const Su2& r, int p, int q) {
+  ColorMatrixD u = unit_matrix<double>();
+  u.m[p][p] = Cplxd(r.a0, r.a3);
+  u.m[p][q] = Cplxd(r.a2, r.a1);
+  u.m[q][p] = Cplxd(-r.a2, r.a1);
+  u.m[q][q] = Cplxd(r.a0, -r.a3);
+  return u;
+}
+
+/// Haar-uniform random SU(2) element.
+inline Su2 su2_random(CounterRng& rng) {
+  Su2 s;
+  double n = 0.0;
+  do {
+    s.a0 = rng.gaussian();
+    s.a1 = rng.gaussian();
+    s.a2 = rng.gaussian();
+    s.a3 = rng.gaussian();
+    n = norm(s);
+  } while (n < 1e-12);
+  s.a0 /= n;
+  s.a1 /= n;
+  s.a2 /= n;
+  s.a3 /= n;
+  return s;
+}
+
+/// Kennedy–Pendleton sample of a0 with weight sqrt(1-a0^2) exp(alpha*a0),
+/// plus a uniform direction for the 3-vector part. Used with
+/// alpha = (2/3) beta k for SU(3) subgroup heatbath.
+inline Su2 su2_heatbath_sample(double alpha, CounterRng& rng) {
+  double a0 = 0.0;
+  for (;;) {
+    const double u1 = rng.uniform_open0();
+    const double u2 = rng.uniform();
+    const double u3 = rng.uniform_open0();
+    const double c = std::cos(6.283185307179586 * u2);
+    const double delta2 = -(std::log(u1) + c * c * std::log(u3)) / alpha;
+    if (delta2 > 2.0) continue;
+    const double u4 = rng.uniform();
+    if (u4 * u4 <= 1.0 - 0.5 * delta2) {
+      a0 = 1.0 - delta2;
+      break;
+    }
+  }
+  const double r = std::sqrt(1.0 - a0 * a0);
+  // Uniform direction on S^2.
+  const double cos_th = 2.0 * rng.uniform() - 1.0;
+  const double sin_th = std::sqrt(std::max(0.0, 1.0 - cos_th * cos_th));
+  const double phi = 6.283185307179586 * rng.uniform();
+  return {a0, r * sin_th * std::cos(phi), r * sin_th * std::sin(phi),
+          r * cos_th};
+}
+
+}  // namespace lqcd

@@ -1,0 +1,105 @@
+#include "gauge/wilson_loops.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace {
+// Transporter of `len` links from cb in direction mu (forward).
+ColorMatrixD line(const GaugeFieldD& u, std::int64_t cb, int mu, int len) {
+  const LatticeGeometry& geo = u.geometry();
+  ColorMatrixD w = unit_matrix<double>();
+  std::int64_t s = cb;
+  for (int i = 0; i < len; ++i) {
+    w = mul(w, u(s, mu));
+    s = geo.fwd(s, mu);
+  }
+  return w;
+}
+
+std::int64_t advance(const LatticeGeometry& geo, std::int64_t cb, int mu,
+                     int len) {
+  std::int64_t s = cb;
+  for (int i = 0; i < len; ++i) s = geo.fwd(s, mu);
+  return s;
+}
+}  // namespace
+
+double wilson_loop(const GaugeFieldD& u, int r, int t) {
+  LQCD_REQUIRE(r >= 1 && t >= 1, "loop extents must be >= 1");
+  const LatticeGeometry& geo = u.geometry();
+  for (int i = 0; i < 3; ++i)
+    LQCD_REQUIRE(r < geo.dim(i), "R too large for this lattice");
+  LQCD_REQUIRE(t < geo.dim(3), "T too large for this lattice");
+
+  const std::int64_t vol = geo.volume();
+  const double sum = parallel_reduce_sum(
+      static_cast<std::size_t>(vol), [&](std::size_t s) {
+        const auto cb = static_cast<std::int64_t>(s);
+        double acc = 0.0;
+        for (int i = 0; i < 3; ++i) {
+          // W = L_i(x; R) L_t(x + R i; T) L_i^†(x + T t; R) L_t^†(x; T)
+          const ColorMatrixD a = line(u, cb, i, r);
+          const ColorMatrixD b =
+              line(u, advance(geo, cb, i, r), 3, t);
+          const ColorMatrixD c = line(u, advance(geo, cb, 3, t), i, r);
+          const ColorMatrixD d = line(u, cb, 3, t);
+          ColorMatrixD w = mul(a, b);
+          w = mul_adj(w, c);
+          w = mul_adj(w, d);
+          acc += re_trace(w) / 3.0;
+        }
+        return acc;
+      });
+  return sum / (3.0 * static_cast<double>(vol));
+}
+
+std::vector<std::vector<double>> wilson_loop_table(const GaugeFieldD& u,
+                                                   int r_max, int t_max) {
+  LQCD_REQUIRE(r_max >= 1 && t_max >= 1, "table extents must be >= 1");
+  std::vector<std::vector<double>> table(
+      static_cast<std::size_t>(r_max),
+      std::vector<double>(static_cast<std::size_t>(t_max)));
+  for (int r = 1; r <= r_max; ++r)
+    for (int t = 1; t <= t_max; ++t)
+      table[static_cast<std::size_t>(r - 1)]
+           [static_cast<std::size_t>(t - 1)] = wilson_loop(u, r, t);
+  return table;
+}
+
+std::vector<double> static_potential(
+    const std::vector<std::vector<double>>& loops) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> v(loops.size(), kNaN);
+  for (std::size_t r = 0; r < loops.size(); ++r) {
+    const auto& row = loops[r];
+    if (row.size() < 2) continue;
+    const double w1 = row[row.size() - 2];
+    const double w2 = row[row.size() - 1];
+    if (w1 > 0.0 && w2 > 0.0) v[r] = std::log(w1 / w2);
+  }
+  return v;
+}
+
+double creutz_ratio(const std::vector<std::vector<double>>& loops, int r,
+                    int t) {
+  LQCD_REQUIRE(r >= 2 && t >= 2, "Creutz ratio needs R,T >= 2");
+  LQCD_REQUIRE(static_cast<std::size_t>(r) <= loops.size() &&
+                   static_cast<std::size_t>(t) <= loops[0].size(),
+               "loop table too small");
+  const auto w = [&](int rr, int tt) {
+    return loops[static_cast<std::size_t>(rr - 1)]
+                [static_cast<std::size_t>(tt - 1)];
+  };
+  const double num = w(r, t) * w(r - 1, t - 1);
+  const double den = w(r, t - 1) * w(r - 1, t);
+  LQCD_REQUIRE(num > 0.0 && den > 0.0,
+               "Creutz ratio undefined: non-positive loops (noise)");
+  return -std::log(num / den);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,37 @@
+#pragma once
+// Rectangular Wilson loops and the static quark potential.
+//
+// W(R, T) = (1/3) < Re tr [ spatial transporter x temporal line x ... ] >
+// averaged over sites, spatial directions and orientations. The static
+// potential follows from V(R) = log( W(R,T) / W(R,T+1) ) at large T, and
+// Creutz ratios chi(R,T) isolate the string tension — confinement, i.e.
+// the origin of (most of the) mass, read off directly from the gauge
+// field.
+
+#include <vector>
+
+#include "gauge/gauge_field.hpp"
+
+namespace lqcd {
+
+/// Average R x T rectangular Wilson loop, plane (spatial dir i, time):
+/// averaged over all sites and the three spatial directions.
+/// R >= 1 in a spatial direction, T >= 1 in the time direction.
+double wilson_loop(const GaugeFieldD& u, int r, int t);
+
+/// Table of W(R,T) for R in [1, r_max], T in [1, t_max]:
+/// entry [r-1][t-1].
+std::vector<std::vector<double>> wilson_loop_table(const GaugeFieldD& u,
+                                                   int r_max, int t_max);
+
+/// Static potential estimate V(R) = log(W(R,T)/W(R,T+1)) from a loop
+/// table (uses the largest available T pair). NaN where unusable.
+std::vector<double> static_potential(
+    const std::vector<std::vector<double>>& loops);
+
+/// Creutz ratio chi(R,T) = -log[ W(R,T) W(R-1,T-1) / (W(R,T-1) W(R-1,T)) ]
+/// — a lattice estimator of the string tension. Requires R,T >= 2.
+double creutz_ratio(const std::vector<std::vector<double>>& loops, int r,
+                    int t);
+
+}  // namespace lqcd

@@ -1,0 +1,175 @@
+#include "hmc/dynamical.hpp"
+
+#include <cmath>
+
+#include "dirac/normal.hpp"
+#include "gauge/observables.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/gamma.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solver/cg.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace lqcd {
+
+void add_wilson_fermion_force(Field<LinkSite<double>>& f,
+                              const GaugeField<double>& links, double kappa,
+                              std::span<const WilsonSpinorD> x,
+                              std::span<const WilsonSpinorD> y) {
+  const LatticeGeometry& geo = links.geometry();
+  LQCD_REQUIRE(x.size() == static_cast<std::size_t>(geo.volume()) &&
+                   y.size() == x.size(),
+               "fermion force field sizes");
+  parallel_for(static_cast<std::size_t>(geo.volume()), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    for (int mu = 0; mu < Nd; ++mu) {
+      const std::int64_t xp = geo.fwd(cb, mu);
+      const ColorMatrixD& u = links(cb, mu);
+
+      // z = (1 - gamma_mu) Y(x), u_vec = U X(x+mu)
+      const WilsonSpinorD gy =
+          apply_gamma(mu, y[static_cast<std::size_t>(cb)]);
+      WilsonSpinorD z = y[static_cast<std::size_t>(cb)];
+      z -= gy;
+      const WilsonSpinorD ux =
+          mul(u, x[static_cast<std::size_t>(xp)]);
+
+      // q = U (1 + gamma_mu) Y(x+mu)
+      const WilsonSpinorD gyp =
+          apply_gamma(mu, y[static_cast<std::size_t>(xp)]);
+      WilsonSpinorD ypg = y[static_cast<std::size_t>(xp)];
+      ypg += gyp;
+      const WilsonSpinorD q = mul(u, ypg);
+      const WilsonSpinorD& xx = x[static_cast<std::size_t>(cb)];
+
+      // C2 - C1 as a color matrix (sum over spin of outer products):
+      // the momentum update p -= dt*F with F = kappa TA(C2 - C1) then
+      // satisfies dS_pf/dt = -2 sum tr(p F), verified by the
+      // finite-difference test.
+      ColorMatrixD c{};
+      for (int sp = 0; sp < Ns; ++sp)
+        for (int a = 0; a < Nc; ++a)
+          for (int b = 0; b < Nc; ++b) {
+            fma_acc(c.m[a][b], xx.s[sp].c[a], conj(q.s[sp].c[b]));
+            const Cplxd neg = -ux.s[sp].c[a];
+            fma_acc(c.m[a][b], neg, conj(z.s[sp].c[b]));
+          }
+      ColorMatrixD g = traceless_antiherm(c);
+      g *= kappa;
+      f[cb][static_cast<std::size_t>(mu)] += g;
+    }
+  });
+}
+
+double pseudofermion_action(const GaugeFieldD& u,
+                            const DynamicalHmcParams& params,
+                            std::span<const WilsonSpinorD> phi,
+                            int* iterations) {
+  const LatticeGeometry& geo = u.geometry();
+  WilsonOperator<double> m(u, params.kappa, params.bc);
+  NormalOperator<double> mdm(m);
+  FermionFieldD x(geo);
+  SolverParams sp{.tol = params.solver_tol,
+                  .max_iterations = params.solver_max_iterations};
+  const SolverResult r = cg_solve<double>(mdm, x.span(), phi, sp);
+  LQCD_REQUIRE(r.converged, "pseudofermion action solve did not converge");
+  if (iterations) *iterations += r.iterations;
+  return blas::dot(phi, std::span<const WilsonSpinorD>(x.span().data(),
+                                                       x.span().size()))
+      .re;
+}
+
+DynamicalHmc::DynamicalHmc(GaugeFieldD& u,
+                           const DynamicalHmcParams& params)
+    : u_(u), params_(params) {
+  LQCD_REQUIRE(params.beta > 0.0, "beta must be positive");
+  LQCD_REQUIRE(params.kappa > 0.0 && params.kappa < 0.25,
+               "kappa out of (0, 0.25)");
+  LQCD_REQUIRE(params.steps >= 1, "steps must be >= 1");
+}
+
+DynamicalTrajectoryResult DynamicalHmc::trajectory() {
+  const LatticeGeometry& geo = u_.geometry();
+  const auto vol = static_cast<std::size_t>(geo.volume());
+  DynamicalTrajectoryResult res;
+
+  // 1. Momentum refresh.
+  MomentumField p(geo);
+  draw_momenta(p, SiteRngFactory(params_.seed, 3 * count_));
+
+  // 2. Pseudofermion refresh: eta Gaussian with variance 1/2 per real
+  //    component (weight exp(-eta^† eta)), phi = M^† eta.
+  FermionFieldD eta(geo), phi(geo), tmp(geo);
+  {
+    const SiteRngFactory rngs(params_.seed ^ 0xfeedULL, 3 * count_ + 1);
+    const double inv_sqrt2 = 0.70710678118654752440;
+    parallel_for(vol, [&](std::size_t s) {
+      CounterRng rng = rngs.make(s);
+      for (int sp = 0; sp < Ns; ++sp)
+        for (int c = 0; c < Nc; ++c)
+          eta[static_cast<std::int64_t>(s)].s[sp].c[c] =
+              Cplxd(rng.gaussian() * inv_sqrt2,
+                    rng.gaussian() * inv_sqrt2);
+    });
+    WilsonOperator<double> m(u_, params_.kappa, params_.bc);
+    m.apply_dagger(phi.span(), eta.span(), tmp.span());
+  }
+
+  // 3. Initial Hamiltonian. S_pf(start) = eta^† eta exactly.
+  const double h0 = kinetic_energy(p) + wilson_action(u_, params_.beta) +
+                    blas::norm2(eta.span());
+
+  GaugeFieldD backup(geo);
+  for (std::int64_t s = 0; s < geo.volume(); ++s)
+    backup.site(s) = u_.site(s);
+
+  // 4. MD evolution with gauge + fermion force. X is warm-started across
+  //    force evaluations (chronological guess).
+  FermionFieldD x_guess(geo);
+  int cg_total = 0;
+  const auto force = [&](Field<LinkSite<double>>& f, const GaugeFieldD& u) {
+    gauge_force(f, u, params_.beta);
+    WilsonOperator<double> m(u, params_.kappa, params_.bc);
+    NormalOperator<double> mdm(m);
+    SolverParams sp{.tol = params_.solver_tol,
+                    .max_iterations = params_.solver_max_iterations,
+                    .check_true_residual = false};
+    const SolverResult r =
+        cg_solve<double>(mdm, x_guess.span(), phi.span(), sp);
+    if (!r.converged)
+      log_warn("dynamical HMC force solve unconverged: rel=",
+               r.relative_residual);
+    cg_total += r.iterations;
+    FermionFieldD y(geo);
+    m.apply(y.span(), x_guess.span());
+    add_wilson_fermion_force(f, m.fermion_links(), params_.kappa,
+                             x_guess.span(), y.span());
+  };
+  integrate_md(u_, p, force, params_.trajectory_length, params_.steps,
+               params_.integrator);
+  u_.reunitarize_all();
+
+  // 5. Final Hamiltonian (fresh solve on the evolved field).
+  const double s_pf1 =
+      pseudofermion_action(u_, params_, phi.span(), &cg_total);
+  const double h1 =
+      kinetic_energy(p) + wilson_action(u_, params_.beta) + s_pf1;
+
+  // 6. Metropolis.
+  res.delta_h = h1 - h0;
+  res.acceptance_prob = std::min(1.0, std::exp(-res.delta_h));
+  CounterRng accept_rng(params_.seed ^ 0xdeadULL, 3 * count_ + 2);
+  res.accepted = accept_rng.uniform() < res.acceptance_prob;
+  if (!res.accepted) {
+    for (std::int64_t s = 0; s < geo.volume(); ++s)
+      u_.site(s) = backup.site(s);
+  }
+  res.plaquette = average_plaquette(u_);
+  res.cg_iterations = cg_total;
+  ++count_;
+  if (res.accepted) ++accepted_;
+  return res;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,166 @@
+#include "hmc/hmc.hpp"
+
+#include <cmath>
+
+#include "gauge/observables.hpp"
+#include "gauge/staples.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+void draw_momenta(MomentumField& p, const SiteRngFactory& rngs) {
+  const std::int64_t vol = p.geometry().volume();
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    for (int mu = 0; mu < Nd; ++mu) {
+      CounterRng rng = rngs.make(s, static_cast<std::uint64_t>(mu));
+      p[static_cast<std::int64_t>(s)][static_cast<std::size_t>(mu)] =
+          random_algebra<double>(rng);
+    }
+  });
+}
+
+double kinetic_energy(const MomentumField& p) {
+  const std::int64_t vol = p.geometry().volume();
+  return parallel_reduce_sum(static_cast<std::size_t>(vol),
+                             [&](std::size_t s) {
+                               double acc = 0.0;
+                               for (int mu = 0; mu < Nd; ++mu)
+                                 acc += norm2(
+                                     p[static_cast<std::int64_t>(s)]
+                                      [static_cast<std::size_t>(mu)]);
+                               return acc;
+                             });
+}
+
+void gauge_force(Field<LinkSite<double>>& f, const GaugeFieldD& u,
+                 double beta) {
+  const std::int64_t vol = u.geometry().volume();
+  const double c = beta / 6.0;
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    for (int mu = 0; mu < Nd; ++mu) {
+      const ColorMatrixD ua = mul(u(cb, mu), staple_sum(u, cb, mu));
+      ColorMatrixD g = traceless_antiherm(ua);
+      g *= c;
+      f[cb][static_cast<std::size_t>(mu)] = g;
+    }
+  });
+}
+
+void update_links(GaugeFieldD& u, const MomentumField& p, double dt) {
+  const std::int64_t vol = u.geometry().volume();
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    for (int mu = 0; mu < Nd; ++mu) {
+      ColorMatrixD step = p[cb][static_cast<std::size_t>(mu)];
+      step *= dt;
+      u(cb, mu) = mul(exp_matrix(step), u(cb, mu));
+    }
+  });
+}
+
+namespace {
+// p <- p - dt F(U).
+void update_momenta(MomentumField& p, Field<LinkSite<double>>& scratch,
+                    const GaugeFieldD& u, const ForceCallback& force,
+                    double dt) {
+  force(scratch, u);
+  const std::int64_t vol = u.geometry().volume();
+  parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+    const auto cb = static_cast<std::int64_t>(s);
+    for (int mu = 0; mu < Nd; ++mu) {
+      ColorMatrixD g = scratch[cb][static_cast<std::size_t>(mu)];
+      g *= dt;
+      p[cb][static_cast<std::size_t>(mu)] -= g;
+    }
+  });
+}
+}  // namespace
+
+void integrate_md(GaugeFieldD& u, MomentumField& p,
+                  const ForceCallback& force, double length, int steps,
+                  Integrator scheme) {
+  LQCD_REQUIRE(steps >= 1, "need at least one MD step");
+  const double dt = length / steps;
+  Field<LinkSite<double>> scratch(u.geometry());
+
+  switch (scheme) {
+    case Integrator::Leapfrog: {
+      update_momenta(p, scratch, u, force, 0.5 * dt);
+      for (int i = 0; i < steps; ++i) {
+        update_links(u, p, dt);
+        update_momenta(p, scratch, u, force,
+                       i + 1 < steps ? dt : 0.5 * dt);
+      }
+      break;
+    }
+    case Integrator::Omelyan: {
+      // 2nd-order minimum-norm: lambda eps p | eps/2 U | (1-2 lambda) eps p
+      // | eps/2 U | lambda eps p, with consecutive p-updates fused.
+      constexpr double lambda = 0.1931833275037836;
+      update_momenta(p, scratch, u, force, lambda * dt);
+      for (int i = 0; i < steps; ++i) {
+        update_links(u, p, 0.5 * dt);
+        update_momenta(p, scratch, u, force, (1.0 - 2.0 * lambda) * dt);
+        update_links(u, p, 0.5 * dt);
+        update_momenta(p, scratch, u, force,
+                       i + 1 < steps ? 2.0 * lambda * dt : lambda * dt);
+      }
+      break;
+    }
+  }
+}
+
+void integrate(GaugeFieldD& u, MomentumField& p, double beta, double length,
+               int steps, Integrator scheme) {
+  integrate_md(
+      u, p,
+      [beta](Field<LinkSite<double>>& f, const GaugeFieldD& v) {
+        gauge_force(f, v, beta);
+      },
+      length, steps, scheme);
+}
+
+Hmc::Hmc(GaugeFieldD& u, const HmcParams& params) : u_(u), params_(params) {
+  LQCD_REQUIRE(params.beta > 0.0, "beta must be positive");
+  LQCD_REQUIRE(params.steps >= 1, "steps must be >= 1");
+  LQCD_REQUIRE(params.trajectory_length > 0.0,
+               "trajectory length must be positive");
+}
+
+TrajectoryResult Hmc::trajectory() {
+  const LatticeGeometry& geo = u_.geometry();
+  MomentumField p(geo);
+  const SiteRngFactory rngs(params_.seed, 2 * count_);
+  draw_momenta(p, rngs);
+
+  const double h0 = kinetic_energy(p) + wilson_action(u_, params_.beta);
+
+  // Keep the current configuration for a possible reject.
+  GaugeFieldD backup(geo);
+  for (std::int64_t s = 0; s < geo.volume(); ++s)
+    backup.site(s) = u_.site(s);
+
+  integrate(u_, p, params_.beta, params_.trajectory_length, params_.steps,
+            params_.integrator);
+  u_.reunitarize_all();
+
+  const double h1 = kinetic_energy(p) + wilson_action(u_, params_.beta);
+
+  TrajectoryResult res;
+  res.delta_h = h1 - h0;
+  res.acceptance_prob = std::min(1.0, std::exp(-res.delta_h));
+  CounterRng accept_rng(params_.seed ^ 0xacce97ULL, 2 * count_ + 1);
+  res.accepted = accept_rng.uniform() < res.acceptance_prob;
+  if (!res.accepted) {
+    for (std::int64_t s = 0; s < geo.volume(); ++s)
+      u_.site(s) = backup.site(s);
+  }
+  res.plaquette = average_plaquette(u_);
+  ++count_;
+  if (res.accepted) ++accepted_;
+  return res;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,98 @@
+#pragma once
+// Pure-gauge hybrid Monte Carlo.
+//
+// Conventions (verified by the energy-conservation and reversibility
+// tests):
+//   momenta      p(x,mu) in su(3) (anti-hermitian traceless),
+//                drawn from exp(-T) with T = sum tr(p^† p),
+//   Hamiltonian  H = T + S_g,   S_g the Wilson plaquette action,
+//   equations    dU/dt = p U,
+//                dp/dt = -F,  F(x,mu) = (beta/6) TA[ U_mu(x) A(x,mu) ],
+// with A the staple sum and TA the traceless anti-hermitian projection.
+//
+// Integrators: leapfrog and the 2nd-order Omelyan (minimum-norm) scheme;
+// both are volume-preserving and reversible, making the Metropolis step
+// exact.
+
+#include <cstdint>
+#include <functional>
+
+#include "gauge/gauge_field.hpp"
+#include "lattice/field.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+
+/// su(3)-valued momentum field, one element per link.
+using MomentumField = Field<LinkSite<double>>;
+
+enum class Integrator { Leapfrog, Omelyan };
+
+struct HmcParams {
+  double beta = 6.0;
+  double trajectory_length = 1.0;
+  int steps = 20;  ///< integration steps per trajectory
+  Integrator integrator = Integrator::Omelyan;
+  std::uint64_t seed = 1234;
+};
+
+/// Result of one trajectory.
+struct TrajectoryResult {
+  double delta_h = 0.0;   ///< H(end) - H(start)
+  bool accepted = false;
+  double plaquette = 0.0;  ///< after accept/reject
+  double acceptance_prob = 0.0;  ///< min(1, exp(-dH))
+};
+
+/// Gaussian momentum refresh: p ~ exp(-sum tr(p^† p)).
+void draw_momenta(MomentumField& p, const SiteRngFactory& rngs);
+
+/// Kinetic energy T = sum_links tr(p^† p).
+double kinetic_energy(const MomentumField& p);
+
+/// Wilson gauge force F(x,mu) = (beta/6) TA[U A].
+void gauge_force(Field<LinkSite<double>>& f, const GaugeFieldD& u,
+                 double beta);
+
+/// U <- exp(dt p) U on every link (one MD position update).
+void update_links(GaugeFieldD& u, const MomentumField& p, double dt);
+
+/// Generic force evaluation: fill `f` with dH/d(links) for the current
+/// gauge field (the momentum update subtracts dt * f).
+using ForceCallback =
+    std::function<void(Field<LinkSite<double>>& f, const GaugeFieldD& u)>;
+
+/// Molecular-dynamics integration of (u, p) under an arbitrary force
+/// (gauge-only, gauge+fermion, ...) over `length` in `steps` steps.
+void integrate_md(GaugeFieldD& u, MomentumField& p,
+                  const ForceCallback& force, double length, int steps,
+                  Integrator scheme);
+
+/// Pure-gauge convenience wrapper (force = Wilson gauge force at beta).
+void integrate(GaugeFieldD& u, MomentumField& p, double beta, double length,
+               int steps, Integrator scheme);
+
+/// Pure-gauge HMC driver.
+class Hmc {
+ public:
+  Hmc(GaugeFieldD& u, const HmcParams& params);
+
+  /// Run one trajectory (momentum refresh, MD, Metropolis).
+  TrajectoryResult trajectory();
+
+  [[nodiscard]] const HmcParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t trajectories_run() const { return count_; }
+  [[nodiscard]] double acceptance_rate() const {
+    return count_ > 0 ? static_cast<double>(accepted_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+  }
+
+ private:
+  GaugeFieldD& u_;
+  HmcParams params_;
+  std::uint64_t count_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,171 @@
+#include "hmc/rhmc.hpp"
+
+#include <cmath>
+
+#include "dirac/normal.hpp"
+#include "gauge/observables.hpp"
+#include "linalg/blas.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solver/multishift_cg.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace lqcd {
+
+namespace {
+RationalApprox half_approx(const RhmcParams& p) {
+  return rational_inverse_pow_scaled(0.5, p.poles, p.spectrum_min,
+                                     p.spectrum_max);
+}
+RationalApprox three_quarter_approx(const RhmcParams& p) {
+  return rational_inverse_pow_scaled(0.75, p.poles, p.spectrum_min,
+                                     p.spectrum_max);
+}
+}  // namespace
+
+int add_rhmc_force(Field<LinkSite<double>>& f, const GaugeFieldD& u,
+                   const RhmcParams& params,
+                   std::span<const WilsonSpinorD> phi) {
+  const LatticeGeometry& geo = u.geometry();
+  const auto n = static_cast<std::size_t>(geo.volume());
+  WilsonOperator<double> m(u, params.kappa, params.bc);
+  NormalOperator<double> a(m);
+  const RationalApprox r = half_approx(params);
+
+  // One multishift CG for every pole: X_k = (A + p_k)^{-1} phi.
+  std::vector<aligned_vector<WilsonSpinorD>> x(r.poles.size());
+  SolverParams sp{.tol = params.solver_tol,
+                  .max_iterations = params.solver_max_iterations,
+                  .check_true_residual = false};
+  const MultiShiftResult ms =
+      multishift_cg_solve<double>(a, r.poles, x, phi, sp);
+  if (!ms.converged)
+    log_warn("RHMC force multishift did not fully converge");
+
+  // F = sum_k r_k F_2f(X_k, M X_k). The two-flavor kernel carries the
+  // kappa factor and the TA projection internally; scale its input pair
+  // by sqrt(r_k) each (the kernel is bilinear in (X, Y)).
+  aligned_vector<WilsonSpinorD> y(n), xs(n);
+  for (std::size_t k = 0; k < r.poles.size(); ++k) {
+    const double w = r.residues[k];
+    m.apply(std::span<WilsonSpinorD>(y.data(), n),
+            std::span<const WilsonSpinorD>(x[k].data(), n));
+    // Scale X by w (Y unscaled): the force kernel is linear in each.
+    parallel_for(n, [&](std::size_t i) {
+      WilsonSpinorD v = x[k][i];
+      v *= w;
+      xs[i] = v;
+    });
+    add_wilson_fermion_force(f, m.fermion_links(), params.kappa,
+                             std::span<const WilsonSpinorD>(xs.data(), n),
+                             std::span<const WilsonSpinorD>(y.data(), n));
+  }
+  return ms.iterations;
+}
+
+double rhmc_action(const GaugeFieldD& u, const RhmcParams& params,
+                   std::span<const WilsonSpinorD> phi, int* iterations) {
+  const auto n = phi.size();
+  WilsonOperator<double> m(u, params.kappa, params.bc);
+  NormalOperator<double> a(m);
+  aligned_vector<WilsonSpinorD> rphi(n);
+  SolverParams sp{.tol = params.solver_tol,
+                  .max_iterations = params.solver_max_iterations,
+                  .check_true_residual = false};
+  const RationalApplyResult r = apply_rational(
+      a, half_approx(params), std::span<WilsonSpinorD>(rphi.data(), n),
+      phi, sp);
+  LQCD_REQUIRE(r.converged, "RHMC action multishift did not converge");
+  if (iterations) *iterations += r.iterations;
+  return blas::dot(phi,
+                   std::span<const WilsonSpinorD>(rphi.data(), n))
+      .re;
+}
+
+Rhmc::Rhmc(GaugeFieldD& u, const RhmcParams& params)
+    : u_(u), params_(params) {
+  LQCD_REQUIRE(params.beta > 0.0, "beta must be positive");
+  LQCD_REQUIRE(params.kappa > 0.0 && params.kappa < 0.25,
+               "kappa out of (0, 0.25)");
+  LQCD_REQUIRE(params.steps >= 1, "steps must be >= 1");
+  LQCD_REQUIRE(params.poles >= 4, "rational order too low");
+}
+
+RhmcTrajectoryResult Rhmc::trajectory() {
+  const LatticeGeometry& geo = u_.geometry();
+  const auto n = static_cast<std::size_t>(geo.volume());
+  RhmcTrajectoryResult res;
+  int cg_total = 0;
+
+  // 1. Momenta.
+  MomentumField p(geo);
+  draw_momenta(p, SiteRngFactory(params_.seed, 3 * count_));
+
+  // 2. Pseudofermion: phi = A^{1/4} eta = A * (A^{-3/4} eta), so
+  //    S_pf(start) = eta^† A^{1/4} A^{-1/2} A^{1/4} eta = eta^†eta up to
+  //    the rational error (the Metropolis test is still exact because H
+  //    is evaluated consistently with rhmc_action at both ends — the
+  //    refresh only shapes the phi distribution).
+  FermionFieldD eta(geo), phi(geo), tmp(geo);
+  {
+    const SiteRngFactory rngs(params_.seed ^ 0x0f1aULL, 3 * count_ + 1);
+    const double inv_sqrt2 = 0.70710678118654752440;
+    parallel_for(n, [&](std::size_t s) {
+      CounterRng rng = rngs.make(s);
+      for (int sp = 0; sp < Ns; ++sp)
+        for (int c = 0; c < Nc; ++c)
+          eta[static_cast<std::int64_t>(s)].s[sp].c[c] =
+              Cplxd(rng.gaussian() * inv_sqrt2,
+                    rng.gaussian() * inv_sqrt2);
+    });
+    WilsonOperator<double> m(u_, params_.kappa, params_.bc);
+    NormalOperator<double> a(m);
+    SolverParams sp{.tol = params_.solver_tol,
+                    .max_iterations = params_.solver_max_iterations,
+                    .check_true_residual = false};
+    const RationalApplyResult r = apply_rational(
+        a, three_quarter_approx(params_), tmp.span(),
+        std::span<const WilsonSpinorD>(eta.span().data(),
+                                       eta.span().size()),
+        sp);
+    LQCD_REQUIRE(r.converged, "RHMC refresh multishift did not converge");
+    cg_total += r.iterations;
+    a.apply(phi.span(), tmp.span());
+  }
+
+  // 3. Initial Hamiltonian (S_pf evaluated with the same R as the force).
+  const double h0 = kinetic_energy(p) + wilson_action(u_, params_.beta) +
+                    rhmc_action(u_, params_, phi.span(), &cg_total);
+
+  GaugeFieldD backup(geo);
+  for (std::int64_t s = 0; s < geo.volume(); ++s)
+    backup.site(s) = u_.site(s);
+
+  // 4. MD with gauge + rational fermion force.
+  const auto force = [&](Field<LinkSite<double>>& f, const GaugeFieldD& u) {
+    gauge_force(f, u, params_.beta);
+    cg_total += add_rhmc_force(f, u, params_, phi.span());
+  };
+  integrate_md(u_, p, force, params_.trajectory_length, params_.steps,
+               params_.integrator);
+  u_.reunitarize_all();
+
+  // 5. Final Hamiltonian and Metropolis.
+  const double h1 = kinetic_energy(p) + wilson_action(u_, params_.beta) +
+                    rhmc_action(u_, params_, phi.span(), &cg_total);
+  res.delta_h = h1 - h0;
+  res.acceptance_prob = std::min(1.0, std::exp(-res.delta_h));
+  CounterRng accept_rng(params_.seed ^ 0xac3eULL, 3 * count_ + 2);
+  res.accepted = accept_rng.uniform() < res.acceptance_prob;
+  if (!res.accepted) {
+    for (std::int64_t s = 0; s < geo.volume(); ++s)
+      u_.site(s) = backup.site(s);
+  }
+  res.plaquette = average_plaquette(u_);
+  res.cg_iterations = cg_total;
+  ++count_;
+  if (res.accepted) ++accepted_;
+  return res;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,72 @@
+#pragma once
+// Generic per-site field container over a LatticeGeometry.
+//
+// The field does not own the geometry; callers keep the geometry alive for
+// the lifetime of all fields on it (it is a large shared immutable object,
+// typically owned by the lqcd::Context facade).
+
+#include <span>
+
+#include "lattice/geometry.hpp"
+#include "linalg/spinor.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+template <typename SiteT>
+class Field {
+ public:
+  explicit Field(const LatticeGeometry& geo)
+      : geo_(&geo), data_(static_cast<std::size_t>(geo.volume())) {}
+
+  [[nodiscard]] const LatticeGeometry& geometry() const noexcept {
+    return *geo_;
+  }
+  [[nodiscard]] std::int64_t volume() const noexcept {
+    return geo_->volume();
+  }
+
+  SiteT& operator[](std::int64_t cb) {
+    return data_[static_cast<std::size_t>(cb)];
+  }
+  const SiteT& operator[](std::int64_t cb) const {
+    return data_[static_cast<std::size_t>(cb)];
+  }
+
+  /// Whole-field views.
+  [[nodiscard]] std::span<SiteT> span() noexcept { return {data_}; }
+  [[nodiscard]] std::span<const SiteT> span() const noexcept {
+    return {data_};
+  }
+
+  /// Checkerboard halves: parity 0 = even block, 1 = odd block.
+  [[nodiscard]] std::span<SiteT> parity_span(int p) noexcept {
+    const auto hv = static_cast<std::size_t>(geo_->half_volume());
+    return std::span<SiteT>(data_).subspan(p == 0 ? 0 : hv, hv);
+  }
+  [[nodiscard]] std::span<const SiteT> parity_span(int p) const noexcept {
+    const auto hv = static_cast<std::size_t>(geo_->half_volume());
+    return std::span<const SiteT>(data_).subspan(p == 0 ? 0 : hv, hv);
+  }
+
+  void set_zero() {
+    for (auto& s : data_) s = SiteT{};
+  }
+
+  /// Raw storage (I/O, checksums).
+  [[nodiscard]] const SiteT* data() const noexcept { return data_.data(); }
+  [[nodiscard]] SiteT* data() noexcept { return data_.data(); }
+
+ private:
+  const LatticeGeometry* geo_;
+  aligned_vector<SiteT> data_;
+};
+
+template <typename T>
+using FermionField = Field<WilsonSpinor<T>>;
+
+using FermionFieldF = FermionField<float>;
+using FermionFieldD = FermionField<double>;
+
+}  // namespace lqcd

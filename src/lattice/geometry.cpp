@@ -1,0 +1,41 @@
+#include "lattice/geometry.hpp"
+
+namespace lqcd {
+
+LatticeGeometry::LatticeGeometry(const Coord& dims) : dims_(dims) {
+  volume_ = 1;
+  for (int mu = 0; mu < Nd; ++mu) {
+    LQCD_REQUIRE(dims_[mu] >= 2, "lattice extent must be >= 2");
+    LQCD_REQUIRE(dims_[mu] % 2 == 0,
+                 "lattice extents must be even for checkerboarding");
+    volume_ *= dims_[mu];
+  }
+
+  const auto vol = static_cast<std::size_t>(volume_);
+  coords_.resize(vol);
+  for (int mu = 0; mu < Nd; ++mu) {
+    fwd_[mu].resize(vol);
+    bwd_[mu].resize(vol);
+  }
+
+  // Enumerate all sites by coordinate; fill coordinate and neighbor tables
+  // in checkerboard index space.
+  Coord x{};
+  for (x[3] = 0; x[3] < dims_[3]; ++x[3])
+    for (x[2] = 0; x[2] < dims_[2]; ++x[2])
+      for (x[1] = 0; x[1] < dims_[1]; ++x[1])
+        for (x[0] = 0; x[0] < dims_[0]; ++x[0]) {
+          const std::int64_t cb = cb_index(x);
+          coords_[static_cast<std::size_t>(cb)] = x;
+          for (int mu = 0; mu < Nd; ++mu) {
+            Coord xp = x;
+            xp[mu] = (x[mu] + 1) % dims_[mu];
+            Coord xm = x;
+            xm[mu] = (x[mu] - 1 + dims_[mu]) % dims_[mu];
+            fwd_[mu][static_cast<std::size_t>(cb)] = cb_index(xp);
+            bwd_[mu][static_cast<std::size_t>(cb)] = cb_index(xm);
+          }
+        }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,96 @@
+#pragma once
+// 4-D periodic lattice geometry with even/odd (checkerboard) site layout.
+//
+// Site storage order is checkerboarded, as in Chroma/QUDA: all even-parity
+// sites first, then all odd-parity sites. The even-odd preconditioned
+// Dirac operators then act on contiguous half-volume spans. Within a
+// parity, sites are ordered by lexicographic index / 2 (valid because the
+// x extent is required to be even).
+//
+// Directions are indexed 0=x, 1=y, 2=z, 3=t. Forward/backward neighbor
+// tables are precomputed in checkerboard index space.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+inline constexpr int Nd = 4;  ///< space-time dimensions
+
+using Coord = std::array<int, Nd>;
+
+class LatticeGeometry {
+ public:
+  /// All extents must be >= 2 and even (checkerboarding requirement).
+  explicit LatticeGeometry(const Coord& dims);
+
+  [[nodiscard]] const Coord& dims() const noexcept { return dims_; }
+  [[nodiscard]] int dim(int mu) const noexcept { return dims_[mu]; }
+  [[nodiscard]] std::int64_t volume() const noexcept { return volume_; }
+  [[nodiscard]] std::int64_t half_volume() const noexcept {
+    return volume_ / 2;
+  }
+
+  /// Lexicographic index: x + X*(y + Y*(z + Z*t)).
+  [[nodiscard]] std::int64_t lex_index(const Coord& x) const noexcept {
+    return x[0] +
+           static_cast<std::int64_t>(dims_[0]) *
+               (x[1] + static_cast<std::int64_t>(dims_[1]) *
+                           (x[2] + static_cast<std::int64_t>(dims_[2]) *
+                                       x[3]));
+  }
+
+  /// Site parity: (x+y+z+t) mod 2.
+  [[nodiscard]] static int parity(const Coord& x) noexcept {
+    return (x[0] + x[1] + x[2] + x[3]) & 1;
+  }
+
+  /// Checkerboard (storage) index of a coordinate.
+  [[nodiscard]] std::int64_t cb_index(const Coord& x) const noexcept {
+    return parity(x) * half_volume() + lex_index(x) / 2;
+  }
+
+  /// Parity of a checkerboard index (0 = even block, 1 = odd block).
+  [[nodiscard]] int parity_of(std::int64_t cb) const noexcept {
+    return cb < half_volume() ? 0 : 1;
+  }
+
+  /// Coordinate of a checkerboard index.
+  [[nodiscard]] Coord coords(std::int64_t cb) const noexcept {
+    return coords_[static_cast<std::size_t>(cb)];
+  }
+
+  /// Forward neighbor (x + mu-hat, periodic wrap) in cb index space.
+  [[nodiscard]] std::int64_t fwd(std::int64_t cb, int mu) const noexcept {
+    return fwd_[mu][static_cast<std::size_t>(cb)];
+  }
+  /// Backward neighbor (x - mu-hat, periodic wrap) in cb index space.
+  [[nodiscard]] std::int64_t bwd(std::int64_t cb, int mu) const noexcept {
+    return bwd_[mu][static_cast<std::size_t>(cb)];
+  }
+
+  /// True if stepping forward from cb in direction mu wraps the boundary.
+  [[nodiscard]] bool fwd_wraps(std::int64_t cb, int mu) const noexcept {
+    return coords_[static_cast<std::size_t>(cb)][mu] == dims_[mu] - 1;
+  }
+  /// True if stepping backward from cb in direction mu wraps the boundary.
+  [[nodiscard]] bool bwd_wraps(std::int64_t cb, int mu) const noexcept {
+    return coords_[static_cast<std::size_t>(cb)][mu] == 0;
+  }
+
+  friend bool operator==(const LatticeGeometry& a, const LatticeGeometry& b) {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  Coord dims_;
+  std::int64_t volume_;
+  std::vector<Coord> coords_;              // cb index -> coordinate
+  std::array<std::vector<std::int64_t>, Nd> fwd_;
+  std::array<std::vector<std::int64_t>, Nd> bwd_;
+};
+
+}  // namespace lqcd

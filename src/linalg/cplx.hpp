@@ -1,0 +1,113 @@
+#pragma once
+// Lightweight complex number for hot kernels.
+//
+// std::complex pessimizes some arithmetic (NaN-correct multiply, no
+// aggregate layout guarantees for vectorization). Cplx<T> is a plain
+// aggregate with exactly the operations the kernels need, trivially
+// copyable, and convertible between precisions.
+
+#include <cmath>
+
+namespace lqcd {
+
+template <typename T>
+struct Cplx {
+  T re{};
+  T im{};
+
+  constexpr Cplx() = default;
+  constexpr Cplx(T r, T i = T(0)) : re(r), im(i) {}
+
+  /// Cross-precision conversion (explicit to avoid silent narrowing).
+  template <typename U>
+  explicit constexpr Cplx(const Cplx<U>& o)
+      : re(static_cast<T>(o.re)), im(static_cast<T>(o.im)) {}
+
+  constexpr Cplx& operator+=(const Cplx& o) {
+    re += o.re;
+    im += o.im;
+    return *this;
+  }
+  constexpr Cplx& operator-=(const Cplx& o) {
+    re -= o.re;
+    im -= o.im;
+    return *this;
+  }
+  constexpr Cplx& operator*=(const Cplx& o) {
+    const T r = re * o.re - im * o.im;
+    im = re * o.im + im * o.re;
+    re = r;
+    return *this;
+  }
+  constexpr Cplx& operator*=(T s) {
+    re *= s;
+    im *= s;
+    return *this;
+  }
+
+  friend constexpr Cplx operator+(Cplx a, const Cplx& b) { return a += b; }
+  friend constexpr Cplx operator-(Cplx a, const Cplx& b) { return a -= b; }
+  friend constexpr Cplx operator*(Cplx a, const Cplx& b) { return a *= b; }
+  friend constexpr Cplx operator*(Cplx a, T s) { return a *= s; }
+  friend constexpr Cplx operator*(T s, Cplx a) { return a *= s; }
+  friend constexpr Cplx operator-(const Cplx& a) { return {-a.re, -a.im}; }
+
+  friend constexpr bool operator==(const Cplx& a, const Cplx& b) {
+    return a.re == b.re && a.im == b.im;
+  }
+};
+
+template <typename T>
+constexpr Cplx<T> conj(const Cplx<T>& a) {
+  return {a.re, -a.im};
+}
+
+/// |a|^2
+template <typename T>
+constexpr T norm2(const Cplx<T>& a) {
+  return a.re * a.re + a.im * a.im;
+}
+
+template <typename T>
+T abs(const Cplx<T>& a) {
+  return std::sqrt(norm2(a));
+}
+
+/// a * conj(b)
+template <typename T>
+constexpr Cplx<T> mul_conj(const Cplx<T>& a, const Cplx<T>& b) {
+  return {a.re * b.re + a.im * b.im, a.im * b.re - a.re * b.im};
+}
+
+/// conj(a) * b
+template <typename T>
+constexpr Cplx<T> conj_mul(const Cplx<T>& a, const Cplx<T>& b) {
+  return {a.re * b.re + a.im * b.im, a.re * b.im - a.im * b.re};
+}
+
+/// Fused accumulate: acc += a * b (keeps kernels free of temporaries).
+template <typename T>
+constexpr void fma_acc(Cplx<T>& acc, const Cplx<T>& a, const Cplx<T>& b) {
+  acc.re += a.re * b.re - a.im * b.im;
+  acc.im += a.re * b.im + a.im * b.re;
+}
+
+/// acc += conj(a) * b
+template <typename T>
+constexpr void fma_conj_acc(Cplx<T>& acc, const Cplx<T>& a,
+                            const Cplx<T>& b) {
+  acc.re += a.re * b.re + a.im * b.im;
+  acc.im += a.re * b.im - a.im * b.re;
+}
+
+/// Complex division (cold paths only).
+template <typename T>
+constexpr Cplx<T> div(const Cplx<T>& a, const Cplx<T>& b) {
+  const T d = norm2(b);
+  return {(a.re * b.re + a.im * b.im) / d, (a.im * b.re - a.re * b.im) / d};
+}
+
+using Cplxf = Cplx<float>;
+using Cplxd = Cplx<double>;
+
+}  // namespace lqcd

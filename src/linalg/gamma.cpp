@@ -1,0 +1,69 @@
+#include "linalg/gamma.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+SpinMatrix gamma_matrix(int mu) {
+  LQCD_REQUIRE(mu >= 0 && mu <= 5, "gamma index out of range");
+  SpinMatrix g{};
+  if (mu == 5) {
+    for (int r = 0; r < Ns; ++r) g.m[r][r] = Cplxd(1.0);
+    return g;
+  }
+  const GammaSpec& spec = kGammaSpec[mu];
+  for (int r = 0; r < Ns; ++r) {
+    const GammaEntry& e = spec.row[r];
+    g.m[r][e.col] = Cplxd(static_cast<double>(e.pre),
+                          static_cast<double>(e.pim));
+  }
+  return g;
+}
+
+SpinMatrix mul(const SpinMatrix& a, const SpinMatrix& b) {
+  SpinMatrix c{};
+  for (int r = 0; r < Ns; ++r)
+    for (int k = 0; k < Ns; ++k)
+      for (int j = 0; j < Ns; ++j) fma_acc(c.m[r][j], a.m[r][k], b.m[k][j]);
+  return c;
+}
+
+SpinMatrix add(const SpinMatrix& a, const SpinMatrix& b) {
+  SpinMatrix c{};
+  for (int r = 0; r < Ns; ++r)
+    for (int j = 0; j < Ns; ++j) c.m[r][j] = a.m[r][j] + b.m[r][j];
+  return c;
+}
+
+SpinMatrix scale(const Cplxd& s, const SpinMatrix& a) {
+  SpinMatrix c{};
+  for (int r = 0; r < Ns; ++r)
+    for (int j = 0; j < Ns; ++j) c.m[r][j] = s * a.m[r][j];
+  return c;
+}
+
+SpinMatrix adjoint(const SpinMatrix& a) {
+  SpinMatrix c{};
+  for (int r = 0; r < Ns; ++r)
+    for (int j = 0; j < Ns; ++j) c.m[r][j] = conj(a.m[j][r]);
+  return c;
+}
+
+SpinMatrix sigma_munu(int mu, int nu) {
+  LQCD_REQUIRE(mu >= 0 && mu < 4 && nu >= 0 && nu < 4, "sigma indices");
+  const SpinMatrix gm = gamma_matrix(mu);
+  const SpinMatrix gn = gamma_matrix(nu);
+  const SpinMatrix comm = add(mul(gm, gn), scale(Cplxd(-1.0), mul(gn, gm)));
+  return scale(Cplxd(0.0, 0.5), comm);
+}
+
+double spin_distance(const SpinMatrix& a, const SpinMatrix& b) {
+  double s = 0.0;
+  for (int r = 0; r < Ns; ++r)
+    for (int j = 0; j < Ns; ++j) s += norm2(a.m[r][j] - b.m[r][j]);
+  return std::sqrt(s);
+}
+
+}  // namespace lqcd

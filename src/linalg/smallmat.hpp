@@ -1,0 +1,106 @@
+#pragma once
+// Small dense complex matrices (the 6x6 chirality blocks of the clover
+// term). Gauss–Jordan inversion with partial pivoting; sizes are tiny so
+// numerical robustness beats cleverness.
+
+#include <cmath>
+
+#include "linalg/cplx.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+template <typename T, int N>
+struct SmallMat {
+  Cplx<T> m[N][N];
+
+  constexpr Cplx<T>& operator()(int r, int c) { return m[r][c]; }
+  constexpr const Cplx<T>& operator()(int r, int c) const { return m[r][c]; }
+
+  static constexpr SmallMat identity() {
+    SmallMat u{};
+    for (int i = 0; i < N; ++i) u.m[i][i] = Cplx<T>(T(1));
+    return u;
+  }
+};
+
+template <typename T, int N>
+struct SmallVec {
+  Cplx<T> v[N];
+};
+
+template <typename T, int N>
+constexpr SmallVec<T, N> mul(const SmallMat<T, N>& a,
+                             const SmallVec<T, N>& x) {
+  SmallVec<T, N> y{};
+  for (int r = 0; r < N; ++r)
+    for (int k = 0; k < N; ++k) fma_acc(y.v[r], a.m[r][k], x.v[k]);
+  return y;
+}
+
+template <typename T, int N>
+constexpr SmallMat<T, N> mul(const SmallMat<T, N>& a,
+                             const SmallMat<T, N>& b) {
+  SmallMat<T, N> c{};
+  for (int r = 0; r < N; ++r)
+    for (int k = 0; k < N; ++k)
+      for (int j = 0; j < N; ++j) fma_acc(c.m[r][j], a.m[r][k], b.m[k][j]);
+  return c;
+}
+
+template <typename T, int N>
+T frobenius_norm(const SmallMat<T, N>& a) {
+  T s{};
+  for (int r = 0; r < N; ++r)
+    for (int c = 0; c < N; ++c) s += norm2(a.m[r][c]);
+  return std::sqrt(s);
+}
+
+/// Gauss–Jordan inverse with partial pivoting.
+/// Throws lqcd::Error on a (numerically) singular matrix.
+template <typename T, int N>
+SmallMat<T, N> inverse(const SmallMat<T, N>& a) {
+  SmallMat<T, N> w = a;
+  SmallMat<T, N> inv = SmallMat<T, N>::identity();
+  for (int col = 0; col < N; ++col) {
+    // Pivot: largest |entry| on or below the diagonal.
+    int piv = col;
+    T best = norm2(w.m[col][col]);
+    for (int r = col + 1; r < N; ++r) {
+      const T v = norm2(w.m[r][col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    LQCD_REQUIRE(best > T(0), "singular matrix in SmallMat inverse");
+    if (piv != col)
+      for (int c = 0; c < N; ++c) {
+        const Cplx<T> tw = w.m[col][c];
+        w.m[col][c] = w.m[piv][c];
+        w.m[piv][c] = tw;
+        const Cplx<T> ti = inv.m[col][c];
+        inv.m[col][c] = inv.m[piv][c];
+        inv.m[piv][c] = ti;
+      }
+    // Scale pivot row.
+    const Cplx<T> d = w.m[col][col];
+    for (int c = 0; c < N; ++c) {
+      w.m[col][c] = div(w.m[col][c], d);
+      inv.m[col][c] = div(inv.m[col][c], d);
+    }
+    // Eliminate other rows.
+    for (int r = 0; r < N; ++r) {
+      if (r == col) continue;
+      const Cplx<T> f = w.m[r][col];
+      if (f.re == T(0) && f.im == T(0)) continue;
+      for (int c = 0; c < N; ++c) {
+        w.m[r][c] -= f * w.m[col][c];
+        inv.m[r][c] -= f * inv.m[col][c];
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,106 @@
+#pragma once
+// Wilson spinors: 4 spin x 3 color complex components per site, plus the
+// 2-spin "half spinor" used by the spin-projection trick in dslash.
+
+#include "linalg/cplx.hpp"
+#include "linalg/su3.hpp"
+
+namespace lqcd {
+
+inline constexpr int Ns = 4;  ///< number of spin components
+
+template <typename T>
+struct WilsonSpinor {
+  ColorVector<T> s[Ns];
+
+  constexpr ColorVector<T>& operator[](int sp) { return s[sp]; }
+  constexpr const ColorVector<T>& operator[](int sp) const { return s[sp]; }
+
+  constexpr WilsonSpinor& operator+=(const WilsonSpinor& o) {
+    for (int sp = 0; sp < Ns; ++sp) s[sp] += o.s[sp];
+    return *this;
+  }
+  constexpr WilsonSpinor& operator-=(const WilsonSpinor& o) {
+    for (int sp = 0; sp < Ns; ++sp) s[sp] -= o.s[sp];
+    return *this;
+  }
+  constexpr WilsonSpinor& operator*=(T a) {
+    for (int sp = 0; sp < Ns; ++sp) s[sp] *= a;
+    return *this;
+  }
+  constexpr WilsonSpinor& operator*=(const Cplx<T>& a) {
+    for (int sp = 0; sp < Ns; ++sp) s[sp] *= a;
+    return *this;
+  }
+  friend constexpr WilsonSpinor operator+(WilsonSpinor a,
+                                          const WilsonSpinor& b) {
+    return a += b;
+  }
+  friend constexpr WilsonSpinor operator-(WilsonSpinor a,
+                                          const WilsonSpinor& b) {
+    return a -= b;
+  }
+  friend constexpr WilsonSpinor operator*(T s, WilsonSpinor a) {
+    return a *= s;
+  }
+  friend constexpr WilsonSpinor operator*(Cplx<T> s, WilsonSpinor a) {
+    return a *= s;
+  }
+  friend constexpr WilsonSpinor operator-(const WilsonSpinor& a) {
+    WilsonSpinor r;
+    for (int sp = 0; sp < Ns; ++sp) r.s[sp] = -a.s[sp];
+    return r;
+  }
+};
+
+/// conj(a) . b over all spin-color components.
+template <typename T>
+constexpr Cplx<T> dot(const WilsonSpinor<T>& a, const WilsonSpinor<T>& b) {
+  Cplx<T> acc{};
+  for (int sp = 0; sp < Ns; ++sp) acc += dot(a.s[sp], b.s[sp]);
+  return acc;
+}
+
+template <typename T>
+constexpr T norm2(const WilsonSpinor<T>& a) {
+  T acc{};
+  for (int sp = 0; sp < Ns; ++sp) acc += norm2(a.s[sp]);
+  return acc;
+}
+
+/// Apply a color matrix to every spin component.
+template <typename T>
+constexpr WilsonSpinor<T> mul(const ColorMatrix<T>& u,
+                              const WilsonSpinor<T>& x) {
+  WilsonSpinor<T> y;
+  for (int sp = 0; sp < Ns; ++sp) y.s[sp] = mul(u, x.s[sp]);
+  return y;
+}
+
+template <typename T>
+constexpr WilsonSpinor<T> adj_mul(const ColorMatrix<T>& u,
+                                  const WilsonSpinor<T>& x) {
+  WilsonSpinor<T> y;
+  for (int sp = 0; sp < Ns; ++sp) y.s[sp] = adj_mul(u, x.s[sp]);
+  return y;
+}
+
+/// Cross-precision conversion.
+template <typename To, typename From>
+constexpr WilsonSpinor<To> convert(const WilsonSpinor<From>& x) {
+  WilsonSpinor<To> y;
+  for (int sp = 0; sp < Ns; ++sp)
+    for (int c = 0; c < Nc; ++c) y.s[sp].c[c] = Cplx<To>(x.s[sp].c[c]);
+  return y;
+}
+
+/// Two-spin half spinor for the dslash projection trick.
+template <typename T>
+struct HalfSpinor {
+  ColorVector<T> s[2];
+};
+
+using WilsonSpinorF = WilsonSpinor<float>;
+using WilsonSpinorD = WilsonSpinor<double>;
+
+}  // namespace lqcd

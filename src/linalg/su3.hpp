@@ -1,0 +1,383 @@
+#pragma once
+// SU(3) color algebra: 3-component color vectors and 3x3 complex matrices.
+//
+// All hot operations are inlined templates over the storage precision.
+// Conventions: gauge links are SU(3) matrices U with det U = 1; the HMC
+// momenta live in the algebra su(3) (anti-hermitian traceless).
+
+#include <array>
+#include <cstddef>
+
+#include "linalg/cplx.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+
+inline constexpr int Nc = 3;  ///< number of colors
+
+// ---------------------------------------------------------------------------
+// ColorVector
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct ColorVector {
+  Cplx<T> c[Nc];
+
+  constexpr Cplx<T>& operator[](int i) { return c[i]; }
+  constexpr const Cplx<T>& operator[](int i) const { return c[i]; }
+
+  constexpr ColorVector& operator+=(const ColorVector& o) {
+    for (int i = 0; i < Nc; ++i) c[i] += o.c[i];
+    return *this;
+  }
+  constexpr ColorVector& operator-=(const ColorVector& o) {
+    for (int i = 0; i < Nc; ++i) c[i] -= o.c[i];
+    return *this;
+  }
+  constexpr ColorVector& operator*=(const Cplx<T>& s) {
+    for (int i = 0; i < Nc; ++i) c[i] *= s;
+    return *this;
+  }
+  constexpr ColorVector& operator*=(T s) {
+    for (int i = 0; i < Nc; ++i) c[i] *= s;
+    return *this;
+  }
+  friend constexpr ColorVector operator+(ColorVector a,
+                                         const ColorVector& b) {
+    return a += b;
+  }
+  friend constexpr ColorVector operator-(ColorVector a,
+                                         const ColorVector& b) {
+    return a -= b;
+  }
+  friend constexpr ColorVector operator*(Cplx<T> s, ColorVector a) {
+    return a *= s;
+  }
+  friend constexpr ColorVector operator*(T s, ColorVector a) {
+    return a *= s;
+  }
+  friend constexpr ColorVector operator-(const ColorVector& a) {
+    ColorVector r;
+    for (int i = 0; i < Nc; ++i) r.c[i] = -a.c[i];
+    return r;
+  }
+};
+
+template <typename T>
+constexpr ColorVector<T> zero_vector() {
+  return ColorVector<T>{};
+}
+
+/// conj(a) . b
+template <typename T>
+constexpr Cplx<T> dot(const ColorVector<T>& a, const ColorVector<T>& b) {
+  Cplx<T> s{};
+  for (int i = 0; i < Nc; ++i) fma_conj_acc(s, a.c[i], b.c[i]);
+  return s;
+}
+
+template <typename T>
+constexpr T norm2(const ColorVector<T>& a) {
+  T s{};
+  for (int i = 0; i < Nc; ++i) s += norm2(a.c[i]);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ColorMatrix
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct ColorMatrix {
+  Cplx<T> m[Nc][Nc];
+
+  constexpr Cplx<T>& operator()(int r, int c) { return m[r][c]; }
+  constexpr const Cplx<T>& operator()(int r, int c) const { return m[r][c]; }
+
+  constexpr ColorMatrix& operator+=(const ColorMatrix& o) {
+    for (int r = 0; r < Nc; ++r)
+      for (int c = 0; c < Nc; ++c) m[r][c] += o.m[r][c];
+    return *this;
+  }
+  constexpr ColorMatrix& operator-=(const ColorMatrix& o) {
+    for (int r = 0; r < Nc; ++r)
+      for (int c = 0; c < Nc; ++c) m[r][c] -= o.m[r][c];
+    return *this;
+  }
+  constexpr ColorMatrix& operator*=(T s) {
+    for (int r = 0; r < Nc; ++r)
+      for (int c = 0; c < Nc; ++c) m[r][c] *= s;
+    return *this;
+  }
+  constexpr ColorMatrix& operator*=(const Cplx<T>& s) {
+    for (int r = 0; r < Nc; ++r)
+      for (int c = 0; c < Nc; ++c) m[r][c] *= s;
+    return *this;
+  }
+  friend constexpr ColorMatrix operator+(ColorMatrix a,
+                                         const ColorMatrix& b) {
+    return a += b;
+  }
+  friend constexpr ColorMatrix operator-(ColorMatrix a,
+                                         const ColorMatrix& b) {
+    return a -= b;
+  }
+  friend constexpr ColorMatrix operator*(T s, ColorMatrix a) { return a *= s; }
+  friend constexpr ColorMatrix operator*(Cplx<T> s, ColorMatrix a) {
+    return a *= s;
+  }
+};
+
+template <typename T>
+constexpr ColorMatrix<T> zero_matrix() {
+  return ColorMatrix<T>{};
+}
+
+template <typename T>
+constexpr ColorMatrix<T> unit_matrix() {
+  ColorMatrix<T> u{};
+  for (int i = 0; i < Nc; ++i) u.m[i][i] = Cplx<T>(T(1));
+  return u;
+}
+
+/// C = A * B
+template <typename T>
+constexpr ColorMatrix<T> mul(const ColorMatrix<T>& a,
+                             const ColorMatrix<T>& b) {
+  ColorMatrix<T> c{};
+  for (int r = 0; r < Nc; ++r)
+    for (int k = 0; k < Nc; ++k) {
+      const Cplx<T> ark = a.m[r][k];
+      for (int j = 0; j < Nc; ++j) fma_acc(c.m[r][j], ark, b.m[k][j]);
+    }
+  return c;
+}
+
+/// C = A† * B
+template <typename T>
+constexpr ColorMatrix<T> adj_mul(const ColorMatrix<T>& a,
+                                 const ColorMatrix<T>& b) {
+  ColorMatrix<T> c{};
+  for (int r = 0; r < Nc; ++r)
+    for (int k = 0; k < Nc; ++k) {
+      const Cplx<T> akr = conj(a.m[k][r]);
+      for (int j = 0; j < Nc; ++j) fma_acc(c.m[r][j], akr, b.m[k][j]);
+    }
+  return c;
+}
+
+/// C = A * B†
+template <typename T>
+constexpr ColorMatrix<T> mul_adj(const ColorMatrix<T>& a,
+                                 const ColorMatrix<T>& b) {
+  ColorMatrix<T> c{};
+  for (int r = 0; r < Nc; ++r)
+    for (int j = 0; j < Nc; ++j) {
+      Cplx<T> s{};
+      for (int k = 0; k < Nc; ++k) fma_acc(s, a.m[r][k], conj(b.m[j][k]));
+      c.m[r][j] = s;
+    }
+  return c;
+}
+
+/// y = A * x
+template <typename T>
+constexpr ColorVector<T> mul(const ColorMatrix<T>& a,
+                             const ColorVector<T>& x) {
+  ColorVector<T> y{};
+  for (int r = 0; r < Nc; ++r)
+    for (int k = 0; k < Nc; ++k) fma_acc(y.c[r], a.m[r][k], x.c[k]);
+  return y;
+}
+
+/// y = A† * x
+template <typename T>
+constexpr ColorVector<T> adj_mul(const ColorMatrix<T>& a,
+                                 const ColorVector<T>& x) {
+  ColorVector<T> y{};
+  for (int r = 0; r < Nc; ++r)
+    for (int k = 0; k < Nc; ++k) fma_conj_acc(y.c[r], a.m[k][r], x.c[k]);
+  return y;
+}
+
+template <typename T>
+constexpr ColorMatrix<T> dagger(const ColorMatrix<T>& a) {
+  ColorMatrix<T> d{};
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c) d.m[r][c] = conj(a.m[c][r]);
+  return d;
+}
+
+template <typename T>
+constexpr Cplx<T> trace(const ColorMatrix<T>& a) {
+  Cplx<T> t{};
+  for (int i = 0; i < Nc; ++i) t += a.m[i][i];
+  return t;
+}
+
+template <typename T>
+constexpr T re_trace(const ColorMatrix<T>& a) {
+  T t{};
+  for (int i = 0; i < Nc; ++i) t += a.m[i][i].re;
+  return t;
+}
+
+/// Frobenius norm squared.
+template <typename T>
+constexpr T norm2(const ColorMatrix<T>& a) {
+  T s{};
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c) s += norm2(a.m[r][c]);
+  return s;
+}
+
+template <typename T>
+constexpr Cplx<T> det(const ColorMatrix<T>& a) {
+  const auto& m = a.m;
+  return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+/// Traceless anti-hermitian projection: (A - A†)/2 - tr[(A - A†)/2]/Nc.
+/// This is the su(3)-algebra projection used by the HMC force.
+template <typename T>
+constexpr ColorMatrix<T> traceless_antiherm(const ColorMatrix<T>& a) {
+  ColorMatrix<T> p{};
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c) {
+      const Cplx<T> d = a.m[r][c] - conj(a.m[c][r]);
+      p.m[r][c] = Cplx<T>(d.re * T(0.5), d.im * T(0.5));
+    }
+  const Cplx<T> t = trace(p);
+  const Cplx<T> sub(t.re / T(Nc), t.im / T(Nc));
+  for (int i = 0; i < Nc; ++i) p.m[i][i] -= sub;
+  return p;
+}
+
+/// exp(A) by scaling-and-squaring with a 12-term Taylor series.
+/// Accurate to machine precision for the anti-hermitian matrices with
+/// norm O(1) that arise in HMC link updates.
+template <typename T>
+ColorMatrix<T> exp_matrix(const ColorMatrix<T>& a) {
+  // Scale down so the Taylor series converges fast.
+  int squarings = 0;
+  T scale = T(1);
+  T n = std::sqrt(norm2(a));
+  while (n > T(0.5)) {
+    n *= T(0.5);
+    scale *= T(0.5);
+    ++squarings;
+  }
+  ColorMatrix<T> x = a;
+  x *= scale;
+
+  ColorMatrix<T> result = unit_matrix<T>();
+  ColorMatrix<T> term = unit_matrix<T>();
+  for (int k = 1; k <= 12; ++k) {
+    term = mul(term, x);
+    term *= T(1) / T(k);
+    result += term;
+  }
+  for (int s = 0; s < squarings; ++s) result = mul(result, result);
+  return result;
+}
+
+/// Project a matrix back onto SU(3): Gram–Schmidt on the first two rows,
+/// third row = conjugate cross product (fixes det = +1 exactly).
+template <typename T>
+void reunitarize(ColorMatrix<T>& u) {
+  // Normalize row 0.
+  T n0 = T(0);
+  for (int c = 0; c < Nc; ++c) n0 += norm2(u.m[0][c]);
+  const T inv0 = T(1) / std::sqrt(n0);
+  for (int c = 0; c < Nc; ++c) u.m[0][c] *= inv0;
+
+  // Row 1 -= (row0 . row1) row0; then normalize.
+  Cplx<T> p{};
+  for (int c = 0; c < Nc; ++c) fma_conj_acc(p, u.m[0][c], u.m[1][c]);
+  for (int c = 0; c < Nc; ++c) u.m[1][c] -= p * u.m[0][c];
+  T n1 = T(0);
+  for (int c = 0; c < Nc; ++c) n1 += norm2(u.m[1][c]);
+  const T inv1 = T(1) / std::sqrt(n1);
+  for (int c = 0; c < Nc; ++c) u.m[1][c] *= inv1;
+
+  // Row 2 = conj(row0 x row1).
+  u.m[2][0] = conj(u.m[0][1] * u.m[1][2] - u.m[0][2] * u.m[1][1]);
+  u.m[2][1] = conj(u.m[0][2] * u.m[1][0] - u.m[0][0] * u.m[1][2]);
+  u.m[2][2] = conj(u.m[0][0] * u.m[1][1] - u.m[0][1] * u.m[1][0]);
+}
+
+/// Deviation from unitarity: || U U† - 1 ||_F.
+template <typename T>
+T unitarity_error(const ColorMatrix<T>& u) {
+  const ColorMatrix<T> w = mul_adj(u, u) - unit_matrix<T>();
+  return std::sqrt(norm2(w));
+}
+
+/// Haar-ish random SU(3): complex Gaussian entries projected onto the group.
+template <typename T>
+ColorMatrix<T> random_su3(CounterRng& rng) {
+  ColorMatrix<T> u;
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c)
+      u.m[r][c] = Cplx<T>(static_cast<T>(rng.gaussian()),
+                          static_cast<T>(rng.gaussian()));
+  reunitarize(u);
+  return u;
+}
+
+/// Random element close to the identity: exp(eps * H), H a random
+/// anti-hermitian traceless matrix with O(1) entries.
+template <typename T>
+ColorMatrix<T> random_su3_near_unit(CounterRng& rng, T eps) {
+  ColorMatrix<T> h;
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c)
+      h.m[r][c] = Cplx<T>(static_cast<T>(rng.gaussian()),
+                          static_cast<T>(rng.gaussian()));
+  h = traceless_antiherm(h);
+  h *= eps;
+  ColorMatrix<T> u = exp_matrix(h);
+  reunitarize(u);
+  return u;
+}
+
+/// Gaussian su(3)-algebra element with <|p^a|^2> = 1 per generator
+/// (HMC momentum draw): p = sum_a xi_a T_a with xi_a ~ N(0,1) and the
+/// standard Gell-Mann normalization tr(T_a T_b) = delta_ab / 2.
+template <typename T>
+ColorMatrix<T> random_algebra(CounterRng& rng) {
+  // Build i * (hermitian traceless Gaussian) directly: draw a Gaussian
+  // hermitian traceless H with tr(H^2) = sum xi_a^2 / 2, return i H.
+  const T s = static_cast<T>(0.5);
+  const T d[2] = {static_cast<T>(rng.gaussian()),
+                  static_cast<T>(rng.gaussian())};
+  ColorMatrix<T> h{};
+  // Off-diagonal generators (6 real parameters).
+  for (int r = 0; r < Nc; ++r)
+    for (int c = r + 1; c < Nc; ++c) {
+      const T x = static_cast<T>(rng.gaussian());
+      const T y = static_cast<T>(rng.gaussian());
+      h.m[r][c] = Cplx<T>(x * s, -y * s);
+      h.m[c][r] = Cplx<T>(x * s, y * s);
+    }
+  // Diagonal generators: lambda_3 and lambda_8 pattern.
+  const T inv_sqrt3 = static_cast<T>(0.57735026918962576451);
+  h.m[0][0] += Cplx<T>(s * (d[0] + d[1] * inv_sqrt3));
+  h.m[1][1] += Cplx<T>(s * (-d[0] + d[1] * inv_sqrt3));
+  h.m[2][2] += Cplx<T>(s * (T(-2) * d[1] * inv_sqrt3));
+  // p = i H is anti-hermitian traceless.
+  ColorMatrix<T> p{};
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c)
+      p.m[r][c] = Cplx<T>(-h.m[r][c].im, h.m[r][c].re);
+  return p;
+}
+
+using ColorMatrixF = ColorMatrix<float>;
+using ColorMatrixD = ColorMatrix<double>;
+using ColorVectorF = ColorVector<float>;
+using ColorVectorD = ColorVector<double>;
+
+}  // namespace lqcd

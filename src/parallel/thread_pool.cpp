@@ -1,0 +1,134 @@
+#include "parallel/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace {
+std::size_t default_threads() {
+  if (const char* env = std::getenv("LQCD_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+// Contiguous chunk [lo, hi) for worker `tid` of `nthreads` over range n.
+void chunk_bounds(std::size_t n, std::size_t nthreads, std::size_t tid,
+                  std::size_t& lo, std::size_t& hi) {
+  const std::size_t base = n / nthreads;
+  const std::size_t rem = n % nthreads;
+  lo = tid * base + (tid < rem ? tid : rem);
+  hi = lo + base + (tid < rem ? 1 : 0);
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : nthreads_(threads == 0 ? default_threads() : threads) {
+  // Worker 0 is the caller; spawn nthreads_-1 helpers.
+  workers_.reserve(nthreads_ - 1);
+  for (std::size_t t = 1; t < nthreads_; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t tid) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* job;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    std::size_t lo, hi;
+    chunk_bounds(n, nthreads_, tid, lo, hi);
+    std::exception_ptr err;
+    if (lo < hi) {
+      try {
+        (*job)(lo, hi, tid);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (err && !first_error_) first_error_ = err;
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (nthreads_ == 1 || n == 0) {
+    if (n > 0) body(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &body;
+    job_n_ = n;
+    pending_ = nthreads_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  // Caller is worker 0.
+  std::size_t lo, hi;
+  chunk_bounds(n, nthreads_, 0, lo, hi);
+  std::exception_ptr my_err;
+  if (lo < hi) {
+    try {
+      body(lo, hi, 0);
+    } catch (...) {
+      my_err = std::current_exception();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+  if (my_err && !first_error_) first_error_ = my_err;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+namespace {
+ThreadPool*& global_pool_slot() {
+  static ThreadPool* pool = nullptr;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  ThreadPool*& slot = global_pool_slot();
+  if (!slot) slot = new ThreadPool();
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  ThreadPool*& slot = global_pool_slot();
+  delete slot;
+  slot = new ThreadPool(threads);
+}
+
+}  // namespace lqcd

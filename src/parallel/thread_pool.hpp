@@ -1,0 +1,95 @@
+#pragma once
+// Persistent worker-thread pool with a fork-join parallel_for.
+//
+// This is the on-node threading substrate (the role OpenMP plays in
+// Chroma-class codes). Workers are created once and parked on a condition
+// variable; parallel_for partitions an index range into contiguous chunks
+// (one per worker) so lattice traversals stay cache-friendly and
+// deterministic: the chunk assignment depends only on (range, nthreads),
+// never on scheduling, so reductions are reproducible.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lqcd {
+
+class ThreadPool {
+ public:
+  /// `threads` = total workers including the calling thread;
+  /// 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nthreads_; }
+
+  /// Run body(begin, end, tid) on nthreads contiguous chunks of [0, n).
+  /// Blocks until every chunk finished. Exceptions from workers are
+  /// rethrown on the caller (first one wins).
+  void run_chunks(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& body);
+
+  /// Process-wide default pool (lazily created, size from
+  /// LQCD_THREADS env var or hardware concurrency).
+  static ThreadPool& global();
+  /// Resize the global pool (only safe when no parallel region is active).
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  void worker_loop(std::size_t tid);
+
+  std::size_t nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* job_ =
+      nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Element-wise parallel loop: body(i) for i in [0, n).
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  ThreadPool::global().run_chunks(
+      n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      });
+}
+
+/// Chunk-wise parallel loop: body(lo, hi, tid). Use when the body wants to
+/// keep per-thread accumulators.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, Body&& body) {
+  ThreadPool::global().run_chunks(n, std::forward<Body>(body));
+}
+
+/// Deterministic parallel sum-reduction of body(i) over [0, n).
+/// Partial sums are combined in fixed chunk order.
+template <typename Body>
+double parallel_reduce_sum(std::size_t n, Body&& body) {
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<double> partial(pool.size(), 0.0);
+  pool.run_chunks(n, [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += body(i);
+    partial[tid] = s;
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,104 @@
+#pragma once
+// Conjugate gradient for hermitian positive-definite operators (M^†M).
+//
+// Standard three-term CG with double-precision reductions. The residual
+// recursion is checked against the true residual on exit when
+// params.check_true_residual is set.
+
+#include "dirac/operator.hpp"
+#include "linalg/blas.hpp"
+#include "solver/solver.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace lqcd {
+
+template <typename T>
+SolverResult cg_solve(const LinearOperator<T>& a,
+                      std::span<WilsonSpinor<T>> x,
+                      std::span<const WilsonSpinor<T>> b,
+                      const SolverParams& params) {
+  LQCD_REQUIRE(a.hermitian_positive(),
+               "cg_solve requires a hermitian positive operator");
+  const std::size_t n = b.size();
+  LQCD_REQUIRE(x.size() == n, "cg_solve size mismatch");
+
+  WallTimer timer;
+  SolverResult res;
+
+  aligned_vector<WilsonSpinor<T>> r_store(n), p_store(n), ap_store(n);
+  std::span<WilsonSpinor<T>> r(r_store.data(), n);
+  std::span<WilsonSpinor<T>> p(p_store.data(), n);
+  std::span<WilsonSpinor<T>> ap(ap_store.data(), n);
+
+  const double b_norm2 = blas::norm2(b);
+  if (b_norm2 == 0.0) {
+    blas::zero(x);
+    res.converged = true;
+    res.seconds = timer.seconds();
+    return res;
+  }
+  const double target2 = params.tol * params.tol * b_norm2;
+
+  // r = b - A x ; p = r.
+  a.apply(r, std::span<const WilsonSpinor<T>>(x.data(), n));
+  parallel_for(n, [&](std::size_t i) {
+    WilsonSpinor<T> t = b[i];
+    t -= r[i];
+    r[i] = t;
+  });
+  blas::copy(p, std::span<const WilsonSpinor<T>>(r.data(), n));
+  double rr = blas::norm2(std::span<const WilsonSpinor<T>>(r.data(), n));
+
+  const double op_flops = a.flops_per_apply();
+  const double site_flops =
+      static_cast<double>(n) *
+      (2.0 * kAxpyFlopsPerSite + kNormFlopsPerSite + kDotFlopsPerSite);
+
+  int it = 0;
+  for (; it < params.max_iterations && rr > target2; ++it) {
+    a.apply(ap, std::span<const WilsonSpinor<T>>(p.data(), n));
+    const double pap =
+        blas::re_dot(std::span<const WilsonSpinor<T>>(p.data(), n),
+                     std::span<const WilsonSpinor<T>>(ap.data(), n));
+    LQCD_ASSERT(pap > 0.0, "CG: operator not positive definite");
+    const double alpha = rr / pap;
+    blas::axpy(static_cast<T>(alpha),
+               std::span<const WilsonSpinor<T>>(p.data(), n), x);
+    blas::axpy(static_cast<T>(-alpha),
+               std::span<const WilsonSpinor<T>>(ap.data(), n), r);
+    const double rr_new =
+        blas::norm2(std::span<const WilsonSpinor<T>>(r.data(), n));
+    const double beta = rr_new / rr;
+    // p = r + beta p
+    blas::xpay(std::span<const WilsonSpinor<T>>(r.data(), n),
+               static_cast<T>(beta), p);
+    rr = rr_new;
+    res.flops += op_flops + site_flops;
+    if (params.verbose)
+      log_debug("cg iter ", it + 1, " rel ", std::sqrt(rr / b_norm2));
+  }
+
+  res.iterations = it;
+  res.converged = rr <= target2;
+  if (params.check_true_residual) {
+    a.apply(ap, std::span<const WilsonSpinor<T>>(x.data(), n));
+    parallel_for(n, [&](std::size_t i) {
+      WilsonSpinor<T> t = b[i];
+      t -= ap[i];
+      ap[i] = t;
+    });
+    const double true_r2 =
+        blas::norm2(std::span<const WilsonSpinor<T>>(ap.data(), n));
+    res.relative_residual = std::sqrt(true_r2 / b_norm2);
+    res.converged = res.converged && res.relative_residual <= 10 * params.tol;
+  } else {
+    res.relative_residual = std::sqrt(rr / b_norm2);
+  }
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,250 @@
+#pragma once
+// Lanczos eigensolver for hermitian operators.
+//
+// Produces extremal eigenvalues/eigenvectors of A (= M^†M in practice).
+// Uses: spectral bounds for the rational approximations (overlap/RHMC),
+// condition-number measurements for the solver benches, and low-mode
+// deflation (deflation.hpp). Straightforward Lanczos with full
+// reorthogonalization — the Krylov spaces here are small (tens of
+// vectors), so robustness beats memory frugality.
+
+#include <algorithm>
+#include <vector>
+
+#include "dirac/operator.hpp"
+#include "linalg/blas.hpp"
+#include "solver/solver.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+
+struct LanczosParams {
+  int krylov_dim = 40;     ///< iterations / basis size
+  int wanted = 4;          ///< eigenpairs to return
+  bool smallest = true;    ///< smallest (true) or largest eigenvalues
+  std::uint64_t seed = 7;  ///< start-vector seed
+};
+
+struct EigenPair {
+  double value = 0.0;
+  aligned_vector<WilsonSpinorD> vector;
+  double residual = 0.0;  ///< ||A v - lambda v||
+};
+
+struct LanczosResult {
+  std::vector<EigenPair> pairs;  ///< sorted by eigenvalue (ascending)
+  int iterations = 0;
+};
+
+namespace detail_lanczos {
+
+/// Jacobi eigensolver for a small real symmetric matrix (n x n, row
+/// major). Returns eigenvalues ascending; `vecs[k]` is the k-th
+/// eigenvector (length n).
+inline void symmetric_eigen(std::vector<double> a, int n,
+                            std::vector<double>& values,
+                            std::vector<std::vector<double>>& vecs) {
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i) * n + i] = 1.0;
+  auto at = [&](std::vector<double>& m, int r, int c) -> double& {
+    return m[static_cast<std::size_t>(r) * n + c];
+  };
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p)
+      for (int q = p + 1; q < n; ++q) off += at(a, p, q) * at(a, p, q);
+    if (off < 1e-28) break;
+    for (int p = 0; p < n; ++p)
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = at(a, p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (at(a, q, q) - at(a, p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          const double akp = at(a, k, p), akq = at(a, k, q);
+          at(a, k, p) = c * akp - s * akq;
+          at(a, k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = at(a, p, k), aqk = at(a, q, k);
+          at(a, p, k) = c * apk - s * aqk;
+          at(a, q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = at(v, k, p), vkq = at(v, k, q);
+          at(v, k, p) = c * vkp - s * vkq;
+          at(v, k, q) = s * vkp + c * vkq;
+        }
+      }
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return at(a, x, x) < at(a, y, y);
+  });
+  values.resize(static_cast<std::size_t>(n));
+  vecs.assign(static_cast<std::size_t>(n),
+              std::vector<double>(static_cast<std::size_t>(n)));
+  for (int k = 0; k < n; ++k) {
+    const int col = order[static_cast<std::size_t>(k)];
+    values[static_cast<std::size_t>(k)] = at(a, col, col);
+    for (int r = 0; r < n; ++r)
+      vecs[static_cast<std::size_t>(k)][static_cast<std::size_t>(r)] =
+          at(v, r, col);
+  }
+}
+
+}  // namespace detail_lanczos
+
+/// Run Lanczos on hermitian positive A. Returns `wanted` extremal pairs
+/// with residual estimates.
+template <typename T>
+LanczosResult lanczos(const LinearOperator<T>& a,
+                      const LanczosParams& params) {
+  LQCD_REQUIRE(a.hermitian_positive(), "lanczos requires hermitian A");
+  LQCD_REQUIRE(params.krylov_dim >= 2, "krylov_dim >= 2");
+  LQCD_REQUIRE(params.wanted >= 1 && params.wanted <= params.krylov_dim,
+               "wanted out of range");
+  const auto n = static_cast<std::size_t>(a.vector_size());
+  const int m = params.krylov_dim;
+
+  std::vector<aligned_vector<WilsonSpinor<T>>> basis;
+  basis.reserve(static_cast<std::size_t>(m));
+  std::vector<double> alpha, beta;
+
+  // Random normalized start vector.
+  aligned_vector<WilsonSpinor<T>> v(n), w(n);
+  {
+    SiteRngFactory rngs(params.seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      CounterRng rng = rngs.make(i);
+      for (int s = 0; s < Ns; ++s)
+        for (int c = 0; c < Nc; ++c)
+          v[i].s[s].c[c] = Cplx<T>(static_cast<T>(rng.gaussian()),
+                                   static_cast<T>(rng.gaussian()));
+    }
+    const double nv =
+        std::sqrt(blas::norm2(std::span<const WilsonSpinor<T>>(v.data(),
+                                                               n)));
+    blas::scale(static_cast<T>(1.0 / nv),
+                std::span<WilsonSpinor<T>>(v.data(), n));
+  }
+
+  for (int j = 0; j < m; ++j) {
+    basis.emplace_back(v.begin(), v.end());
+    a.apply(std::span<WilsonSpinor<T>>(w.data(), n),
+            std::span<const WilsonSpinor<T>>(v.data(), n));
+    const double aj =
+        blas::re_dot(std::span<const WilsonSpinor<T>>(v.data(), n),
+                     std::span<const WilsonSpinor<T>>(w.data(), n));
+    alpha.push_back(aj);
+    // w -= alpha v + beta v_prev; then full reorthogonalization.
+    blas::axpy(static_cast<T>(-aj),
+               std::span<const WilsonSpinor<T>>(v.data(), n),
+               std::span<WilsonSpinor<T>>(w.data(), n));
+    if (j > 0)
+      blas::axpy(static_cast<T>(-beta.back()),
+                 std::span<const WilsonSpinor<T>>(
+                     basis[static_cast<std::size_t>(j - 1)].data(), n),
+                 std::span<WilsonSpinor<T>>(w.data(), n));
+    for (const auto& q : basis) {
+      const Cplxd c =
+          blas::dot(std::span<const WilsonSpinor<T>>(q.data(), n),
+                    std::span<const WilsonSpinor<T>>(w.data(), n));
+      blas::caxpy(Cplx<T>(static_cast<T>(-c.re), static_cast<T>(-c.im)),
+                  std::span<const WilsonSpinor<T>>(q.data(), n),
+                  std::span<WilsonSpinor<T>>(w.data(), n));
+    }
+    const double nb =
+        std::sqrt(blas::norm2(std::span<const WilsonSpinor<T>>(w.data(),
+                                                               n)));
+    if (j + 1 < m) {
+      if (nb < 1e-12) break;  // invariant subspace found
+      beta.push_back(nb);
+      blas::scale(static_cast<T>(1.0 / nb),
+                  std::span<WilsonSpinor<T>>(w.data(), n));
+      std::swap(v, w);
+    }
+  }
+
+  // Tridiagonal eigenproblem.
+  const int k = static_cast<int>(alpha.size());
+  std::vector<double> tri(static_cast<std::size_t>(k) * k, 0.0);
+  for (int i = 0; i < k; ++i) {
+    tri[static_cast<std::size_t>(i) * k + i] = alpha[static_cast<std::size_t>(i)];
+    if (i + 1 < k) {
+      tri[static_cast<std::size_t>(i) * k + i + 1] =
+          beta[static_cast<std::size_t>(i)];
+      tri[static_cast<std::size_t>(i + 1) * k + i] =
+          beta[static_cast<std::size_t>(i)];
+    }
+  }
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  detail_lanczos::symmetric_eigen(tri, k, evals, evecs);
+
+  LanczosResult res;
+  res.iterations = k;
+  const int want = std::min(params.wanted, k);
+  for (int idx = 0; idx < want; ++idx) {
+    const int which = params.smallest ? idx : k - 1 - idx;
+    EigenPair pair;
+    pair.value = evals[static_cast<std::size_t>(which)];
+    // Ritz vector in the original space.
+    aligned_vector<WilsonSpinorD> rv(n);
+    for (int j = 0; j < k; ++j) {
+      const double c =
+          evecs[static_cast<std::size_t>(which)][static_cast<std::size_t>(j)];
+      for (std::size_t i = 0; i < n; ++i) {
+        WilsonSpinorD add = convert<double>(
+            basis[static_cast<std::size_t>(j)][i]);
+        add *= c;
+        rv[i] += add;
+      }
+    }
+    // Residual || A v - lambda v || (computed in T precision).
+    aligned_vector<WilsonSpinor<T>> vt(n), av(n);
+    for (std::size_t i = 0; i < n; ++i) vt[i] = convert<T>(rv[i]);
+    a.apply(std::span<WilsonSpinor<T>>(av.data(), n),
+            std::span<const WilsonSpinor<T>>(vt.data(), n));
+    blas::axpy(static_cast<T>(-pair.value),
+               std::span<const WilsonSpinor<T>>(vt.data(), n),
+               std::span<WilsonSpinor<T>>(av.data(), n));
+    pair.residual = std::sqrt(
+        blas::norm2(std::span<const WilsonSpinor<T>>(av.data(), n)));
+    pair.vector = std::move(rv);
+    res.pairs.push_back(std::move(pair));
+  }
+  std::sort(res.pairs.begin(), res.pairs.end(),
+            [](const EigenPair& x, const EigenPair& y) {
+              return x.value < y.value;
+            });
+  return res;
+}
+
+/// Convenience: estimated spectral interval [lambda_min, lambda_max].
+template <typename T>
+std::pair<double, double> spectral_bounds(const LinearOperator<T>& a,
+                                          int krylov_dim = 40,
+                                          std::uint64_t seed = 7) {
+  LanczosParams lo;
+  lo.krylov_dim = krylov_dim;
+  lo.wanted = 1;
+  lo.smallest = true;
+  lo.seed = seed;
+  LanczosParams hi = lo;
+  hi.smallest = false;
+  const LanczosResult rl = lanczos(a, lo);
+  const LanczosResult rh = lanczos(a, hi);
+  LQCD_ASSERT(!rl.pairs.empty() && !rh.pairs.empty(),
+              "lanczos returned no pairs");
+  return {rl.pairs.front().value, rh.pairs.back().value};
+}
+
+}  // namespace lqcd

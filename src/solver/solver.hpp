@@ -1,0 +1,36 @@
+#pragma once
+// Common solver parameter/result types.
+
+#include <cstdint>
+
+namespace lqcd {
+
+struct SolverParams {
+  double tol = 1e-10;       ///< target relative residual ||b - Ax|| / ||b||
+  int max_iterations = 10000;
+  bool check_true_residual = true;  ///< recompute ||b - Ax|| at the end
+  bool verbose = false;             ///< log per-iteration residuals
+};
+
+struct SolverResult {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;  ///< true relative residual if checked
+  double seconds = 0.0;
+  double flops = 0.0;  ///< estimated floating-point work
+  /// For nested solvers (mixed precision): total inner iterations.
+  int inner_iterations = 0;
+  int outer_cycles = 0;
+
+  [[nodiscard]] double gflops_per_second() const {
+    return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Per-spinor-site flop costs of the level-1 field operations
+/// (24 real components per site).
+inline constexpr double kAxpyFlopsPerSite = 48.0;
+inline constexpr double kDotFlopsPerSite = 48.0;
+inline constexpr double kNormFlopsPerSite = 48.0;
+
+}  // namespace lqcd

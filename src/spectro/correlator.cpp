@@ -1,0 +1,220 @@
+#include "spectro/correlator.hpp"
+
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace {
+
+struct SpinEntry {
+  int r, c;
+  Cplxd v;
+};
+
+std::vector<SpinEntry> nonzeros(const SpinMatrix& m, double eps = 1e-14) {
+  std::vector<SpinEntry> out;
+  for (int r = 0; r < Ns; ++r)
+    for (int c = 0; c < Ns; ++c)
+      if (norm2(m.m[r][c]) > eps * eps) out.push_back({r, c, m.m[r][c]});
+  return out;
+}
+
+// Accumulate per-timeslice sums body(cb) -> Cplxd into c[t_rel].
+template <typename Body>
+void timeslice_sum(const LatticeGeometry& geo, int t0,
+                   std::vector<Cplxd>& c, Body&& body) {
+  const int lt = geo.dim(3);
+  c.assign(static_cast<std::size_t>(lt), Cplxd{});
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<std::vector<Cplxd>> partial(
+      pool.size(), std::vector<Cplxd>(static_cast<std::size_t>(lt)));
+  pool.run_chunks(static_cast<std::size_t>(geo.volume()),
+                  [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+                    auto& acc = partial[tid];
+                    for (std::size_t s = lo; s < hi; ++s) {
+                      const auto cb = static_cast<std::int64_t>(s);
+                      const int t = geo.coords(cb)[3];
+                      const int trel = (t - t0 + lt) % lt;
+                      acc[static_cast<std::size_t>(trel)] += body(cb);
+                    }
+                  });
+  for (const auto& p : partial)
+    for (int t = 0; t < lt; ++t) c[static_cast<std::size_t>(t)] +=
+        p[static_cast<std::size_t>(t)];
+}
+
+Correlator pack(const std::vector<Cplxd>& c) {
+  Correlator out;
+  out.c.reserve(c.size());
+  out.c_imag.reserve(c.size());
+  for (const auto& z : c) {
+    out.c.push_back(z.re);
+    out.c_imag.push_back(z.im);
+  }
+  return out;
+}
+
+}  // namespace
+
+Correlator meson_correlator(const Propagator& s, const SpinMatrix& gamma_snk,
+                            const SpinMatrix& gamma_src, int t0) {
+  const LatticeGeometry& geo = s.geometry();
+  LQCD_REQUIRE(t0 >= 0 && t0 < geo.dim(3), "source time out of range");
+
+  // C = sum_x Tr[G_snk S G_src g5 S^† g5]
+  //   = sum A[f][b] B[c][e] S_{(c,l)}[b,k] conj(S_{(e,l)}[f,k]),
+  // with A = g5 G_snk, B = G_src g5.
+  const SpinMatrix a = mul(gamma_matrix(4), gamma_snk);
+  const SpinMatrix b = mul(gamma_src, gamma_matrix(4));
+  const auto a_nz = nonzeros(a);
+  const auto b_nz = nonzeros(b);
+
+  std::vector<Cplxd> c;
+  timeslice_sum(geo, t0, c, [&](std::int64_t cb) {
+    Cplxd acc{};
+    for (int kappa = 0; kappa < Nc; ++kappa)
+      for (int lambda = 0; lambda < Nc; ++lambda)
+        for (const auto& eb : b_nz)        // eb: B[c][e]
+          for (const auto& ea : a_nz) {    // ea: A[f][b]
+            const Cplxd s1 = s.element(cb, ea.c, kappa, eb.r, lambda);
+            const Cplxd s2 = s.element(cb, ea.r, kappa, eb.c, lambda);
+            acc += eb.v * ea.v * mul_conj(s1, s2);
+          }
+    return acc;
+  });
+  return pack(c);
+}
+
+Correlator pion_correlator(const Propagator& s, int t0) {
+  return meson_correlator(s, gamma_matrix(4), gamma_matrix(4), t0);
+}
+
+Correlator rho_correlator(const Propagator& s, int t0) {
+  Correlator sum;
+  for (int i = 0; i < 3; ++i) {
+    const Correlator ci =
+        meson_correlator(s, gamma_matrix(i), gamma_matrix(i), t0);
+    if (sum.c.empty()) {
+      sum = ci;
+    } else {
+      for (std::size_t t = 0; t < sum.c.size(); ++t) {
+        sum.c[t] += ci.c[t];
+        sum.c_imag[t] += ci.c_imag[t];
+      }
+    }
+  }
+  for (auto& v : sum.c) v /= 3.0;
+  for (auto& v : sum.c_imag) v /= 3.0;
+  return sum;
+}
+
+Correlator scalar_correlator(const Propagator& s, int t0) {
+  return meson_correlator(s, gamma_matrix(5), gamma_matrix(5), t0);
+}
+
+Correlator nucleon_correlator(const Propagator& s, int t0) {
+  const LatticeGeometry& geo = s.geometry();
+  LQCD_REQUIRE(t0 >= 0 && t0 < geo.dim(3), "source time out of range");
+
+  // Proton interpolator O_alpha = eps_abc (C g5)_{gd} u^a_alpha u^b_g d^c_d
+  // with C = g4 g2. Wick expansion for degenerate u, d gives two terms:
+  //   T1 = + G[g][d] Gb[g'][d'] P[beta][alpha]
+  //          S_{alpha beta}^{a a'} S_{g g'}^{b b'} S_{d d'}^{c c'}
+  //   T2 = - G[g][d] Gb[g'][d'] P[beta][alpha]
+  //          S_{alpha g'}^{a b'} S_{g beta}^{b a'} S_{d d'}^{c c'}
+  // summed over eps_abc eps_a'b'c' with signs; Gb = g4 G^† g4,
+  // P = (1 + g4)/2 the positive-parity projector.
+  const SpinMatrix cmat = mul(gamma_matrix(3), gamma_matrix(1));
+  const SpinMatrix g = mul(cmat, gamma_matrix(4));
+  const SpinMatrix gb =
+      mul(mul(gamma_matrix(3), adjoint(g)), gamma_matrix(3));
+  const SpinMatrix p = scale(
+      Cplxd(0.5), add(gamma_matrix(5), gamma_matrix(3)));
+
+  const auto g_nz = nonzeros(g);
+  const auto gb_nz = nonzeros(gb);
+  const auto p_nz = nonzeros(p);
+
+  // Epsilon tensor: the 6 permutations with signs.
+  struct Eps {
+    int a, b, c;
+    double sign;
+  };
+  static constexpr Eps kEps[6] = {{0, 1, 2, 1.0},  {1, 2, 0, 1.0},
+                                  {2, 0, 1, 1.0},  {0, 2, 1, -1.0},
+                                  {2, 1, 0, -1.0}, {1, 0, 2, -1.0}};
+
+  std::vector<Cplxd> c;
+  timeslice_sum(geo, t0, c, [&](std::int64_t cb) {
+    Cplxd acc{};
+    for (const auto& e1 : kEps)
+      for (const auto& e2 : kEps) {
+        const double sign = e1.sign * e2.sign;
+        for (const auto& ge : g_nz)          // G[g][d]
+          for (const auto& gbe : gb_nz)      // Gb[g'][d']
+            for (const auto& pe : p_nz) {    // P[beta][alpha]
+              const Cplxd w = Cplxd(sign) * ge.v * gbe.v * pe.v;
+              const Cplxd s3 =
+                  s.element(cb, ge.c, e1.c, gbe.c, e2.c);  // S_dd'^cc'
+              // T1
+              const Cplxd t1 =
+                  s.element(cb, pe.c, e1.a, pe.r, e2.a) *   // S_ab^aa'
+                  s.element(cb, ge.r, e1.b, gbe.r, e2.b);   // S_gg'^bb'
+              // T2
+              const Cplxd t2 =
+                  s.element(cb, pe.c, e1.a, gbe.r, e2.b) *  // S_ag'^ab'
+                  s.element(cb, ge.r, e1.b, pe.r, e2.a);    // S_gb^ba'
+              acc += w * (t1 - t2) * s3;
+            }
+      }
+    return acc;
+  });
+  return pack(c);
+}
+
+Correlator meson_correlator_momentum(const Propagator& s,
+                                     const SpinMatrix& gamma_snk,
+                                     const SpinMatrix& gamma_src, int t0,
+                                     const std::array<int, 3>& n) {
+  const LatticeGeometry& geo = s.geometry();
+  LQCD_REQUIRE(t0 >= 0 && t0 < geo.dim(3), "source time out of range");
+
+  const SpinMatrix a = mul(gamma_matrix(4), gamma_snk);
+  const SpinMatrix b = mul(gamma_src, gamma_matrix(4));
+  const auto a_nz = nonzeros(a);
+  const auto b_nz = nonzeros(b);
+
+  double p[3];
+  for (int i = 0; i < 3; ++i)
+    p[i] = 2.0 * 3.14159265358979323846 * n[static_cast<std::size_t>(i)] /
+           geo.dim(i);
+
+  std::vector<Cplxd> c;
+  timeslice_sum(geo, t0, c, [&](std::int64_t cb) {
+    const Coord x = geo.coords(cb);
+    const double phase = -(p[0] * x[0] + p[1] * x[1] + p[2] * x[2]);
+    const Cplxd ph(std::cos(phase), std::sin(phase));
+    Cplxd acc{};
+    for (int kappa = 0; kappa < Nc; ++kappa)
+      for (int lambda = 0; lambda < Nc; ++lambda)
+        for (const auto& eb : b_nz)
+          for (const auto& ea : a_nz) {
+            const Cplxd s1 = s.element(cb, ea.c, kappa, eb.r, lambda);
+            const Cplxd s2 = s.element(cb, ea.r, kappa, eb.c, lambda);
+            acc += eb.v * ea.v * mul_conj(s1, s2);
+          }
+    return ph * acc;
+  });
+  return pack(c);
+}
+
+Correlator pion_correlator_momentum(const Propagator& s, int t0,
+                                    const std::array<int, 3>& n) {
+  return meson_correlator_momentum(s, gamma_matrix(4), gamma_matrix(4), t0,
+                                   n);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,59 @@
+#pragma once
+// Hadron two-point functions from a point-source propagator — the
+// "origin of mass" payoff: pion, rho (and any other Gamma-insertion
+// meson) plus the nucleon.
+//
+// Meson correlator convention (degenerate quarks, source at t = t0):
+//
+//   C_Gamma(t) = sum_xvec Tr[ Gamma_snk S(x,0) Gamma_src g5 S(x,0)^† g5 ]
+//
+// which for Gamma_snk = Gamma_src = g5 reduces to the positive-definite
+// pion correlator sum |S|^2. The nucleon uses the standard proton
+// interpolator eps_abc (u^T C g5 d) u with parity projector (1 + g4)/2,
+// contracted by explicit Wick expansion (two terms).
+
+#include <vector>
+
+#include "linalg/gamma.hpp"
+#include "spectro/propagator.hpp"
+
+namespace lqcd {
+
+/// Time-sliced meson correlator, C[t] for t = 0..T-1, measured relative to
+/// source time t0 (entry k is the timeslice (t0 + k) mod T). The imaginary
+/// part must vanish by construction; it is returned for noise monitoring.
+struct Correlator {
+  std::vector<double> c;      ///< Re C(t)
+  std::vector<double> c_imag; ///< Im C(t) (consistency check)
+};
+
+Correlator meson_correlator(const Propagator& s, const SpinMatrix& gamma_snk,
+                            const SpinMatrix& gamma_src, int t0);
+
+/// Pion (Gamma = g5). Positive by construction.
+Correlator pion_correlator(const Propagator& s, int t0);
+
+/// Rho, averaged over the three spatial polarizations (Gamma = g_i).
+Correlator rho_correlator(const Propagator& s, int t0);
+
+/// Scalar (Gamma = 1) — the a0 channel.
+Correlator scalar_correlator(const Propagator& s, int t0);
+
+/// Nucleon (proton) two-point with the positive-parity projector.
+Correlator nucleon_correlator(const Propagator& s, int t0);
+
+/// Momentum-projected meson correlator
+///   C(p, t) = sum_xvec e^{-i p . xvec} Tr[...],
+/// with p = 2 pi n / L given by integer mode numbers `n` per spatial
+/// direction. Returns the complex correlator (real/imag parts); the
+/// modulus feeds dispersion-relation fits E(p).
+Correlator meson_correlator_momentum(const Propagator& s,
+                                     const SpinMatrix& gamma_snk,
+                                     const SpinMatrix& gamma_src, int t0,
+                                     const std::array<int, 3>& n);
+
+/// Pion at momentum n (convenience).
+Correlator pion_correlator_momentum(const Propagator& s, int t0,
+                                    const std::array<int, 3>& n);
+
+}  // namespace lqcd

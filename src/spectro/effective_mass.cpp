@@ -1,0 +1,94 @@
+#include "spectro/effective_mass.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<double> effective_mass_log(const std::vector<double>& c) {
+  const std::size_t n = c.size();
+  std::vector<double> m(n > 0 ? n - 1 : 0, kNaN);
+  for (std::size_t t = 0; t + 1 < n; ++t) {
+    if (c[t] > 0.0 && c[t + 1] > 0.0) m[t] = std::log(c[t] / c[t + 1]);
+  }
+  return m;
+}
+
+std::vector<double> effective_mass_cosh(const std::vector<double>& c) {
+  const auto n = static_cast<int>(c.size());
+  std::vector<double> m(n > 0 ? static_cast<std::size_t>(n - 1) : 0, kNaN);
+  const double half = n / 2.0;
+  for (int t = 0; t + 1 < n; ++t) {
+    if (!(c[t] != 0.0 && c[t + 1] != 0.0)) continue;
+    const double ratio = c[t] / c[t + 1];
+    const double x1 = t - half;
+    const double x2 = t + 1 - half;
+    auto f = [&](double mm) {
+      return std::cosh(mm * x1) / std::cosh(mm * x2) - ratio;
+    };
+    // Bisection over m in (0, 10]; the ratio function is monotonic away
+    // from the midpoint. Skip unsolvable points (noise).
+    double lo = 1e-8, hi = 10.0;
+    double flo = f(lo), fhi = f(hi);
+    if (std::isnan(flo) || std::isnan(fhi) || flo * fhi > 0.0) continue;
+    for (int it = 0; it < 200; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double fm = f(mid);
+      if (flo * fm <= 0.0) {
+        hi = mid;
+        fhi = fm;
+      } else {
+        lo = mid;
+        flo = fm;
+      }
+    }
+    m[static_cast<std::size_t>(t)] = 0.5 * (lo + hi);
+  }
+  return m;
+}
+
+PlateauEstimate plateau_mass(const std::vector<double>& m_eff, int t_min,
+                             int t_max) {
+  LQCD_REQUIRE(t_min >= 0 && t_max >= t_min, "bad plateau window");
+  PlateauEstimate est;
+  double lo = 0.0, hi = 0.0, sum = 0.0;
+  for (int t = t_min; t <= t_max && t < static_cast<int>(m_eff.size());
+       ++t) {
+    const double v = m_eff[static_cast<std::size_t>(t)];
+    if (std::isnan(v)) continue;
+    if (est.points == 0) {
+      lo = hi = v;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    sum += v;
+    ++est.points;
+  }
+  if (est.points > 0) {
+    est.mass = sum / est.points;
+    est.spread = hi - lo;
+  }
+  return est;
+}
+
+std::vector<double> fold_correlator(const std::vector<double>& c) {
+  const auto n = static_cast<int>(c.size());
+  LQCD_REQUIRE(n >= 2 && n % 2 == 0, "fold needs even-length correlator");
+  std::vector<double> out(static_cast<std::size_t>(n / 2 + 1));
+  out[0] = c[0];
+  for (int t = 1; t < n / 2; ++t)
+    out[static_cast<std::size_t>(t)] =
+        0.5 * (c[static_cast<std::size_t>(t)] +
+               c[static_cast<std::size_t>(n - t)]);
+  out[static_cast<std::size_t>(n / 2)] = c[static_cast<std::size_t>(n / 2)];
+  return out;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,32 @@
+#pragma once
+// Effective masses and plateau extraction from correlator data.
+
+#include <vector>
+
+namespace lqcd {
+
+/// Log effective mass m(t) = ln(C(t)/C(t+1)). Entries where the ratio is
+/// non-positive are returned as NaN.
+std::vector<double> effective_mass_log(const std::vector<double>& c);
+
+/// Cosh effective mass: solves
+///   C(t)/C(t+1) = cosh(m (t - T/2)) / cosh(m (t + 1 - T/2))
+/// by bisection — correct for correlators symmetric about T/2
+/// (mesons with (anti)periodic time). NaN where unsolvable.
+std::vector<double> effective_mass_cosh(const std::vector<double>& c);
+
+/// Average the effective mass over a plateau window [t_min, t_max],
+/// skipping NaNs. Returns {mass, spread} where spread is the max-min over
+/// the window (a crude but assumption-free plateau-quality measure).
+struct PlateauEstimate {
+  double mass = 0.0;
+  double spread = 0.0;
+  int points = 0;
+};
+PlateauEstimate plateau_mass(const std::vector<double>& m_eff, int t_min,
+                             int t_max);
+
+/// Fold a symmetric (cosh) correlator about T/2: returns length T/2+1.
+std::vector<double> fold_correlator(const std::vector<double>& c);
+
+}  // namespace lqcd

@@ -1,0 +1,28 @@
+#pragma once
+// Analytic free-field (unit gauge) references.
+//
+// The free Wilson propagator is diagonal in momentum space:
+//   S(p) = [ A(p) + i sum_mu b_mu(p) gamma_mu ]^{-1}
+//        = ( A - i b.gamma ) / ( A^2 + b^2 ),
+//   A(p) = 1 - 2 kappa sum_mu cos p_mu,   b_mu(p) = 2 kappa sin p_mu,
+// with antiperiodic temporal momenta p4 = (2n+1) pi / T. The exact
+// finite-volume pion correlator follows by a double temporal Fourier sum —
+// an independent closed-form check of the entire source -> solve ->
+// contract pipeline, and the overlay curve for the spectroscopy bench.
+
+#include <vector>
+
+#include "lattice/geometry.hpp"
+
+namespace lqcd {
+
+/// Exact free-field pion correlator C(t), t = 0..T-1, source at the
+/// origin, antiperiodic time boundary for the quarks.
+std::vector<double> free_pion_correlator(const Coord& dims, double kappa);
+
+/// Free quark pole mass for Wilson fermions at this kappa:
+/// m_q = ln(1 + m0), m0 = 1/(2 kappa) - 4 (the continuum-limit estimate
+/// of where the pion effective mass plateaus, ~ 2 m_q, in a large box).
+double free_quark_mass(double kappa);
+
+}  // namespace lqcd

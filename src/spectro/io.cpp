@@ -1,0 +1,70 @@
+#include "spectro/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+void save_correlators(const CorrelatorSet& set, const std::string& path) {
+  LQCD_REQUIRE(!set.channels.empty(), "no channels to save");
+  const std::size_t nt = set.timeslices();
+  for (const auto& [name, values] : set.channels) {
+    LQCD_REQUIRE(values.size() == nt, "ragged channel: " + name);
+    LQCD_REQUIRE(name.find_first_of(" \t\n") == std::string::npos,
+                 "channel names must not contain whitespace: " + name);
+  }
+
+  std::ofstream os(path, std::ios::trunc);
+  LQCD_REQUIRE(os.good(), "cannot open for write: " + path);
+  os << "# t";
+  for (const auto& [name, values] : set.channels) os << '\t' << name;
+  os << '\n';
+  os.precision(17);
+  for (std::size_t t = 0; t < nt; ++t) {
+    os << t;
+    for (const auto& [name, values] : set.channels)
+      os << '\t' << values[t];
+    os << '\n';
+  }
+  LQCD_REQUIRE(os.good(), "write failed: " + path);
+}
+
+CorrelatorSet load_correlators(const std::string& path) {
+  std::ifstream is(path);
+  LQCD_REQUIRE(is.good(), "cannot open: " + path);
+
+  std::string header;
+  std::getline(is, header);
+  LQCD_REQUIRE(header.rfind("# t", 0) == 0,
+               "not a correlator file: " + path);
+  std::istringstream hs(header.substr(3));
+  std::vector<std::string> names;
+  std::string name;
+  while (hs >> name) names.push_back(name);
+  LQCD_REQUIRE(!names.empty(), "no channels in header: " + path);
+
+  CorrelatorSet set;
+  for (const auto& nm : names) set.channels[nm] = {};
+  std::string line;
+  std::size_t expect_t = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::size_t t = 0;
+    LQCD_REQUIRE(static_cast<bool>(ls >> t), "bad row in " + path);
+    LQCD_REQUIRE(t == expect_t, "non-contiguous timeslices in " + path);
+    ++expect_t;
+    for (const auto& nm : names) {
+      double v = 0.0;
+      LQCD_REQUIRE(static_cast<bool>(ls >> v),
+                   "missing value for " + nm + " in " + path);
+      set.channels[nm].push_back(v);
+    }
+  }
+  LQCD_REQUIRE(expect_t > 0, "empty correlator file: " + path);
+  return set;
+}
+
+}  // namespace lqcd

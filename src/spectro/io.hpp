@@ -1,0 +1,31 @@
+#pragma once
+// Correlator I/O: a simple self-describing TSV format for measurement
+// campaigns (one row per timeslice, one column per channel), with
+// round-trip parsing — the hand-off point between the C++ measurement
+// code and downstream fitting/plotting.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lqcd {
+
+/// A named set of equal-length correlators (e.g. {"pion", "rho", ...}).
+struct CorrelatorSet {
+  /// Channel name -> C(t) values; all vectors must have equal length.
+  std::map<std::string, std::vector<double>> channels;
+
+  [[nodiscard]] std::size_t timeslices() const {
+    return channels.empty() ? 0 : channels.begin()->second.size();
+  }
+};
+
+/// Write as TSV: header line "# t <name1> <name2> ...", then one row per
+/// timeslice. Throws lqcd::Error on I/O failure or ragged data.
+void save_correlators(const CorrelatorSet& set, const std::string& path);
+
+/// Read back a file written by save_correlators. Throws on malformed
+/// input.
+CorrelatorSet load_correlators(const std::string& path);
+
+}  // namespace lqcd

@@ -1,0 +1,70 @@
+#pragma once
+// Quark propagators: the 12 solutions M S = delta(spin, color) that feed
+// every hadron contraction.
+//
+// Column (s0, c0) of the propagator is the fermion field
+// S(x)_{(s,c),(s0,c0)}. Solves go through the even-odd Schur pipeline
+// (prepare rhs -> CG on the normal Schur system -> reconstruct), the
+// production path validated in tests/test_solver.cpp.
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "dirac/wilson.hpp"
+#include "gauge/gauge_field.hpp"
+#include "lattice/field.hpp"
+#include "solver/solver.hpp"
+
+namespace lqcd {
+
+class Propagator {
+ public:
+  explicit Propagator(const LatticeGeometry& geo);
+
+  [[nodiscard]] const LatticeGeometry& geometry() const { return *geo_; }
+
+  FermionFieldD& column(int s0, int c0) {
+    return *columns_[static_cast<std::size_t>(s0 * Nc + c0)];
+  }
+  [[nodiscard]] const FermionFieldD& column(int s0, int c0) const {
+    return *columns_[static_cast<std::size_t>(s0 * Nc + c0)];
+  }
+
+  /// Matrix element S(x)_{(s,c),(s0,c0)}.
+  [[nodiscard]] Cplxd element(std::int64_t cb, int s, int c, int s0,
+                              int c0) const {
+    return column(s0, c0)[cb].s[s].c[c];
+  }
+
+ private:
+  const LatticeGeometry* geo_;
+  std::array<std::unique_ptr<FermionFieldD>, Ns * Nc> columns_;
+};
+
+struct PropagatorParams {
+  double kappa = 0.12;
+  double csw = 0.0;  ///< 0 = plain Wilson, > 0 = clover
+  TimeBoundary bc = TimeBoundary::Antiperiodic;
+  SolverParams solver{.tol = 1e-10, .max_iterations = 20000};
+};
+
+struct PropagatorStats {
+  int total_iterations = 0;
+  double seconds = 0.0;
+  double worst_residual = 0.0;
+  bool converged = true;
+};
+
+/// Solve all 12 columns for sources produced by `make_source(b, s0, c0)`.
+PropagatorStats compute_propagator(
+    Propagator& out, const GaugeFieldD& u, const PropagatorParams& params,
+    const std::function<void(FermionFieldD&, int, int)>& make_source);
+
+/// Point-source convenience wrapper.
+PropagatorStats compute_point_propagator(Propagator& out,
+                                         const GaugeFieldD& u,
+                                         const PropagatorParams& params,
+                                         const Coord& point);
+
+}  // namespace lqcd

@@ -1,0 +1,64 @@
+#include "spectro/source.hpp"
+
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+void make_point_source(FermionFieldD& b, const Coord& point, int spin,
+                       int color) {
+  LQCD_REQUIRE(spin >= 0 && spin < Ns && color >= 0 && color < Nc,
+               "source spin/color out of range");
+  const LatticeGeometry& geo = b.geometry();
+  for (int mu = 0; mu < Nd; ++mu)
+    LQCD_REQUIRE(point[mu] >= 0 && point[mu] < geo.dim(mu),
+                 "source point outside the lattice");
+  b.set_zero();
+  b[geo.cb_index(point)].s[spin].c[color] = Cplxd(1.0);
+}
+
+void make_wall_source(FermionFieldD& b, int t0, int spin, int color) {
+  LQCD_REQUIRE(spin >= 0 && spin < Ns && color >= 0 && color < Nc,
+               "source spin/color out of range");
+  const LatticeGeometry& geo = b.geometry();
+  LQCD_REQUIRE(t0 >= 0 && t0 < geo.dim(3), "wall timeslice out of range");
+  b.set_zero();
+  for (std::int64_t s = 0; s < geo.volume(); ++s)
+    if (geo.coords(s)[3] == t0) b[s].s[spin].c[color] = Cplxd(1.0);
+}
+
+void smear_source(FermionFieldD& b, const GaugeFieldD& u, double alpha,
+                  int iterations) {
+  LQCD_REQUIRE(b.geometry() == u.geometry(), "smear_source geometry");
+  const LatticeGeometry& geo = b.geometry();
+  const std::int64_t vol = geo.volume();
+  FermionFieldD tmp(geo);
+  for (int it = 0; it < iterations; ++it) {
+    parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+      const auto cb = static_cast<std::int64_t>(s);
+      WilsonSpinorD acc = b[cb];
+      for (int mu = 0; mu < 3; ++mu) {  // spatial hops only
+        const std::int64_t xp = geo.fwd(cb, mu);
+        const std::int64_t xm = geo.bwd(cb, mu);
+        WilsonSpinorD hop = mul(u(cb, mu), b[xp]);
+        hop += adj_mul(u(xm, mu), b[xm]);
+        hop *= alpha;
+        acc += hop;
+      }
+      tmp[cb] = acc;
+    });
+    // Normalize to keep amplitudes O(1).
+    double n2 = 0.0;
+    for (std::int64_t s = 0; s < vol; ++s) n2 += norm2(tmp[s]);
+    const double inv = n2 > 0.0 ? 1.0 / std::sqrt(n2) : 1.0;
+    parallel_for(static_cast<std::size_t>(vol), [&](std::size_t s) {
+      WilsonSpinorD v = tmp[static_cast<std::int64_t>(s)];
+      v *= inv;
+      b[static_cast<std::int64_t>(s)] = v;
+    });
+  }
+}
+
+}  // namespace lqcd

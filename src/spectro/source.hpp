@@ -1,0 +1,24 @@
+#pragma once
+// Quark sources for spectroscopy. A source fixes one (spin, color) of the
+// 12 propagator columns; the full propagator needs all 12.
+
+#include "gauge/gauge_field.hpp"
+#include "lattice/field.hpp"
+
+namespace lqcd {
+
+/// Delta-function source at `point` for (spin, color).
+void make_point_source(FermionFieldD& b, const Coord& point, int spin,
+                       int color);
+
+/// Wall source on timeslice t0 for (spin, color): 1 on every spatial site
+/// (gauge-variant; used on smeared/fixed configs or for free-field checks).
+void make_wall_source(FermionFieldD& b, int t0, int spin, int color);
+
+/// Gaussian (Wuppertal) smearing of an existing source:
+///   b <- (1 + alpha H)^n b,  H the spatial hopping with links `u`,
+/// normalized each step. Improves ground-state overlap.
+void smear_source(FermionFieldD& b, const GaugeFieldD& u, double alpha,
+                  int iterations);
+
+}  // namespace lqcd

@@ -1,0 +1,102 @@
+#pragma once
+// Kogut–Susskind (staggered) fermions — the other workhorse lattice
+// discretization (MILC's), implemented as an independent substrate and
+// baseline against the Wilson stack.
+//
+// The spin degree of freedom is diagonalized away: one color vector per
+// site, with the Dirac structure encoded in the position-dependent sign
+// factors ("staggered phases")
+//
+//   eta_1(x) = 1,  eta_2 = (-1)^{x1},  eta_3 = (-1)^{x1+x2},
+//   eta_4 = (-1)^{x1+x2+x3}        (directions x,y,z,t = 1..4 here),
+//
+// giving the anti-hermitian hopping operator
+//
+//   (D chi)(x) = 1/2 sum_mu eta_mu(x) [ U_mu(x) chi(x+mu)
+//                                       - U_mu^†(x-mu) chi(x-mu) ],
+//
+// and the fermion matrix M = m + D with M^† M = m^2 - D^2 (exact, since
+// D^† = -D). -D^2 is block diagonal over parities, so CG on the even
+// sites of M^†M is the standard staggered solve; a dedicated small CG is
+// provided (the Wilson-spinor solver stack is type-specialized).
+//
+// One staggered field describes four degenerate "tastes"; the local
+// pseudoscalar channel from a point source is the exact Goldstone pion,
+// whose mass obeys m_pi^2 ~ m_q (chiral behaviour Wilson fermions lack).
+
+#include <vector>
+
+#include "dirac/wilson.hpp"  // TimeBoundary, make_fermion_links
+#include "gauge/gauge_field.hpp"
+#include "lattice/field.hpp"
+#include "util/aligned.hpp"
+
+namespace lqcd {
+
+using StaggeredFieldD = Field<ColorVector<double>>;
+
+/// Staggered phase eta_mu(x) in {+1, -1}.
+inline double staggered_phase(const Coord& x, int mu) {
+  int s = 0;
+  for (int nu = 0; nu < mu; ++nu) s += x[nu];
+  return (s & 1) ? -1.0 : 1.0;
+}
+
+/// out = D in (anti-hermitian staggered hopping).
+void staggered_dslash(std::span<ColorVector<double>> out,
+                      std::span<const ColorVector<double>> in,
+                      const GaugeFieldD& links);
+
+/// The staggered fermion matrix M = m + D.
+class StaggeredOperator {
+ public:
+  StaggeredOperator(const GaugeFieldD& u, double mass,
+                    TimeBoundary bc = TimeBoundary::Antiperiodic);
+
+  /// out = (m + D) in.
+  void apply(std::span<ColorVector<double>> out,
+             std::span<const ColorVector<double>> in) const;
+
+  /// out = M^† M in = (m^2 - D^2) in.
+  void apply_normal(std::span<ColorVector<double>> out,
+                    std::span<const ColorVector<double>> in) const;
+
+  [[nodiscard]] double mass() const { return mass_; }
+  [[nodiscard]] const LatticeGeometry& geometry() const {
+    return links_.geometry();
+  }
+
+ private:
+  GaugeFieldD links_;
+  double mass_;
+  mutable aligned_vector<ColorVector<double>> tmp_;
+};
+
+/// Minimal CG for the staggered normal system M^†M x = b.
+struct StaggeredSolveResult {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;
+};
+StaggeredSolveResult staggered_cg(const StaggeredOperator& m,
+                                  std::span<ColorVector<double>> x,
+                                  std::span<const ColorVector<double>> b,
+                                  double tol, int max_iterations);
+
+/// Solve M s = delta_{x,0} delta_{c,c0} for all three colors and return
+/// the local Goldstone-pion correlator C(t) = sum_xvec sum_c |s_c(x)|^2.
+struct StaggeredPionResult {
+  std::vector<double> correlator;  ///< C(t), t relative to the source
+  int total_iterations = 0;
+  bool converged = true;
+};
+StaggeredPionResult staggered_pion_correlator(const GaugeFieldD& u,
+                                              double mass,
+                                              const Coord& source,
+                                              double tol = 1e-10);
+
+/// Free staggered quark energy: sinh(E) = m at zero spatial momentum, so
+/// the free Goldstone pion mass is ~ 2 asinh(m).
+double staggered_free_quark_energy(double mass);
+
+}  // namespace lqcd

@@ -1,0 +1,50 @@
+#pragma once
+// Cache-line aligned storage for lattice fields.
+//
+// Field data is stored in std::vector with a 64-byte aligned allocator so
+// the site structs start on cache-line boundaries and are friendly to
+// auto-vectorization.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace lqcd {
+
+inline constexpr std::size_t kFieldAlignment = 64;
+
+/// Minimal C++17-style aligned allocator (64-byte).
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T),
+                             std::align_val_t(kFieldAlignment));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kFieldAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// Vector whose buffer is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace lqcd

@@ -1,0 +1,85 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    LQCD_REQUIRE(arg.rfind("--", 0) == 0,
+                 "options must start with --, got: " + arg);
+    arg = arg.substr(2);
+    Opt opt;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opt.name = arg.substr(0, eq);
+      opt.value = arg.substr(eq + 1);
+      opt.has_value = true;
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      opt.name = arg;
+      opt.value = argv[++i];
+      opt.has_value = true;
+    } else {
+      opt.name = arg;
+    }
+    opts_.push_back(std::move(opt));
+  }
+}
+
+const Cli::Opt* Cli::find(const std::string& name) const {
+  for (const auto& o : opts_)
+    if (o.name == name) {
+      o.used = true;
+      return &o;
+    }
+  return nullptr;
+}
+
+bool Cli::has(const std::string& name) const { return find(name) != nullptr; }
+
+int Cli::get_int(const std::string& name, int fallback) {
+  const Opt* o = find(name);
+  if (!o) return fallback;
+  LQCD_REQUIRE(o->has_value, "--" + name + " needs a value");
+  return std::atoi(o->value.c_str());
+}
+
+long Cli::get_long(const std::string& name, long fallback) {
+  const Opt* o = find(name);
+  if (!o) return fallback;
+  LQCD_REQUIRE(o->has_value, "--" + name + " needs a value");
+  return std::atol(o->value.c_str());
+}
+
+double Cli::get_double(const std::string& name, double fallback) {
+  const Opt* o = find(name);
+  if (!o) return fallback;
+  LQCD_REQUIRE(o->has_value, "--" + name + " needs a value");
+  return std::atof(o->value.c_str());
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) {
+  const Opt* o = find(name);
+  if (!o) return fallback;
+  LQCD_REQUIRE(o->has_value, "--" + name + " needs a value");
+  return o->value;
+}
+
+bool Cli::get_flag(const std::string& name) {
+  const Opt* o = find(name);
+  if (!o) return false;
+  if (!o->has_value) return true;
+  return o->value == "1" || o->value == "true" || o->value == "yes";
+}
+
+void Cli::finish() const {
+  for (const auto& o : opts_)
+    if (!o.used) throw Error("unknown option: --" + o.name);
+}
+
+}  // namespace lqcd

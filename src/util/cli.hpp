@@ -1,0 +1,50 @@
+#pragma once
+// Tiny command-line option parser used by the examples and bench drivers.
+//
+//   lqcd::Cli cli(argc, argv);
+//   const int L = cli.get_int("L", 8);
+//   const double beta = cli.get_double("beta", 6.0);
+//   cli.finish();  // rejects unknown flags
+//
+// Options are spelled --name=value or --name value; bare --flag is a bool.
+
+#include <string>
+#include <vector>
+
+namespace lqcd {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Typed getters with defaults; mark the option as recognized.
+  int get_int(const std::string& name, int fallback);
+  long get_long(const std::string& name, long fallback);
+  double get_double(const std::string& name, double fallback);
+  std::string get_string(const std::string& name, const std::string& fallback);
+  bool get_flag(const std::string& name);
+
+  /// True if the user supplied the option.
+  bool has(const std::string& name) const;
+
+  /// Throws lqcd::Error if any supplied option was never queried
+  /// (catches typos in experiment scripts).
+  void finish() const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    mutable bool used = false;
+  };
+  const Opt* find(const std::string& name) const;
+
+  std::string program_;
+  std::vector<Opt> opts_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,29 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace lqcd {
+
+namespace {
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t prev) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = prev ^ 0xffffffffu;
+  for (std::size_t i = 0; i < bytes; ++i)
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,14 @@
+#pragma once
+// CRC-32 (IEEE 802.3 polynomial) for gauge-configuration file integrity.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lqcd {
+
+/// Incremental CRC-32: pass the previous value to chain buffers
+/// (start from 0).
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t prev = 0);
+
+}  // namespace lqcd

@@ -1,0 +1,50 @@
+#pragma once
+// Error handling for lqcd.
+//
+// The library throws lqcd::Error (a std::runtime_error) on contract
+// violations and unrecoverable runtime failures (bad geometry, I/O
+// corruption, solver divergence when the caller asked for a hard failure).
+// LQCD_REQUIRE is used for precondition checks on public entry points;
+// LQCD_ASSERT for internal invariants (kept on in all build types: this is
+// a correctness-first research code and the checks are off the hot paths).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lqcd {
+
+/// Exception type thrown by all lqcd components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* cond,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace lqcd
+
+/// Precondition check on public API entry points. Always enabled.
+#define LQCD_REQUIRE(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::lqcd::detail::fail("precondition", #cond, __FILE__, __LINE__, \
+                           (msg));                                    \
+  } while (0)
+
+/// Internal invariant check. Always enabled (cold paths only).
+#define LQCD_ASSERT(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::lqcd::detail::fail("invariant", #cond, __FILE__, __LINE__,  \
+                           (msg));                                  \
+  } while (0)

@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(n - 1);
+}
+
+double standard_error(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  return std::sqrt(variance(xs) / static_cast<double>(xs.size()));
+}
+
+double integrated_autocorrelation(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.5;
+  const double m = mean(xs);
+  const double c0 = [&] {
+    double s = 0.0;
+    for (double x : xs) s += (x - m) * (x - m);
+    return s / static_cast<double>(n);
+  }();
+  if (c0 <= 0.0) return 0.5;
+
+  double tau = 0.5;
+  // Madras–Sokal self-consistent window: stop when t >= 6 tau.
+  for (std::size_t t = 1; t < n / 2; ++t) {
+    double ct = 0.0;
+    for (std::size_t i = 0; i + t < n; ++i)
+      ct += (xs[i] - m) * (xs[i + t] - m);
+    ct /= static_cast<double>(n - t);
+    tau += ct / c0;
+    if (static_cast<double>(t) >= 6.0 * tau) break;
+  }
+  return tau > 0.5 ? tau : 0.5;
+}
+
+JackknifeResult jackknife(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& estimator) {
+  const std::size_t n = samples.size();
+  LQCD_REQUIRE(n >= 2, "jackknife needs at least 2 samples");
+
+  JackknifeResult out;
+  out.value = estimator(samples);
+
+  std::vector<double> reduced(n - 1);
+  std::vector<double> thetas(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (i != k) reduced[j++] = samples[i];
+    thetas[k] = estimator(reduced);
+  }
+  const double tbar = mean(thetas);
+  double s = 0.0;
+  for (double th : thetas) s += (th - tbar) * (th - tbar);
+  out.error =
+      std::sqrt(s * static_cast<double>(n - 1) / static_cast<double>(n));
+  return out;
+}
+
+JackknifeResult jackknife_mean(std::span<const double> samples) {
+  return jackknife(samples,
+                   [](std::span<const double> xs) { return mean(xs); });
+}
+
+CorrelatorEstimate jackknife_correlator(
+    const std::vector<std::vector<double>>& data) {
+  LQCD_REQUIRE(!data.empty(), "no correlator measurements");
+  const std::size_t nt = data.front().size();
+  for (const auto& row : data)
+    LQCD_REQUIRE(row.size() == nt, "ragged correlator data");
+
+  CorrelatorEstimate est;
+  est.value.resize(nt);
+  est.error.resize(nt);
+  std::vector<double> column(data.size());
+  for (std::size_t t = 0; t < nt; ++t) {
+    for (std::size_t c = 0; c < data.size(); ++c) column[c] = data[c][t];
+    if (column.size() >= 2) {
+      const auto jk = jackknife_mean(column);
+      est.value[t] = jk.value;
+      est.error[t] = jk.error;
+    } else {
+      est.value[t] = column[0];
+      est.error[t] = 0.0;
+    }
+  }
+  return est;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,51 @@
+#pragma once
+// Statistics helpers for observables: mean/error, autocorrelation,
+// single-elimination jackknife (the standard error estimator for lattice
+// correlator data).
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace lqcd {
+
+/// Sample mean of `xs` (empty input -> 0).
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator; n<2 -> 0).
+double variance(std::span<const double> xs);
+
+/// Standard error of the mean: sqrt(var/n).
+double standard_error(std::span<const double> xs);
+
+/// Integrated autocorrelation time with a self-consistent window cutoff
+/// (Madras–Sokal). Returns 0.5 for uncorrelated data of length < 2.
+double integrated_autocorrelation(std::span<const double> xs);
+
+/// Result of a jackknife estimate.
+struct JackknifeResult {
+  double value = 0.0;  ///< estimator on the full sample
+  double error = 0.0;  ///< single-elimination jackknife error
+};
+
+/// Single-elimination jackknife of an arbitrary scalar estimator over a set
+/// of per-configuration samples. `estimator` maps a sample vector to the
+/// derived quantity (e.g. an effective mass from averaged correlators).
+JackknifeResult jackknife(
+    std::span<const double> samples,
+    const std::function<double(std::span<const double>)>& estimator);
+
+/// Convenience: jackknife of the plain mean.
+JackknifeResult jackknife_mean(std::span<const double> samples);
+
+/// Per-timeslice jackknife over a set of correlator measurements:
+/// `data[cfg][t]`. Returns mean and jackknife error per t.
+struct CorrelatorEstimate {
+  std::vector<double> value;
+  std::vector<double> error;
+};
+CorrelatorEstimate jackknife_correlator(
+    const std::vector<std::vector<double>>& data);
+
+}  // namespace lqcd

@@ -1,0 +1,45 @@
+#pragma once
+// Wall-clock timing utilities used by the solvers and bench harnesses.
+
+#include <chrono>
+
+namespace lqcd {
+
+/// Simple wall-clock stopwatch. start() resets; seconds() reads elapsed.
+class WallTimer {
+ public:
+  WallTimer() { start(); }
+
+  void start() { t0_ = Clock::now(); }
+
+  /// Elapsed seconds since the last start().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0_;
+};
+
+/// Accumulating timer: sums several timed intervals (e.g. per solver phase).
+class AccumTimer {
+ public:
+  void begin() { timer_.start(); running_ = true; }
+  void end() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+    ++intervals_;
+  }
+  [[nodiscard]] double total_seconds() const { return total_; }
+  [[nodiscard]] long intervals() const { return intervals_; }
+  void reset() { total_ = 0.0; intervals_ = 0; running_ = false; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  long intervals_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace lqcd

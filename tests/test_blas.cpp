@@ -1,0 +1,158 @@
+// Property tests for the field-level BLAS the solvers are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+namespace {
+
+using VecD = aligned_vector<WilsonSpinorD>;
+using VecF = aligned_vector<WilsonSpinorF>;
+
+VecD random_vec(std::size_t n, std::uint64_t seed) {
+  VecD v(n);
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        v[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+  return v;
+}
+
+std::span<const WilsonSpinorD> cs(const VecD& v) {
+  return {v.data(), v.size()};
+}
+std::span<WilsonSpinorD> ms(VecD& v) { return {v.data(), v.size()}; }
+
+class BlasSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlasSizes, NormMatchesDot) {
+  VecD x = random_vec(GetParam(), 1);
+  EXPECT_NEAR(blas::norm2(cs(x)), blas::dot(cs(x), cs(x)).re,
+              1e-10 * blas::norm2(cs(x)));
+  EXPECT_NEAR(blas::dot(cs(x), cs(x)).im, 0.0, 1e-10);
+}
+
+TEST_P(BlasSizes, AxpyLinearity) {
+  const std::size_t n = GetParam();
+  VecD x = random_vec(n, 2), y = random_vec(n, 3), y2 = y;
+  const double a = 0.37;
+  blas::axpy(a, cs(x), ms(y));
+  // check y == y2 + a x elementwise
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    WilsonSpinorD want = x[i];
+    want *= a;
+    want += y2[i];
+    err += norm2(y[i] - want);
+  }
+  EXPECT_LT(err, 1e-22 * static_cast<double>(n + 1));
+}
+
+TEST_P(BlasSizes, DotSesquilinearity) {
+  const std::size_t n = GetParam();
+  VecD x = random_vec(n, 4), y = random_vec(n, 5);
+  const Cplxd xy = blas::dot(cs(x), cs(y));
+  const Cplxd yx = blas::dot(cs(y), cs(x));
+  EXPECT_NEAR(xy.re, yx.re, 1e-9 * std::abs(xy.re) + 1e-12);
+  EXPECT_NEAR(xy.im, -yx.im, 1e-9 * std::abs(xy.re) + 1e-12);
+  // Cauchy-Schwarz.
+  EXPECT_LE(norm2(xy),
+            blas::norm2(cs(x)) * blas::norm2(cs(y)) * (1 + 1e-12));
+}
+
+TEST_P(BlasSizes, XpayMatchesDefinition) {
+  const std::size_t n = GetParam();
+  VecD x = random_vec(n, 6), y = random_vec(n, 7), y0 = y;
+  const double a = -1.25;
+  blas::xpay(cs(x), a, ms(y));
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    WilsonSpinorD want = y0[i];
+    want *= a;
+    want += x[i];
+    err += norm2(y[i] - want);
+  }
+  EXPECT_LT(err, 1e-22 * static_cast<double>(n + 1));
+}
+
+TEST_P(BlasSizes, CaxpyComplexCoefficient) {
+  const std::size_t n = GetParam();
+  VecD x = random_vec(n, 8), y = random_vec(n, 9), y0 = y;
+  const Cplxd a(0.3, -0.9);
+  blas::caxpy(a, cs(x), ms(y));
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    WilsonSpinorD want = x[i];
+    want *= a;
+    want += y0[i];
+    err += norm2(y[i] - want);
+  }
+  EXPECT_LT(err, 1e-22 * static_cast<double>(n + 1));
+}
+
+TEST_P(BlasSizes, ZeroAndScale) {
+  const std::size_t n = GetParam();
+  VecD x = random_vec(n, 10);
+  blas::scale(0.5, ms(x));
+  VecD y = random_vec(n, 10);
+  EXPECT_NEAR(blas::norm2(cs(x)), 0.25 * blas::norm2(cs(y)), 1e-9);
+  blas::zero(ms(x));
+  EXPECT_EQ(blas::norm2(cs(x)), 0.0);
+}
+
+TEST_P(BlasSizes, ConvertRoundTripAccuracy) {
+  const std::size_t n = GetParam();
+  VecD x = random_vec(n, 11);
+  VecF f(n);
+  VecD back(n);
+  blas::convert(std::span<WilsonSpinorF>(f.data(), n), cs(x));
+  blas::convert(ms(back), std::span<const WilsonSpinorF>(f.data(), n));
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err += norm2(back[i] - x[i]);
+    ref += norm2(x[i]);
+  }
+  if (n > 0) EXPECT_LT(std::sqrt(err / ref), 1e-7);
+}
+
+TEST_P(BlasSizes, DeterministicReductions) {
+  const std::size_t n = GetParam();
+  VecD x = random_vec(n, 12), y = random_vec(n, 13);
+  const Cplxd d1 = blas::dot(cs(x), cs(y));
+  const Cplxd d2 = blas::dot(cs(x), cs(y));
+  EXPECT_EQ(d1.re, d2.re);
+  EXPECT_EQ(d1.im, d2.im);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlasSizes,
+                         ::testing::Values(0, 1, 7, 64, 1000));
+
+TEST(Blas, SizeMismatchThrows) {
+  VecD x = random_vec(4, 14), y = random_vec(5, 15);
+  EXPECT_THROW(blas::axpy(1.0, cs(x), ms(y)), Error);
+  EXPECT_THROW(blas::dot(cs(x), cs(y)), Error);
+  EXPECT_THROW(blas::copy(ms(y), cs(x)), Error);
+}
+
+TEST(Blas, AxpyToThreeOperand) {
+  VecD x = random_vec(16, 16), y = random_vec(16, 17), z(16);
+  blas::axpy_to(cs(x), 2.0, cs(y), ms(z));
+  double err = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    WilsonSpinorD want = y[i];
+    want *= 2.0;
+    want += x[i];
+    err += norm2(z[i] - want);
+  }
+  EXPECT_LT(err, 1e-20);
+}
+
+}  // namespace
+}  // namespace lqcd

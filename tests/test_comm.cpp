@@ -1,0 +1,370 @@
+// Tests for the communication substrate: process grids, the functional
+// virtual cluster (halo exchange correctness, distributed operator
+// equivalence) and the analytic machine/performance models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/halo.hpp"
+#include "comm/machine.hpp"
+#include "comm/perf_model.hpp"
+#include "comm/process_grid.hpp"
+#include "dirac/normal.hpp"
+#include "gauge/heatbath.hpp"
+#include "linalg/blas.hpp"
+#include "solver/cg.hpp"
+
+namespace lqcd {
+namespace {
+
+TEST(ProcessGrid, RankCoordsBijection) {
+  const ProcessGrid pg({2, 3, 1, 4});
+  EXPECT_EQ(pg.size(), 24);
+  for (int r = 0; r < pg.size(); ++r)
+    EXPECT_EQ(pg.rank_of(pg.coords_of(r)), r);
+}
+
+TEST(ProcessGrid, NeighborsWrap) {
+  const ProcessGrid pg({2, 1, 1, 3});
+  const int r = pg.rank_of({1, 0, 0, 2});
+  EXPECT_EQ(pg.neighbor(r, 0, +1), pg.rank_of({0, 0, 0, 2}));
+  EXPECT_EQ(pg.neighbor(r, 3, +1), pg.rank_of({1, 0, 0, 0}));
+  EXPECT_EQ(pg.neighbor(r, 3, -1), pg.rank_of({1, 0, 0, 1}));
+  // Self-neighbor in an undecomposed direction.
+  EXPECT_EQ(pg.neighbor(r, 1, +1), r);
+}
+
+TEST(ProcessGrid, LocalDimsValidation) {
+  const ProcessGrid pg({2, 1, 1, 1});
+  EXPECT_EQ(pg.local_dims({8, 4, 4, 4})[0], 4);
+  EXPECT_THROW(pg.local_dims({6, 4, 4, 4}), Error);  // 3 is odd
+  const ProcessGrid pg3({3, 1, 1, 1});
+  EXPECT_THROW(pg3.local_dims({8, 4, 4, 4}), Error);  // not divisible
+}
+
+TEST(ChooseGrid, ProducesValidDecompositions) {
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64}) {
+    const Coord global{16, 16, 16, 32};
+    ASSERT_TRUE(can_decompose(global, nodes)) << nodes;
+    const Coord g = choose_grid(global, nodes);
+    int prod = 1;
+    for (int mu = 0; mu < Nd; ++mu) {
+      EXPECT_EQ(global[mu] % g[mu], 0);
+      EXPECT_EQ((global[mu] / g[mu]) % 2, 0);
+      prod *= g[mu];
+    }
+    EXPECT_EQ(prod, nodes);
+  }
+}
+
+TEST(ChooseGrid, RejectsImpossible) {
+  EXPECT_FALSE(can_decompose({4, 4, 4, 4}, 1024));  // local would be odd
+  EXPECT_FALSE(can_decompose({8, 8, 8, 8}, 11));    // large prime
+  EXPECT_THROW(choose_grid({4, 4, 4, 4}, 1024), Error);
+}
+
+TEST(ChooseGrid, SplitsLongestDirectionFirst) {
+  const Coord g = choose_grid({8, 8, 8, 32}, 4);
+  EXPECT_EQ(g[3], 4);  // time dominates
+}
+
+TEST(HaloLatticeTest, VolumesAndIndexing) {
+  const HaloLattice h({4, 4, 2, 6});
+  EXPECT_EQ(h.interior_volume(), 4 * 4 * 2 * 6);
+  EXPECT_EQ(h.extended_volume(), 6 * 6 * 4 * 8);
+  EXPECT_EQ(h.face_volume(2), 4 * 4 * 6);
+  // Interior coords round-trip through ext_index uniquely.
+  std::vector<char> seen(static_cast<std::size_t>(h.extended_volume()), 0);
+  for (std::int64_t i = 0; i < h.interior_volume(); ++i) {
+    const Coord x = h.interior_coords(i);
+    const std::int64_t e = h.ext_index(x);
+    ASSERT_GE(e, 0);
+    ASSERT_LT(e, h.extended_volume());
+    EXPECT_EQ(seen[static_cast<std::size_t>(e)], 0);
+    seen[static_cast<std::size_t>(e)] = 1;
+  }
+}
+
+TEST(HaloLatticeTest, RejectsThinDomains) {
+  EXPECT_THROW(HaloLattice({1, 4, 4, 4}), Error);
+}
+
+const LatticeGeometry& geo8() {
+  static LatticeGeometry geo({8, 4, 4, 8});
+  return geo;
+}
+
+// Encode global coordinates in the field value for exchange checks.
+WilsonSpinorD coord_tag(const Coord& x) {
+  WilsonSpinorD s{};
+  s.s[0].c[0] = Cplxd(x[0] + 10.0 * x[1], x[2] + 10.0 * x[3]);
+  return s;
+}
+
+TEST(VirtualClusterTest, ScatterGatherRoundTrip) {
+  const ProcessGrid pg(choose_grid(geo8().dims(), 4));
+  VirtualCluster<double> vc(geo8(), pg);
+  FermionFieldD f(geo8()), g(geo8());
+  for (std::int64_t s = 0; s < geo8().volume(); ++s)
+    f[s] = coord_tag(geo8().coords(s));
+  auto ranks = vc.make_fermion();
+  vc.scatter(ranks, f.span());
+  vc.gather(g.span(), ranks);
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < geo8().volume(); ++s)
+    diff += norm2(f[s] - g[s]);
+  EXPECT_EQ(diff, 0.0);
+}
+
+TEST(VirtualClusterTest, ExchangeFillsGhostsWithWrappedNeighbors) {
+  const ProcessGrid pg({2, 1, 1, 2});
+  VirtualCluster<double> vc(geo8(), pg);
+  FermionFieldD f(geo8());
+  for (std::int64_t s = 0; s < geo8().volume(); ++s)
+    f[s] = coord_tag(geo8().coords(s));
+  auto ranks = vc.make_fermion();
+  vc.scatter(ranks, f.span());
+  vc.exchange(ranks);
+
+  const HaloLattice& halo = vc.halo();
+  for (int r = 0; r < vc.ranks(); ++r) {
+    const auto& loc = ranks[static_cast<std::size_t>(r)];
+    // Check all 8 ghost faces against wrapped global coordinates.
+    for (int mu = 0; mu < Nd; ++mu) {
+      for (std::int64_t i = 0; i < halo.interior_volume(); ++i) {
+        Coord xl = halo.interior_coords(i);
+        if (xl[mu] != 0) continue;
+        for (int dir = -1; dir <= 1; dir += 2) {
+          Coord ghost = xl;
+          ghost[mu] = dir > 0 ? halo.local_dims()[mu] : -1;
+          const Coord xg = vc.global_coords(r, ghost);
+          const WilsonSpinorD got =
+              loc[static_cast<std::size_t>(halo.ext_index(ghost))];
+          ASSERT_LT(norm2(got - coord_tag(xg)), 1e-28)
+              << "rank " << r << " mu " << mu << " dir " << dir;
+        }
+      }
+    }
+  }
+}
+
+TEST(VirtualClusterTest, CommStatsCountMessagesAndBytes) {
+  const ProcessGrid pg({2, 1, 1, 2});
+  VirtualCluster<double> vc(geo8(), pg);
+  auto ranks = vc.make_fermion();
+  vc.stats().reset();
+  vc.exchange(ranks);
+  // 4 ranks x 8 faces.
+  EXPECT_EQ(vc.stats().messages, 4 * 8);
+  EXPECT_EQ(vc.stats().exchanges, 1);
+  // Bytes: per rank, 2 faces per direction x face sites x sizeof(spinor).
+  std::int64_t want = 0;
+  for (int mu = 0; mu < Nd; ++mu)
+    want += 2 * vc.halo().face_volume(mu) *
+            static_cast<std::int64_t>(sizeof(WilsonSpinorD));
+  EXPECT_EQ(vc.stats().bytes, 4 * want);
+}
+
+GaugeFieldD thermal8(std::uint64_t seed) {
+  GaugeFieldD u(geo8());
+  u.set_random(SiteRngFactory(seed));
+  Heatbath hb(u, {.beta = 5.9, .or_per_hb = 1, .seed = seed + 1});
+  for (int i = 0; i < 3; ++i) hb.sweep();
+  return u;
+}
+
+class DistributedOpGrid : public ::testing::TestWithParam<Coord> {};
+
+TEST_P(DistributedOpGrid, MatchesSingleDomainOperator) {
+  const GaugeFieldD u = thermal8(300);
+  const double kappa = 0.12;
+  WilsonOperator<double> single(u, kappa);
+  DistributedWilsonOperator<double> dist(u, kappa, ProcessGrid(GetParam()));
+
+  FermionFieldD in(geo8()), a(geo8()), b(geo8());
+  SiteRngFactory rngs(301);
+  for (std::int64_t s = 0; s < geo8().volume(); ++s) {
+    CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+    for (int sp = 0; sp < Ns; ++sp)
+      for (int c = 0; c < Nc; ++c)
+        in[s].s[sp].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+  single.apply(a.span(), in.span());
+  dist.apply(b.span(), in.span());
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < geo8().volume(); ++s)
+    diff += norm2(a[s] - b[s]);
+  // Same arithmetic in the same order: bit-for-bit equality.
+  EXPECT_EQ(diff, 0.0) << "grid " << GetParam()[0] << GetParam()[1]
+                       << GetParam()[2] << GetParam()[3];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DistributedOpGrid,
+    ::testing::Values(Coord{1, 1, 1, 1}, Coord{2, 1, 1, 1},
+                      Coord{1, 1, 1, 2}, Coord{2, 1, 1, 2},
+                      Coord{2, 2, 1, 2}, Coord{2, 2, 2, 2},
+                      Coord{4, 1, 1, 4}));
+
+TEST(DistributedOp, SolverIterationsIdenticalToSingleDomain) {
+  // CG through the virtual cluster must reproduce the single-domain
+  // iteration history exactly — decomposition is algorithm-invisible.
+  const GaugeFieldD u = thermal8(302);
+  const double kappa = 0.12;
+  WilsonOperator<double> single(u, kappa);
+  DistributedWilsonOperator<double> dist(u, kappa,
+                                         ProcessGrid({2, 1, 1, 2}));
+  NormalOperator<double> n_single(single);
+  NormalOperator<double> n_dist(dist);
+
+  FermionFieldD b(geo8()), x1(geo8()), x2(geo8());
+  SiteRngFactory rngs(303);
+  for (std::int64_t s = 0; s < geo8().volume(); ++s) {
+    CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+    b[s].s[0].c[0] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+  SolverParams p{.tol = 1e-10, .max_iterations = 2000};
+  const SolverResult r1 = cg_solve<double>(n_single, x1.span(), b.span(), p);
+  const SolverResult r2 = cg_solve<double>(n_dist, x2.span(), b.span(), p);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < geo8().volume(); ++s)
+    diff += norm2(x1[s] - x2[s]);
+  EXPECT_EQ(diff, 0.0);
+}
+
+TEST(MachineModels, PresetsSane) {
+  for (const auto& m : {blue_gene_q(), k_computer(), generic_cluster()}) {
+    EXPECT_GT(m.node_gflops_double, 0.0);
+    EXPECT_GT(m.node_gflops_single, m.node_gflops_double * 0.9);
+    EXPECT_GT(m.mem_bw_gbs, 0.0);
+    EXPECT_GT(m.link_bw_gbs, 0.0);
+    EXPECT_GT(m.link_latency_us, 0.0);
+    EXPECT_GT(m.compute_efficiency, 0.0);
+    EXPECT_LE(m.compute_efficiency, 1.0);
+  }
+  EXPECT_EQ(machine_by_name("bgq").name, blue_gene_q().name);
+  EXPECT_THROW(machine_by_name("roadrunner"), Error);
+}
+
+TEST(PerfModel, NoCommOnSingleNode) {
+  PerfModelOptions opt;
+  const DslashCost c =
+      model_dslash({8, 8, 8, 8}, {1, 1, 1, 1}, blue_gene_q(), opt);
+  EXPECT_EQ(c.messages, 0);
+  EXPECT_EQ(c.comm_bytes, 0.0);
+  EXPECT_EQ(c.t_comm, 0.0);
+  EXPECT_GT(c.t_compute, 0.0);
+  EXPECT_DOUBLE_EQ(c.t_total, c.t_compute);
+}
+
+TEST(PerfModel, CommGrowsWithDecomposedDirections) {
+  PerfModelOptions opt;
+  const DslashCost c1 =
+      model_dslash({8, 8, 8, 8}, {2, 1, 1, 1}, blue_gene_q(), opt);
+  const DslashCost c4 =
+      model_dslash({8, 8, 8, 8}, {2, 2, 2, 2}, blue_gene_q(), opt);
+  EXPECT_GT(c4.comm_bytes, c1.comm_bytes);
+  EXPECT_GT(c4.messages, c1.messages);
+}
+
+TEST(PerfModel, HalfSpinorCommHalvesBytes) {
+  PerfModelOptions full;
+  full.half_spinor_comm = false;
+  PerfModelOptions half;
+  half.half_spinor_comm = true;
+  const DslashCost cf =
+      model_dslash({8, 8, 8, 8}, {2, 2, 2, 2}, blue_gene_q(), full);
+  const DslashCost ch =
+      model_dslash({8, 8, 8, 8}, {2, 2, 2, 2}, blue_gene_q(), half);
+  EXPECT_NEAR(ch.comm_bytes, cf.comm_bytes / 2.0, 1.0);
+}
+
+TEST(PerfModel, FloatFasterThanDouble) {
+  PerfModelOptions d;
+  d.precision_bytes = 8;
+  PerfModelOptions f;
+  f.precision_bytes = 4;
+  const DslashCost cd =
+      model_dslash({8, 8, 8, 8}, {1, 1, 1, 1}, blue_gene_q(), d);
+  const DslashCost cf =
+      model_dslash({8, 8, 8, 8}, {1, 1, 1, 1}, blue_gene_q(), f);
+  EXPECT_LT(cf.t_compute, cd.t_compute);
+}
+
+TEST(PerfModel, StrongScalingShape) {
+  PerfModelOptions opt;
+  const std::vector<int> nodes = {16, 64, 256, 1024, 4096};
+  const auto pts =
+      strong_scaling({48, 48, 48, 96}, blue_gene_q(), opt, nodes);
+  ASSERT_GE(pts.size(), 4u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    // Total throughput rises with nodes, time per iteration falls.
+    EXPECT_GT(pts[i].sustained_tflops, pts[i - 1].sustained_tflops);
+    EXPECT_LT(pts[i].cost.t_iter, pts[i - 1].cost.t_iter);
+    // Efficiency decays monotonically (surface/volume + allreduce).
+    EXPECT_LE(pts[i].efficiency, pts[i - 1].efficiency + 1e-12);
+    // Comm fraction grows.
+    EXPECT_GE(pts[i].cost.comm_fraction,
+              pts[i - 1].cost.comm_fraction - 1e-12);
+  }
+  EXPECT_NEAR(pts.front().efficiency, 1.0, 1e-12);
+}
+
+TEST(PerfModel, WeakScalingNearFlat) {
+  PerfModelOptions opt;
+  const std::vector<int> nodes = {16, 128, 1024, 8192, 65536};
+  const auto pts = weak_scaling({16, 16, 16, 16}, blue_gene_q(), opt, nodes);
+  ASSERT_EQ(pts.size(), nodes.size());
+  // Weak scaling on a torus: efficiency stays high out to huge machines;
+  // only the log(N) allreduce bites.
+  for (const auto& pt : pts) EXPECT_GT(pt.efficiency, 0.8);
+  EXPECT_GT(pts.back().sustained_tflops,
+            1000.0 * pts.front().sustained_tflops / nodes.back() * 16);
+}
+
+TEST(PerfModel, StrongScalingSkipsImpossibleNodeCounts) {
+  PerfModelOptions opt;
+  const auto pts = strong_scaling({8, 8, 8, 16}, blue_gene_q(), opt,
+                                  {1, 2, 7, 4096});
+  // 7 has no factorization; 4096 would need odd local extents.
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].nodes, 1);
+  EXPECT_EQ(pts[1].nodes, 2);
+}
+
+TEST(PerfModel, CgIterationIncludesAllreduce) {
+  PerfModelOptions opt;
+  const IterationCost c1 =
+      model_cg_iteration({8, 8, 8, 8}, {2, 2, 2, 2}, 16, blue_gene_q(), opt);
+  const IterationCost c2 = model_cg_iteration({8, 8, 8, 8}, {2, 2, 2, 2},
+                                              65536, blue_gene_q(), opt);
+  EXPECT_GT(c2.t_allreduce, c1.t_allreduce);
+  EXPECT_GT(c2.t_iter, c1.t_iter);
+}
+
+TEST(PerfModel, SapTradesCommForLocalWork) {
+  PerfModelOptions opt;
+  const Coord local{4, 4, 4, 4};
+  const Coord grid{8, 8, 8, 8};
+  const int nodes = 4096;
+  const IterationCost cg =
+      model_cg_iteration(local, grid, nodes, blue_gene_q(), opt);
+  const IterationCost sap = model_sap_gcr_iteration(
+      local, grid, nodes, blue_gene_q(), opt, 4, 4);
+  // Per iteration SAP does more local flops but communicates relatively
+  // less of its time.
+  EXPECT_GT(sap.dslash.flops, cg.dslash.flops);
+  EXPECT_LT(sap.comm_fraction, cg.comm_fraction);
+}
+
+TEST(PerfModel, CalibrationPositive) {
+  const double c = calibrate_node(generic_cluster(), 8);
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 1e4);
+}
+
+}  // namespace
+}  // namespace lqcd

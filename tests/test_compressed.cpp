@@ -1,0 +1,176 @@
+// Tests for the compressed (16-bit "half") storage path: quantization
+// error bounds and the HalfWilsonOperator inside a mixed-precision chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirac/compressed.hpp"
+#include "dirac/normal.hpp"
+#include "dirac/wilson.hpp"
+#include "gauge/heatbath.hpp"
+#include "linalg/blas.hpp"
+#include "solver/cg.hpp"
+#include "solver/mixed_cg.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+const GaugeFieldD& gauge() {
+  static GaugeFieldD u = [] {
+    GaugeFieldD v(geo4());
+    v.set_random(SiteRngFactory(950));
+    Heatbath hb(v, {.beta = 5.9, .or_per_hb = 1, .seed = 951});
+    for (int i = 0; i < 5; ++i) hb.sweep();
+    return v;
+  }();
+  return u;
+}
+
+TEST(Quantization, LinkRoundTripErrorBounded) {
+  CounterRng rng(952, 0);
+  for (int rep = 0; rep < 50; ++rep) {
+    const ColorMatrix<float> u(
+        [&] {
+          ColorMatrixD d = random_su3<double>(rng);
+          ColorMatrix<float> f;
+          for (int r = 0; r < Nc; ++r)
+            for (int c = 0; c < Nc; ++c) f.m[r][c] = Cplxf(d.m[r][c]);
+          return f;
+        }());
+    const ColorMatrix<float> q = quantize_link(u);
+    // int16 fixed point over [-1, 1]: per-entry error <= 2^-16.
+    for (int r = 0; r < Nc; ++r)
+      for (int c = 0; c < Nc; ++c) {
+        EXPECT_LT(std::abs(q.m[r][c].re - u.m[r][c].re), 1.0f / 32767.0f);
+        EXPECT_LT(std::abs(q.m[r][c].im - u.m[r][c].im), 1.0f / 32767.0f);
+      }
+  }
+}
+
+TEST(Quantization, SpinorRoundTripRelativeError) {
+  CounterRng rng(953, 0);
+  for (int rep = 0; rep < 50; ++rep) {
+    WilsonSpinor<float> psi;
+    const float scale = static_cast<float>(std::exp(rng.uniform(-8, 8)));
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        psi.s[s].c[c] = Cplxf(static_cast<float>(rng.gaussian()) * scale,
+                              static_cast<float>(rng.gaussian()) * scale);
+    const WilsonSpinor<float> q = quantize_spinor(psi);
+    // Block-float: error bounded by max-magnitude / 2^15 per component.
+    const float n_ref = std::sqrt(norm2(psi));
+    const float err = std::sqrt(norm2(q - psi));
+    EXPECT_LT(err, 1e-3f * n_ref);
+  }
+}
+
+TEST(Quantization, ZeroSpinorExact) {
+  const WilsonSpinor<float> z{};
+  EXPECT_EQ(norm2(quantize_spinor(z)), 0.0f);
+}
+
+TEST(HalfOperator, CloseToFloatOperator) {
+  GaugeFieldF uf(geo4());
+  convert_gauge(uf, gauge());
+  const double kappa = 0.12;
+  WilsonOperator<float> m_f(uf, kappa);
+  HalfWilsonOperator m_h(uf, kappa);
+
+  FermionFieldF in(geo4()), a(geo4()), b(geo4());
+  SiteRngFactory rngs(954);
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+    for (int sp = 0; sp < Ns; ++sp)
+      for (int c = 0; c < Nc; ++c)
+        in[s].s[sp].c[c] = Cplxf(static_cast<float>(rng.gaussian()),
+                                 static_cast<float>(rng.gaussian()));
+  }
+  m_f.apply(a.span(), in.span());
+  m_h.apply(b.span(), in.span());
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(a[s] - b[s]);
+    ref += norm2(a[s]);
+  }
+  const double rel = std::sqrt(err / ref);
+  EXPECT_GT(rel, 0.0);     // quantization must actually do something
+  EXPECT_LT(rel, 5e-3);    // ...but stay at the half-precision level
+}
+
+TEST(HalfOperator, CgOnHalfNormalEquationsConverges) {
+  // Half precision caps the achievable residual around the quantization
+  // level; CG must still reach a loose tolerance.
+  GaugeFieldF uf(geo4());
+  convert_gauge(uf, gauge());
+  HalfWilsonOperator m_h(uf, 0.12);
+  NormalOperator<float> n_h(m_h);
+  FermionFieldF b(geo4()), x(geo4());
+  for (auto& s : b.span()) s.s[0].c[0] = Cplxf(1.0f);
+  SolverParams p{.tol = 1e-3, .max_iterations = 500,
+                 .check_true_residual = true};
+  const SolverResult r = cg_solve<float>(n_h, x.span(), b.span(), p);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(HalfOperator, MixedChainReachesDoublePrecision) {
+  // The QUDA trick: a double outer loop squeezes full precision out of a
+  // half-storage inner solver, at some iteration overhead.
+  const GaugeFieldD& u = gauge();
+  GaugeFieldF uf(geo4());
+  convert_gauge(uf, u);
+  const double kappa = 0.12;
+  WilsonOperator<double> m_d(u, kappa);
+  HalfWilsonOperator m_h(uf, kappa);
+  NormalOperator<double> n_d(m_d);
+  NormalOperator<float> n_h(m_h);
+
+  FermionFieldD b(geo4()), x(geo4());
+  SiteRngFactory rngs(955);
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+    b[s].s[0].c[0] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+  MixedCgParams mp;
+  mp.outer.tol = 1e-10;
+  mp.inner_reduction = 1e-3;  // half can't go much deeper per cycle
+  mp.max_outer_cycles = 100;
+  const SolverResult r = mixed_cg_solve(n_d, n_h, x.span(), b.span(), mp);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.relative_residual, 1e-10);
+  EXPECT_GT(r.outer_cycles, 1);
+}
+
+TEST(HalfOperator, MoreOuterCyclesThanFloatInner) {
+  // Precision ladder ordering: the half inner solver needs at least as
+  // many correction cycles as the float inner one.
+  const GaugeFieldD& u = gauge();
+  GaugeFieldF uf(geo4());
+  convert_gauge(uf, u);
+  const double kappa = 0.12;
+  WilsonOperator<double> m_d(u, kappa);
+  WilsonOperator<float> m_f(uf, kappa);
+  HalfWilsonOperator m_h(uf, kappa);
+  NormalOperator<double> n_d(m_d);
+  NormalOperator<float> n_f(m_f);
+  NormalOperator<float> n_h(m_h);
+
+  FermionFieldD b(geo4()), x1(geo4()), x2(geo4());
+  for (auto& s : b.span()) s.s[2].c[1] = Cplxd(1.0);
+  MixedCgParams mp;
+  mp.outer.tol = 1e-11;
+  mp.inner_reduction = 1e-3;
+  mp.max_outer_cycles = 100;
+  const SolverResult rf = mixed_cg_solve(n_d, n_f, x1.span(), b.span(), mp);
+  const SolverResult rh = mixed_cg_solve(n_d, n_h, x2.span(), b.span(), mp);
+  ASSERT_TRUE(rf.converged);
+  ASSERT_TRUE(rh.converged);
+  EXPECT_GE(rh.outer_cycles, rf.outer_cycles);
+}
+
+}  // namespace
+}  // namespace lqcd

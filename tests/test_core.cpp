@@ -1,0 +1,92 @@
+// Tests for the public facade: Context, EnsembleGenerator, the end-to-end
+// run_spectroscopy pipeline and the ScalingStudy wrapper.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "gauge/observables.hpp"
+
+namespace lqcd {
+namespace {
+
+TEST(Core, Version) {
+  const Version v = version();
+  EXPECT_GE(v.major, 1);
+  EXPECT_STREQ(v.string, "1.0.0");
+}
+
+TEST(Core, ContextOwnsGeometry) {
+  Context ctx({4, 4, 4, 8}, 42);
+  EXPECT_EQ(ctx.geometry().volume(), 4 * 4 * 4 * 8);
+  EXPECT_EQ(ctx.seed(), 42u);
+}
+
+TEST(Core, EnsembleGeneratorThermalizesAndDecorates) {
+  Context ctx({4, 4, 4, 4}, 7);
+  EnsembleParams ep;
+  ep.beta = 5.7;
+  ep.thermalization_sweeps = 10;
+  ep.sweeps_between_configs = 2;
+  EnsembleGenerator gen(ctx, ep);
+  EXPECT_FALSE(gen.thermalized());
+
+  const GaugeFieldD& c1 = gen.next_config();
+  EXPECT_TRUE(gen.thermalized());
+  const double p1 = average_plaquette(c1);
+  EXPECT_GT(p1, 0.4);
+  EXPECT_LT(p1, 0.75);
+
+  // Successive configs differ.
+  GaugeFieldD snapshot(ctx.geometry());
+  for (std::int64_t s = 0; s < ctx.geometry().volume(); ++s)
+    snapshot.site(s) = c1.site(s);
+  const GaugeFieldD& c2 = gen.next_config();
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < ctx.geometry().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      diff += norm2(c2(s, mu) - snapshot(s, mu));
+  EXPECT_GT(diff, 0.0);
+  EXPECT_NEAR(gen.plaquette(), average_plaquette(c2), 1e-14);
+}
+
+TEST(Core, RunSpectroscopyEndToEnd) {
+  Context ctx({4, 4, 4, 8}, 11);
+  EnsembleParams ep;
+  ep.beta = 5.9;
+  ep.thermalization_sweeps = 8;
+  EnsembleGenerator gen(ctx, ep);
+  const GaugeFieldD& u = gen.next_config();
+
+  SpectroscopyParams sp;
+  sp.propagator.kappa = 0.11;
+  sp.propagator.solver.tol = 1e-9;
+  sp.plateau_t_min = 2;
+  sp.plateau_t_max = 4;
+  const SpectroscopyResult res = run_spectroscopy(u, sp);
+
+  EXPECT_TRUE(res.solve_stats.converged);
+  ASSERT_EQ(res.pion.c.size(), 8u);
+  for (double v : res.pion.c) EXPECT_GT(v, 0.0);
+  EXPECT_GT(res.pion_mass.points, 0);
+  EXPECT_GT(res.pion_mass.mass, 0.0);
+  // Hadron mass ordering on a heavy-quark quenched lattice: the rho is at
+  // or above the pion, the nucleon above both (loose statistical check).
+  if (res.rho_mass.points > 0)
+    EXPECT_GT(res.rho_mass.mass, 0.8 * res.pion_mass.mass);
+  if (res.nucleon_mass.points > 0)
+    EXPECT_GT(res.nucleon_mass.mass, res.pion_mass.mass);
+}
+
+TEST(Core, ScalingStudyWrapper) {
+  ScalingStudy study(blue_gene_q(), PerfModelOptions{});
+  const auto strong = study.strong({32, 32, 32, 64}, {16, 128, 1024});
+  ASSERT_EQ(strong.size(), 3u);
+  EXPECT_GT(strong.back().sustained_tflops,
+            strong.front().sustained_tflops);
+  const auto weak = study.weak({8, 8, 8, 8}, {16, 1024});
+  ASSERT_EQ(weak.size(), 2u);
+  EXPECT_GT(weak.back().efficiency, 0.5);
+  EXPECT_EQ(study.machine().name, blue_gene_q().name);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,442 @@
+// Tests for the Dirac operators: Wilson dslash structure, gamma5
+// hermiticity, free-field spectra, clover term algebra and the even-odd
+// Schur complement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirac/clover.hpp"
+#include "dirac/eo.hpp"
+#include "dirac/naive.hpp"
+#include "dirac/normal.hpp"
+#include "dirac/wilson.hpp"
+#include "gauge/heatbath.hpp"
+#include "linalg/blas.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+void fill_random(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+GaugeFieldD thermalized_gauge(std::uint64_t seed) {
+  GaugeFieldD u(geo4());
+  u.set_random(SiteRngFactory(seed));
+  Heatbath hb(u, {.beta = 5.9, .or_per_hb = 1, .seed = seed + 1});
+  for (int i = 0; i < 5; ++i) hb.sweep();
+  return u;
+}
+
+using CSpan = std::span<const WilsonSpinorD>;
+
+CSpan cspan(const FermionFieldD& f) { return f.span(); }
+
+TEST(FermionLinks, AntiperiodicFlipsLastTimeslice) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  const GaugeFieldD v = make_fermion_links(u, TimeBoundary::Antiperiodic);
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    const double want = geo4().coords(s)[3] == geo4().dim(3) - 1 ? -1.0
+                                                                 : 1.0;
+    EXPECT_DOUBLE_EQ(v(s, 3).m[0][0].re, want);
+    EXPECT_DOUBLE_EQ(v(s, 0).m[0][0].re, 1.0);
+  }
+}
+
+TEST(FermionLinks, PeriodicIsCopy) {
+  const GaugeFieldD u = thermalized_gauge(40);
+  const GaugeFieldD v = make_fermion_links(u, TimeBoundary::Periodic);
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu) diff += norm2(u(s, mu) - v(s, mu));
+  EXPECT_EQ(diff, 0.0);
+}
+
+TEST(WilsonOperator, RejectsBadKappa) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  EXPECT_THROW(WilsonOperator<double>(u, 0.3), Error);
+  EXPECT_THROW(WilsonOperator<double>(u, 0.0), Error);
+}
+
+TEST(WilsonOperator, ConstantModeOnFreeField) {
+  // Periodic free field: a spin-color constant is an eigenvector of M
+  // with eigenvalue 1 - 8 kappa.
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  const double kappa = 0.11;
+  WilsonOperator<double> m(u, kappa, TimeBoundary::Periodic);
+  FermionFieldD in(geo4()), out(geo4());
+  for (auto& psi : in.span()) {
+    psi = WilsonSpinorD{};
+    psi.s[1].c[2] = Cplxd(1.0, 0.5);
+  }
+  m.apply(out.span(), cspan(in));
+  const double lam = 1.0 - 8.0 * kappa;
+  double err = 0.0;
+  for (std::size_t i = 0; i < out.span().size(); ++i) {
+    WilsonSpinorD want = in.span()[i];
+    want *= lam;
+    err += norm2(out.span()[i] - want);
+  }
+  EXPECT_LT(err, 1e-22);
+}
+
+TEST(WilsonOperator, PlaneWaveDispersion) {
+  // On the free field, M is diagonal in momentum space:
+  //   M(p) = (1 - 2k sum_mu cos p_mu) + 2ik sum_mu sin(p_mu) gamma_mu.
+  // Check the eigen-relation M psi_p = [...] psi_p for one nonzero p.
+  const LatticeGeometry& geo = geo4();
+  GaugeFieldD u(geo);
+  u.set_unit();
+  const double kappa = 0.12;
+  WilsonOperator<double> m(u, kappa, TimeBoundary::Periodic);
+
+  const double p[4] = {2.0 * M_PI / geo.dim(0), 0.0, 0.0,
+                       2.0 * M_PI * 2 / geo.dim(3)};
+  // Momentum eigen-spinor: constant chi modulated by exp(i p.x).
+  WilsonSpinorD chi{};
+  chi.s[0].c[0] = Cplxd(1.0);
+  chi.s[2].c[1] = Cplxd(0.0, 1.0);
+
+  FermionFieldD in(geo), out(geo), want(geo);
+  for (std::int64_t s = 0; s < geo.volume(); ++s) {
+    const Coord x = geo.coords(s);
+    double phase = 0.0;
+    for (int mu = 0; mu < Nd; ++mu) phase += p[mu] * x[mu];
+    const Cplxd ph(std::cos(phase), std::sin(phase));
+    WilsonSpinorD v = chi;
+    v *= ph;
+    in[s] = v;
+  }
+  m.apply(out.span(), cspan(in));
+
+  // Build the expected momentum-space action on chi.
+  double cos_sum = 0.0;
+  WilsonSpinorD mchi = chi;
+  mchi *= 0.0;
+  for (int mu = 0; mu < Nd; ++mu) cos_sum += std::cos(p[mu]);
+  WilsonSpinorD diag = chi;
+  diag *= (1.0 - 2.0 * kappa * cos_sum);
+  WilsonSpinorD gamma_part{};
+  for (int mu = 0; mu < Nd; ++mu) {
+    WilsonSpinorD g = apply_gamma(mu, chi);
+    g *= Cplxd(0.0, 2.0 * kappa * std::sin(p[mu]));
+    gamma_part += g;
+  }
+  const WilsonSpinorD mp = diag + gamma_part;
+  for (std::int64_t s = 0; s < geo.volume(); ++s) {
+    const Coord x = geo.coords(s);
+    double phase = 0.0;
+    for (int mu = 0; mu < Nd; ++mu) phase += p[mu] * x[mu];
+    const Cplxd ph(std::cos(phase), std::sin(phase));
+    WilsonSpinorD v = mp;
+    v *= ph;
+    want[s] = v;
+  }
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo.volume(); ++s) {
+    err += norm2(out[s] - want[s]);
+    ref += norm2(want[s]);
+  }
+  EXPECT_LT(err / ref, 1e-24);
+}
+
+TEST(WilsonOperator, Gamma5Hermiticity) {
+  const GaugeFieldD u = thermalized_gauge(41);
+  WilsonOperator<double> m(u, 0.13);
+  FermionFieldD phi(geo4()), psi(geo4()), mpsi(geo4()), tmp(geo4()),
+      mdphi(geo4());
+  fill_random(phi.span(), 50);
+  fill_random(psi.span(), 51);
+  m.apply(mpsi.span(), cspan(psi));
+  // <phi, M psi> must equal <M^† phi, psi> with M^† = g5 M g5.
+  m.apply_dagger(mdphi.span(), cspan(phi), tmp.span());
+  const Cplxd a = blas::dot(cspan(phi), cspan(mpsi));
+  const Cplxd b = blas::dot(cspan(mdphi), cspan(psi));
+  EXPECT_NEAR(a.re, b.re, 1e-9 * std::abs(a.re) + 1e-9);
+  EXPECT_NEAR(a.im, b.im, 1e-9 * std::abs(a.re) + 1e-9);
+}
+
+TEST(WilsonOperator, ParityDslashAssemblesFullDslash) {
+  const GaugeFieldD u = thermalized_gauge(42);
+  const GaugeFieldD links = make_fermion_links(u,
+                                               TimeBoundary::Antiperiodic);
+  FermionFieldD in(geo4()), full(geo4()), pieces(geo4());
+  fill_random(in.span(), 52);
+  dslash_full(full.span(), cspan(in), links);
+  dslash_parity(pieces.span(), cspan(in), links, 0);
+  dslash_parity(pieces.span(), cspan(in), links, 1);
+  double err = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    err += norm2(full[s] - pieces[s]);
+  EXPECT_EQ(err, 0.0);
+}
+
+TEST(WilsonOperator, LocalityOfDslash) {
+  // A point source spreads exactly to nearest neighbors after one hop.
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  const GaugeFieldD links = make_fermion_links(u, TimeBoundary::Periodic);
+  FermionFieldD in(geo4()), out(geo4());
+  const Coord origin{0, 0, 0, 0};
+  const std::int64_t src = geo4().cb_index(origin);
+  in[src].s[0].c[0] = Cplxd(1.0);
+  dslash_full(out.span(), cspan(in), links);
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    const Coord x = geo4().coords(s);
+    int dist = 0;
+    for (int mu = 0; mu < Nd; ++mu) {
+      const int d = std::abs(x[mu] - origin[mu]);
+      dist += std::min(d, geo4().dim(mu) - d);
+    }
+    if (dist == 1)
+      EXPECT_GT(norm2(out[s]), 0.0) << "missing neighbor support";
+    else
+      EXPECT_EQ(norm2(out[s]), 0.0) << "dslash leaked beyond neighbors";
+  }
+}
+
+TEST(NormalOperator, HermitianPositive) {
+  const GaugeFieldD u = thermalized_gauge(43);
+  WilsonOperator<double> m(u, 0.12);
+  NormalOperator<double> mdm(m);
+  EXPECT_TRUE(mdm.hermitian_positive());
+  FermionFieldD x(geo4()), y(geo4()), ax(geo4()), ay(geo4());
+  fill_random(x.span(), 53);
+  fill_random(y.span(), 54);
+  mdm.apply(ax.span(), cspan(x));
+  mdm.apply(ay.span(), cspan(y));
+  const Cplxd a = blas::dot(cspan(y), cspan(ax));
+  const Cplxd b = blas::dot(cspan(ay), cspan(x));
+  EXPECT_NEAR(a.re, b.re, 1e-8 * std::abs(a.re));
+  EXPECT_NEAR(a.im, b.im, 1e-8 * std::abs(a.re) + 1e-8);
+  // Positivity.
+  EXPECT_GT(blas::re_dot(cspan(x), cspan(ax)), 0.0);
+}
+
+TEST(CloverFieldStrength, VanishesOnFreeField) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  const GaugeFieldD links = make_fermion_links(u, TimeBoundary::Periodic);
+  for (int mu = 0; mu < Nd; ++mu)
+    for (int nu = mu + 1; nu < Nd; ++nu)
+      EXPECT_LT(norm2(clover_field_strength(links, 7, mu, nu)), 1e-28);
+}
+
+TEST(CloverFieldStrength, HermitianTraceless) {
+  const GaugeFieldD u = thermalized_gauge(44);
+  const GaugeFieldD links = make_fermion_links(u,
+                                               TimeBoundary::Antiperiodic);
+  const ColorMatrixD f = clover_field_strength(links, 11, 0, 3);
+  EXPECT_LT(norm2(f - dagger(f)), 1e-26);
+  EXPECT_NEAR(trace(f).re, 0.0, 1e-13);
+  EXPECT_NEAR(trace(f).im, 0.0, 1e-13);
+}
+
+TEST(CloverFieldStrength, AntisymmetricInPlaneIndices) {
+  const GaugeFieldD u = thermalized_gauge(45);
+  const GaugeFieldD links = make_fermion_links(u,
+                                               TimeBoundary::Antiperiodic);
+  const ColorMatrixD a = clover_field_strength(links, 19, 1, 2);
+  const ColorMatrixD b = clover_field_strength(links, 19, 2, 1);
+  EXPECT_LT(norm2(a + b), 1e-24);
+}
+
+TEST(CloverTerm, IdentityOnFreeField) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  CloverTerm<double> a(u, {.kappa = 0.12, .csw = 1.0,
+                           .bc = TimeBoundary::Periodic});
+  FermionFieldD in(geo4()), out(geo4());
+  fill_random(in.span(), 55);
+  a.apply(out.span(), cspan(in), 0, geo4().volume());
+  double err = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    err += norm2(out[s] - in[s]);
+  EXPECT_LT(err, 1e-24);
+}
+
+TEST(CloverTerm, InverseIsExact) {
+  const GaugeFieldD u = thermalized_gauge(46);
+  CloverTerm<double> a(u, {.kappa = 0.13, .csw = 1.2});
+  FermionFieldD in(geo4()), mid(geo4()), out(geo4());
+  fill_random(in.span(), 56);
+  a.apply(mid.span(), cspan(in), 0, geo4().volume());
+  a.apply_inverse(out.span(), cspan(mid), 0, geo4().volume());
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(out[s] - in[s]);
+    ref += norm2(in[s]);
+  }
+  EXPECT_LT(err / ref, 1e-22);
+}
+
+TEST(CloverTerm, BlocksHermitian) {
+  const GaugeFieldD u = thermalized_gauge(47);
+  CloverTerm<double> a(u, {.kappa = 0.13, .csw = 1.0});
+  for (std::int64_t s : {std::int64_t(0), std::int64_t(33),
+                         std::int64_t(100)}) {
+    for (int b = 0; b < 2; ++b) {
+      const auto& blk = a.block(s, b);
+      double herm_err = 0.0;
+      for (int r = 0; r < 6; ++r)
+        for (int c = 0; c < 6; ++c)
+          herm_err += norm2(blk.m[r][c] - conj(blk.m[c][r]));
+      EXPECT_LT(herm_err, 1e-24);
+    }
+  }
+}
+
+TEST(CloverWilson, ReducesToWilsonAtCswZero) {
+  const GaugeFieldD u = thermalized_gauge(48);
+  WilsonOperator<double> w(u, 0.12);
+  CloverWilsonOperator<double> c(u, u, {.kappa = 0.12, .csw = 0.0});
+  FermionFieldD in(geo4()), a(geo4()), b(geo4());
+  fill_random(in.span(), 57);
+  w.apply(a.span(), cspan(in));
+  c.apply(b.span(), cspan(in));
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(a[s] - b[s]);
+    ref += norm2(a[s]);
+  }
+  EXPECT_LT(err / ref, 1e-24);
+}
+
+TEST(CloverWilson, Gamma5Hermiticity) {
+  const GaugeFieldD u = thermalized_gauge(49);
+  CloverWilsonOperator<double> m(u, u, {.kappa = 0.13, .csw = 1.0});
+  FermionFieldD phi(geo4()), psi(geo4()), mpsi(geo4()), tmp(geo4()),
+      mdphi(geo4());
+  fill_random(phi.span(), 58);
+  fill_random(psi.span(), 59);
+  m.apply(mpsi.span(), cspan(psi));
+  apply_dagger_g5(m, mdphi.span(), cspan(phi), tmp.span());
+  const Cplxd a = blas::dot(cspan(phi), cspan(mpsi));
+  const Cplxd b = blas::dot(cspan(mdphi), cspan(psi));
+  EXPECT_NEAR(a.re, b.re, 1e-9 * std::abs(a.re) + 1e-9);
+  EXPECT_NEAR(a.im, b.im, 1e-9 * std::abs(a.re) + 1e-9);
+}
+
+TEST(SchurWilson, MatchesBlockElimination) {
+  // Apply the Schur complement directly and via explicit block products
+  // of the full operator on fields supported on one parity.
+  const GaugeFieldD u = thermalized_gauge(60);
+  const double kappa = 0.12;
+  SchurWilsonOperator<double> shat(u, kappa);
+  WilsonOperator<double> m(u, kappa);
+  const std::int64_t hv = geo4().half_volume();
+
+  FermionFieldD xo_full(geo4());
+  fill_random(xo_full.span(), 61);
+  // Zero the even block: x lives on odd sites only.
+  for (std::int64_t s = 0; s < hv; ++s) xo_full[s] = WilsonSpinorD{};
+
+  (void)m;
+  // Direct evaluation of the definition: Mhat x_o = x_o - k^2 D_oe D_eo x_o.
+  FermionFieldD deo(geo4()), doe(geo4());
+  const GaugeFieldD links = make_fermion_links(u,
+                                               TimeBoundary::Antiperiodic);
+  dslash_parity(deo.span(), cspan(xo_full), links, 0);
+  // zero odd block of deo view before next hop (only even part matters).
+  for (std::int64_t s = hv; s < geo4().volume(); ++s)
+    deo[s] = WilsonSpinorD{};
+  dslash_parity(doe.span(), cspan(deo), links, 1);
+
+  std::vector<WilsonSpinorD> got(static_cast<std::size_t>(hv));
+  auto x_odd = cspan(xo_full).subspan(static_cast<std::size_t>(hv));
+  shat.apply(std::span<WilsonSpinorD>(got),
+             x_odd);
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < hv; ++s) {
+    WilsonSpinorD w = doe[hv + s];
+    w *= kappa * kappa;
+    WilsonSpinorD expect = xo_full[hv + s];
+    expect -= w;
+    err += norm2(got[static_cast<std::size_t>(s)] - expect);
+    ref += norm2(expect);
+  }
+  EXPECT_LT(err / ref, 1e-24);
+}
+
+TEST(SchurWilson, Gamma5HermiticityOnHalfLattice) {
+  const GaugeFieldD u = thermalized_gauge(62);
+  SchurWilsonOperator<double> shat(u, 0.13);
+  const auto hv = static_cast<std::size_t>(geo4().half_volume());
+  aligned_vector<WilsonSpinorD> phi(hv), psi(hv), mpsi(hv), mdphi(hv),
+      tmp(hv);
+  fill_random(std::span<WilsonSpinorD>(phi.data(), hv), 63);
+  fill_random(std::span<WilsonSpinorD>(psi.data(), hv), 64);
+  shat.apply(std::span<WilsonSpinorD>(mpsi.data(), hv),
+             CSpan(psi.data(), hv));
+  apply_dagger_g5<double>(shat, std::span<WilsonSpinorD>(mdphi.data(), hv),
+                          CSpan(phi.data(), hv),
+                          std::span<WilsonSpinorD>(tmp.data(), hv));
+  const Cplxd a = blas::dot(CSpan(phi.data(), hv), CSpan(mpsi.data(), hv));
+  const Cplxd b = blas::dot(CSpan(mdphi.data(), hv), CSpan(psi.data(), hv));
+  EXPECT_NEAR(a.re, b.re, 1e-9 * std::abs(a.re) + 1e-9);
+  EXPECT_NEAR(a.im, b.im, 1e-9 * std::abs(a.re) + 1e-9);
+}
+
+TEST(SchurClover, ReducesToSchurWilsonAtCswZero) {
+  const GaugeFieldD u = thermalized_gauge(65);
+  const double kappa = 0.12;
+  SchurWilsonOperator<double> sw(u, kappa);
+  SchurCloverOperator<double> sc(u, u, {.kappa = kappa, .csw = 0.0});
+  const auto hv = static_cast<std::size_t>(geo4().half_volume());
+  aligned_vector<WilsonSpinorD> x(hv), a(hv), b(hv);
+  fill_random(std::span<WilsonSpinorD>(x.data(), hv), 66);
+  sw.apply(std::span<WilsonSpinorD>(a.data(), hv), CSpan(x.data(), hv));
+  sc.apply(std::span<WilsonSpinorD>(b.data(), hv), CSpan(x.data(), hv));
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < hv; ++i) {
+    err += norm2(a[i] - b[i]);
+    ref += norm2(a[i]);
+  }
+  EXPECT_LT(err / ref, 1e-22);
+}
+
+TEST(NaiveDslash, MatchesProjectedKernel) {
+  // The optimized spin-projected dslash must agree with the dense
+  // reference implementation to rounding.
+  const GaugeFieldD u = thermalized_gauge(68);
+  const GaugeFieldD links = make_fermion_links(u,
+                                               TimeBoundary::Antiperiodic);
+  FermionFieldD in(geo4()), fast(geo4()), slow(geo4());
+  fill_random(in.span(), 69);
+  dslash_full(fast.span(), cspan(in), links);
+  dslash_full_naive(slow.span(), cspan(in), links);
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(fast[s] - slow[s]);
+    ref += norm2(slow[s]);
+  }
+  EXPECT_LT(err / ref, 1e-26);
+}
+
+TEST(OperatorSizes, ReportedVectorSizes) {
+  const GaugeFieldD u = thermalized_gauge(67);
+  WilsonOperator<double> m(u, 0.12);
+  SchurWilsonOperator<double> s(u, 0.12);
+  EXPECT_EQ(m.vector_size(), geo4().volume());
+  EXPECT_EQ(s.vector_size(), geo4().half_volume());
+  EXPECT_GT(m.flops_per_apply(), 0.0);
+  EXPECT_GT(s.flops_per_apply(), 0.0);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,237 @@
+// Tests for two-flavor dynamical Wilson HMC: the fermion force against a
+// finite difference of the pseudofermion action (the decisive check),
+// integrator scaling, reversibility via the generic MD driver, Metropolis
+// behaviour and sea-quark screening of the plaquette.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirac/normal.hpp"
+#include "dirac/wilson.hpp"
+#include "gauge/heatbath.hpp"
+#include "gauge/observables.hpp"
+#include "hmc/dynamical.hpp"
+#include "linalg/blas.hpp"
+#include "solver/cg.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+GaugeFieldD mildly_thermal(std::uint64_t seed, double beta = 5.4) {
+  GaugeFieldD u(geo4());
+  u.set_random(SiteRngFactory(seed));
+  Heatbath hb(u, {.beta = beta, .or_per_hb = 1, .seed = seed + 7});
+  for (int i = 0; i < 4; ++i) hb.sweep();
+  return u;
+}
+
+void fill_gaussian(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+double field_distance(const GaugeFieldD& a, const GaugeFieldD& b) {
+  double d = 0.0;
+  for (std::int64_t s = 0; s < a.geometry().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu) d += norm2(a(s, mu) - b(s, mu));
+  return std::sqrt(d);
+}
+
+TEST(FermionForce, MatchesFiniteDifferenceOfAction) {
+  // Along dU/dt = p U, energy conservation needs
+  // dS_pf/dt = -2 sum tr(p F_f). Check against a central difference.
+  const GaugeFieldD u0 = mildly_thermal(900);
+  DynamicalHmcParams params;
+  params.kappa = 0.10;
+  params.solver_tol = 1e-12;
+
+  FermionFieldD phi(geo4());
+  fill_gaussian(phi.span(), 901);
+
+  // Analytic: F_f from X = (M^†M)^{-1} phi, Y = M X.
+  WilsonOperator<double> m(u0, params.kappa, params.bc);
+  NormalOperator<double> mdm(m);
+  FermionFieldD x(geo4()), y(geo4());
+  SolverParams sp{.tol = 1e-12, .max_iterations = 10000};
+  ASSERT_TRUE(cg_solve<double>(mdm, x.span(), phi.span(), sp).converged);
+  m.apply(y.span(), x.span());
+
+  Field<LinkSite<double>> f(geo4());
+  add_wilson_fermion_force(f, m.fermion_links(), params.kappa, x.span(),
+                           y.span());
+
+  MomentumField p(geo4());
+  draw_momenta(p, SiteRngFactory(902));
+
+  double analytic = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      analytic += trace(mul(p[s][static_cast<std::size_t>(mu)],
+                            f[s][static_cast<std::size_t>(mu)]))
+                      .re;
+  analytic *= -2.0;
+
+  const double eps = 1e-5;
+  auto action_at = [&](double t) {
+    GaugeFieldD u(geo4());
+    for (std::int64_t s = 0; s < geo4().volume(); ++s)
+      for (int mu = 0; mu < Nd; ++mu) {
+        ColorMatrixD step = p[s][static_cast<std::size_t>(mu)];
+        step *= t;
+        u(s, mu) = mul(exp_matrix(step), u0(s, mu));
+      }
+    return pseudofermion_action(u, params, phi.span());
+  };
+  const double numeric = (action_at(eps) - action_at(-eps)) / (2.0 * eps);
+  EXPECT_NEAR(numeric, analytic, 1e-4 * std::abs(analytic) + 1e-6);
+}
+
+TEST(FermionForce, VanishesAtInfiniteMass) {
+  // kappa -> 0 decouples the sea quarks: the force carries the explicit
+  // kappa prefactor plus kappa-dependence in X, Y, so it shrinks fast.
+  const GaugeFieldD u = mildly_thermal(903);
+  FermionFieldD phi(geo4());
+  fill_gaussian(phi.span(), 904);
+  auto force_norm = [&](double kappa) {
+    WilsonOperator<double> m(u, kappa);
+    NormalOperator<double> mdm(m);
+    FermionFieldD x(geo4()), y(geo4());
+    SolverParams sp{.tol = 1e-10, .max_iterations = 10000};
+    cg_solve<double>(mdm, x.span(), phi.span(), sp);
+    m.apply(y.span(), x.span());
+    Field<LinkSite<double>> f(geo4());
+    add_wilson_fermion_force(f, m.fermion_links(), kappa, x.span(),
+                             y.span());
+    double n = 0.0;
+    for (std::int64_t s = 0; s < geo4().volume(); ++s)
+      for (int mu = 0; mu < Nd; ++mu)
+        n += norm2(f[s][static_cast<std::size_t>(mu)]);
+    return std::sqrt(n);
+  };
+  EXPECT_LT(force_norm(0.02), 0.5 * force_norm(0.10));
+}
+
+TEST(DynamicalHmcDriver, EnergyErrorScalesAsDtSquared) {
+  auto abs_dh = [&](int steps) {
+    GaugeFieldD u = mildly_thermal(905);
+    DynamicalHmcParams params;
+    params.beta = 5.4;
+    params.kappa = 0.10;
+    params.trajectory_length = 0.4;
+    params.steps = steps;
+    params.integrator = Integrator::Leapfrog;
+    params.seed = 906;
+    DynamicalHmc hmc(u, params);
+    return std::abs(hmc.trajectory().delta_h);
+  };
+  const double coarse = abs_dh(4);
+  const double fine = abs_dh(8);
+  // Asymptotically the leapfrog trajectory error falls 4x per halving;
+  // at coarse steps higher-order terms can push the single-trajectory
+  // ratio above that, so only bound it from below and sanity-cap it.
+  EXPECT_GT(coarse / fine, 2.5);
+  EXPECT_LT(coarse / fine, 40.0);
+}
+
+TEST(DynamicalHmcDriver, HighAcceptanceAtFineSteps) {
+  GaugeFieldD u = mildly_thermal(907);
+  DynamicalHmcParams params;
+  params.beta = 5.4;
+  params.kappa = 0.10;
+  params.trajectory_length = 0.4;
+  params.steps = 12;
+  params.seed = 908;
+  DynamicalHmc hmc(u, params);
+  int accepted = 0;
+  double max_dh = 0.0;
+  const int n = 4;
+  for (int i = 0; i < n; ++i) {
+    const DynamicalTrajectoryResult r = hmc.trajectory();
+    accepted += r.accepted;
+    max_dh = std::max(max_dh, std::abs(r.delta_h));
+    EXPECT_GT(r.cg_iterations, 0);
+  }
+  EXPECT_GE(accepted, n - 1);
+  EXPECT_LT(max_dh, 1.0);
+  EXPECT_LT(u.max_unitarity_error(), 1e-10);
+}
+
+TEST(DynamicalHmcDriver, RejectRestoresConfiguration) {
+  GaugeFieldD u = mildly_thermal(909);
+  GaugeFieldD before(geo4());
+  DynamicalHmcParams params;
+  params.beta = 5.4;
+  params.kappa = 0.10;
+  params.trajectory_length = 3.0;  // absurdly coarse: certain reject
+  params.steps = 1;
+  params.integrator = Integrator::Leapfrog;
+  params.seed = 910;
+  DynamicalHmc hmc(u, params);
+  bool saw_reject = false;
+  for (int i = 0; i < 4 && !saw_reject; ++i) {
+    for (std::int64_t s = 0; s < geo4().volume(); ++s)
+      before.site(s) = u.site(s);
+    const DynamicalTrajectoryResult r = hmc.trajectory();
+    if (!r.accepted) {
+      saw_reject = true;
+      EXPECT_EQ(field_distance(u, before), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+}
+
+TEST(DynamicalHmcDriver, HeavySeaQuarksDecouple) {
+  // For very heavy sea quarks (small kappa) the determinant is nearly
+  // field-independent (leading effect ~ kappa^4), so the dynamical
+  // plaquette must agree with quenched within short-run statistics —
+  // a physics check that the fermion force does not bias the sampler.
+  const double beta = 5.4;
+  GaugeFieldD u_dyn = mildly_thermal(911, beta);
+  DynamicalHmcParams params;
+  params.beta = beta;
+  params.kappa = 0.05;
+  params.trajectory_length = 0.75;
+  params.steps = 10;
+  params.seed = 912;
+  DynamicalHmc hmc(u_dyn, params);
+  double p_dyn = 0.0;
+  const int n = 8;
+  for (int i = 0; i < 4; ++i) hmc.trajectory();
+  for (int i = 0; i < n; ++i) p_dyn += hmc.trajectory().plaquette;
+  p_dyn /= n;
+  EXPECT_GT(hmc.acceptance_rate(), 0.6);
+
+  GaugeFieldD u_q(geo4());
+  u_q.set_random(SiteRngFactory(913));
+  Heatbath hb(u_q, {.beta = beta, .or_per_hb = 1, .seed = 914});
+  double p_q = 0.0;
+  for (int i = 0; i < 12; ++i) hb.sweep();
+  for (int i = 0; i < 12; ++i) p_q += hb.sweep();
+  p_q /= 12;
+
+  EXPECT_NEAR(p_dyn, p_q, 0.03);
+}
+
+TEST(DynamicalHmcDriver, Validation) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  DynamicalHmcParams p;
+  p.kappa = 0.3;
+  EXPECT_THROW(DynamicalHmc(u, p), Error);
+  p.kappa = 0.1;
+  p.steps = 0;
+  EXPECT_THROW(DynamicalHmc(u, p), Error);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,214 @@
+// Tests for the Lanczos eigensolver and low-mode deflation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirac/normal.hpp"
+#include "dirac/twisted.hpp"
+#include "dirac/wilson.hpp"
+#include "gauge/heatbath.hpp"
+#include "linalg/blas.hpp"
+#include "solver/cg.hpp"
+#include "solver/deflation.hpp"
+#include "solver/lanczos.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+const GaugeFieldD& gauge() {
+  static GaugeFieldD u = [] {
+    GaugeFieldD v(geo4());
+    v.set_random(SiteRngFactory(990));
+    Heatbath hb(v, {.beta = 5.9, .or_per_hb = 1, .seed = 991});
+    for (int i = 0; i < 5; ++i) hb.sweep();
+    return v;
+  }();
+  return u;
+}
+
+void fill_random(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+TEST(Lanczos, EigenpairsSatisfyEigenEquation) {
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  LanczosParams lp;
+  lp.krylov_dim = 150;
+  lp.wanted = 3;
+  const LanczosResult r = lanczos(a, lp);
+  ASSERT_EQ(r.pairs.size(), 3u);
+  const std::size_t n = static_cast<std::size_t>(a.vector_size());
+  for (const auto& pair : r.pairs) {
+    EXPECT_GT(pair.value, 0.0);
+    // Residual reported by the solver must match a direct check.
+    aligned_vector<WilsonSpinorD> av(n);
+    a.apply(std::span<WilsonSpinorD>(av.data(), n),
+            std::span<const WilsonSpinorD>(pair.vector.data(), n));
+    blas::axpy(-pair.value,
+               std::span<const WilsonSpinorD>(pair.vector.data(), n),
+               std::span<WilsonSpinorD>(av.data(), n));
+    const double res = std::sqrt(
+        blas::norm2(std::span<const WilsonSpinorD>(av.data(), n)));
+    EXPECT_NEAR(res, pair.residual, 1e-8 + 0.05 * pair.residual);
+    // The extremal pair should be well converged at this Krylov size.
+  }
+  EXPECT_LT(r.pairs.front().residual, 1e-5);
+  // Sorted ascending.
+  EXPECT_LE(r.pairs[0].value, r.pairs[1].value);
+  EXPECT_LE(r.pairs[1].value, r.pairs[2].value);
+}
+
+TEST(Lanczos, RayleighQuotientsInsideBounds) {
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  const auto [lo, hi] = spectral_bounds(a, 50);
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi, lo);
+  const std::size_t n = static_cast<std::size_t>(a.vector_size());
+  FermionFieldD x(geo4()), ax(geo4());
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    fill_random(x.span(), 992 + s);
+    a.apply(ax.span(), x.span());
+    const double rq = blas::re_dot(x.span(), ax.span()) /
+                      blas::norm2(x.span());
+    EXPECT_GE(rq, lo - 1e-6);
+    EXPECT_LE(rq, hi + 1e-2 * hi);
+  }
+  (void)n;
+}
+
+TEST(Lanczos, TwistShiftsSpectrumExactly) {
+  // lambda_min(M^†M + mu^2) = lambda_min(M^†M) + mu^2 — the twisted
+  // normal identity measured spectrally.
+  WilsonOperator<double> m(gauge(), 0.124);
+  NormalOperator<double> a(m);
+  TwistedMassOperator<double> tm(gauge(), 0.124, 0.3);
+  TwistedNormalOperator<double> at(tm);
+  LanczosParams lp;
+  lp.krylov_dim = 60;
+  lp.wanted = 1;
+  const double l0 = lanczos(a, lp).pairs.front().value;
+  const double l1 = lanczos(at, lp).pairs.front().value;
+  EXPECT_NEAR(l1, l0 + 0.09, 1e-5 + 1e-3 * l1);
+}
+
+TEST(Lanczos, LargestModeMatchesPowerIteration) {
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  LanczosParams lp;
+  lp.krylov_dim = 40;
+  lp.wanted = 1;
+  lp.smallest = false;
+  const double lmax = lanczos(a, lp).pairs.back().value;
+
+  // Crude power iteration for comparison.
+  FermionFieldD v(geo4()), av(geo4());
+  fill_random(v.span(), 993);
+  double lam = 0.0;
+  for (int it = 0; it < 60; ++it) {
+    a.apply(av.span(), v.span());
+    lam = std::sqrt(blas::norm2(av.span()) / blas::norm2(v.span()));
+    const double inv = 1.0 / std::sqrt(blas::norm2(av.span()));
+    for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+      WilsonSpinorD w = av[s];
+      w *= inv;
+      v[s] = w;
+    }
+  }
+  EXPECT_NEAR(lmax, lam, 1e-2 * lam);
+}
+
+TEST(Lanczos, Validation) {
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  LanczosParams lp;
+  lp.krylov_dim = 1;
+  EXPECT_THROW(lanczos(a, lp), Error);
+  lp.krylov_dim = 10;
+  lp.wanted = 11;
+  EXPECT_THROW(lanczos(a, lp), Error);
+  EXPECT_THROW(lanczos(m, LanczosParams{}), Error);  // non-hermitian
+}
+
+TEST(Deflation, ReducesIterationsNearKappaC) {
+  WilsonOperator<double> m(gauge(), 0.124);
+  NormalOperator<double> a(m);
+
+  LanczosParams lp;
+  lp.krylov_dim = 200;
+  lp.wanted = 6;
+  Deflator deflator(lanczos(a, lp).pairs, 1e-3);
+  ASSERT_GE(deflator.size(), 4u);
+
+  FermionFieldD b(geo4()), x_plain(geo4()), x_defl(geo4());
+  fill_random(b.span(), 994);
+  SolverParams p{.tol = 1e-9, .max_iterations = 8000};
+  const SolverResult plain = cg_solve<double>(a, x_plain.span(), b.span(),
+                                              p);
+  const SolverResult defl =
+      deflated_cg_solve(a, deflator, x_defl.span(), b.span(), p);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(defl.converged);
+  EXPECT_LT(defl.iterations, plain.iterations);
+
+  // Same solution.
+  double diff = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    diff += norm2(x_defl[s] - x_plain[s]);
+    ref += norm2(x_plain[s]);
+  }
+  EXPECT_LT(std::sqrt(diff / ref), 1e-6);
+}
+
+TEST(Deflation, FiltersLooseVectors) {
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  LanczosParams lp;
+  lp.krylov_dim = 20;  // too small: higher pairs are unconverged
+  lp.wanted = 10;
+  auto pairs = lanczos(a, lp).pairs;
+  const std::size_t total = pairs.size();
+  Deflator strict(std::move(pairs), 1e-10);
+  EXPECT_LT(strict.size(), total);
+}
+
+TEST(Deflation, SplitReconstructsRhs) {
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  LanczosParams lp;
+  lp.krylov_dim = 150;
+  lp.wanted = 4;
+  Deflator deflator(lanczos(a, lp).pairs, 1e-3);
+  ASSERT_GE(deflator.size(), 2u);
+
+  const auto n = static_cast<std::size_t>(a.vector_size());
+  FermionFieldD b(geo4());
+  fill_random(b.span(), 995);
+  aligned_vector<WilsonSpinorD> xlow(n), bperp(n), alow(n);
+  deflator.split(std::span<WilsonSpinorD>(xlow.data(), n),
+                 std::span<WilsonSpinorD>(bperp.data(), n), b.span());
+  // A x_low + b_perp == b (x_low solves the low-mode block exactly).
+  a.apply(std::span<WilsonSpinorD>(alow.data(), n),
+          std::span<const WilsonSpinorD>(xlow.data(), n));
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err += norm2(alow[i] + bperp[i] - b.span()[i]);
+    ref += norm2(b.span()[i]);
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-3);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,353 @@
+// Tests for the gauge sector: field containers, staples/plaquettes, SU(2)
+// subgroup machinery, heatbath/over-relaxation thermalization, I/O and
+// APE smearing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gauge/gauge_field.hpp"
+#include "gauge/heatbath.hpp"
+#include "gauge/io.hpp"
+#include "gauge/observables.hpp"
+#include "gauge/smear.hpp"
+#include "gauge/staples.hpp"
+#include "gauge/su2.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& small_geo() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+GaugeFieldD random_gauge(const LatticeGeometry& geo, std::uint64_t seed) {
+  GaugeFieldD u(geo);
+  u.set_random(SiteRngFactory(seed));
+  return u;
+}
+
+TEST(GaugeField, UnitFieldPlaquetteIsOne) {
+  GaugeFieldD u(small_geo());
+  u.set_unit();
+  EXPECT_NEAR(average_plaquette(u), 1.0, 1e-14);
+  EXPECT_NEAR(average_plaquette_spatial(u), 1.0, 1e-14);
+  EXPECT_NEAR(average_plaquette_temporal(u), 1.0, 1e-14);
+}
+
+TEST(GaugeField, UnitFieldActionIsZero) {
+  GaugeFieldD u(small_geo());
+  u.set_unit();
+  EXPECT_NEAR(wilson_action(u, 6.0), 0.0, 1e-10);
+}
+
+TEST(GaugeField, RandomFieldPlaquetteNearZero) {
+  const GaugeFieldD u = random_gauge(small_geo(), 7);
+  // Haar-random links give <P> ~ 0 within statistical noise.
+  EXPECT_LT(std::abs(average_plaquette(u)), 0.1);
+}
+
+TEST(GaugeField, RandomLinksAreUnitary) {
+  const GaugeFieldD u = random_gauge(small_geo(), 8);
+  EXPECT_LT(u.max_unitarity_error(), 1e-12);
+}
+
+TEST(GaugeField, HotStartReproducible) {
+  const GaugeFieldD a = random_gauge(small_geo(), 9);
+  const GaugeFieldD b = random_gauge(small_geo(), 9);
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < small_geo().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu) diff += norm2(a(s, mu) - b(s, mu));
+  EXPECT_EQ(diff, 0.0);
+}
+
+TEST(GaugeField, ReunitarizeAllReportsDrift) {
+  GaugeFieldD u = random_gauge(small_geo(), 10);
+  u(5, 2).m[0][0] += Cplxd(1e-3, 0.0);
+  const double worst = u.reunitarize_all();
+  EXPECT_GT(worst, 1e-4);
+  EXPECT_LT(u.max_unitarity_error(), 1e-13);
+}
+
+TEST(GaugeField, PrecisionConversion) {
+  const GaugeFieldD u = random_gauge(small_geo(), 11);
+  GaugeFieldF uf(small_geo());
+  convert_gauge(uf, u);
+  EXPECT_NEAR(uf(3, 1).m[1][2].re, static_cast<float>(u(3, 1).m[1][2].re),
+              1e-7);
+}
+
+TEST(Staples, ActionIdentity) {
+  // Sum over links of Re tr(U A) counts every plaquette 4 times (once per
+  // contributing link), in both planes orders -> equals 4 * 2 * sum_plaq.
+  const GaugeFieldD u = random_gauge(small_geo(), 12);
+  const LatticeGeometry& geo = u.geometry();
+  double link_sum = 0.0;
+  for (std::int64_t s = 0; s < geo.volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      link_sum += re_trace(mul(u(s, mu), staple_sum(u, s, mu)));
+  double plaq_sum = 0.0;
+  for (std::int64_t s = 0; s < geo.volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      for (int nu = mu + 1; nu < Nd; ++nu)
+        plaq_sum += re_trace(plaquette_matrix(u, s, mu, nu));
+  EXPECT_NEAR(link_sum, 4.0 * plaq_sum, 1e-8 * std::abs(link_sum) + 1e-8);
+}
+
+TEST(Staples, PlaquetteMatrixIsUnitary) {
+  const GaugeFieldD u = random_gauge(small_geo(), 13);
+  const ColorMatrixD p = plaquette_matrix(u, 17, 0, 2);
+  EXPECT_LT(unitarity_error(p), 1e-12);
+}
+
+TEST(Su2, EmbedIsSpecialUnitary) {
+  CounterRng rng(50, 0);
+  const Su2 s = su2_random(rng);
+  const ColorMatrixD m = su2_embed(s, 0, 2);
+  EXPECT_LT(unitarity_error(m), 1e-13);
+  EXPECT_NEAR(det(m).re, 1.0, 1e-13);
+}
+
+TEST(Su2, QuaternionMulMatchesMatrixMul) {
+  CounterRng rng(51, 0);
+  const Su2 a = su2_random(rng);
+  const Su2 b = su2_random(rng);
+  const Su2 c = mul(a, b);
+  const ColorMatrixD want = mul(su2_embed(a, 1, 2), su2_embed(b, 1, 2));
+  const ColorMatrixD got = su2_embed(c, 1, 2);
+  EXPECT_LT(norm2(got - want), 1e-24);
+}
+
+TEST(Su2, ConjIsDagger) {
+  CounterRng rng(52, 0);
+  const Su2 a = su2_random(rng);
+  const ColorMatrixD want = dagger(su2_embed(a, 0, 1));
+  EXPECT_LT(norm2(su2_embed(conj(a), 0, 1) - want), 1e-26);
+}
+
+TEST(Su2, ProjectionRecoversScaledSu2) {
+  CounterRng rng(53, 0);
+  const Su2 a = su2_random(rng);
+  ColorMatrixD m = su2_embed(a, 0, 1);
+  m *= 3.7;  // scaled group element: projection must recover k and s
+  Su2 s;
+  const double k = su2_project(m, 0, 1, s);
+  EXPECT_NEAR(k, 3.7, 1e-12);
+  EXPECT_NEAR(s.a0, a.a0, 1e-12);
+  EXPECT_NEAR(s.a1, a.a1, 1e-12);
+  EXPECT_NEAR(s.a2, a.a2, 1e-12);
+  EXPECT_NEAR(s.a3, a.a3, 1e-12);
+}
+
+TEST(Su2, LeftMulMatchesEmbeddedProduct) {
+  CounterRng rng(54, 0);
+  const Su2 r = su2_random(rng);
+  ColorMatrixD w;
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j)
+      w.m[i][j] = Cplxd(rng.gaussian(), rng.gaussian());
+  ColorMatrixD got = w;
+  su2_left_mul(got, r, 0, 2);
+  const ColorMatrixD want = mul(su2_embed(r, 0, 2), w);
+  EXPECT_LT(norm2(got - want), 1e-24);
+}
+
+TEST(Su2, HeatbathSampleDistribution) {
+  // For weight sqrt(1-a0^2) exp(alpha a0), large alpha concentrates a0
+  // near 1; check the sample mean against a numerically integrated value.
+  CounterRng rng(55, 0);
+  const double alpha = 8.0;
+  double s = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) s += su2_heatbath_sample(alpha, rng).a0;
+  const double got = s / n;
+  // Numerical reference via trapezoid integration.
+  double num = 0.0, den = 0.0;
+  const int grid = 20000;
+  for (int i = 0; i <= grid; ++i) {
+    const double a0 = -1.0 + 2.0 * i / grid;
+    const double w = std::sqrt(std::max(0.0, 1.0 - a0 * a0)) *
+                     std::exp(alpha * (a0 - 1.0));
+    num += w * a0;
+    den += w;
+  }
+  EXPECT_NEAR(got, num / den, 5e-3);
+}
+
+TEST(Su2, HeatbathSamplesAreUnitQuaternions) {
+  CounterRng rng(56, 0);
+  for (int i = 0; i < 100; ++i) {
+    const Su2 s = su2_heatbath_sample(3.0, rng);
+    EXPECT_NEAR(norm(s), 1.0, 1e-12);
+    EXPECT_LE(s.a0, 1.0);
+    EXPECT_GE(s.a0, -1.0);
+  }
+}
+
+TEST(Heatbath, LinksStayUnitary) {
+  GaugeFieldD u(small_geo());
+  u.set_random(SiteRngFactory(123));
+  Heatbath hb(u, {.beta = 5.7, .or_per_hb = 1, .seed = 99});
+  hb.sweep();
+  EXPECT_LT(u.max_unitarity_error(), 1e-12);
+}
+
+TEST(Heatbath, Reproducible) {
+  GaugeFieldD u1(small_geo()), u2(small_geo());
+  u1.set_random(SiteRngFactory(123));
+  u2.set_random(SiteRngFactory(123));
+  Heatbath hb1(u1, {.beta = 5.7, .or_per_hb = 1, .seed = 99});
+  Heatbath hb2(u2, {.beta = 5.7, .or_per_hb = 1, .seed = 99});
+  const double p1 = hb1.sweep();
+  const double p2 = hb2.sweep();
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Heatbath, ThermalizesFromHotAndCold) {
+  // Hot and cold starts must converge to the same plaquette (within loose
+  // statistical errors) — the standard thermalization check.
+  const double beta = 5.7;
+  GaugeFieldD hot(small_geo()), cold(small_geo());
+  hot.set_random(SiteRngFactory(1));
+  cold.set_unit();
+  Heatbath hb_hot(hot, {.beta = beta, .or_per_hb = 1, .seed = 2});
+  Heatbath hb_cold(cold, {.beta = beta, .or_per_hb = 1, .seed = 3});
+  double p_hot = 0.0, p_cold = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    p_hot = hb_hot.sweep();
+    p_cold = hb_cold.sweep();
+  }
+  EXPECT_NEAR(p_hot, p_cold, 0.05);
+  // At beta = 5.7 the plaquette is ~0.55; accept a generous window for a
+  // 4^4 box.
+  EXPECT_GT(p_hot, 0.40);
+  EXPECT_LT(p_hot, 0.70);
+}
+
+TEST(Heatbath, StrongCouplingLimit) {
+  // At small beta, <P> ~ beta/18.
+  const double beta = 0.5;
+  GaugeFieldD u(small_geo());
+  u.set_random(SiteRngFactory(5));
+  Heatbath hb(u, {.beta = beta, .or_per_hb = 0, .seed = 6});
+  double p = 0.0;
+  for (int i = 0; i < 10; ++i) hb.sweep();
+  for (int i = 0; i < 20; ++i) p += hb.sweep();
+  p /= 20.0;
+  EXPECT_NEAR(p, plaquette_strong_coupling(beta), 0.01);
+}
+
+TEST(Heatbath, OverRelaxationPreservesAction) {
+  GaugeFieldD u(small_geo());
+  u.set_random(SiteRngFactory(7));
+  const double beta = 5.7;
+  Heatbath hb(u, {.beta = beta, .or_per_hb = 0, .seed = 8});
+  for (int i = 0; i < 5; ++i) hb.sweep();  // mild thermalization
+  const double before = wilson_action(u, beta);
+  hb.overrelax_pass();
+  const double after = wilson_action(u, beta);
+  // Microcanonical update: action unchanged to reunitarization rounding.
+  EXPECT_NEAR(after, before, 1e-6 * std::abs(before));
+}
+
+TEST(Heatbath, RejectsBadParams) {
+  GaugeFieldD u(small_geo());
+  u.set_unit();
+  EXPECT_THROW(Heatbath(u, {.beta = -1.0}), Error);
+  EXPECT_THROW(Heatbath(u, {.beta = 6.0, .or_per_hb = -1}), Error);
+}
+
+class GaugeIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "lqcd_test_gauge.cfg")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(GaugeIoTest, RoundTripBitExact) {
+  const GaugeFieldD u = random_gauge(small_geo(), 20);
+  save_gauge(u, path_, 6.0);
+  GaugeFieldD v(small_geo());
+  const GaugeFileHeader h = load_gauge(v, path_);
+  EXPECT_DOUBLE_EQ(h.beta, 6.0);
+  EXPECT_EQ(h.dims, small_geo().dims());
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < small_geo().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu) diff += norm2(u(s, mu) - v(s, mu));
+  EXPECT_EQ(diff, 0.0);
+}
+
+TEST_F(GaugeIoTest, HeaderOnlyRead) {
+  const GaugeFieldD u = random_gauge(small_geo(), 21);
+  save_gauge(u, path_, 5.5);
+  const GaugeFileHeader h = read_gauge_header(path_);
+  EXPECT_DOUBLE_EQ(h.beta, 5.5);
+}
+
+TEST_F(GaugeIoTest, DetectsCorruption) {
+  const GaugeFieldD u = random_gauge(small_geo(), 22);
+  save_gauge(u, path_, 6.0);
+  // Flip one byte in the middle of the link data.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(1000);
+    char c;
+    f.seekg(1000);
+    f.get(c);
+    f.seekp(1000);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+  GaugeFieldD v(small_geo());
+  EXPECT_THROW(load_gauge(v, path_), Error);
+}
+
+TEST_F(GaugeIoTest, DetectsDimensionMismatch) {
+  const GaugeFieldD u = random_gauge(small_geo(), 23);
+  save_gauge(u, path_, 6.0);
+  LatticeGeometry other({4, 4, 4, 6});
+  GaugeFieldD v(other);
+  EXPECT_THROW(load_gauge(v, path_), Error);
+}
+
+TEST_F(GaugeIoTest, MissingFileThrows) {
+  GaugeFieldD v(small_geo());
+  EXPECT_THROW(load_gauge(v, "/nonexistent/path/cfg"), Error);
+}
+
+TEST(Smear, UnitFieldIsFixedPoint) {
+  GaugeFieldD u(small_geo());
+  u.set_unit();
+  ape_smear(u, {.alpha = 0.7, .iterations = 2});
+  EXPECT_NEAR(average_plaquette(u), 1.0, 1e-12);
+}
+
+TEST(Smear, IncreasesSpatialPlaquette) {
+  GaugeFieldD u(small_geo());
+  u.set_random(SiteRngFactory(30));
+  Heatbath hb(u, {.beta = 5.7, .or_per_hb = 1, .seed = 31});
+  for (int i = 0; i < 5; ++i) hb.sweep();
+  const double before = average_plaquette_spatial(u);
+  ape_smear(u, {.alpha = 0.7, .iterations = 3, .spatial_only = true});
+  const double after = average_plaquette_spatial(u);
+  EXPECT_GT(after, before);
+  EXPECT_LT(u.max_unitarity_error(), 1e-12);
+}
+
+TEST(Smear, SpatialOnlyLeavesTemporalLinks) {
+  GaugeFieldD u(small_geo());
+  u.set_random(SiteRngFactory(32));
+  GaugeFieldD orig(small_geo());
+  for (std::int64_t s = 0; s < small_geo().volume(); ++s)
+    orig.site(s) = u.site(s);
+  ape_smear(u, {.alpha = 0.7, .iterations = 1, .spatial_only = true});
+  double tdiff = 0.0;
+  for (std::int64_t s = 0; s < small_geo().volume(); ++s)
+    tdiff += norm2(u(s, 3) - orig(s, 3));
+  EXPECT_EQ(tdiff, 0.0);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,210 @@
+// Tests for the advanced gauge observables and smoothing: Wilson loops /
+// static potential, stout smearing and the Wilson (gradient) flow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gauge/flow.hpp"
+#include "gauge/heatbath.hpp"
+#include "gauge/observables.hpp"
+#include "gauge/smear.hpp"
+#include "gauge/wilson_loops.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 8});
+  return geo;
+}
+
+const GaugeFieldD& thermal() {
+  static GaugeFieldD u = [] {
+    GaugeFieldD v(geo4());
+    v.set_random(SiteRngFactory(800));
+    Heatbath hb(v, {.beta = 5.9, .or_per_hb = 2, .seed = 801});
+    for (int i = 0; i < 10; ++i) hb.sweep();
+    return v;
+  }();
+  return u;
+}
+
+GaugeFieldD copy_of(const GaugeFieldD& u) {
+  GaugeFieldD v(u.geometry());
+  for (std::int64_t s = 0; s < u.geometry().volume(); ++s)
+    v.site(s) = u.site(s);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Wilson loops
+// ---------------------------------------------------------------------------
+
+TEST(WilsonLoops, UnitFieldGivesOne) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  EXPECT_NEAR(wilson_loop(u, 1, 1), 1.0, 1e-13);
+  EXPECT_NEAR(wilson_loop(u, 2, 3), 1.0, 1e-13);
+}
+
+TEST(WilsonLoops, OneByOneIsTemporalPlaquette) {
+  const GaugeFieldD& u = thermal();
+  EXPECT_NEAR(wilson_loop(u, 1, 1), average_plaquette_temporal(u), 1e-12);
+}
+
+TEST(WilsonLoops, AreaLawDecay) {
+  // Confinement: log W falls faster than perimeter, so
+  // W(2,2) < W(1,2) < W(1,1).
+  const GaugeFieldD& u = thermal();
+  const double w11 = wilson_loop(u, 1, 1);
+  const double w12 = wilson_loop(u, 1, 2);
+  const double w22 = wilson_loop(u, 2, 2);
+  EXPECT_GT(w11, w12);
+  EXPECT_GT(w12, w22);
+  EXPECT_GT(w22, 0.0);  // still resolvable at this beta/volume
+}
+
+TEST(WilsonLoops, TableMatchesDirectCalls) {
+  const GaugeFieldD& u = thermal();
+  const auto table = wilson_loop_table(u, 2, 3);
+  ASSERT_EQ(table.size(), 2u);
+  ASSERT_EQ(table[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(table[0][0], wilson_loop(u, 1, 1));
+  EXPECT_DOUBLE_EQ(table[1][2], wilson_loop(u, 2, 3));
+}
+
+TEST(WilsonLoops, StaticPotentialRisesWithDistance) {
+  const GaugeFieldD& u = thermal();
+  const auto table = wilson_loop_table(u, 2, 3);
+  const auto v = static_potential(table);
+  ASSERT_EQ(v.size(), 2u);
+  ASSERT_FALSE(std::isnan(v[0]));
+  ASSERT_FALSE(std::isnan(v[1]));
+  EXPECT_GT(v[1], v[0]);  // confining potential grows with R
+  EXPECT_GT(v[0], 0.0);
+}
+
+TEST(WilsonLoops, CreutzRatioPositive) {
+  const GaugeFieldD& u = thermal();
+  const auto table = wilson_loop_table(u, 2, 2);
+  const double chi = creutz_ratio(table, 2, 2);
+  EXPECT_GT(chi, 0.0);  // positive string-tension estimate
+  EXPECT_THROW(creutz_ratio(table, 1, 2), Error);
+  EXPECT_THROW(creutz_ratio(table, 3, 2), Error);
+}
+
+TEST(WilsonLoops, Validation) {
+  const GaugeFieldD& u = thermal();
+  EXPECT_THROW(wilson_loop(u, 0, 1), Error);
+  EXPECT_THROW(wilson_loop(u, 4, 1), Error);  // R = spatial extent
+  EXPECT_THROW(wilson_loop(u, 1, 8), Error);  // T = temporal extent
+}
+
+// ---------------------------------------------------------------------------
+// Stout smearing
+// ---------------------------------------------------------------------------
+
+TEST(Stout, UnitFieldFixedPoint) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  stout_smear(u, {.rho = 0.1, .iterations = 2});
+  EXPECT_NEAR(average_plaquette(u), 1.0, 1e-12);
+}
+
+TEST(Stout, IncreasesPlaquetteAndStaysInGroup) {
+  GaugeFieldD u = copy_of(thermal());
+  const double before = average_plaquette(u);
+  stout_smear(u, {.rho = 0.1, .iterations = 3});
+  EXPECT_GT(average_plaquette(u), before);
+  EXPECT_LT(u.max_unitarity_error(), 1e-11);
+}
+
+TEST(Stout, SmallRhoPerturbative) {
+  // rho -> 0 must leave the field asymptotically unchanged.
+  GaugeFieldD u = copy_of(thermal());
+  GaugeFieldD v = copy_of(thermal());
+  stout_smear_step(v, {.rho = 1e-8});
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu) diff += norm2(u(s, mu) - v(s, mu));
+  EXPECT_LT(std::sqrt(diff), 1e-4);
+}
+
+TEST(Stout, StrongerThanApePerStepAtMatchedParams) {
+  // Both smearings smooth; this just pins that they act in the same
+  // direction on the same field.
+  GaugeFieldD a = copy_of(thermal());
+  GaugeFieldD b = copy_of(thermal());
+  stout_smear_step(a, {.rho = 0.1});
+  ape_smear_step(b, {.alpha = 0.6, .iterations = 1, .spatial_only = false});
+  EXPECT_GT(average_plaquette(a), average_plaquette(thermal()));
+  EXPECT_GT(average_plaquette(b), average_plaquette(thermal()));
+}
+
+// ---------------------------------------------------------------------------
+// Wilson flow
+// ---------------------------------------------------------------------------
+
+TEST(Flow, UnitFieldFixedPoint) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  wilson_flow_step(u, 0.05);
+  EXPECT_NEAR(average_plaquette(u), 1.0, 1e-12);
+  EXPECT_NEAR(flow_energy_density(u), 0.0, 1e-12);
+}
+
+TEST(Flow, EnergyDensityMatchesPlaquette) {
+  // E = 2 * nplanes * Nc * (1 - <P>) by definition of both observables.
+  const GaugeFieldD& u = thermal();
+  const double e = flow_energy_density(u);
+  const double p = average_plaquette(u);
+  EXPECT_NEAR(e, 2.0 * 6.0 * 3.0 * (1.0 - p), 1e-9);
+}
+
+TEST(Flow, MonotonicallySmooths) {
+  GaugeFieldD u = copy_of(thermal());
+  const auto history = wilson_flow(u, {.step = 0.02, .steps = 5});
+  ASSERT_EQ(history.size(), 6u);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_LT(history[i].energy, history[i - 1].energy);
+    EXPECT_GT(history[i].plaquette, history[i - 1].plaquette);
+  }
+  EXPECT_LT(u.max_unitarity_error(), 1e-10);
+}
+
+TEST(Flow, Rk3StepSizeConvergence) {
+  // Flowing to the same t with halved steps must converge ~ eps^3
+  // (third-order scheme): err(2h) / err(h) ~ 8. Allow a generous window.
+  const double t_end = 0.12;
+  auto flowed_plaq = [&](int steps) {
+    GaugeFieldD u = copy_of(thermal());
+    wilson_flow(u, {.step = t_end / steps, .steps = steps});
+    return average_plaquette(u);
+  };
+  const double p2 = flowed_plaq(2);
+  const double p4 = flowed_plaq(4);
+  const double p8 = flowed_plaq(8);
+  const double e_coarse = std::abs(p2 - p8);
+  const double e_fine = std::abs(p4 - p8);
+  ASSERT_GT(e_fine, 0.0);
+  EXPECT_GT(e_coarse / e_fine, 4.0);  // >= 2nd order at worst
+}
+
+TEST(Flow, T2EGrowsFromZero) {
+  GaugeFieldD u = copy_of(thermal());
+  const auto history = wilson_flow(u, {.step = 0.02, .steps = 8});
+  EXPECT_DOUBLE_EQ(history.front().t2e, 0.0);
+  // t^2 E rises from zero at small flow time (E decays slower than t^2
+  // grows in this regime).
+  EXPECT_GT(history.back().t2e, history[1].t2e);
+}
+
+TEST(Flow, Validation) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  EXPECT_THROW(wilson_flow_step(u, 0.0), Error);
+  EXPECT_THROW(wilson_flow(u, {.step = 0.01, .steps = -1}), Error);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,145 @@
+// Tests for Coulomb/Landau gauge fixing: functional maximization,
+// residual convergence, gauge invariance of physical observables, and
+// recovery of a known gauge transformation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gauge/gauge_fixing.hpp"
+#include "gauge/heatbath.hpp"
+#include "gauge/observables.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+GaugeFieldD thermal(std::uint64_t seed) {
+  GaugeFieldD u(geo4());
+  u.set_random(SiteRngFactory(seed));
+  Heatbath hb(u, {.beta = 5.9, .or_per_hb = 1, .seed = seed + 1});
+  for (int i = 0; i < 5; ++i) hb.sweep();
+  return u;
+}
+
+// Apply a random gauge transformation g(x): U_mu(x) -> g(x) U g^†(x+mu).
+void random_gauge_transform(GaugeFieldD& u, std::uint64_t seed) {
+  const LatticeGeometry& geo = u.geometry();
+  std::vector<ColorMatrixD> g(static_cast<std::size_t>(geo.volume()));
+  SiteRngFactory rngs(seed);
+  for (std::int64_t s = 0; s < geo.volume(); ++s) {
+    CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+    g[static_cast<std::size_t>(s)] = random_su3<double>(rng);
+  }
+  GaugeFieldD v(geo);
+  for (std::int64_t s = 0; s < geo.volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      v(s, mu) = mul_adj(mul(g[static_cast<std::size_t>(s)], u(s, mu)),
+                         g[static_cast<std::size_t>(geo.fwd(s, mu))]);
+  for (std::int64_t s = 0; s < geo.volume(); ++s) u.site(s) = v.site(s);
+}
+
+TEST(GaugeFixing, UnitFieldAlreadyFixed) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  EXPECT_NEAR(gauge_functional(u, GaugeCondition::Landau), 1.0, 1e-14);
+  EXPECT_NEAR(gauge_fix_residual(u, GaugeCondition::Landau), 0.0, 1e-24);
+  const GaugeFixResult r = fix_gauge(u, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.sweeps, 1);
+}
+
+class GaugeFixCondition
+    : public ::testing::TestWithParam<GaugeCondition> {};
+
+TEST_P(GaugeFixCondition, ConvergesAndRaisesFunctional) {
+  GaugeFieldD u = thermal(100);
+  GaugeFixParams p;
+  p.condition = GetParam();
+  p.tolerance = 1e-10;
+  const double f_before = gauge_functional(u, p.condition);
+  const GaugeFixResult r = fix_gauge(u, p);
+  EXPECT_TRUE(r.converged) << "theta " << r.theta;
+  EXPECT_LT(r.theta, 1e-10);
+  EXPECT_GT(r.functional, f_before);
+  EXPECT_LE(r.functional, 1.0 + 1e-12);
+  EXPECT_LT(u.max_unitarity_error(), 1e-11);
+}
+
+TEST_P(GaugeFixCondition, PlaquetteIsGaugeInvariant) {
+  GaugeFieldD u = thermal(101);
+  const double plaq_before = average_plaquette(u);
+  GaugeFixParams p;
+  p.condition = GetParam();
+  fix_gauge(u, p);
+  EXPECT_NEAR(average_plaquette(u), plaq_before, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Conditions, GaugeFixCondition,
+                         ::testing::Values(GaugeCondition::Landau,
+                                           GaugeCondition::Coulomb));
+
+TEST(GaugeFixing, UndoesRandomGaugeTransformOfUnitField) {
+  // A gauge transform of the free field has functional < 1; fixing must
+  // push it back to (a copy of) the unit field: functional -> 1.
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  random_gauge_transform(u, 102);
+  EXPECT_LT(gauge_functional(u, GaugeCondition::Landau), 0.999);
+  GaugeFixParams p;
+  p.condition = GaugeCondition::Landau;
+  p.tolerance = 1e-12;
+  p.max_sweeps = 5000;
+  const GaugeFixResult r = fix_gauge(u, p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.functional, 1.0, 1e-6);
+}
+
+TEST(GaugeFixing, GaugeOrbitReachesSameFunctional) {
+  // Two gauge-equivalent fields must fix to (numerically) the same
+  // maximal functional.
+  GaugeFieldD a = thermal(103);
+  GaugeFieldD b(geo4());
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) b.site(s) = a.site(s);
+  random_gauge_transform(b, 104);
+  GaugeFixParams p;
+  p.tolerance = 1e-11;
+  p.max_sweeps = 5000;
+  const GaugeFixResult ra = fix_gauge(a, p);
+  const GaugeFixResult rb = fix_gauge(b, p);
+  ASSERT_TRUE(ra.converged);
+  ASSERT_TRUE(rb.converged);
+  // Local maxima (Gribov copies) can in principle differ; on this tiny
+  // thermalized lattice the sweeps land on the same orbit maximum.
+  EXPECT_NEAR(ra.functional, rb.functional, 5e-4);
+}
+
+TEST(GaugeFixing, CoulombLeavesResidualOnlySpatial) {
+  // Coulomb fixing drives the *spatial* residual to zero; the Landau
+  // residual (including time links) generally stays finite.
+  GaugeFieldD u = thermal(105);
+  GaugeFixParams p;
+  p.condition = GaugeCondition::Coulomb;
+  p.tolerance = 1e-10;
+  const GaugeFixResult r = fix_gauge(u, p);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(gauge_fix_residual(u, GaugeCondition::Coulomb), 1e-9);
+  EXPECT_GT(gauge_fix_residual(u, GaugeCondition::Landau), 1e-6);
+}
+
+TEST(GaugeFixing, Validation) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  GaugeFixParams p;
+  p.overrelax = 2.5;
+  EXPECT_THROW(fix_gauge(u, p), Error);
+  p.overrelax = 1.5;
+  p.max_sweeps = 0;
+  EXPECT_THROW(fix_gauge(u, p), Error);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,270 @@
+// Tests for pure-gauge HMC: momentum statistics, force correctness
+// against a numerical derivative of the action, integrator accuracy and
+// reversibility, Metropolis behaviour, and agreement with heatbath.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gauge/heatbath.hpp"
+#include "gauge/observables.hpp"
+#include "hmc/hmc.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+GaugeFieldD mildly_thermal(std::uint64_t seed, double beta = 5.6) {
+  GaugeFieldD u(geo4());
+  u.set_random(SiteRngFactory(seed));
+  Heatbath hb(u, {.beta = beta, .or_per_hb = 1, .seed = seed + 7});
+  for (int i = 0; i < 4; ++i) hb.sweep();
+  return u;
+}
+
+double field_distance(const GaugeFieldD& a, const GaugeFieldD& b) {
+  double d = 0.0;
+  for (std::int64_t s = 0; s < a.geometry().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu) d += norm2(a(s, mu) - b(s, mu));
+  return std::sqrt(d);
+}
+
+TEST(Momenta, AntiHermitianTraceless) {
+  MomentumField p(geo4());
+  draw_momenta(p, SiteRngFactory(10));
+  for (std::int64_t s : {std::int64_t(0), std::int64_t(99)})
+    for (int mu = 0; mu < Nd; ++mu) {
+      const ColorMatrixD& m = p[s][static_cast<std::size_t>(mu)];
+      EXPECT_LT(norm2(dagger(m) + m), 1e-26);
+      EXPECT_NEAR(trace(m).re, 0.0, 1e-14);
+      EXPECT_NEAR(trace(m).im, 0.0, 1e-14);
+    }
+}
+
+TEST(Momenta, KineticEnergyStatistics) {
+  // T = sum tr(p^† p); with 8 generators of variance 1/2 in Frobenius
+  // norm, <T> = 4 per link.
+  MomentumField p(geo4());
+  draw_momenta(p, SiteRngFactory(11));
+  const double t = kinetic_energy(p);
+  const double links = static_cast<double>(geo4().volume()) * Nd;
+  EXPECT_NEAR(t / links, 4.0, 0.15);
+}
+
+TEST(Momenta, Reproducible) {
+  MomentumField p1(geo4()), p2(geo4());
+  draw_momenta(p1, SiteRngFactory(12));
+  draw_momenta(p2, SiteRngFactory(12));
+  double d = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      d += norm2(p1[s][static_cast<std::size_t>(mu)] -
+                 p2[s][static_cast<std::size_t>(mu)]);
+  EXPECT_EQ(d, 0.0);
+}
+
+TEST(Force, ZeroOnFreeField) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  Field<LinkSite<double>> f(geo4());
+  gauge_force(f, u, 6.0);
+  double n = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      n += norm2(f[s][static_cast<std::size_t>(mu)]);
+  EXPECT_LT(n, 1e-24);
+}
+
+TEST(Force, MatchesNumericalActionDerivative) {
+  // Along the flow dU/dt = p U, energy conservation requires
+  //   dS/dt = -2 sum tr(p F).
+  // Compare the analytic right-hand side with a central finite
+  // difference of the Wilson action.
+  const double beta = 5.6;
+  const GaugeFieldD u0 = mildly_thermal(20, beta);
+  MomentumField p(geo4());
+  draw_momenta(p, SiteRngFactory(21));
+
+  Field<LinkSite<double>> f(geo4());
+  gauge_force(f, u0, beta);
+  double analytic = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu) {
+      // tr(p F) is real for anti-hermitian p, F.
+      const ColorMatrixD pf = mul(p[s][static_cast<std::size_t>(mu)],
+                                  f[s][static_cast<std::size_t>(mu)]);
+      analytic += trace(pf).re;
+    }
+  analytic *= -2.0;
+
+  const double eps = 1e-5;
+  auto evolved = [&](double t) {
+    GaugeFieldD u(geo4());
+    for (std::int64_t s = 0; s < geo4().volume(); ++s)
+      for (int mu = 0; mu < Nd; ++mu) {
+        ColorMatrixD step = p[s][static_cast<std::size_t>(mu)];
+        step *= t;
+        u(s, mu) = mul(exp_matrix(step), u0(s, mu));
+      }
+    return wilson_action(u, beta);
+  };
+  const double numeric = (evolved(eps) - evolved(-eps)) / (2.0 * eps);
+  EXPECT_NEAR(numeric, analytic,
+              1e-5 * std::abs(analytic) + 1e-6);
+}
+
+TEST(Integrator, LeapfrogEnergyErrorScalesAsDtSquared) {
+  const double beta = 5.6;
+  auto delta_h = [&](int steps) {
+    GaugeFieldD u = mildly_thermal(22, beta);
+    MomentumField p(geo4());
+    draw_momenta(p, SiteRngFactory(23));
+    const double h0 = kinetic_energy(p) + wilson_action(u, beta);
+    integrate(u, p, beta, 1.0, steps, Integrator::Leapfrog);
+    const double h1 = kinetic_energy(p) + wilson_action(u, beta);
+    return std::abs(h1 - h0);
+  };
+  const double coarse = delta_h(8);
+  const double fine = delta_h(16);
+  // O(dt^2) trajectory error: halving dt cuts |dH| by ~4.
+  EXPECT_GT(coarse / fine, 2.5);
+  EXPECT_LT(coarse / fine, 6.0);
+}
+
+TEST(Integrator, OmelyanBeatsLeapfrogAtEqualCost) {
+  // Omelyan does 2 force evaluations per step; compare against leapfrog
+  // with twice the steps (equal force count) — Omelyan should still win
+  // or tie within noise at these step sizes.
+  const double beta = 5.6;
+  auto delta_h = [&](Integrator scheme, int steps) {
+    GaugeFieldD u = mildly_thermal(24, beta);
+    MomentumField p(geo4());
+    draw_momenta(p, SiteRngFactory(25));
+    const double h0 = kinetic_energy(p) + wilson_action(u, beta);
+    integrate(u, p, beta, 1.0, steps, scheme);
+    const double h1 = kinetic_energy(p) + wilson_action(u, beta);
+    return std::abs(h1 - h0);
+  };
+  const double lf = delta_h(Integrator::Leapfrog, 16);
+  const double om = delta_h(Integrator::Omelyan, 8);
+  EXPECT_LT(om, lf * 1.2);
+}
+
+class ReversibilityTest : public ::testing::TestWithParam<Integrator> {};
+
+TEST_P(ReversibilityTest, ForwardBackwardReturnsStart) {
+  const double beta = 5.6;
+  GaugeFieldD u = mildly_thermal(26, beta);
+  GaugeFieldD u0(geo4());
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    u0.site(s) = u.site(s);
+  MomentumField p(geo4());
+  draw_momenta(p, SiteRngFactory(27));
+
+  integrate(u, p, beta, 0.5, 10, GetParam());
+  // Momentum flip.
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu) {
+      ColorMatrixD& m = p[s][static_cast<std::size_t>(mu)];
+      m *= -1.0;
+    }
+  integrate(u, p, beta, 0.5, 10, GetParam());
+  EXPECT_LT(field_distance(u, u0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ReversibilityTest,
+                         ::testing::Values(Integrator::Leapfrog,
+                                           Integrator::Omelyan));
+
+TEST(HmcDriver, RejectsBadParams) {
+  GaugeFieldD u(geo4());
+  u.set_unit();
+  EXPECT_THROW(Hmc(u, {.beta = -1.0}), Error);
+  EXPECT_THROW(Hmc(u, {.beta = 6.0, .steps = 0}), Error);
+  EXPECT_THROW(Hmc(u, {.beta = 6.0, .trajectory_length = 0.0}), Error);
+}
+
+TEST(HmcDriver, HighAcceptanceWithFineSteps) {
+  GaugeFieldD u = mildly_thermal(28);
+  Hmc hmc(u, {.beta = 5.6,
+              .trajectory_length = 0.5,
+              .steps = 25,
+              .integrator = Integrator::Omelyan,
+              .seed = 29});
+  int accepted = 0;
+  const int n = 10;
+  double max_dh = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const TrajectoryResult r = hmc.trajectory();
+    accepted += r.accepted;
+    max_dh = std::max(max_dh, std::abs(r.delta_h));
+  }
+  EXPECT_GE(accepted, 8);  // fine integration: near-perfect acceptance
+  EXPECT_LT(max_dh, 0.5);
+  EXPECT_EQ(hmc.trajectories_run(), static_cast<std::uint64_t>(n));
+}
+
+TEST(HmcDriver, RejectRestoresConfiguration) {
+  GaugeFieldD u = mildly_thermal(30);
+  GaugeFieldD before(geo4());
+  // Wildly coarse integration: |dH| huge -> essentially certain reject.
+  Hmc hmc(u, {.beta = 5.6,
+              .trajectory_length = 4.0,
+              .steps = 1,
+              .integrator = Integrator::Leapfrog,
+              .seed = 31});
+  bool saw_reject = false;
+  for (int i = 0; i < 5 && !saw_reject; ++i) {
+    for (std::int64_t s = 0; s < geo4().volume(); ++s)
+      before.site(s) = u.site(s);
+    const TrajectoryResult r = hmc.trajectory();
+    if (!r.accepted) {
+      saw_reject = true;
+      EXPECT_EQ(field_distance(u, before), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+}
+
+TEST(HmcDriver, PlaquetteAgreesWithHeatbath) {
+  // HMC and heatbath sample the same distribution: plaquettes must agree
+  // within loose Monte Carlo errors on this tiny box.
+  const double beta = 5.6;
+
+  GaugeFieldD u_hb(geo4());
+  u_hb.set_random(SiteRngFactory(32));
+  Heatbath hb(u_hb, {.beta = beta, .or_per_hb = 1, .seed = 33});
+  double p_hb = 0.0;
+  for (int i = 0; i < 15; ++i) hb.sweep();
+  for (int i = 0; i < 15; ++i) p_hb += hb.sweep();
+  p_hb /= 15.0;
+
+  GaugeFieldD u_hmc = mildly_thermal(34, beta);
+  Hmc hmc(u_hmc, {.beta = beta,
+                  .trajectory_length = 1.0,
+                  .steps = 12,
+                  .integrator = Integrator::Omelyan,
+                  .seed = 35});
+  for (int i = 0; i < 10; ++i) hmc.trajectory();
+  double p_hmc = 0.0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) p_hmc += hmc.trajectory().plaquette;
+  p_hmc /= n;
+
+  EXPECT_NEAR(p_hmc, p_hb, 0.03);
+  EXPECT_GT(hmc.acceptance_rate(), 0.7);
+}
+
+TEST(HmcDriver, LinksStayInGroup) {
+  GaugeFieldD u = mildly_thermal(36);
+  Hmc hmc(u, {.beta = 5.6, .trajectory_length = 1.0, .steps = 10,
+              .seed = 37});
+  for (int i = 0; i < 3; ++i) hmc.trajectory();
+  EXPECT_LT(u.max_unitarity_error(), 1e-10);
+}
+
+}  // namespace
+}  // namespace lqcd

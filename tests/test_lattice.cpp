@@ -1,0 +1,155 @@
+// Unit tests for lattice geometry: checkerboard indexing, neighbor tables,
+// wrap detection and the field container.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lattice/field.hpp"
+#include "lattice/geometry.hpp"
+
+namespace lqcd {
+namespace {
+
+TEST(Geometry, VolumeAndHalfVolume) {
+  const LatticeGeometry geo({4, 6, 8, 10});
+  EXPECT_EQ(geo.volume(), 4 * 6 * 8 * 10);
+  EXPECT_EQ(geo.half_volume(), geo.volume() / 2);
+}
+
+TEST(Geometry, RejectsOddExtent) {
+  EXPECT_THROW(LatticeGeometry({3, 4, 4, 4}), Error);
+  EXPECT_THROW(LatticeGeometry({4, 4, 4, 5}), Error);
+}
+
+TEST(Geometry, RejectsTinyExtent) {
+  EXPECT_THROW(LatticeGeometry({0, 4, 4, 4}), Error);
+}
+
+TEST(Geometry, CbIndexIsBijection) {
+  const LatticeGeometry geo({4, 4, 6, 8});
+  std::set<std::int64_t> seen;
+  Coord x{};
+  for (x[3] = 0; x[3] < geo.dim(3); ++x[3])
+    for (x[2] = 0; x[2] < geo.dim(2); ++x[2])
+      for (x[1] = 0; x[1] < geo.dim(1); ++x[1])
+        for (x[0] = 0; x[0] < geo.dim(0); ++x[0]) {
+          const std::int64_t cb = geo.cb_index(x);
+          EXPECT_GE(cb, 0);
+          EXPECT_LT(cb, geo.volume());
+          EXPECT_TRUE(seen.insert(cb).second) << "duplicate cb index";
+          // coords() must invert cb_index().
+          EXPECT_EQ(geo.coords(cb), x);
+        }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), geo.volume());
+}
+
+TEST(Geometry, ParityLayout) {
+  const LatticeGeometry geo({4, 4, 4, 4});
+  for (std::int64_t cb = 0; cb < geo.volume(); ++cb) {
+    const Coord x = geo.coords(cb);
+    EXPECT_EQ(LatticeGeometry::parity(x), geo.parity_of(cb));
+    EXPECT_EQ(geo.parity_of(cb), cb < geo.half_volume() ? 0 : 1);
+  }
+}
+
+TEST(Geometry, NeighborsInverseEachOther) {
+  const LatticeGeometry geo({4, 6, 4, 8});
+  for (std::int64_t cb = 0; cb < geo.volume(); ++cb)
+    for (int mu = 0; mu < Nd; ++mu) {
+      EXPECT_EQ(geo.bwd(geo.fwd(cb, mu), mu), cb);
+      EXPECT_EQ(geo.fwd(geo.bwd(cb, mu), mu), cb);
+    }
+}
+
+TEST(Geometry, NeighborsFlipParity) {
+  const LatticeGeometry geo({4, 4, 4, 4});
+  for (std::int64_t cb = 0; cb < geo.volume(); ++cb)
+    for (int mu = 0; mu < Nd; ++mu) {
+      EXPECT_NE(geo.parity_of(cb), geo.parity_of(geo.fwd(cb, mu)));
+      EXPECT_NE(geo.parity_of(cb), geo.parity_of(geo.bwd(cb, mu)));
+    }
+}
+
+TEST(Geometry, NeighborCoordinatesCorrect) {
+  const LatticeGeometry geo({4, 6, 8, 4});
+  for (std::int64_t cb = 0; cb < geo.volume(); ++cb) {
+    const Coord x = geo.coords(cb);
+    for (int mu = 0; mu < Nd; ++mu) {
+      const Coord xp = geo.coords(geo.fwd(cb, mu));
+      for (int nu = 0; nu < Nd; ++nu) {
+        const int want =
+            nu == mu ? (x[nu] + 1) % geo.dim(nu) : x[nu];
+        EXPECT_EQ(xp[nu], want);
+      }
+    }
+  }
+}
+
+TEST(Geometry, WrapFlags) {
+  const LatticeGeometry geo({4, 4, 4, 6});
+  int fwd_wraps = 0, bwd_wraps = 0;
+  for (std::int64_t cb = 0; cb < geo.volume(); ++cb) {
+    const Coord x = geo.coords(cb);
+    for (int mu = 0; mu < Nd; ++mu) {
+      EXPECT_EQ(geo.fwd_wraps(cb, mu), x[mu] == geo.dim(mu) - 1);
+      EXPECT_EQ(geo.bwd_wraps(cb, mu), x[mu] == 0);
+      fwd_wraps += geo.fwd_wraps(cb, mu);
+      bwd_wraps += geo.bwd_wraps(cb, mu);
+    }
+  }
+  // Exactly volume/dim sites wrap per direction.
+  std::int64_t want = 0;
+  for (int mu = 0; mu < Nd; ++mu) want += geo.volume() / geo.dim(mu);
+  EXPECT_EQ(fwd_wraps, want);
+  EXPECT_EQ(bwd_wraps, want);
+}
+
+TEST(Geometry, Equality) {
+  const LatticeGeometry a({4, 4, 4, 4});
+  const LatticeGeometry b({4, 4, 4, 4});
+  const LatticeGeometry c({4, 4, 4, 6});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Field, ZeroInitializedAndSpans) {
+  const LatticeGeometry geo({4, 4, 4, 4});
+  FermionFieldD f(geo);
+  EXPECT_EQ(f.volume(), geo.volume());
+  EXPECT_EQ(f.span().size(), static_cast<std::size_t>(geo.volume()));
+  double s = 0.0;
+  for (const auto& psi : f.span()) s += norm2(psi);
+  EXPECT_EQ(s, 0.0);
+}
+
+TEST(Field, ParitySpansPartitionStorage) {
+  const LatticeGeometry geo({4, 4, 4, 6});
+  FermionFieldD f(geo);
+  auto even = f.parity_span(0);
+  auto odd = f.parity_span(1);
+  EXPECT_EQ(even.size(), static_cast<std::size_t>(geo.half_volume()));
+  EXPECT_EQ(odd.size(), even.size());
+  EXPECT_EQ(even.data() + even.size(), odd.data());
+  EXPECT_EQ(even.data(), f.span().data());
+}
+
+TEST(Field, SiteAccessRoundTrip) {
+  const LatticeGeometry geo({4, 4, 4, 4});
+  FermionFieldD f(geo);
+  const Coord x{1, 2, 3, 0};
+  const std::int64_t cb = geo.cb_index(x);
+  f[cb].s[2].c[1] = Cplxd(3.5, -1.0);
+  EXPECT_DOUBLE_EQ(f[cb].s[2].c[1].re, 3.5);
+  f.set_zero();
+  EXPECT_DOUBLE_EQ(f[cb].s[2].c[1].re, 0.0);
+}
+
+TEST(Field, AlignedStorage) {
+  const LatticeGeometry geo({4, 4, 4, 4});
+  FermionFieldD f(geo);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f.data()) % kFieldAlignment,
+            0u);
+}
+
+}  // namespace
+}  // namespace lqcd

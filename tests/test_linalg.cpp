@@ -1,0 +1,465 @@
+// Unit and property tests for the color/spin linear algebra:
+// complex numbers, SU(3), spinors, the gamma algebra and the small dense
+// matrices used by the clover term.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/cplx.hpp"
+#include "linalg/gamma.hpp"
+#include "linalg/smallmat.hpp"
+#include "linalg/spinor.hpp"
+#include "linalg/su3.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd {
+namespace {
+
+WilsonSpinorD random_spinor(CounterRng& rng) {
+  WilsonSpinorD psi;
+  for (int s = 0; s < Ns; ++s)
+    for (int c = 0; c < Nc; ++c)
+      psi.s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  return psi;
+}
+
+// ---------------------------------------------------------------------------
+// Cplx
+// ---------------------------------------------------------------------------
+
+TEST(Cplx, Arithmetic) {
+  const Cplxd a(1.0, 2.0), b(3.0, -1.0);
+  const Cplxd s = a + b;
+  EXPECT_DOUBLE_EQ(s.re, 4.0);
+  EXPECT_DOUBLE_EQ(s.im, 1.0);
+  const Cplxd p = a * b;  // (1+2i)(3-i) = 5 + 5i
+  EXPECT_DOUBLE_EQ(p.re, 5.0);
+  EXPECT_DOUBLE_EQ(p.im, 5.0);
+}
+
+TEST(Cplx, ConjAndNorm) {
+  const Cplxd a(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 25.0);
+  EXPECT_DOUBLE_EQ(abs(a), 5.0);
+  EXPECT_DOUBLE_EQ(conj(a).im, -4.0);
+}
+
+TEST(Cplx, MulConjIdentities) {
+  const Cplxd a(1.5, -2.5), b(0.5, 3.0);
+  const Cplxd x = mul_conj(a, b);
+  const Cplxd y = a * conj(b);
+  EXPECT_DOUBLE_EQ(x.re, y.re);
+  EXPECT_DOUBLE_EQ(x.im, y.im);
+  const Cplxd u = conj_mul(a, b);
+  const Cplxd v = conj(a) * b;
+  EXPECT_DOUBLE_EQ(u.re, v.re);
+  EXPECT_DOUBLE_EQ(u.im, v.im);
+}
+
+TEST(Cplx, Division) {
+  const Cplxd a(1.0, 1.0), b(2.0, -1.0);
+  const Cplxd q = div(a, b);
+  const Cplxd back = q * b;
+  EXPECT_NEAR(back.re, a.re, 1e-15);
+  EXPECT_NEAR(back.im, a.im, 1e-15);
+}
+
+TEST(Cplx, FmaAccumulate) {
+  Cplxd acc(1.0, 0.0);
+  fma_acc(acc, Cplxd(2.0, 1.0), Cplxd(1.0, 1.0));  // += 1 + 3i
+  EXPECT_DOUBLE_EQ(acc.re, 2.0);
+  EXPECT_DOUBLE_EQ(acc.im, 3.0);
+}
+
+TEST(Cplx, PrecisionConversion) {
+  const Cplxd d(1.25, -0.5);
+  const Cplxf f(d);
+  EXPECT_FLOAT_EQ(f.re, 1.25f);
+  const Cplxd back(f);
+  EXPECT_DOUBLE_EQ(back.re, 1.25);
+}
+
+// ---------------------------------------------------------------------------
+// SU(3)
+// ---------------------------------------------------------------------------
+
+class Su3Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Su3Property, RandomMatrixIsSpecialUnitary) {
+  CounterRng rng(100, static_cast<std::uint64_t>(GetParam()));
+  const ColorMatrixD u = random_su3<double>(rng);
+  EXPECT_LT(unitarity_error(u), 1e-13);
+  const Cplxd d = det(u);
+  EXPECT_NEAR(d.re, 1.0, 1e-13);
+  EXPECT_NEAR(d.im, 0.0, 1e-13);
+}
+
+TEST_P(Su3Property, GroupClosure) {
+  CounterRng rng(101, static_cast<std::uint64_t>(GetParam()));
+  const ColorMatrixD a = random_su3<double>(rng);
+  const ColorMatrixD b = random_su3<double>(rng);
+  const ColorMatrixD ab = mul(a, b);
+  EXPECT_LT(unitarity_error(ab), 1e-12);
+  EXPECT_NEAR(det(ab).re, 1.0, 1e-12);
+}
+
+TEST_P(Su3Property, DaggerIsInverse) {
+  CounterRng rng(102, static_cast<std::uint64_t>(GetParam()));
+  const ColorMatrixD u = random_su3<double>(rng);
+  const ColorMatrixD w = mul(dagger(u), u) - unit_matrix<double>();
+  EXPECT_LT(norm2(w), 1e-26);
+}
+
+TEST_P(Su3Property, AdjMulMatchesDaggerMul) {
+  CounterRng rng(103, static_cast<std::uint64_t>(GetParam()));
+  const ColorMatrixD a = random_su3<double>(rng);
+  const ColorMatrixD b = random_su3<double>(rng);
+  const ColorMatrixD x = adj_mul(a, b);
+  const ColorMatrixD y = mul(dagger(a), b);
+  EXPECT_LT(norm2(x - y), 1e-26);
+  const ColorMatrixD p = mul_adj(a, b);
+  const ColorMatrixD q = mul(a, dagger(b));
+  EXPECT_LT(norm2(p - q), 1e-26);
+}
+
+TEST_P(Su3Property, MatVecAgainstMatMat) {
+  CounterRng rng(104, static_cast<std::uint64_t>(GetParam()));
+  const ColorMatrixD a = random_su3<double>(rng);
+  ColorVectorD v;
+  for (int i = 0; i < Nc; ++i) v.c[i] = Cplxd(rng.gaussian(), rng.gaussian());
+  // (A^† A) v == v for unitary A.
+  const ColorVectorD w = adj_mul(a, mul(a, v));
+  EXPECT_LT(norm2(w - v), 1e-24);
+}
+
+TEST_P(Su3Property, TracelessAntihermProperties) {
+  CounterRng rng(105, static_cast<std::uint64_t>(GetParam()));
+  ColorMatrixD a;
+  for (int r = 0; r < Nc; ++r)
+    for (int c = 0; c < Nc; ++c)
+      a.m[r][c] = Cplxd(rng.gaussian(), rng.gaussian());
+  const ColorMatrixD p = traceless_antiherm(a);
+  // Anti-hermitian: p^† = -p.
+  EXPECT_LT(norm2(dagger(p) + p), 1e-26);
+  // Traceless.
+  EXPECT_NEAR(trace(p).re, 0.0, 1e-13);
+  EXPECT_NEAR(trace(p).im, 0.0, 1e-13);
+  // Projection is idempotent.
+  EXPECT_LT(norm2(traceless_antiherm(p) - p), 1e-26);
+}
+
+TEST_P(Su3Property, ExpOfAlgebraIsUnitary) {
+  CounterRng rng(106, static_cast<std::uint64_t>(GetParam()));
+  const ColorMatrixD p = random_algebra<double>(rng);
+  const ColorMatrixD u = exp_matrix(p);
+  EXPECT_LT(unitarity_error(u), 1e-12);
+  EXPECT_NEAR(det(u).re, 1.0, 1e-11);
+  EXPECT_NEAR(det(u).im, 0.0, 1e-11);
+}
+
+TEST_P(Su3Property, RandomAlgebraIsTracelessAntihermitian) {
+  CounterRng rng(107, static_cast<std::uint64_t>(GetParam()));
+  const ColorMatrixD p = random_algebra<double>(rng);
+  EXPECT_LT(norm2(dagger(p) + p), 1e-26);
+  EXPECT_NEAR(trace(p).re, 0.0, 1e-14);
+  EXPECT_NEAR(trace(p).im, 0.0, 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Su3Property, ::testing::Range(0, 20));
+
+TEST(Su3, ExpZeroIsIdentity) {
+  const ColorMatrixD u = exp_matrix(zero_matrix<double>());
+  EXPECT_LT(norm2(u - unit_matrix<double>()), 1e-28);
+}
+
+TEST(Su3, ExpMatchesSeriesForSmallArgument) {
+  CounterRng rng(108, 0);
+  ColorMatrixD p = random_algebra<double>(rng);
+  p *= 1e-3;
+  const ColorMatrixD u = exp_matrix(p);
+  // exp(p) ~ 1 + p + p^2/2
+  ColorMatrixD approx = unit_matrix<double>();
+  approx += p;
+  ColorMatrixD p2 = mul(p, p);
+  p2 *= 0.5;
+  approx += p2;
+  EXPECT_LT(std::sqrt(norm2(u - approx)), 1e-9);
+}
+
+TEST(Su3, ExpAdditivityForCommuting) {
+  CounterRng rng(109, 0);
+  ColorMatrixD p = random_algebra<double>(rng);
+  ColorMatrixD p_half = p;
+  p_half *= 0.5;
+  const ColorMatrixD a = exp_matrix(p);
+  const ColorMatrixD b = mul(exp_matrix(p_half), exp_matrix(p_half));
+  EXPECT_LT(std::sqrt(norm2(a - b)), 1e-12);
+}
+
+TEST(Su3, ReunitarizeRecoversGroupElement) {
+  CounterRng rng(110, 0);
+  ColorMatrixD u = random_su3<double>(rng);
+  ColorMatrixD perturbed = u;
+  perturbed.m[1][2] += Cplxd(1e-3, -2e-3);
+  reunitarize(perturbed);
+  EXPECT_LT(unitarity_error(perturbed), 1e-14);
+  EXPECT_NEAR(det(perturbed).re, 1.0, 1e-13);
+}
+
+TEST(Su3, NearUnitRandomIsCloseToIdentity) {
+  CounterRng rng(111, 0);
+  const ColorMatrixD u = random_su3_near_unit<double>(rng, 0.01);
+  EXPECT_LT(std::sqrt(norm2(u - unit_matrix<double>())), 0.2);
+  EXPECT_LT(unitarity_error(u), 1e-12);
+}
+
+TEST(Su3, RandomAlgebraNormalization) {
+  // <|p|_F^2> = sum_a <xi_a^2> tr(T_a T_a)... with tr(T_a T_b) =
+  // delta_ab/2 the expected Frobenius norm^2 per draw is 8 * 1/2 = 4.
+  CounterRng rng(112, 0);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += norm2(random_algebra<double>(rng));
+  EXPECT_NEAR(acc / n, 4.0, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Spinors
+// ---------------------------------------------------------------------------
+
+TEST(Spinor, NormAndDotConsistency) {
+  CounterRng rng(200, 0);
+  const WilsonSpinorD a = random_spinor(rng);
+  EXPECT_NEAR(dot(a, a).re, norm2(a), 1e-12);
+  EXPECT_NEAR(dot(a, a).im, 0.0, 1e-13);
+}
+
+TEST(Spinor, DotSesquilinear) {
+  CounterRng rng(201, 0);
+  const WilsonSpinorD a = random_spinor(rng);
+  const WilsonSpinorD b = random_spinor(rng);
+  const Cplxd ab = dot(a, b);
+  const Cplxd ba = dot(b, a);
+  EXPECT_NEAR(ab.re, ba.re, 1e-12);
+  EXPECT_NEAR(ab.im, -ba.im, 1e-12);
+}
+
+TEST(Spinor, ColorMatrixActsPerSpin) {
+  CounterRng rng(202, 0);
+  const ColorMatrixD u = random_su3<double>(rng);
+  const WilsonSpinorD psi = random_spinor(rng);
+  const WilsonSpinorD upsi = mul(u, psi);
+  for (int s = 0; s < Ns; ++s) {
+    const ColorVectorD want = mul(u, psi.s[s]);
+    EXPECT_LT(norm2(upsi.s[s] - want), 1e-26);
+  }
+  // Unitarity at the spinor level.
+  EXPECT_NEAR(norm2(upsi), norm2(psi), 1e-12);
+}
+
+TEST(Spinor, PrecisionRoundTrip) {
+  CounterRng rng(203, 0);
+  const WilsonSpinorD a = random_spinor(rng);
+  const WilsonSpinorF f = convert<float>(a);
+  const WilsonSpinorD back = convert<double>(f);
+  EXPECT_LT(norm2(back - a) / norm2(a), 1e-13);  // float eps^2 level
+}
+
+// ---------------------------------------------------------------------------
+// Gamma algebra
+// ---------------------------------------------------------------------------
+
+SpinMatrix anticommutator(const SpinMatrix& a, const SpinMatrix& b) {
+  return add(mul(a, b), mul(b, a));
+}
+
+TEST(Gamma, CliffordAlgebra) {
+  // {gamma_mu, gamma_nu} = 2 delta_mu_nu.
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = 0; nu < 4; ++nu) {
+      const SpinMatrix ac =
+          anticommutator(gamma_matrix(mu), gamma_matrix(nu));
+      const SpinMatrix want =
+          scale(Cplxd(mu == nu ? 2.0 : 0.0), gamma_matrix(5));
+      EXPECT_LT(spin_distance(ac, want), 1e-14)
+          << "mu=" << mu << " nu=" << nu;
+    }
+}
+
+TEST(Gamma, Hermiticity) {
+  for (int mu = 0; mu < 5; ++mu) {
+    const SpinMatrix g = gamma_matrix(mu);
+    EXPECT_LT(spin_distance(g, adjoint(g)), 1e-14) << "mu=" << mu;
+  }
+}
+
+TEST(Gamma, Gamma5IsProductOfGammas) {
+  const SpinMatrix prod = mul(mul(gamma_matrix(0), gamma_matrix(1)),
+                              mul(gamma_matrix(2), gamma_matrix(3)));
+  EXPECT_LT(spin_distance(prod, gamma_matrix(4)), 1e-14);
+}
+
+TEST(Gamma, Gamma5AnticommutesWithGammaMu) {
+  const SpinMatrix g5 = gamma_matrix(4);
+  for (int mu = 0; mu < 4; ++mu) {
+    const SpinMatrix ac = anticommutator(g5, gamma_matrix(mu));
+    EXPECT_LT(spin_distance(ac, scale(Cplxd(0.0), g5)), 1e-14);
+  }
+}
+
+TEST(Gamma, TableMatchesDenseMatrix) {
+  CounterRng rng(300, 0);
+  const WilsonSpinorD psi = random_spinor(rng);
+  for (int mu = 0; mu < 5; ++mu) {
+    const WilsonSpinorD table = apply_gamma(mu, psi);
+    const SpinMatrix g = gamma_matrix(mu);
+    WilsonSpinorD dense{};
+    for (int r = 0; r < Ns; ++r)
+      for (int k = 0; k < Ns; ++k)
+        for (int c = 0; c < Nc; ++c)
+          fma_acc(dense.s[r].c[c], g.m[r][k], psi.s[k].c[c]);
+    EXPECT_LT(norm2(table - dense), 1e-26) << "mu=" << mu;
+  }
+}
+
+TEST(Gamma, ApplyGamma5Shortcut) {
+  CounterRng rng(301, 0);
+  const WilsonSpinorD psi = random_spinor(rng);
+  EXPECT_LT(norm2(apply_gamma5(psi) - apply_gamma(4, psi)), 1e-28);
+}
+
+class GammaProjection : public ::testing::TestWithParam<int> {};
+
+TEST_P(GammaProjection, ProjectReconstructMatchesDense) {
+  // For each direction and sign, project+reconstruct must equal
+  // (1 + sign*gamma_mu) psi (with identity color transport).
+  const int mu = GetParam();
+  CounterRng rng(302, static_cast<std::uint64_t>(mu));
+  const WilsonSpinorD psi = random_spinor(rng);
+
+  auto check = [&](auto tag_minus, auto tag_plus) {
+    (void)tag_minus;
+    (void)tag_plus;
+  };
+  (void)check;
+
+  auto dense_proj = [&](int sign) {
+    WilsonSpinorD out = psi;
+    const WilsonSpinorD g = apply_gamma(mu, psi);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        out.s[s].c[c] += Cplxd(double(sign)) * g.s[s].c[c];
+    return out;
+  };
+
+  WilsonSpinorD got_minus{};
+  WilsonSpinorD got_plus{};
+  switch (mu) {
+    case 0: {
+      accum_reconstruct<0, -1>(got_minus, project<0, -1>(psi));
+      accum_reconstruct<0, +1>(got_plus, project<0, +1>(psi));
+      break;
+    }
+    case 1: {
+      accum_reconstruct<1, -1>(got_minus, project<1, -1>(psi));
+      accum_reconstruct<1, +1>(got_plus, project<1, +1>(psi));
+      break;
+    }
+    case 2: {
+      accum_reconstruct<2, -1>(got_minus, project<2, -1>(psi));
+      accum_reconstruct<2, +1>(got_plus, project<2, +1>(psi));
+      break;
+    }
+    case 3: {
+      accum_reconstruct<3, -1>(got_minus, project<3, -1>(psi));
+      accum_reconstruct<3, +1>(got_plus, project<3, +1>(psi));
+      break;
+    }
+    default:
+      FAIL();
+  }
+  EXPECT_LT(norm2(got_minus - dense_proj(-1)), 1e-24);
+  EXPECT_LT(norm2(got_plus - dense_proj(+1)), 1e-24);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDirections, GammaProjection,
+                         ::testing::Range(0, 4));
+
+TEST(Gamma, SigmaBlockDiagonalInChiralBasis) {
+  // sigma_mu_nu must vanish between the two chirality blocks
+  // (spins {0,1} vs {2,3}) — the clover term relies on this.
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = mu + 1; nu < 4; ++nu) {
+      const SpinMatrix s = sigma_munu(mu, nu);
+      for (int r = 0; r < 2; ++r)
+        for (int c = 2; c < 4; ++c) {
+          EXPECT_LT(norm2(s.m[r][c]), 1e-28);
+          EXPECT_LT(norm2(s.m[c][r]), 1e-28);
+        }
+    }
+}
+
+TEST(Gamma, SigmaHermitian) {
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = mu + 1; nu < 4; ++nu) {
+      const SpinMatrix s = sigma_munu(mu, nu);
+      EXPECT_LT(spin_distance(s, adjoint(s)), 1e-14);
+    }
+}
+
+TEST(Gamma, SigmaAntisymmetric) {
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = 0; nu < 4; ++nu) {
+      if (mu == nu) continue;
+      const SpinMatrix a = sigma_munu(mu, nu);
+      const SpinMatrix b = scale(Cplxd(-1.0), sigma_munu(nu, mu));
+      EXPECT_LT(spin_distance(a, b), 1e-14);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Small dense matrices
+// ---------------------------------------------------------------------------
+
+TEST(SmallMat, InverseOfIdentity) {
+  const auto id = SmallMat<double, 6>::identity();
+  const auto inv = inverse(id);
+  EXPECT_LT(frobenius_norm(mul(inv, id)) - std::sqrt(6.0), 1e-12);
+}
+
+TEST(SmallMat, InverseRandom) {
+  CounterRng rng(400, 0);
+  SmallMat<double, 6> a{};
+  for (int r = 0; r < 6; ++r)
+    for (int c = 0; c < 6; ++c)
+      a.m[r][c] = Cplxd(rng.gaussian(), rng.gaussian());
+  // Diagonal boost to avoid accidental near-singularity.
+  for (int r = 0; r < 6; ++r) a.m[r][r] += Cplxd(5.0);
+  const auto inv = inverse(a);
+  const auto prod = mul(a, inv);
+  SmallMat<double, 6> err = prod;
+  for (int r = 0; r < 6; ++r) err.m[r][r] -= Cplxd(1.0);
+  EXPECT_LT(frobenius_norm(err), 1e-12);
+}
+
+TEST(SmallMat, SingularThrows) {
+  SmallMat<double, 3> a{};  // all zeros
+  EXPECT_THROW(inverse(a), Error);
+}
+
+TEST(SmallMat, MatVec) {
+  SmallMat<double, 2> a{};
+  a.m[0][0] = Cplxd(0.0, 1.0);  // i
+  a.m[1][1] = Cplxd(2.0);
+  SmallVec<double, 2> v{};
+  v.v[0] = Cplxd(1.0);
+  v.v[1] = Cplxd(0.0, 1.0);
+  const auto w = mul(a, v);
+  EXPECT_DOUBLE_EQ(w.v[0].re, 0.0);
+  EXPECT_DOUBLE_EQ(w.v[0].im, 1.0);
+  EXPECT_DOUBLE_EQ(w.v[1].im, 2.0);
+}
+
+}  // namespace
+}  // namespace lqcd

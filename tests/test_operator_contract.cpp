@@ -1,0 +1,152 @@
+// Parameterized "operator contract" suite: structural invariants every
+// Dirac operator must satisfy, swept over lattice shapes and hopping
+// parameters. Complements the targeted per-module tests with broad
+// property coverage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "dirac/clover.hpp"
+#include "dirac/eo.hpp"
+#include "dirac/normal.hpp"
+#include "dirac/wilson.hpp"
+#include "gauge/heatbath.hpp"
+#include "linalg/blas.hpp"
+#include "solver/cg.hpp"
+
+namespace lqcd {
+namespace {
+
+using ShapeKappa = std::tuple<Coord, double>;
+
+class OperatorContract : public ::testing::TestWithParam<ShapeKappa> {
+ protected:
+  void SetUp() override {
+    const Coord dims = std::get<0>(GetParam());
+    geo_ = std::make_unique<LatticeGeometry>(dims);
+    u_ = std::make_unique<GaugeFieldD>(*geo_);
+    u_->set_random(SiteRngFactory(hash_dims(dims)));
+    Heatbath hb(*u_, {.beta = 5.9, .or_per_hb = 1,
+                      .seed = hash_dims(dims) + 1});
+    for (int i = 0; i < 3; ++i) hb.sweep();
+    kappa_ = std::get<1>(GetParam());
+  }
+
+  static std::uint64_t hash_dims(const Coord& d) {
+    return static_cast<std::uint64_t>(d[0] + 13 * d[1] + 101 * d[2] +
+                                      997 * d[3]);
+  }
+
+  FermionFieldD random_field(std::uint64_t seed) const {
+    FermionFieldD f(*geo_);
+    SiteRngFactory rngs(seed);
+    for (std::int64_t s = 0; s < geo_->volume(); ++s) {
+      CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+      for (int sp = 0; sp < Ns; ++sp)
+        for (int c = 0; c < Nc; ++c)
+          f[s].s[sp].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+    }
+    return f;
+  }
+
+  std::unique_ptr<LatticeGeometry> geo_;
+  std::unique_ptr<GaugeFieldD> u_;
+  double kappa_ = 0.0;
+};
+
+TEST_P(OperatorContract, Gamma5Hermiticity) {
+  WilsonOperator<double> m(*u_, kappa_);
+  FermionFieldD phi = random_field(1), psi = random_field(2);
+  FermionFieldD mpsi(*geo_), mdphi(*geo_), tmp(*geo_);
+  m.apply(mpsi.span(), psi.span());
+  m.apply_dagger(mdphi.span(), phi.span(), tmp.span());
+  const Cplxd a = blas::dot(phi.span(), mpsi.span());
+  const Cplxd b = blas::dot(mdphi.span(), psi.span());
+  EXPECT_NEAR(a.re, b.re, 1e-9 * std::abs(a.re) + 1e-9);
+  EXPECT_NEAR(a.im, b.im, 1e-9 * std::abs(a.re) + 1e-9);
+}
+
+TEST_P(OperatorContract, NormalOperatorPositive) {
+  WilsonOperator<double> m(*u_, kappa_);
+  NormalOperator<double> a(m);
+  FermionFieldD x = random_field(3);
+  FermionFieldD ax(*geo_);
+  a.apply(ax.span(), x.span());
+  EXPECT_GT(blas::re_dot(x.span(), ax.span()), 0.0);
+}
+
+TEST_P(OperatorContract, SchurSolveReconstructsFullSolution) {
+  WilsonOperator<double> m(*u_, kappa_);
+  SchurWilsonOperator<double> shat(*u_, kappa_);
+  NormalOperator<double> nhat(shat);
+  FermionFieldD b = random_field(4);
+  const auto hv = static_cast<std::size_t>(geo_->half_volume());
+  aligned_vector<WilsonSpinorD> bhat(hv), bhat2(hv), xo(hv), tmp(hv);
+  shat.prepare_rhs({bhat.data(), hv}, b.span());
+  apply_dagger_g5<double>(shat, {bhat2.data(), hv}, {bhat.data(), hv},
+                          {tmp.data(), hv});
+  SolverParams p{.tol = 1e-10, .max_iterations = 10000};
+  ASSERT_TRUE(cg_solve<double>(nhat, {xo.data(), hv},
+                               std::span<const WilsonSpinorD>(
+                                   bhat2.data(), hv),
+                               p)
+                  .converged);
+  FermionFieldD x(*geo_), check(*geo_);
+  shat.reconstruct(x.span(), {xo.data(), hv}, b.span());
+  m.apply(check.span(), x.span());
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo_->volume(); ++s) {
+    err += norm2(check[s] - b[s]);
+    ref += norm2(b[s]);
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-8);
+}
+
+TEST_P(OperatorContract, CloverSchurMatchesWilsonAtZeroCsw) {
+  SchurWilsonOperator<double> sw(*u_, kappa_);
+  SchurCloverOperator<double> sc(*u_, *u_, {.kappa = kappa_, .csw = 0.0});
+  const auto hv = static_cast<std::size_t>(geo_->half_volume());
+  FermionFieldD full = random_field(5);
+  aligned_vector<WilsonSpinorD> x(hv), a(hv), b(hv);
+  for (std::size_t i = 0; i < hv; ++i)
+    x[i] = full[static_cast<std::int64_t>(i)];
+  sw.apply({a.data(), hv},
+           std::span<const WilsonSpinorD>(x.data(), hv));
+  sc.apply({b.data(), hv},
+           std::span<const WilsonSpinorD>(x.data(), hv));
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < hv; ++i) {
+    err += norm2(a[i] - b[i]);
+    ref += norm2(a[i]);
+  }
+  EXPECT_LT(err / ref, 1e-22);
+}
+
+TEST_P(OperatorContract, DslashNormBounded) {
+  // ||D psi|| <= 8 ||psi|| for unitary links (each of 8 hop terms is a
+  // projector (norm <= 2) times a unitary transport, summed).
+  const GaugeFieldD links = make_fermion_links(*u_,
+                                               TimeBoundary::Antiperiodic);
+  FermionFieldD in = random_field(6);
+  FermionFieldD out(*geo_);
+  dslash_full(out.span(),
+              std::span<const WilsonSpinorD>(in.span().data(),
+                                             in.span().size()),
+              links);
+  EXPECT_LE(std::sqrt(blas::norm2(out.span())),
+            8.0 * std::sqrt(blas::norm2(in.span())) * (1 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndMasses, OperatorContract,
+    ::testing::Values(
+        ShapeKappa{Coord{4, 4, 4, 4}, 0.100},
+        ShapeKappa{Coord{4, 4, 4, 4}, 0.124},
+        ShapeKappa{Coord{4, 4, 4, 8}, 0.115},
+        ShapeKappa{Coord{6, 4, 4, 6}, 0.120},
+        ShapeKappa{Coord{4, 6, 4, 4}, 0.110},
+        ShapeKappa{Coord{8, 4, 4, 4}, 0.118}));
+
+}  // namespace
+}  // namespace lqcd

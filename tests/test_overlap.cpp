@@ -1,0 +1,233 @@
+// Tests for the rational inverse square root and overlap fermions:
+// scalar accuracy of the approximation, matrix-function identities
+// through multishift CG, eps(H)^2 = 1, and the Ginsparg–Wilson relation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirac/normal.hpp"
+#include "dirac/overlap.hpp"
+#include "dirac/wilson.hpp"
+#include "gauge/heatbath.hpp"
+#include "linalg/blas.hpp"
+#include "solver/cg.hpp"
+#include "solver/rational.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+const GaugeFieldD& gauge() {
+  static GaugeFieldD u = [] {
+    GaugeFieldD v(geo4());
+    v.set_random(SiteRngFactory(980));
+    Heatbath hb(v, {.beta = 6.0, .or_per_hb = 1, .seed = 981});
+    for (int i = 0; i < 6; ++i) hb.sweep();
+    return v;
+  }();
+  return u;
+}
+
+void fill_random(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar rational approximation
+// ---------------------------------------------------------------------------
+
+TEST(RationalInvSqrt, ScalarAccuracyNearOne) {
+  const RationalApprox r = rational_inverse_sqrt(24);
+  for (const double x : {0.5, 0.8, 1.0, 1.5, 2.0}) {
+    EXPECT_NEAR(r.evaluate(x) * std::sqrt(x), 1.0, 1e-6) << x;
+  }
+}
+
+TEST(RationalInvSqrt, AccuracyImprovesWithOrder) {
+  auto sup_err = [](int n) {
+    const RationalApprox r = rational_inverse_sqrt(n);
+    double worst = 0.0;
+    for (double x = 0.2; x <= 5.0; x += 0.1)
+      worst = std::max(worst,
+                       std::abs(r.evaluate(x) * std::sqrt(x) - 1.0));
+    return worst;
+  };
+  EXPECT_LT(sup_err(24), sup_err(12));
+  EXPECT_LT(sup_err(12), sup_err(6));
+}
+
+TEST(RationalInvSqrt, ScaledCoversWideInterval) {
+  const RationalApprox r = rational_inverse_sqrt_scaled(28, 0.05, 30.0);
+  for (const double x : {0.05, 0.2, 1.0, 5.0, 30.0}) {
+    EXPECT_NEAR(r.evaluate(x) * std::sqrt(x), 1.0, 2e-4) << x;
+  }
+}
+
+TEST(RationalInvSqrt, Validation) {
+  EXPECT_THROW(rational_inverse_sqrt(0), Error);
+  EXPECT_THROW(rational_inverse_sqrt_scaled(8, -1.0, 2.0), Error);
+  EXPECT_THROW(rational_inverse_sqrt_scaled(8, 3.0, 2.0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix functions via multishift
+// ---------------------------------------------------------------------------
+
+TEST(MatrixInvSqrt, SquareEqualsInverse) {
+  // (A^{-1/2})^2 b == A^{-1} b within the rational accuracy.
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  FermionFieldD b(geo4()), half(geo4()), invs(geo4()), inv(geo4());
+  fill_random(b.span(), 982);
+
+  SolverParams p{.tol = 1e-10, .max_iterations = 8000,
+                 .check_true_residual = false};
+  ASSERT_TRUE(apply_inverse_sqrt<double>(a, half.span(), b.span(), 24,
+                                         0.05, 30.0, p)
+                  .converged);
+  ASSERT_TRUE(apply_inverse_sqrt<double>(a, invs.span(), half.span(), 24,
+                                         0.05, 30.0, p)
+                  .converged);
+  SolverParams pc{.tol = 1e-11, .max_iterations = 8000};
+  ASSERT_TRUE(cg_solve<double>(a, inv.span(), b.span(), pc).converged);
+
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(invs[s] - inv[s]);
+    ref += norm2(inv[s]);
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-3);
+}
+
+TEST(MatrixInvSqrt, CommutesWithOperator) {
+  // A * A^{-1/2} b == A^{-1/2} * (A b): functions of A commute with A.
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  FermionFieldD b(geo4()), ab(geo4()), lhs(geo4()), f(geo4()), rhs(geo4());
+  fill_random(b.span(), 983);
+  SolverParams p{.tol = 1e-10, .max_iterations = 8000,
+                 .check_true_residual = false};
+  a.apply(ab.span(), b.span());
+  ASSERT_TRUE(apply_inverse_sqrt<double>(a, rhs.span(), ab.span(), 24,
+                                         0.05, 30.0, p)
+                  .converged);
+  ASSERT_TRUE(apply_inverse_sqrt<double>(a, f.span(), b.span(), 24, 0.05,
+                                         30.0, p)
+                  .converged);
+  a.apply(lhs.span(), f.span());
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(lhs[s] - rhs[s]);
+    ref += norm2(rhs[s]);
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Overlap operator
+// ---------------------------------------------------------------------------
+
+OverlapParams overlap_params() {
+  OverlapParams p;
+  p.m0 = 1.4;
+  p.poles = 48;
+  p.spectrum_min = 0.01;
+  p.spectrum_max = 50.0;
+  return p;
+}
+
+TEST(Overlap, SignFunctionSquaresToIdentity) {
+  OverlapOperator<double> ov(gauge(), overlap_params());
+  FermionFieldD x(geo4()), s1(geo4()), s2(geo4());
+  fill_random(x.span(), 984);
+  ov.apply_sign(s1.span(), x.span());
+  ov.apply_sign(s2.span(), s1.span());
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(s2[s] - x[s]);
+    ref += norm2(x[s]);
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-2);
+  EXPECT_GT(ov.total_inner_iterations(), 0);
+}
+
+TEST(Overlap, SignPreservesNorm) {
+  // eps(H) is an involution with unit spectrum: it preserves norms up to
+  // the rational accuracy.
+  OverlapOperator<double> ov(gauge(), overlap_params());
+  FermionFieldD x(geo4()), s(geo4());
+  fill_random(x.span(), 985);
+  ov.apply_sign(s.span(), x.span());
+  EXPECT_NEAR(blas::norm2(s.span()) / blas::norm2(x.span()), 1.0, 1e-2);
+}
+
+TEST(Overlap, GinspargWilsonRelation) {
+  // gamma5 D + D gamma5 = (1/rho) D gamma5 D, applied to a random vector.
+  OverlapOperator<double> ov(gauge(), overlap_params());
+  const double rho = ov.rho();
+  FermionFieldD x(geo4());
+  fill_random(x.span(), 986);
+
+  FermionFieldD dx(geo4()), g5dx(geo4()), dg5x(geo4()), g5x(geo4());
+  ov.apply(dx.span(), x.span());
+  // gamma5 D x
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    g5dx[s] = apply_gamma5(dx[s]);
+  // D gamma5 x
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    g5x[s] = apply_gamma5(x[s]);
+  ov.apply(dg5x.span(), g5x.span());
+  // rhs = (1/rho) D gamma5 D x
+  FermionFieldD dg5dx(geo4());
+  ov.apply(dg5dx.span(), g5dx.span());
+
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    WilsonSpinorD lhs = g5dx[s];
+    lhs += dg5x[s];
+    WilsonSpinorD rhs = dg5dx[s];
+    rhs *= 1.0 / rho;
+    err += norm2(lhs - rhs);
+    ref += norm2(rhs);
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-2);
+}
+
+TEST(Overlap, Gamma5Hermiticity) {
+  // D_ov is gamma5-hermitian like every sensible Dirac operator.
+  OverlapOperator<double> ov(gauge(), overlap_params());
+  FermionFieldD phi(geo4()), psi(geo4()), dpsi(geo4()), g5(geo4()),
+      dg5(geo4());
+  fill_random(phi.span(), 987);
+  fill_random(psi.span(), 988);
+  ov.apply(dpsi.span(), psi.span());
+  const Cplxd a = blas::dot(phi.span(), dpsi.span());
+  // <phi, D psi> =? <g5 D g5 phi, psi>
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    g5[s] = apply_gamma5(phi[s]);
+  ov.apply(dg5.span(), g5.span());
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    dg5[s] = apply_gamma5(dg5[s]);
+  const Cplxd b = blas::dot(dg5.span(), psi.span());
+  EXPECT_NEAR(a.re, b.re, 1e-2 * std::abs(a.re) + 1e-6);
+  EXPECT_NEAR(a.im, b.im, 1e-2 * std::abs(a.re) + 1e-6);
+}
+
+TEST(Overlap, Validation) {
+  OverlapParams p = overlap_params();
+  p.m0 = 2.5;
+  EXPECT_THROW(OverlapOperator<double>(gauge(), p), Error);
+}
+
+}  // namespace
+}  // namespace lqcd

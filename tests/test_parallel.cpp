@@ -1,0 +1,106 @@
+// Unit tests for the thread pool and parallel loop primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+namespace {
+
+TEST(ThreadPool, SizeAtLeastOne) {
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  const std::size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ReductionMatchesSerialSum) {
+  const std::size_t n = 100000;
+  const double got =
+      parallel_reduce_sum(n, [](std::size_t i) { return double(i); });
+  const double want = double(n) * double(n - 1) / 2.0;
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+TEST(ThreadPool, ReductionDeterministic) {
+  const std::size_t n = 54321;
+  auto body = [](std::size_t i) { return 1.0 / (1.0 + double(i)); };
+  const double a = parallel_reduce_sum(n, body);
+  const double b = parallel_reduce_sum(n, body);
+  EXPECT_EQ(a, b);  // bitwise identical: fixed chunk combination order
+}
+
+TEST(ThreadPool, ChunksArePartition) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunks(n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    EXPECT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  EXPECT_THROW(parallel_for(100,
+                            [&](std::size_t i) {
+                              if (i == 57) throw Error("inner failure");
+                            }),
+               Error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  try {
+    parallel_for(10, [](std::size_t) { throw Error("x"); });
+  } catch (const Error&) {
+  }
+  double s = parallel_reduce_sum(10, [](std::size_t) { return 1.0; });
+  EXPECT_DOUBLE_EQ(s, 10.0);
+}
+
+TEST(ThreadPool, DedicatedPoolRuns) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> count{0};
+  pool.run_chunks(100, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::size_t calls = 0;
+  pool.run_chunks(10, [&](std::size_t lo, std::size_t hi, std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 10u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, ManySmallJobs) {
+  // Stress the start/finish handshake.
+  for (int rep = 0; rep < 200; ++rep) {
+    const double s =
+        parallel_reduce_sum(7, [](std::size_t) { return 1.0; });
+    ASSERT_DOUBLE_EQ(s, 7.0);
+  }
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,105 @@
+// Cross-cutting physics and model property sweeps (parameterized):
+// monotonicity laws that tie several modules together.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/machine.hpp"
+#include "comm/perf_model.hpp"
+#include "gauge/heatbath.hpp"
+#include "gauge/observables.hpp"
+#include "spectro/free_field.hpp"
+#include "staggered/staggered.hpp"
+
+namespace lqcd {
+namespace {
+
+TEST(PhysicsProperties, PlaquetteMonotoneInBeta) {
+  // Stronger coupling (smaller beta) -> rougher field -> lower plaquette;
+  // the map beta -> <P> must be monotone across the sweep.
+  const LatticeGeometry geo({4, 4, 4, 4});
+  double prev = -1.0;
+  for (const double beta : {0.5, 2.0, 4.0, 5.7, 7.0, 10.0}) {
+    GaugeFieldD u(geo);
+    u.set_random(SiteRngFactory(321));
+    Heatbath hb(u, {.beta = beta, .or_per_hb = 1, .seed = 322});
+    double p = 0.0;
+    for (int i = 0; i < 12; ++i) hb.sweep();
+    for (int i = 0; i < 8; ++i) p += hb.sweep();
+    p /= 8.0;
+    EXPECT_GT(p, prev) << "beta " << beta;
+    prev = p;
+  }
+}
+
+TEST(PhysicsProperties, FreePionMassMonotoneInQuarkMass) {
+  // Heavier quarks -> heavier pion, in both discretizations' free limits.
+  double prev_w = 0.0, prev_s = 0.0;
+  for (const double frac : {0.3, 0.5, 0.7}) {
+    const double kappa = 0.125 * (1.0 - frac * 0.5);  // below kappa_c
+    const double mw = 2.0 * free_quark_mass(kappa);
+    EXPECT_GT(mw, prev_w);
+    prev_w = mw;
+    const double ms = 2.0 * staggered_free_quark_energy(frac);
+    EXPECT_GT(ms, prev_s);
+    prev_s = ms;
+  }
+}
+
+TEST(PhysicsProperties, FreePionCorrelatorOrderedByMass) {
+  // At every t > 0, the heavier-quark correlator decays faster.
+  const Coord dims{4, 4, 4, 12};
+  const auto light = free_pion_correlator(dims, 0.120);
+  const auto heavy = free_pion_correlator(dims, 0.100);
+  for (int t = 1; t <= 6; ++t) {
+    const double rl = light[static_cast<std::size_t>(t)] / light[0];
+    const double rh = heavy[static_cast<std::size_t>(t)] / heavy[0];
+    EXPECT_GT(rl, rh) << t;
+  }
+}
+
+class ModelMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelMonotonicity, DslashTimeGrowsWithLocalVolume) {
+  const int l = GetParam();
+  PerfModelOptions opt;
+  const MachineModel m = blue_gene_q();
+  const DslashCost small = model_dslash({l, l, l, l}, {2, 2, 2, 2}, m, opt);
+  const DslashCost big =
+      model_dslash({2 * l, l, l, l}, {2, 2, 2, 2}, m, opt);
+  EXPECT_GT(big.t_compute, small.t_compute);
+  EXPECT_GT(big.comm_bytes, small.comm_bytes);
+  // Comm share shrinks with local volume (surface/volume).
+  EXPECT_LT(big.t_comm / big.t_compute, small.t_comm / small.t_compute);
+}
+
+TEST_P(ModelMonotonicity, FasterLinksReduceCommTime) {
+  const int l = GetParam();
+  PerfModelOptions opt;
+  MachineModel slow = generic_cluster();
+  MachineModel fast = slow;
+  fast.link_bw_gbs *= 4.0;
+  const DslashCost a = model_dslash({l, l, l, l}, {2, 2, 2, 2}, slow, opt);
+  const DslashCost b = model_dslash({l, l, l, l}, {2, 2, 2, 2}, fast, opt);
+  EXPECT_GT(a.t_comm, b.t_comm);
+  EXPECT_DOUBLE_EQ(a.t_compute, b.t_compute);
+}
+
+INSTANTIATE_TEST_SUITE_P(LocalSizes, ModelMonotonicity,
+                         ::testing::Values(4, 6, 8, 12));
+
+TEST(PhysicsProperties, StrongScalingEfficiencyBelowWeakScaling) {
+  // At matched node counts, strong scaling (shrinking local volume)
+  // cannot beat weak scaling (fixed local volume) in efficiency.
+  PerfModelOptions opt;
+  const MachineModel m = blue_gene_q();
+  const std::vector<int> nodes = {16, 256, 4096};
+  const auto strong = strong_scaling({32, 32, 32, 64}, m, opt, nodes);
+  const auto weak = weak_scaling({16, 16, 16, 16}, m, opt, nodes);
+  ASSERT_EQ(strong.size(), weak.size());
+  for (std::size_t i = 0; i < strong.size(); ++i)
+    EXPECT_LE(strong[i].efficiency, weak[i].efficiency + 1e-9) << i;
+}
+
+}  // namespace
+}  // namespace lqcd

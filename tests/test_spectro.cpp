@@ -1,0 +1,314 @@
+// Tests for spectroscopy: sources, propagator solves (validated against
+// the Dirac equation), meson/baryon contractions, effective masses and
+// the exact free-field reference — the end-to-end "origin of mass" check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirac/wilson.hpp"
+#include "gauge/heatbath.hpp"
+#include "linalg/blas.hpp"
+#include "spectro/correlator.hpp"
+#include "spectro/effective_mass.hpp"
+#include "spectro/free_field.hpp"
+#include "spectro/propagator.hpp"
+#include "spectro/source.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo438() {
+  static LatticeGeometry geo({4, 4, 4, 8});
+  return geo;
+}
+
+TEST(Source, PointSourceNormalization) {
+  FermionFieldD b(geo438());
+  make_point_source(b, {1, 2, 3, 0}, 2, 1);
+  EXPECT_DOUBLE_EQ(blas::norm2(b.span()), 1.0);
+  const std::int64_t cb = geo438().cb_index({1, 2, 3, 0});
+  EXPECT_DOUBLE_EQ(b[cb].s[2].c[1].re, 1.0);
+}
+
+TEST(Source, PointSourceValidation) {
+  FermionFieldD b(geo438());
+  EXPECT_THROW(make_point_source(b, {0, 0, 0, 0}, 4, 0), Error);
+  EXPECT_THROW(make_point_source(b, {0, 0, 0, 9}, 0, 0), Error);
+}
+
+TEST(Source, WallSourceCoversTimeslice) {
+  FermionFieldD b(geo438());
+  make_wall_source(b, 3, 0, 0);
+  const double v3 = 4.0 * 4.0 * 4.0;
+  EXPECT_DOUBLE_EQ(blas::norm2(b.span()), v3);
+  for (std::int64_t s = 0; s < geo438().volume(); ++s) {
+    const double want = geo438().coords(s)[3] == 3 ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(norm2(b[s]), want);
+  }
+}
+
+TEST(Source, SmearingSpreadsSupportAndNormalizes) {
+  GaugeFieldD u(geo438());
+  u.set_unit();
+  FermionFieldD b(geo438());
+  make_point_source(b, {0, 0, 0, 0}, 0, 0);
+  smear_source(b, u, 0.5, 3);
+  EXPECT_NEAR(blas::norm2(b.span()), 1.0, 1e-12);
+  // Support must have spread off the origin but stay on timeslice 0
+  // (spatial hops only).
+  int support = 0;
+  for (std::int64_t s = 0; s < geo438().volume(); ++s) {
+    if (norm2(b[s]) > 1e-20) {
+      ++support;
+      EXPECT_EQ(geo438().coords(s)[3], 0);
+    }
+  }
+  EXPECT_GT(support, 1);
+}
+
+TEST(Propagator, ColumnsSatisfyDiracEquation) {
+  GaugeFieldD u(geo438());
+  u.set_random(SiteRngFactory(500));
+  Heatbath hb(u, {.beta = 5.9, .or_per_hb = 1, .seed = 501});
+  for (int i = 0; i < 4; ++i) hb.sweep();
+
+  PropagatorParams params;
+  params.kappa = 0.115;
+  params.solver.tol = 1e-10;
+  Propagator prop(geo438());
+  const PropagatorStats stats =
+      compute_point_propagator(prop, u, params, {0, 0, 0, 0});
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GT(stats.total_iterations, 0);
+  EXPECT_LT(stats.worst_residual, 1e-8);
+
+  // Verify M S = delta for two representative columns with the full
+  // (unpreconditioned) operator.
+  WilsonOperator<double> m(u, params.kappa, params.bc);
+  FermionFieldD b(geo438()), ms(geo438());
+  for (const auto& sc : {std::pair<int, int>{0, 0}, {3, 2}}) {
+    make_point_source(b, {0, 0, 0, 0}, sc.first, sc.second);
+    m.apply(ms.span(), prop.column(sc.first, sc.second).span());
+    double err = 0.0;
+    for (std::int64_t s = 0; s < geo438().volume(); ++s)
+      err += norm2(ms[s] - b[s]);
+    EXPECT_LT(std::sqrt(err), 1e-8);
+  }
+}
+
+TEST(Propagator, CloverPathAlsoSolves) {
+  GaugeFieldD u(geo438());
+  u.set_random(SiteRngFactory(502));
+  Heatbath hb(u, {.beta = 5.9, .or_per_hb = 1, .seed = 503});
+  for (int i = 0; i < 3; ++i) hb.sweep();
+  PropagatorParams params;
+  params.kappa = 0.11;
+  params.csw = 1.0;
+  Propagator prop(geo438());
+  const PropagatorStats stats =
+      compute_point_propagator(prop, u, params, {0, 0, 0, 0});
+  EXPECT_TRUE(stats.converged);
+}
+
+class FreeFieldSpectroscopy : public ::testing::Test {
+ protected:
+  static const Propagator& free_prop() {
+    static Propagator prop = [] {
+      Propagator p(geo438());
+      GaugeFieldD u(geo438());
+      u.set_unit();
+      PropagatorParams params;
+      params.kappa = 0.110;
+      params.solver.tol = 1e-12;
+      compute_point_propagator(p, u, params, {0, 0, 0, 0});
+      return p;
+    }();
+    return prop;
+  }
+  static constexpr double kKappa = 0.110;
+};
+
+TEST_F(FreeFieldSpectroscopy, PionMatchesAnalyticMomentumSum) {
+  // The strongest end-to-end check in the suite: the measured pion
+  // correlator must match the exact finite-volume momentum sum.
+  const Correlator c = pion_correlator(free_prop(), 0);
+  const std::vector<double> ref =
+      free_pion_correlator(geo438().dims(), kKappa);
+  ASSERT_EQ(c.c.size(), ref.size());
+  for (std::size_t t = 0; t < ref.size(); ++t) {
+    EXPECT_NEAR(c.c[t] / ref[t], 1.0, 1e-6) << "t=" << t;
+    EXPECT_LT(std::abs(c.c_imag[t]), 1e-10 * std::abs(c.c[t]) + 1e-14);
+  }
+}
+
+TEST_F(FreeFieldSpectroscopy, PionPositiveAndSymmetric) {
+  const Correlator c = pion_correlator(free_prop(), 0);
+  const int lt = geo438().dim(3);
+  for (int t = 0; t < lt; ++t) EXPECT_GT(c.c[static_cast<std::size_t>(t)],
+                                         0.0);
+  for (int t = 1; t < lt; ++t)
+    EXPECT_NEAR(c.c[static_cast<std::size_t>(t)] /
+                    c.c[static_cast<std::size_t>(lt - t)],
+                1.0, 1e-8);
+}
+
+TEST_F(FreeFieldSpectroscopy, PionEffectiveMassNearTwiceQuarkMass) {
+  const Correlator c = pion_correlator(free_prop(), 0);
+  const auto meff = effective_mass_cosh(c.c);
+  const PlateauEstimate est = plateau_mass(meff, 2, 3);
+  ASSERT_GT(est.points, 0);
+  // Free pion: two non-interacting quarks. Finite-volume effects on a
+  // 4^3 box are sizeable, hence the loose window.
+  const double mq = free_quark_mass(kKappa);
+  EXPECT_NEAR(est.mass, 2.0 * mq, 0.4);
+}
+
+TEST_F(FreeFieldSpectroscopy, RhoDegenerateWithPionAtFreeField) {
+  // Without interactions, pion and rho are degenerate up to cutoff
+  // effects: correlators agree at the few-percent level at moderate t.
+  const Correlator cp = pion_correlator(free_prop(), 0);
+  const Correlator cr = rho_correlator(free_prop(), 0);
+  const auto mp = effective_mass_cosh(cp.c);
+  const auto mr = effective_mass_cosh(cr.c);
+  const auto ep = plateau_mass(mp, 2, 3);
+  const auto er = plateau_mass(mr, 2, 3);
+  ASSERT_GT(ep.points, 0);
+  ASSERT_GT(er.points, 0);
+  EXPECT_NEAR(er.mass / ep.mass, 1.0, 0.2);
+}
+
+TEST_F(FreeFieldSpectroscopy, NucleonHeavierThanPion) {
+  const Correlator cn = nucleon_correlator(free_prop(), 0);
+  const Correlator cp = pion_correlator(free_prop(), 0);
+  // Forward nucleon decays ~ 3 m_q vs pion ~ 2 m_q: steeper falloff.
+  const double n_ratio = std::abs(cn.c[1]) / std::abs(cn.c[2]);
+  const double p_ratio = cp.c[1] / cp.c[2];
+  EXPECT_GT(n_ratio, p_ratio);
+  // And its magnitude decays over the first few slices.
+  EXPECT_GT(std::abs(cn.c[1]), std::abs(cn.c[3]));
+}
+
+TEST(Correlator, SourceTimeOffsetRotatesCorrelator) {
+  GaugeFieldD u(geo438());
+  u.set_unit();
+  PropagatorParams params;
+  params.kappa = 0.11;
+  Propagator p0(geo438()), p2(geo438());
+  compute_point_propagator(p0, u, params, {0, 0, 0, 0});
+  compute_point_propagator(p2, u, params, {0, 0, 0, 2});
+  const Correlator c0 = pion_correlator(p0, 0);
+  const Correlator c2 = pion_correlator(p2, 2);
+  for (std::size_t t = 0; t < c0.c.size(); ++t)
+    EXPECT_NEAR(c2.c[t] / c0.c[t], 1.0, 1e-8) << t;
+}
+
+TEST(Correlator, RejectsBadSourceTime) {
+  Propagator p(geo438());
+  EXPECT_THROW(pion_correlator(p, 8), Error);
+  EXPECT_THROW(nucleon_correlator(p, -1), Error);
+}
+
+TEST(EffectiveMass, LogRecoversPureExponential) {
+  const double m = 0.7;
+  std::vector<double> c(10);
+  for (std::size_t t = 0; t < c.size(); ++t)
+    c[t] = 3.0 * std::exp(-m * static_cast<double>(t));
+  const auto meff = effective_mass_log(c);
+  for (double v : meff) EXPECT_NEAR(v, m, 1e-12);
+}
+
+TEST(EffectiveMass, CoshRecoversSymmetricCorrelator) {
+  const double m = 0.55;
+  const int lt = 16;
+  std::vector<double> c(static_cast<std::size_t>(lt));
+  for (int t = 0; t < lt; ++t)
+    c[static_cast<std::size_t>(t)] = std::cosh(m * (t - lt / 2.0));
+  const auto meff = effective_mass_cosh(c);
+  for (int t = 1; t < lt - 2; ++t)
+    if (!std::isnan(meff[static_cast<std::size_t>(t)]))
+      EXPECT_NEAR(meff[static_cast<std::size_t>(t)], m, 1e-9) << t;
+}
+
+TEST(EffectiveMass, NanOnNonPositiveRatios) {
+  const std::vector<double> c = {1.0, -0.5, 0.25};
+  const auto meff = effective_mass_log(c);
+  EXPECT_TRUE(std::isnan(meff[0]));
+  EXPECT_TRUE(std::isnan(meff[1]));
+}
+
+TEST(EffectiveMass, PlateauAveragesAndSkipsNan) {
+  std::vector<double> m = {0.9, 0.52, 0.50,
+                           std::numeric_limits<double>::quiet_NaN(), 0.48};
+  const PlateauEstimate est = plateau_mass(m, 1, 4);
+  EXPECT_EQ(est.points, 3);
+  EXPECT_NEAR(est.mass, 0.5, 1e-12);
+  EXPECT_NEAR(est.spread, 0.04, 1e-12);
+}
+
+TEST(EffectiveMass, FoldCorrelator) {
+  const std::vector<double> c = {10.0, 5.0, 2.0, 5.5};
+  const auto f = fold_correlator(c);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 10.0);
+  EXPECT_DOUBLE_EQ(f[1], 5.25);
+  EXPECT_DOUBLE_EQ(f[2], 2.0);
+  EXPECT_THROW(fold_correlator({1.0, 2.0, 3.0}), Error);
+}
+
+TEST_F(FreeFieldSpectroscopy, ZeroMomentumProjectionMatchesPlain) {
+  const Correlator c0 = pion_correlator(free_prop(), 0);
+  const Correlator cp = pion_correlator_momentum(free_prop(), 0,
+                                                 {0, 0, 0});
+  ASSERT_EQ(c0.c.size(), cp.c.size());
+  for (std::size_t t = 0; t < c0.c.size(); ++t)
+    EXPECT_NEAR(cp.c[t] / c0.c[t], 1.0, 1e-12) << t;
+}
+
+TEST_F(FreeFieldSpectroscopy, DispersionEnergyRisesWithMomentum) {
+  // E(p) from the cosh effective mass must grow with |p| — the lattice
+  // dispersion relation, measured through the momentum projection.
+  const Correlator c0 = pion_correlator_momentum(free_prop(), 0,
+                                                 {0, 0, 0});
+  const Correlator c1 = pion_correlator_momentum(free_prop(), 0,
+                                                 {1, 0, 0});
+  const auto e0 = plateau_mass(effective_mass_cosh(c0.c), 2, 3);
+  const auto e1 = plateau_mass(effective_mass_cosh(c1.c), 2, 3);
+  ASSERT_GT(e0.points, 0);
+  ASSERT_GT(e1.points, 0);
+  EXPECT_GT(e1.mass, e0.mass);
+  // Loose continuum-dispersion check: E(p)^2 - E(0)^2 ~ p^2 within the
+  // heavy-quark cutoff effects of this coarse box.
+  const double p2 = std::pow(2.0 * M_PI / 4.0, 2);
+  const double lhs = e1.mass * e1.mass - e0.mass * e0.mass;
+  EXPECT_GT(lhs, 0.2 * p2);
+  EXPECT_LT(lhs, 2.5 * p2);
+}
+
+TEST_F(FreeFieldSpectroscopy, MomentumCorrelatorSymmetricUnderPFlip) {
+  // Parity: C(p, t) = C(-p, t) on a parity-even source.
+  const Correlator cp = pion_correlator_momentum(free_prop(), 0,
+                                                 {1, 0, 0});
+  const Correlator cm = pion_correlator_momentum(free_prop(), 0,
+                                                 {-1, 0, 0});
+  for (std::size_t t = 0; t < cp.c.size(); ++t)
+    EXPECT_NEAR(cp.c[t], cm.c[t], 1e-9 * std::abs(cp.c[t]) + 1e-14);
+}
+
+TEST(FreeField, QuarkMassMonotoneInBareMass) {
+  EXPECT_GT(free_quark_mass(0.10), free_quark_mass(0.12));
+  EXPECT_NEAR(free_quark_mass(1.0 / 8.0), 0.0, 1e-12);
+  EXPECT_THROW(free_quark_mass(0.24), Error);
+}
+
+TEST(FreeField, AnalyticCorrelatorSymmetricPositive) {
+  const auto c = free_pion_correlator({4, 4, 4, 8}, 0.115);
+  ASSERT_EQ(c.size(), 8u);
+  for (double v : c) EXPECT_GT(v, 0.0);
+  for (int t = 1; t < 8; ++t)
+    EXPECT_NEAR(c[static_cast<std::size_t>(t)] /
+                    c[static_cast<std::size_t>(8 - t)],
+                1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,125 @@
+// Tests for correlator I/O and the gauge-fixed wall-source pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gauge/gauge_fixing.hpp"
+#include "gauge/heatbath.hpp"
+#include "spectro/correlator.hpp"
+#include "spectro/io.hpp"
+#include "spectro/propagator.hpp"
+#include "spectro/source.hpp"
+
+namespace lqcd {
+namespace {
+
+class CorrelatorIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "lqcd_test_correlators.tsv")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CorrelatorIoTest, RoundTrip) {
+  CorrelatorSet set;
+  set.channels["pion"] = {1.0, 0.5, 0.25, 0.125};
+  set.channels["rho"] = {0.9, 0.4, 0.2, 0.1};
+  save_correlators(set, path_);
+  const CorrelatorSet back = load_correlators(path_);
+  ASSERT_EQ(back.channels.size(), 2u);
+  ASSERT_EQ(back.timeslices(), 4u);
+  for (const auto& [name, values] : set.channels) {
+    ASSERT_TRUE(back.channels.count(name)) << name;
+    for (std::size_t t = 0; t < values.size(); ++t)
+      EXPECT_DOUBLE_EQ(back.channels.at(name)[t], values[t]);
+  }
+}
+
+TEST_F(CorrelatorIoTest, FullPrecisionPreserved) {
+  CorrelatorSet set;
+  set.channels["c"] = {1.0 / 3.0, 2.3456789012345678e-15};
+  save_correlators(set, path_);
+  const CorrelatorSet back = load_correlators(path_);
+  EXPECT_DOUBLE_EQ(back.channels.at("c")[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(back.channels.at("c")[1], 2.3456789012345678e-15);
+}
+
+TEST_F(CorrelatorIoTest, RejectsRaggedAndBadNames) {
+  CorrelatorSet set;
+  set.channels["a"] = {1.0, 2.0};
+  set.channels["b"] = {1.0};
+  EXPECT_THROW(save_correlators(set, path_), Error);
+  CorrelatorSet set2;
+  set2.channels["bad name"] = {1.0};
+  EXPECT_THROW(save_correlators(set2, path_), Error);
+  EXPECT_THROW(save_correlators(CorrelatorSet{}, path_), Error);
+}
+
+TEST_F(CorrelatorIoTest, RejectsCorruptFiles) {
+  {
+    std::ofstream os(path_);
+    os << "not a correlator file\n";
+  }
+  EXPECT_THROW(load_correlators(path_), Error);
+  {
+    std::ofstream os(path_);
+    os << "# t\tpion\n0\t1.0\n2\t0.5\n";  // non-contiguous t
+  }
+  EXPECT_THROW(load_correlators(path_), Error);
+  {
+    std::ofstream os(path_);
+    os << "# t\tpion\trho\n0\t1.0\n";  // missing column
+  }
+  EXPECT_THROW(load_correlators(path_), Error);
+  EXPECT_THROW(load_correlators("/nonexistent/file.tsv"), Error);
+}
+
+TEST(WallSourceSpectroscopy, CoulombFixedWallMatchesPointMass) {
+  // The physics integration test for gauge fixing: wall sources are
+  // gauge-variant, so they are measured on Coulomb-fixed configurations.
+  // The extracted pion mass must agree with the point-source mass
+  // (same spectrum, different overlaps).
+  const LatticeGeometry geo({4, 4, 4, 12});
+  GaugeFieldD u(geo);
+  u.set_random(SiteRngFactory(600));
+  Heatbath hb(u, {.beta = 6.0, .or_per_hb = 2, .seed = 601});
+  for (int i = 0; i < 8; ++i) hb.sweep();
+
+  GaugeFixParams gp;
+  gp.condition = GaugeCondition::Coulomb;
+  gp.tolerance = 1e-9;
+  const GaugeFixResult gr = fix_gauge(u, gp);
+  ASSERT_TRUE(gr.converged);
+
+  PropagatorParams params;
+  params.kappa = 0.14;
+  params.solver.tol = 1e-9;
+
+  Propagator point(geo), wall(geo);
+  compute_point_propagator(point, u, params, {0, 0, 0, 0});
+  compute_propagator(wall, u, params,
+                     [&](FermionFieldD& b, int s0, int c0) {
+                       make_wall_source(b, 0, s0, c0);
+                     });
+
+  const Correlator cp = pion_correlator(point, 0);
+  const Correlator cw = pion_correlator(wall, 0);
+  for (double v : cw.c) EXPECT_GT(v, 0.0);
+
+  // Compare decay rates over a mid-range window (different sources have
+  // different excited-state contamination; use a generous tolerance).
+  auto decay = [](const Correlator& c, int t0, int t1) {
+    return std::log(c.c[static_cast<std::size_t>(t0)] /
+                    c.c[static_cast<std::size_t>(t1)]) /
+           (t1 - t0);
+  };
+  const double m_point = decay(cp, 3, 5);
+  const double m_wall = decay(cw, 3, 5);
+  EXPECT_NEAR(m_wall, m_point, 0.35 * m_point);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,201 @@
+// Tests for twisted-mass Wilson fermions: operator structure, the exact
+// normal-operator identity M^†M = M_w^†M_w + mu^2, spectrum protection,
+// and the multishift-CG twisted-mass ladder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirac/twisted.hpp"
+#include "gauge/heatbath.hpp"
+#include "linalg/blas.hpp"
+#include "solver/cg.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+const GaugeFieldD& gauge() {
+  static GaugeFieldD u = [] {
+    GaugeFieldD v(geo4());
+    v.set_random(SiteRngFactory(760));
+    Heatbath hb(v, {.beta = 5.9, .or_per_hb = 1, .seed = 761});
+    for (int i = 0; i < 5; ++i) hb.sweep();
+    return v;
+  }();
+  return u;
+}
+
+void fill_random(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+TEST(TwistedMass, ReducesToWilsonAtZeroTwist) {
+  WilsonOperator<double> w(gauge(), 0.12);
+  TwistedMassOperator<double> tm(gauge(), 0.12, 0.0);
+  FermionFieldD in(geo4()), a(geo4()), b(geo4());
+  fill_random(in.span(), 762);
+  w.apply(a.span(), in.span());
+  tm.apply(b.span(), in.span());
+  double err = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    err += norm2(a[s] - b[s]);
+  EXPECT_EQ(err, 0.0);
+}
+
+TEST(TwistedMass, TwistTermIsIMuGamma5) {
+  WilsonOperator<double> w(gauge(), 0.12);
+  const double mu = 0.37;
+  TwistedMassOperator<double> tm(gauge(), 0.12, mu);
+  FermionFieldD in(geo4()), a(geo4()), b(geo4());
+  fill_random(in.span(), 763);
+  w.apply(a.span(), in.span());
+  tm.apply(b.span(), in.span());
+  double err = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    WilsonSpinorD twist = apply_gamma5(in[s]);
+    twist *= Cplxd(0.0, mu);
+    WilsonSpinorD want = a[s];
+    want += twist;
+    err += norm2(b[s] - want);
+  }
+  EXPECT_LT(err, 1e-24);
+}
+
+TEST(TwistedMass, DaggerIsAdjoint) {
+  const double mu = 0.21;
+  TwistedMassOperator<double> tm(gauge(), 0.12, mu);
+  FermionFieldD phi(geo4()), psi(geo4()), mpsi(geo4()), mdphi(geo4()),
+      tmp(geo4());
+  fill_random(phi.span(), 764);
+  fill_random(psi.span(), 765);
+  tm.apply(mpsi.span(), psi.span());
+  tm.apply_dagger(mdphi.span(), phi.span(), tmp.span());
+  const Cplxd a = blas::dot(phi.span(), mpsi.span());
+  const Cplxd b = blas::dot(mdphi.span(), psi.span());
+  EXPECT_NEAR(a.re, b.re, 1e-9 * std::abs(a.re) + 1e-9);
+  EXPECT_NEAR(a.im, b.im, 1e-9 * std::abs(a.re) + 1e-9);
+}
+
+TEST(TwistedMass, NormalOperatorIdentity) {
+  // M(mu)^† M(mu) == M_w^† M_w + mu^2, exactly (cross terms cancel by
+  // gamma5-hermiticity of the Wilson part).
+  const double mu = 0.4;
+  TwistedMassOperator<double> tm(gauge(), 0.12, mu);
+  TwistedNormalOperator<double> ntm(tm);
+
+  FermionFieldD in(geo4()), direct(geo4()), viaid(geo4()), tmp(geo4()),
+      mid(geo4());
+  fill_random(in.span(), 766);
+  // Direct: M^†(M in).
+  tm.apply(mid.span(), in.span());
+  tm.apply_dagger(direct.span(), mid.span(), tmp.span());
+  // Identity operator.
+  ntm.apply(viaid.span(), in.span());
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(direct[s] - viaid[s]);
+    ref += norm2(direct[s]);
+  }
+  EXPECT_LT(err / ref, 1e-24);
+}
+
+TEST(TwistedMass, SpectrumBoundedBelowByMuSquared) {
+  // <x, M^†M x> >= mu^2 <x, x> for every x.
+  const double mu = 0.5;
+  TwistedMassOperator<double> tm(gauge(), 0.124, mu);
+  TwistedNormalOperator<double> ntm(tm);
+  FermionFieldD x(geo4()), ax(geo4());
+  fill_random(x.span(), 767);
+  ntm.apply(ax.span(), x.span());
+  const double rayleigh =
+      blas::re_dot(x.span(), ax.span()) / blas::norm2(x.span());
+  EXPECT_GE(rayleigh, mu * mu - 1e-10);
+}
+
+TEST(TwistedMass, TwistImprovesConditioning) {
+  // CG on the twisted normal system converges faster for larger mu.
+  FermionFieldD b(geo4());
+  fill_random(b.span(), 768);
+  SolverParams p{.tol = 1e-9, .max_iterations = 8000};
+  int prev = 0;
+  for (const double mu : {0.3, 0.1, 0.0}) {
+    TwistedMassOperator<double> tm(gauge(), 0.124, mu);
+    TwistedNormalOperator<double> ntm(tm);
+    FermionFieldD x(geo4());
+    const SolverResult r = cg_solve<double>(ntm, x.span(), b.span(), p);
+    ASSERT_TRUE(r.converged) << mu;
+    // Shrinking the twist worsens the conditioning: iterations rise.
+    EXPECT_GE(r.iterations, prev) << mu;
+    prev = r.iterations;
+  }
+}
+
+TEST(TwistedMass, CgneSolvesTwistedSystem) {
+  // Solve M(mu) x = b via M^†M x = M^† b and verify with the original
+  // operator.
+  const double mu = 0.25;
+  TwistedMassOperator<double> tm(gauge(), 0.12, mu);
+  TwistedNormalOperator<double> ntm(tm);
+  FermionFieldD b(geo4()), rhs(geo4()), x(geo4()), check(geo4()),
+      tmp(geo4());
+  fill_random(b.span(), 769);
+  tm.apply_dagger(rhs.span(), b.span(), tmp.span());
+  SolverParams p{.tol = 1e-10, .max_iterations = 8000};
+  ASSERT_TRUE(cg_solve<double>(ntm, x.span(), rhs.span(), p).converged);
+  tm.apply(check.span(), x.span());
+  double err = 0.0, ref = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    err += norm2(check[s] - b[s]);
+    ref += norm2(b[s]);
+  }
+  EXPECT_LT(std::sqrt(err / ref), 1e-8);
+}
+
+TEST(TwistedMass, MultishiftSolvesWholeTwistLadder) {
+  // One multishift CG on the Wilson normal system = solutions for every
+  // twisted mass (shifts mu_k^2). Verify each against TwistedNormal.
+  WilsonOperator<double> w(gauge(), 0.12);
+  NormalOperator<double> nw(w);
+  FermionFieldD b(geo4());
+  fill_random(b.span(), 770);
+
+  const std::vector<double> mus = {0.0, 0.2, 0.5};
+  std::vector<double> shifts;
+  for (double mu : mus) shifts.push_back(mu * mu);
+  std::vector<aligned_vector<WilsonSpinorD>> x(shifts.size());
+  SolverParams p{.tol = 1e-9, .max_iterations = 8000};
+  ASSERT_TRUE(
+      multishift_cg_solve<double>(nw, shifts, x, b.span(), p).converged);
+
+  const std::size_t n = b.span().size();
+  std::vector<WilsonSpinorD> ax(n);
+  for (std::size_t k = 0; k < mus.size(); ++k) {
+    TwistedMassOperator<double> tm(gauge(), 0.12, mus[k]);
+    TwistedNormalOperator<double> ntm(tm);
+    ntm.apply(std::span<WilsonSpinorD>(ax),
+              std::span<const WilsonSpinorD>(x[k].data(), n));
+    double err = 0.0, ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err += norm2(ax[i] - b.span()[i]);
+      ref += norm2(b.span()[i]);
+    }
+    EXPECT_LT(std::sqrt(err / ref), 1e-7) << "mu " << mus[k];
+  }
+}
+
+TEST(TwistedMass, Validation) {
+  EXPECT_THROW(TwistedMassOperator<double>(gauge(), 0.12, -0.1), Error);
+}
+
+}  // namespace
+}  // namespace lqcd
