@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dslash.dir/bench_dslash.cpp.o"
+  "CMakeFiles/bench_dslash.dir/bench_dslash.cpp.o.d"
+  "bench_dslash"
+  "bench_dslash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dslash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sap.dir/bench_sap.cpp.o"
+  "CMakeFiles/bench_sap.dir/bench_sap.cpp.o.d"
+  "bench_sap"
+  "bench_sap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

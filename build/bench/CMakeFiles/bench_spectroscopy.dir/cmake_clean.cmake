@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spectroscopy.dir/bench_spectroscopy.cpp.o"
+  "CMakeFiles/bench_spectroscopy.dir/bench_spectroscopy.cpp.o.d"
+  "bench_spectroscopy"
+  "bench_spectroscopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spectroscopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

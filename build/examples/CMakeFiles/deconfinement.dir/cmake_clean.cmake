@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deconfinement.dir/deconfinement.cpp.o"
+  "CMakeFiles/deconfinement.dir/deconfinement.cpp.o.d"
+  "deconfinement"
+  "deconfinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deconfinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamical_qcd.dir/dynamical_qcd.cpp.o"
+  "CMakeFiles/dynamical_qcd.dir/dynamical_qcd.cpp.o.d"
+  "dynamical_qcd"
+  "dynamical_qcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamical_qcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

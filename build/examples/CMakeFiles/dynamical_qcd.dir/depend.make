@@ -1,0 +1,2 @@
+# Empty dependencies file for dynamical_qcd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_generation.dir/ensemble_generation.cpp.o"
+  "CMakeFiles/ensemble_generation.dir/ensemble_generation.cpp.o.d"
+  "ensemble_generation"
+  "ensemble_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

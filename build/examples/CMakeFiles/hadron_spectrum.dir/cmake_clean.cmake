@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadron_spectrum.dir/hadron_spectrum.cpp.o"
+  "CMakeFiles/hadron_spectrum.dir/hadron_spectrum.cpp.o.d"
+  "hadron_spectrum"
+  "hadron_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadron_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

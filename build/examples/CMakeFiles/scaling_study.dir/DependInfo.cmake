@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/scaling_study.cpp" "examples/CMakeFiles/scaling_study.dir/scaling_study.cpp.o" "gcc" "examples/CMakeFiles/scaling_study.dir/scaling_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lqcd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectro/CMakeFiles/lqcd_spectro.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmc/CMakeFiles/lqcd_hmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lqcd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dirac/CMakeFiles/lqcd_dirac.dir/DependInfo.cmake"
+  "/root/repo/build/src/gauge/CMakeFiles/lqcd_gauge.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/lqcd_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/lqcd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lqcd_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lqcd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

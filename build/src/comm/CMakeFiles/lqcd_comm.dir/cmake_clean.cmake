@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_comm.dir/halo.cpp.o"
+  "CMakeFiles/lqcd_comm.dir/halo.cpp.o.d"
+  "CMakeFiles/lqcd_comm.dir/machine.cpp.o"
+  "CMakeFiles/lqcd_comm.dir/machine.cpp.o.d"
+  "CMakeFiles/lqcd_comm.dir/perf_model.cpp.o"
+  "CMakeFiles/lqcd_comm.dir/perf_model.cpp.o.d"
+  "CMakeFiles/lqcd_comm.dir/process_grid.cpp.o"
+  "CMakeFiles/lqcd_comm.dir/process_grid.cpp.o.d"
+  "liblqcd_comm.a"
+  "liblqcd_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

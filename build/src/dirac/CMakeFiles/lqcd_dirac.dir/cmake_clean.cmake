@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_dirac.dir/clover.cpp.o"
+  "CMakeFiles/lqcd_dirac.dir/clover.cpp.o.d"
+  "liblqcd_dirac.a"
+  "liblqcd_dirac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_dirac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_gauge.dir/flow.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/flow.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/gauge_fixing.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/gauge_fixing.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/heatbath.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/heatbath.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/io.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/io.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/observables.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/observables.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/smear.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/smear.cpp.o.d"
+  "CMakeFiles/lqcd_gauge.dir/wilson_loops.cpp.o"
+  "CMakeFiles/lqcd_gauge.dir/wilson_loops.cpp.o.d"
+  "liblqcd_gauge.a"
+  "liblqcd_gauge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_gauge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

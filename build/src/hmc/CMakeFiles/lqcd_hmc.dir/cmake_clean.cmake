@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_hmc.dir/dynamical.cpp.o"
+  "CMakeFiles/lqcd_hmc.dir/dynamical.cpp.o.d"
+  "CMakeFiles/lqcd_hmc.dir/hmc.cpp.o"
+  "CMakeFiles/lqcd_hmc.dir/hmc.cpp.o.d"
+  "CMakeFiles/lqcd_hmc.dir/rhmc.cpp.o"
+  "CMakeFiles/lqcd_hmc.dir/rhmc.cpp.o.d"
+  "liblqcd_hmc.a"
+  "liblqcd_hmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

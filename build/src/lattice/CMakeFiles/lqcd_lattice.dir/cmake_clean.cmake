@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_lattice.dir/geometry.cpp.o"
+  "CMakeFiles/lqcd_lattice.dir/geometry.cpp.o.d"
+  "liblqcd_lattice.a"
+  "liblqcd_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

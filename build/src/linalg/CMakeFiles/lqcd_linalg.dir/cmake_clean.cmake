@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_linalg.dir/gamma.cpp.o"
+  "CMakeFiles/lqcd_linalg.dir/gamma.cpp.o.d"
+  "liblqcd_linalg.a"
+  "liblqcd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/lqcd_parallel.dir/thread_pool.cpp.o.d"
+  "liblqcd_parallel.a"
+  "liblqcd_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

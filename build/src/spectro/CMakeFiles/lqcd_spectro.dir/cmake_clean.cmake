@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_spectro.dir/correlator.cpp.o"
+  "CMakeFiles/lqcd_spectro.dir/correlator.cpp.o.d"
+  "CMakeFiles/lqcd_spectro.dir/effective_mass.cpp.o"
+  "CMakeFiles/lqcd_spectro.dir/effective_mass.cpp.o.d"
+  "CMakeFiles/lqcd_spectro.dir/free_field.cpp.o"
+  "CMakeFiles/lqcd_spectro.dir/free_field.cpp.o.d"
+  "CMakeFiles/lqcd_spectro.dir/io.cpp.o"
+  "CMakeFiles/lqcd_spectro.dir/io.cpp.o.d"
+  "CMakeFiles/lqcd_spectro.dir/propagator.cpp.o"
+  "CMakeFiles/lqcd_spectro.dir/propagator.cpp.o.d"
+  "CMakeFiles/lqcd_spectro.dir/source.cpp.o"
+  "CMakeFiles/lqcd_spectro.dir/source.cpp.o.d"
+  "liblqcd_spectro.a"
+  "liblqcd_spectro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_spectro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

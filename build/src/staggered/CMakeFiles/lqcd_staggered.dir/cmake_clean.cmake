@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_staggered.dir/staggered.cpp.o"
+  "CMakeFiles/lqcd_staggered.dir/staggered.cpp.o.d"
+  "liblqcd_staggered.a"
+  "liblqcd_staggered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_util.dir/cli.cpp.o"
+  "CMakeFiles/lqcd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/lqcd_util.dir/crc32.cpp.o"
+  "CMakeFiles/lqcd_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/lqcd_util.dir/log.cpp.o"
+  "CMakeFiles/lqcd_util.dir/log.cpp.o.d"
+  "CMakeFiles/lqcd_util.dir/stats.cpp.o"
+  "CMakeFiles/lqcd_util.dir/stats.cpp.o.d"
+  "liblqcd_util.a"
+  "liblqcd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dirac.dir/test_dirac.cpp.o"
+  "CMakeFiles/test_dirac.dir/test_dirac.cpp.o.d"
+  "test_dirac"
+  "test_dirac.pdb"
+  "test_dirac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dirac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

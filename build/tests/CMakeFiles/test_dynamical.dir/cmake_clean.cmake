@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamical.dir/test_dynamical.cpp.o"
+  "CMakeFiles/test_dynamical.dir/test_dynamical.cpp.o.d"
+  "test_dynamical"
+  "test_dynamical.pdb"
+  "test_dynamical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gauge.dir/test_gauge.cpp.o"
+  "CMakeFiles/test_gauge.dir/test_gauge.cpp.o.d"
+  "test_gauge"
+  "test_gauge.pdb"
+  "test_gauge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gauge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

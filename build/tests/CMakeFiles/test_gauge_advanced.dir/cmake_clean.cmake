@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gauge_advanced.dir/test_gauge_advanced.cpp.o"
+  "CMakeFiles/test_gauge_advanced.dir/test_gauge_advanced.cpp.o.d"
+  "test_gauge_advanced"
+  "test_gauge_advanced.pdb"
+  "test_gauge_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gauge_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

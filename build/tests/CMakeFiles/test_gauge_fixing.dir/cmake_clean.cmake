@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gauge_fixing.dir/test_gauge_fixing.cpp.o"
+  "CMakeFiles/test_gauge_fixing.dir/test_gauge_fixing.cpp.o.d"
+  "test_gauge_fixing"
+  "test_gauge_fixing.pdb"
+  "test_gauge_fixing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gauge_fixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

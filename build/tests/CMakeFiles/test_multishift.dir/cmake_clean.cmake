@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multishift.dir/test_multishift.cpp.o"
+  "CMakeFiles/test_multishift.dir/test_multishift.cpp.o.d"
+  "test_multishift"
+  "test_multishift.pdb"
+  "test_multishift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multishift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhmc.dir/test_rhmc.cpp.o"
+  "CMakeFiles/test_rhmc.dir/test_rhmc.cpp.o.d"
+  "test_rhmc"
+  "test_rhmc.pdb"
+  "test_rhmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectro.dir/test_spectro.cpp.o"
+  "CMakeFiles/test_spectro.dir/test_spectro.cpp.o.d"
+  "test_spectro"
+  "test_spectro.pdb"
+  "test_spectro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_staggered.dir/test_staggered.cpp.o"
+  "CMakeFiles/test_staggered.dir/test_staggered.cpp.o.d"
+  "test_staggered"
+  "test_staggered.pdb"
+  "test_staggered[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

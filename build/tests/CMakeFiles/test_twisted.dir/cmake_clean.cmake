@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twisted.dir/test_twisted.cpp.o"
+  "CMakeFiles/test_twisted.dir/test_twisted.cpp.o.d"
+  "test_twisted"
+  "test_twisted.pdb"
+  "test_twisted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twisted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
