@@ -3,6 +3,12 @@
 //
 //   ./ensemble_generation [--L 4] [--T 4] [--beta 5.7] [--sweeps 40]
 //                         [--trajectories 20] [--out /tmp/lqcd_cfgs]
+//
+// Campaign durability: with --checkpoint-every N the HMC stream
+// checkpoints every N trajectories (atomic write + CRC); --resume picks
+// an existing checkpoint back up and reproduces the exact trajectory
+// stream the uninterrupted run would have produced. --halt-after K
+// simulates a mid-campaign kill (exit without a final checkpoint).
 
 #include <cstdio>
 #include <filesystem>
@@ -11,6 +17,7 @@
 #include "gauge/heatbath.hpp"
 #include "gauge/io.hpp"
 #include "gauge/observables.hpp"
+#include "hmc/checkpoint.hpp"
 #include "hmc/hmc.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -26,6 +33,9 @@ int main(int argc, char** argv) {
   const std::string out_dir = cli.get_string(
       "out", (std::filesystem::temp_directory_path() / "lqcd_cfgs")
                  .string());
+  const int checkpoint_every = cli.get_int("checkpoint-every", 0);
+  const bool resume = cli.get_flag("resume");
+  const int halt_after = cli.get_int("halt-after", 0);
   cli.finish();
 
   const LatticeGeometry geo({L, L, L, T});
@@ -58,26 +68,54 @@ int main(int argc, char** argv) {
 
   // --- HMC stream -----------------------------------------------------
   std::printf("=== pure-gauge HMC (Omelyan), beta=%.2f ===\n", beta);
+  const HmcParams hmc_params{.beta = beta,
+                             .trajectory_length = 1.0,
+                             .steps = 12,
+                             .integrator = Integrator::Omelyan,
+                             .seed = 5};
+  const std::string ckpt = out_dir + "/hmc.ckpt";
   GaugeFieldD u_hmc(geo);
-  u_hmc.set_random(SiteRngFactory(3));
-  {
+  Hmc hmc(u_hmc, hmc_params);
+  if (resume && checkpoint_exists(ckpt)) {
+    const HmcCheckpointState state = load_checkpoint(u_hmc, ckpt);
+    resume_hmc(hmc, state);
+    std::printf("resumed from %s at trajectory %llu\n", ckpt.c_str(),
+                static_cast<unsigned long long>(state.trajectories));
+  } else {
+    u_hmc.set_random(SiteRngFactory(3));
     // Pre-thermalize cheaply with a few heatbath sweeps.
     Heatbath pre(u_hmc, {.beta = beta, .or_per_hb = 1, .seed = 4});
     for (int i = 0; i < 10; ++i) pre.sweep();
   }
-  Hmc hmc(u_hmc, {.beta = beta,
-                  .trajectory_length = 1.0,
-                  .steps = 12,
-                  .integrator = Integrator::Omelyan,
-                  .seed = 5});
   std::vector<double> plaq_hmc, dh;
-  for (int i = 0; i < trajectories; ++i) {
+  while (hmc.trajectories_run() < static_cast<std::uint64_t>(trajectories)) {
     const TrajectoryResult r = hmc.trajectory();
+    const auto done = hmc.trajectories_run();
     plaq_hmc.push_back(r.plaquette);
     dh.push_back(r.delta_h);
-    if ((i + 1) % 5 == 0)
-      std::printf("traj %3d: dH %+8.4f  %s  plaquette %.5f\n", i + 1,
-                  r.delta_h, r.accepted ? "acc" : "REJ", r.plaquette);
+    if (done % 5 == 0)
+      std::printf("traj %3llu: dH %+8.4f  %s  plaquette %.5f\n",
+                  static_cast<unsigned long long>(done), r.delta_h,
+                  r.accepted ? "acc" : "REJ", r.plaquette);
+    if (checkpoint_every > 0 &&
+        done % static_cast<std::uint64_t>(checkpoint_every) == 0) {
+      save_checkpoint(u_hmc,
+                      {.trajectories = done,
+                       .accepted = hmc.trajectories_accepted(),
+                       .params = hmc_params},
+                      ckpt);
+      std::printf("checkpointed %llu trajectories -> %s\n",
+                  static_cast<unsigned long long>(done), ckpt.c_str());
+    }
+    if (halt_after > 0 &&
+        done >= static_cast<std::uint64_t>(halt_after)) {
+      // Simulated kill: stop without a final checkpoint. A --resume run
+      // replays from the last periodic checkpoint and reproduces the
+      // identical stream.
+      std::printf("halting after %llu trajectories (simulated crash)\n",
+                  static_cast<unsigned long long>(done));
+      return 0;
+    }
   }
   std::printf("acceptance %.0f%%, <|dH|> = %.4f, <P> = %.5f +- %.5f\n",
               100.0 * hmc.acceptance_rate(),

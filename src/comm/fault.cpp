@@ -1,0 +1,89 @@
+#include "comm/fault.hpp"
+
+#include "util/rng.hpp"
+
+namespace lqcd {
+
+namespace {
+// Distinct stream salts per fault kind so the drop/corrupt/straggle
+// decisions for one message are independent draws.
+constexpr std::uint64_t kKindDrop = 0x11;
+constexpr std::uint64_t kKindCorrupt = 0x22;
+constexpr std::uint64_t kKindStraggle = 0x33;
+constexpr std::uint64_t kKindPattern = 0x44;
+
+std::uint64_t message_key(std::uint64_t epoch, int rank, int mu, int dir,
+                          int attempt) {
+  // Pack the message coordinates; fields are small so shifts are safe.
+  return (epoch << 24) ^ (static_cast<std::uint64_t>(rank) << 8) ^
+         (static_cast<std::uint64_t>(mu) << 4) ^
+         (static_cast<std::uint64_t>(dir > 0 ? 1 : 0) << 3) ^
+         static_cast<std::uint64_t>(attempt & 7);
+}
+}  // namespace
+
+double FaultInjector::roll(std::uint64_t kind, std::uint64_t epoch, int rank,
+                           int mu, int dir, int attempt,
+                           std::uint64_t salt) const {
+  CounterRng rng(seed_ ^ (kind * 0x9e3779b97f4a7c15ULL),
+                 message_key(epoch, rank, mu, dir, attempt) + salt);
+  return rng.uniform();
+}
+
+bool FaultInjector::take_budget() {
+  std::int64_t b = budget_.load(std::memory_order_relaxed);
+  while (b != -1) {
+    if (b <= 0) return false;
+    if (budget_.compare_exchange_weak(b, b - 1,
+                                      std::memory_order_relaxed))
+      return true;
+  }
+  return true;  // unlimited
+}
+
+bool FaultInjector::should_drop(std::uint64_t epoch, int rank, int mu,
+                                int dir, int attempt) {
+  const FaultSpec& s = spec_for(rank);
+  if (!active(s, epoch) || s.drop_prob <= 0.0) return false;
+  if (roll(kKindDrop, epoch, rank, mu, dir, attempt) >= s.drop_prob)
+    return false;
+  if (!take_budget()) return false;
+  stats_.drops.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::corrupt(std::span<std::byte> payload,
+                            std::uint64_t epoch, int rank, int mu, int dir,
+                            int attempt) {
+  const FaultSpec& s = spec_for(rank);
+  if (payload.empty() || !active(s, epoch) || s.corrupt_prob <= 0.0)
+    return false;
+  if (roll(kKindCorrupt, epoch, rank, mu, dir, attempt) >= s.corrupt_prob)
+    return false;
+  if (!take_budget()) return false;
+
+  // Flip 1–4 bits at deterministic positions (models a burst error).
+  CounterRng rng(seed_ ^ (kKindPattern * 0x9e3779b97f4a7c15ULL),
+                 message_key(epoch, rank, mu, dir, attempt));
+  const int flips = 1 + static_cast<int>(rng.next_u64() % 4);
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.next_u64() % payload.size());
+    const int bit = static_cast<int>(rng.next_u64() % 8);
+    payload[pos] ^= static_cast<std::byte>(1u << bit);
+  }
+  stats_.corruptions.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double FaultInjector::straggle_us(std::uint64_t epoch, int rank) {
+  const FaultSpec& s = spec_for(rank);
+  if (!active(s, epoch) || s.straggle_prob <= 0.0) return 0.0;
+  if (roll(kKindStraggle, epoch, rank, 0, 0, 0) >= s.straggle_prob)
+    return 0.0;
+  if (!take_budget()) return 0.0;
+  stats_.straggles.fetch_add(1, std::memory_order_relaxed);
+  return s.straggle_us;
+}
+
+}  // namespace lqcd

@@ -1,0 +1,125 @@
+#pragma once
+// Deterministic fault injection for the virtual cluster.
+//
+// A FaultInjector models the failure modes a petascale campaign sees in
+// the network layer: bit corruption in transit, dropped messages
+// (timeouts), straggling ranks, and ranks dying mid-exchange. Every
+// decision is a pure function of (seed, epoch, rank, mu, dir, attempt),
+// computed through the same counter-based RNG the physics uses, so an
+// injected fault schedule is bit-reproducible across thread counts and
+// reruns — the property the corrupt → detect → retransmit → bit-identical
+// tests rely on.
+//
+// Faults are scripted per rank and per epoch (an epoch is one halo
+// exchange): a default FaultSpec applies to all ranks, per-rank overrides
+// refine it, and an optional global event budget caps the total number of
+// injected faults so a probability-1.0 spec hammers the first messages
+// and then lets the system recover.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+
+namespace lqcd {
+
+/// Fault probabilities and scheduling window for one rank (or the
+/// cluster-wide default). Probabilities are per message *attempt*, so a
+/// retransmit rolls fresh dice.
+struct FaultSpec {
+  double corrupt_prob = 0.0;   ///< flip payload bits in transit
+  double drop_prob = 0.0;      ///< message never arrives (timeout)
+  double straggle_prob = 0.0;  ///< rank delays the exchange
+  double straggle_us = 200.0;  ///< modeled delay per straggle event
+  std::uint64_t first_epoch = 0;  ///< active window (inclusive)
+  std::uint64_t last_epoch = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Counters for every fault actually injected (atomic: the exchange runs
+/// one rank per thread).
+struct FaultStats {
+  std::atomic<std::int64_t> corruptions{0};
+  std::atomic<std::int64_t> drops{0};
+  std::atomic<std::int64_t> straggles{0};
+  std::atomic<std::int64_t> kills{0};
+
+  void reset() {
+    corruptions = 0;
+    drops = 0;
+    straggles = 0;
+    kills = 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed, FaultSpec default_spec = {})
+      : seed_(seed), default_spec_(default_spec) {}
+
+  /// Cluster-wide fault behavior (applies where no rank override exists).
+  void set_default_spec(const FaultSpec& spec) { default_spec_ = spec; }
+  /// Override the schedule for one rank (e.g. a single flaky NIC).
+  void set_rank_spec(int rank, const FaultSpec& spec) {
+    rank_specs_[rank] = spec;
+  }
+  /// Kill `rank` at exchange `epoch`: the exchange observes the death and
+  /// raises TransientError (checkpoint/restart is the recovery path).
+  void schedule_kill(int rank, std::uint64_t epoch) {
+    kill_rank_ = rank;
+    kill_epoch_ = epoch;
+  }
+  /// Cap the total number of injected corrupt/drop/straggle events
+  /// (-1 = unlimited). With the cap exhausted the network runs clean.
+  void set_event_budget(std::int64_t budget) { budget_ = budget; }
+
+  // --- transport hooks (called by VirtualCluster::exchange) ------------
+
+  [[nodiscard]] bool should_kill(std::uint64_t epoch, int rank) const {
+    return rank == kill_rank_ && epoch == kill_epoch_;
+  }
+  void record_kill() { stats_.kills.fetch_add(1); }
+
+  /// True if this (message, attempt) is lost in transit.
+  bool should_drop(std::uint64_t epoch, int rank, int mu, int dir,
+                   int attempt);
+
+  /// Corrupt `payload` in place (a few deterministic bit flips); returns
+  /// whether corruption was injected.
+  bool corrupt(std::span<std::byte> payload, std::uint64_t epoch, int rank,
+               int mu, int dir, int attempt);
+
+  /// Modeled straggler delay (microseconds) contributed by `rank` this
+  /// epoch; 0 when the rank is on time.
+  double straggle_us(std::uint64_t epoch, int rank);
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  [[nodiscard]] const FaultSpec& spec_for(int rank) const {
+    const auto it = rank_specs_.find(rank);
+    return it == rank_specs_.end() ? default_spec_ : it->second;
+  }
+  [[nodiscard]] bool active(const FaultSpec& s, std::uint64_t epoch) const {
+    return epoch >= s.first_epoch && epoch <= s.last_epoch;
+  }
+  /// Deterministic uniform in [0,1) for one (kind, message, attempt) key.
+  [[nodiscard]] double roll(std::uint64_t kind, std::uint64_t epoch,
+                            int rank, int mu, int dir, int attempt,
+                            std::uint64_t salt = 0) const;
+  /// Consume one unit of the event budget; false if exhausted.
+  bool take_budget();
+
+  std::uint64_t seed_;
+  FaultSpec default_spec_;
+  std::unordered_map<int, FaultSpec> rank_specs_;
+  int kill_rank_ = -1;
+  std::uint64_t kill_epoch_ = std::numeric_limits<std::uint64_t>::max();
+  std::atomic<std::int64_t> budget_{-1};
+  FaultStats stats_;
+};
+
+}  // namespace lqcd

@@ -15,8 +15,11 @@
 // harness.
 
 #include <cstdint>
+#include <cstring>
+#include <mutex>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "comm/process_grid.hpp"
 #include "dirac/operator.hpp"
 #include "dirac/wilson.hpp"
@@ -25,6 +28,7 @@
 #include "linalg/gamma.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/aligned.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace lqcd {
@@ -80,10 +84,29 @@ class HaloLattice {
 
 /// Communication counters accumulated by exchange operations.
 struct CommStats {
-  std::int64_t messages = 0;
-  std::int64_t bytes = 0;
+  std::int64_t messages = 0;  ///< first-attempt sends
+  std::int64_t bytes = 0;     ///< payload bytes of first-attempt sends
   std::int64_t exchanges = 0;
+  // Resilience counters (only move when checksums / faults are active).
+  std::int64_t retransmits = 0;    ///< extra sends after a detected fault
+  std::int64_t crc_failures = 0;   ///< corrupted payloads caught by CRC
+  std::int64_t timeouts = 0;       ///< dropped messages detected
+  std::int64_t straggler_events = 0;
+  std::int64_t checksum_bytes = 0;  ///< bytes CRC-framed (sender side)
+  /// Modeled resilience delay: straggler stalls plus retransmit backoff.
+  /// Charged analytically (the memcpy transport does not sleep) so the
+  /// α–β network model can price the hardened path.
+  double modeled_delay_us = 0.0;
   void reset() { *this = CommStats{}; }
+};
+
+/// Hardening knobs for the halo transport.
+struct ResilienceConfig {
+  bool checksum = false;  ///< CRC-32-frame every message and verify
+  int max_retries = 3;    ///< retransmits per message before giving up
+  /// Backoff before retransmit k (1-based): backoff_us * 2^(k-1),
+  /// accumulated into CommStats::modeled_delay_us.
+  double backoff_us = 50.0;
 };
 
 /// A lattice decomposed over a virtual process grid, with resident
@@ -115,6 +138,16 @@ class VirtualCluster {
     return origins_[static_cast<std::size_t>(rank)];
   }
   [[nodiscard]] CommStats& stats() const { return stats_; }
+
+  /// Enable/disable the hardened transport (CRC framing + retransmit).
+  void set_resilience(const ResilienceConfig& rc) { resil_ = rc; }
+  [[nodiscard]] const ResilienceConfig& resilience() const { return resil_; }
+  /// Attach a fault injector (not owned; nullptr detaches). The injector
+  /// perturbs messages in transit; with checksums enabled the exchange
+  /// detects and retransmits, without them corruption flows through
+  /// silently — exactly the trade bench_resilience quantifies.
+  void set_fault_injector(FaultInjector* fi) { injector_ = fi; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
   /// Per-rank fermion storage on the extended (haloed) volume.
   using RankFermion = aligned_vector<WilsonSpinor<T>>;
@@ -210,11 +243,29 @@ class VirtualCluster {
                          field) const {
     // Pull model: every rank fills its 8 ghost planes by packing the
     // matching boundary plane of the neighbor rank through a message
-    // buffer (mimicking send/recv).
+    // buffer (mimicking send/recv). With resilience enabled each message
+    // is CRC-32-framed; the fault injector may corrupt or drop it in
+    // transit, and a detected fault triggers a bounded retransmit with
+    // exponential backoff (modeled, not slept).
     const Coord& l = local_dims_;
+    const std::uint64_t epoch = static_cast<std::uint64_t>(stats_.exchanges);
+    const bool resilient = resil_.checksum || injector_ != nullptr;
     for_each_rank([&](int r) {
       auto& mine = field[static_cast<std::size_t>(r)];
-      std::vector<SiteT> buffer;
+      CommStats local;  // per-rank tally, merged once under the lock
+      if (injector_ != nullptr) {
+        if (injector_->should_kill(epoch, r)) {
+          injector_->record_kill();
+          throw TransientError("halo exchange: rank " + std::to_string(r) +
+                               " died at epoch " + std::to_string(epoch));
+        }
+        const double stall = injector_->straggle_us(epoch, r);
+        if (stall > 0.0) {
+          local.straggler_events += 1;
+          local.modeled_delay_us += stall;
+        }
+      }
+      std::vector<SiteT> buffer;  // message payload, faults applied in place
       for (int mu = 0; mu < Nd; ++mu) {
         for (int dir = -1; dir <= 1; dir += 2) {
           const int nbr = grid_.neighbor(r, mu, dir);
@@ -223,22 +274,80 @@ class VirtualCluster {
           // neighbor's interior plane x[mu] = 0 (resp. l-1).
           const int ghost_coord = dir > 0 ? l[mu] : -1;
           const int src_coord = dir > 0 ? 0 : l[mu] - 1;
-          buffer.clear();
-          buffer.reserve(static_cast<std::size_t>(halo_.face_volume(mu)));
-          // Pack (neighbor side).
-          Coord x{};
-          for (x[3] = 0; x[3] < l[3]; ++x[3])
-            for (x[2] = 0; x[2] < l[2]; ++x[2])
-              for (x[1] = 0; x[1] < l[1]; ++x[1])
-                for (x[0] = 0; x[0] < l[0]; ++x[0]) {
-                  if (x[mu] != 0) continue;  // iterate the face once
-                  Coord src = x;
-                  src[mu] = src_coord;
-                  buffer.push_back(theirs[static_cast<std::size_t>(
-                      halo_.ext_index(src))]);
+          // Pack (neighbor side). Re-invoked to restore the pristine
+          // payload when a retransmit follows detected corruption.
+          const auto pack = [&] {
+            buffer.clear();
+            buffer.reserve(static_cast<std::size_t>(halo_.face_volume(mu)));
+            Coord x{};
+            for (x[3] = 0; x[3] < l[3]; ++x[3])
+              for (x[2] = 0; x[2] < l[2]; ++x[2])
+                for (x[1] = 0; x[1] < l[1]; ++x[1])
+                  for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+                    if (x[mu] != 0) continue;  // iterate the face once
+                    Coord src = x;
+                    src[mu] = src_coord;
+                    buffer.push_back(theirs[static_cast<std::size_t>(
+                        halo_.ext_index(src))]);
+                  }
+          };
+          pack();
+          const std::size_t payload_bytes = buffer.size() * sizeof(SiteT);
+          if (resilient) {
+            // Sender frames the payload with its CRC; receiver verifies.
+            const std::uint32_t sent_crc =
+                resil_.checksum ? crc32(buffer.data(), payload_bytes) : 0;
+            if (resil_.checksum)
+              local.checksum_bytes +=
+                  static_cast<std::int64_t>(payload_bytes);
+            // In-process transport: sender and receiver share the payload
+            // memory, so the receiver-side verify is tautological unless
+            // the injector actually touched the bytes — hash again only
+            // then. The alpha-beta model still charges both ends of the
+            // link for real networks (perf_model.cpp).
+            if (injector_ != nullptr) {
+              int attempt = 0;
+              for (;;) {
+                bool tampered = false;
+                const bool arrived =
+                    !injector_->should_drop(epoch, r, mu, dir, attempt);
+                if (arrived) {
+                  const std::span<std::byte> raw{
+                      reinterpret_cast<std::byte*>(buffer.data()),
+                      payload_bytes};
+                  tampered =
+                      injector_->corrupt(raw, epoch, r, mu, dir, attempt);
                 }
-          // Unpack (our ghost plane), same traversal order.
+                if (arrived &&
+                    (!tampered || !resil_.checksum ||
+                     crc32(buffer.data(), payload_bytes) == sent_crc))
+                  break;  // intact (or corruption is undetectable)
+                if (!arrived)
+                  local.timeouts += 1;
+                else
+                  local.crc_failures += 1;
+                if (attempt >= resil_.max_retries)
+                  throw FatalError(
+                      "halo exchange: message (rank " + std::to_string(r) +
+                      ", mu " + std::to_string(mu) + ", dir " +
+                      std::to_string(dir) + ") unrecoverable after " +
+                      std::to_string(attempt + 1) + " attempts");
+                ++attempt;
+                local.retransmits += 1;
+                local.modeled_delay_us +=
+                    resil_.backoff_us *
+                    static_cast<double>(1 << (attempt - 1));
+                if (resil_.checksum)
+                  local.checksum_bytes +=
+                      static_cast<std::int64_t>(payload_bytes);
+                if (tampered) pack();  // retransmit the pristine payload
+              }
+            }
+          }
+          const SiteT* recv = buffer.data();
+          // Unpack (our ghost plane), same traversal order as the pack.
           std::size_t k = 0;
+          Coord x{};
           for (x[3] = 0; x[3] < l[3]; ++x[3])
             for (x[2] = 0; x[2] < l[2]; ++x[2])
               for (x[1] = 0; x[1] < l[1]; ++x[1])
@@ -247,13 +356,21 @@ class VirtualCluster {
                   Coord dst = x;
                   dst[mu] = ghost_coord;
                   mine[static_cast<std::size_t>(halo_.ext_index(dst))] =
-                      buffer[k++];
+                      recv[k++];
                 }
-          stats_.messages += 1;
-          stats_.bytes +=
-              static_cast<std::int64_t>(buffer.size() * sizeof(SiteT));
+          local.messages += 1;
+          local.bytes += static_cast<std::int64_t>(payload_bytes);
         }
       }
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.messages += local.messages;
+      stats_.bytes += local.bytes;
+      stats_.retransmits += local.retransmits;
+      stats_.crc_failures += local.crc_failures;
+      stats_.timeouts += local.timeouts;
+      stats_.straggler_events += local.straggler_events;
+      stats_.checksum_bytes += local.checksum_bytes;
+      stats_.modeled_delay_us += local.modeled_delay_us;
     });
     stats_.exchanges += 1;
   }
@@ -264,6 +381,9 @@ class VirtualCluster {
   HaloLattice halo_;
   std::vector<Coord> origins_;
   mutable CommStats stats_;
+  mutable std::mutex stats_mutex_;
+  ResilienceConfig resil_;
+  FaultInjector* injector_ = nullptr;
 };
 
 /// Full Wilson operator evaluated through the virtual cluster. Implements
@@ -319,6 +439,8 @@ class DistributedWilsonOperator final : public LinearOperator<T> {
     return static_cast<double>(vector_size()) * (kDslashFlopsPerSite + 48.0);
   }
   [[nodiscard]] const VirtualCluster<T>& cluster() const { return cluster_; }
+  /// Mutable access for attaching resilience config / fault injection.
+  [[nodiscard]] VirtualCluster<T>& cluster() { return cluster_; }
 
  private:
   template <int Mu>

@@ -18,6 +18,10 @@ std::int64_t volume_of(const Coord& c) {
   for (int mu = 0; mu < Nd; ++mu) v *= c[mu];
   return v;
 }
+
+// Sustained table-driven CRC-32 throughput (GB/s) used to price message
+// framing; conservative for a byte-at-a-time kernel on current cores.
+constexpr double kCrcGBs = 2.0;
 }  // namespace
 
 DslashCost model_dslash(const Coord& local, const Coord& grid,
@@ -53,9 +57,40 @@ DslashCost model_dslash(const Coord& local, const Coord& grid,
   }
   if (active > 0) {
     const int concurrency = std::min(m.links_per_node, 2 * active);
-    c.t_comm = m.link_latency_us * 1e-6 +
-               c.comm_bytes / (m.link_bw_gbs * 1e9 *
-                               static_cast<double>(concurrency));
+    const double link_bw =
+        m.link_bw_gbs * 1e9 * static_cast<double>(concurrency);
+    c.t_comm = m.link_latency_us * 1e-6 + c.comm_bytes / link_bw;
+
+    // Resilience surcharge: CRC framing is a streaming pass over the
+    // payload on both ends of the link; detected faults cost the expected
+    // (truncated-geometric) number of retransmits, each paying latency,
+    // bandwidth and doubling backoff.
+    double t_res = 0.0;
+    if (opt.checksummed_halo)
+      t_res += 2.0 * c.comm_bytes / (kCrcGBs * 1e9);
+    const double p =
+        std::clamp(opt.message_fault_prob, 0.0, 0.999999);
+    if (p > 0.0 && opt.max_retries > 0) {
+      // E[extra sends] for success prob (1-p) truncated at max_retries.
+      double expected_retx = 0.0;
+      double expected_backoff_us = 0.0;
+      double p_reach = 1.0;  // probability attempt k is needed
+      for (int k = 1; k <= opt.max_retries; ++k) {
+        p_reach *= p;
+        expected_retx += p_reach;
+        expected_backoff_us +=
+            p_reach * opt.retry_backoff_us * static_cast<double>(1 << (k - 1));
+      }
+      const double avg_msg_bytes =
+          c.comm_bytes / static_cast<double>(c.messages);
+      t_res += static_cast<double>(c.messages) * expected_retx *
+                   (m.link_latency_us * 1e-6 + avg_msg_bytes / link_bw) +
+               static_cast<double>(c.messages) * expected_backoff_us * 1e-6;
+      if (opt.checksummed_halo)
+        t_res += expected_retx * 2.0 * c.comm_bytes / (kCrcGBs * 1e9);
+    }
+    c.t_resilience = t_res;
+    c.t_comm += t_res;
   }
 
   // Overlap: the overlappable share of comm hides behind compute.
@@ -78,6 +113,7 @@ IterationCost model_cg_iteration(const Coord& local, const Coord& grid,
   it.dslash.messages *= 2;
   it.dslash.t_compute *= 2.0;
   it.dslash.t_comm *= 2.0;
+  it.dslash.t_resilience *= 2.0;
   it.dslash.t_total *= 2.0;
 
   // Level-1 ops on the half volume: ~5 axpy/dot passes, 24 reals/site,

@@ -23,7 +23,8 @@ struct DslashCost {
   double comm_bytes = 0.0;  ///< halo bytes sent per node
   int messages = 0;         ///< messages per node per application
   double t_compute = 0.0;   ///< seconds (roofline)
-  double t_comm = 0.0;      ///< seconds (alpha-beta)
+  double t_comm = 0.0;      ///< seconds (alpha-beta, incl. resilience)
+  double t_resilience = 0.0;  ///< CRC + expected-retransmit share of t_comm
   double t_total = 0.0;     ///< with compute/comm overlap applied
 };
 
@@ -34,6 +35,16 @@ struct PerfModelOptions {
   /// Multiplies the modeled kernel time; set from calibrate_node() to pin
   /// the model to measured single-node throughput. 1.0 = pure roofline.
   double calibration = 1.0;
+  // --- resilience (matches VirtualCluster's hardened transport) --------
+  /// CRC-32-frame every halo message: charges one checksum pass per byte
+  /// on each side of the link (sender frame + receiver verify).
+  bool checksummed_halo = false;
+  /// Per-message probability of a detected fault (corruption or drop);
+  /// charges the expected geometric number of retransmits, each paying
+  /// latency + bandwidth + exponential backoff, truncated at max_retries.
+  double message_fault_prob = 0.0;
+  int max_retries = 3;
+  double retry_backoff_us = 50.0;
 };
 
 /// Model one Wilson dslash over local volume `local`, with halos exchanged

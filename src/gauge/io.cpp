@@ -5,6 +5,7 @@
 #include <fstream>
 #include <vector>
 
+#include "util/atomic_io.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 
@@ -18,33 +19,33 @@ constexpr std::size_t kSiteBytes = Nd * Nc * Nc * 2 * sizeof(double);
 }  // namespace
 
 void save_gauge(const GaugeFieldD& u, const std::string& path, double beta) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  LQCD_REQUIRE(os.good(), "cannot open for write: " + path);
+  // Stream through the atomic writer: a killed process never leaves a
+  // truncated configuration at `path`.
+  atomic_write_file(path, [&](std::ostream& os) {
+    os.write(kMagic, sizeof(kMagic));
+    for (int mu = 0; mu < Nd; ++mu) {
+      const std::int32_t d = u.geometry().dim(mu);
+      os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    os.write(reinterpret_cast<const char*>(&beta), sizeof(beta));
 
-  os.write(kMagic, sizeof(kMagic));
-  for (int mu = 0; mu < Nd; ++mu) {
-    const std::int32_t d = u.geometry().dim(mu);
-    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
-  }
-  os.write(reinterpret_cast<const char*>(&beta), sizeof(beta));
-
-  const std::int64_t vol = u.geometry().volume();
-  std::vector<double> buf(Nd * Nc * Nc * 2);
-  std::uint32_t crc = 0;
-  for (std::int64_t s = 0; s < vol; ++s) {
-    std::size_t k = 0;
-    for (int mu = 0; mu < Nd; ++mu)
-      for (int r = 0; r < Nc; ++r)
-        for (int c = 0; c < Nc; ++c) {
-          buf[k++] = u(s, mu).m[r][c].re;
-          buf[k++] = u(s, mu).m[r][c].im;
-        }
-    crc = crc32(buf.data(), kSiteBytes, crc);
-    os.write(reinterpret_cast<const char*>(buf.data()),
-             static_cast<std::streamsize>(kSiteBytes));
-  }
-  os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  LQCD_REQUIRE(os.good(), "write failed: " + path);
+    const std::int64_t vol = u.geometry().volume();
+    std::vector<double> buf(Nd * Nc * Nc * 2);
+    std::uint32_t crc = 0;
+    for (std::int64_t s = 0; s < vol; ++s) {
+      std::size_t k = 0;
+      for (int mu = 0; mu < Nd; ++mu)
+        for (int r = 0; r < Nc; ++r)
+          for (int c = 0; c < Nc; ++c) {
+            buf[k++] = u(s, mu).m[r][c].re;
+            buf[k++] = u(s, mu).m[r][c].im;
+          }
+      crc = crc32(buf.data(), kSiteBytes, crc);
+      os.write(reinterpret_cast<const char*>(buf.data()),
+               static_cast<std::streamsize>(kSiteBytes));
+    }
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  });
 }
 
 namespace {

@@ -1,0 +1,139 @@
+#include "hmc/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/atomic_io.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace {
+constexpr char kMagic[8] = {'L', 'Q', 'C', 'D', 'C', 'K', '0', '1'};
+constexpr std::size_t kSiteBytes = Nd * Nc * Nc * 2 * sizeof(double);
+
+template <typename V>
+void put(std::ostream& os, std::uint32_t& crc, const V& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  crc = crc32(&v, sizeof(v), crc);
+}
+
+template <typename V>
+void get(std::istream& is, std::uint32_t& crc, V& v,
+         const std::string& path) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is.good())
+    throw FatalError("checkpoint truncated: " + path);
+  crc = crc32(&v, sizeof(v), crc);
+}
+}  // namespace
+
+void save_checkpoint(const GaugeFieldD& u, const HmcCheckpointState& state,
+                     const std::string& path) {
+  atomic_write_file(path, [&](std::ostream& os) {
+    std::uint32_t crc = 0;
+    os.write(kMagic, sizeof(kMagic));
+    for (int mu = 0; mu < Nd; ++mu)
+      put(os, crc, static_cast<std::int32_t>(u.geometry().dim(mu)));
+    put(os, crc, state.trajectories);
+    put(os, crc, state.accepted);
+    put(os, crc, state.params.seed);
+    put(os, crc, state.params.beta);
+    put(os, crc, state.params.trajectory_length);
+    put(os, crc, static_cast<std::int32_t>(state.params.steps));
+    put(os, crc, static_cast<std::int32_t>(state.params.integrator));
+
+    const std::int64_t vol = u.geometry().volume();
+    std::vector<double> buf(Nd * Nc * Nc * 2);
+    for (std::int64_t s = 0; s < vol; ++s) {
+      std::size_t k = 0;
+      for (int mu = 0; mu < Nd; ++mu)
+        for (int r = 0; r < Nc; ++r)
+          for (int c = 0; c < Nc; ++c) {
+            buf[k++] = u(s, mu).m[r][c].re;
+            buf[k++] = u(s, mu).m[r][c].im;
+          }
+      crc = crc32(buf.data(), kSiteBytes, crc);
+      os.write(reinterpret_cast<const char*>(buf.data()),
+               static_cast<std::streamsize>(kSiteBytes));
+    }
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  });
+}
+
+HmcCheckpointState load_checkpoint(GaugeFieldD& u, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw FatalError("cannot open checkpoint: " + path);
+
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is.good() || std::memcmp(magic, kMagic, 8) != 0)
+    throw FatalError("not a lqcd checkpoint: " + path);
+
+  std::uint32_t crc = 0;
+  for (int mu = 0; mu < Nd; ++mu) {
+    std::int32_t d = 0;
+    get(is, crc, d, path);
+    if (d != u.geometry().dim(mu))
+      throw FatalError("checkpoint dimension mismatch: " + path);
+  }
+  HmcCheckpointState state;
+  get(is, crc, state.trajectories, path);
+  get(is, crc, state.accepted, path);
+  get(is, crc, state.params.seed, path);
+  get(is, crc, state.params.beta, path);
+  get(is, crc, state.params.trajectory_length, path);
+  std::int32_t steps = 0, integ = 0;
+  get(is, crc, steps, path);
+  get(is, crc, integ, path);
+  state.params.steps = steps;
+  state.params.integrator = static_cast<Integrator>(integ);
+
+  const std::int64_t vol = u.geometry().volume();
+  std::vector<double> buf(Nd * Nc * Nc * 2);
+  for (std::int64_t s = 0; s < vol; ++s) {
+    is.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(kSiteBytes));
+    if (!is.good())
+      throw FatalError("checkpoint gauge payload truncated: " + path);
+    crc = crc32(buf.data(), kSiteBytes, crc);
+    std::size_t k = 0;
+    for (int mu = 0; mu < Nd; ++mu)
+      for (int r = 0; r < Nc; ++r)
+        for (int c = 0; c < Nc; ++c) {
+          u(s, mu).m[r][c] = Cplxd(buf[k], buf[k + 1]);
+          k += 2;
+        }
+  }
+  std::uint32_t stored = 0;
+  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!is.good())
+    throw FatalError("checkpoint checksum truncated: " + path);
+  if (stored != crc)
+    throw FatalError("checkpoint CRC mismatch (corrupt): " + path);
+  return state;
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  return is.good() && std::memcmp(magic, kMagic, 8) == 0;
+}
+
+void resume_hmc(Hmc& hmc, const HmcCheckpointState& state) {
+  const HmcParams& p = hmc.params();
+  if (p.seed != state.params.seed || p.beta != state.params.beta ||
+      p.steps != state.params.steps ||
+      p.trajectory_length != state.params.trajectory_length ||
+      p.integrator != state.params.integrator)
+    throw FatalError(
+        "resume_hmc: driver params differ from the checkpointed campaign "
+        "(resuming would fork the trajectory stream)");
+  hmc.restore_progress(state.trajectories, state.accepted);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,57 @@
+#pragma once
+// HMC campaign checkpoint/restart.
+//
+// A checkpoint captures everything needed to resume an ensemble campaign
+// and reproduce the *identical* trajectory stream the uninterrupted run
+// would have produced: the gauge field (bit-exact doubles), the HMC
+// parameters (the seed is the entire RNG state — all per-trajectory
+// streams are counter-derived from (seed, trajectory index)), and the
+// trajectory/acceptance counters.
+//
+// Layout: magic "LQCDCK01" | 4 x int32 dims | u64 trajectories |
+//         u64 accepted | u64 seed | f64 beta | f64 trajectory_length |
+//         i32 steps | i32 integrator | link payload (same site-major
+//         serialization as the gauge format) | u32 CRC over everything
+//         after the magic.
+//
+// Writes go through atomic_write_file (temp + rename), so a kill at any
+// instant leaves either the previous complete checkpoint or the new one —
+// never a truncated file. Loads verify the CRC and throw FatalError on
+// corruption, so a damaged checkpoint is rejected rather than silently
+// resuming a divergent campaign.
+
+#include <string>
+
+#include "gauge/gauge_field.hpp"
+#include "hmc/hmc.hpp"
+
+namespace lqcd {
+
+/// Campaign progress stored alongside the gauge field.
+struct HmcCheckpointState {
+  std::uint64_t trajectories = 0;  ///< trajectories completed
+  std::uint64_t accepted = 0;      ///< of which accepted
+  HmcParams params;                ///< seed + MD settings of the campaign
+};
+
+/// Atomically write a checkpoint (gauge field + campaign state + CRC).
+void save_checkpoint(const GaugeFieldD& u, const HmcCheckpointState& state,
+                     const std::string& path);
+
+/// Load a checkpoint into a field on a matching geometry. Throws
+/// FatalError on magic/dimension mismatch, truncation, or CRC failure.
+HmcCheckpointState load_checkpoint(GaugeFieldD& u, const std::string& path);
+
+/// True if `path` exists and carries the checkpoint magic (cheap probe
+/// for auto-resume logic; does not validate the payload).
+bool checkpoint_exists(const std::string& path);
+
+/// Resume an Hmc driver from a loaded state: restores the trajectory and
+/// acceptance counters so the next trajectory() call draws exactly the
+/// streams the uninterrupted campaign would have drawn. The caller must
+/// have constructed `hmc` over the checkpointed gauge field with the
+/// checkpointed params (enforced: throws FatalError on a seed/params
+/// mismatch, which would silently fork the trajectory stream).
+void resume_hmc(Hmc& hmc, const HmcCheckpointState& state);
+
+}  // namespace lqcd

@@ -82,6 +82,20 @@ class Hmc {
 
   [[nodiscard]] const HmcParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t trajectories_run() const { return count_; }
+  [[nodiscard]] std::uint64_t trajectories_accepted() const {
+    return accepted_;
+  }
+
+  /// Restore campaign progress from a checkpoint (see hmc/checkpoint.hpp).
+  /// Every per-trajectory RNG stream is counter-derived from
+  /// (seed, trajectory index), so setting the counters on top of the
+  /// checkpointed gauge field reproduces the uninterrupted trajectory
+  /// stream exactly.
+  void restore_progress(std::uint64_t trajectories,
+                        std::uint64_t accepted) {
+    count_ = trajectories;
+    accepted_ = accepted;
+  }
   [[nodiscard]] double acceptance_rate() const {
     return count_ > 0 ? static_cast<double>(accepted_) /
                             static_cast<double>(count_)

@@ -2,6 +2,15 @@
 // BiCGStab for the (non-hermitian) Wilson/clover operator M itself.
 // Roughly half the iterations of CG on M^†M at one operator apply more per
 // iteration — the standard trade-off the solver benches quantify.
+//
+// BiCGStab's two-sided recursion is famously fragile: rho or omega can
+// collapse to (near) zero on perfectly solvable systems, and a NaN from a
+// corrupted operator apply poisons every later iterate. Both are detected
+// per iteration; the solver then rebuilds the recursion from the true
+// residual (the standard BiCGStab restart) up to params.max_restarts
+// times before reporting the breakdown in SolverResult.
+
+#include <cmath>
 
 #include "dirac/operator.hpp"
 #include "linalg/blas.hpp"
@@ -39,85 +48,131 @@ SolverResult bicgstab_solve(const LinearOperator<T>& m,
   }
   const double target2 = params.tol * params.tol * b_norm2;
 
-  // r = b - M x; r0 = r; p = r.
-  m.apply(r, cspan(x));
-  parallel_for(n, [&](std::size_t i) {
-    WilsonSpinor<T> w = b[i];
-    w -= r[i];
-    r[i] = w;
-  });
-  blas::copy(r0, cspan(r));
-  blas::copy(p, cspan(r));
-
-  Cplxd rho = blas::dot(cspan(r0), cspan(r));
-  double rr = blas::norm2(cspan(r));
-
   const double op_flops = m.flops_per_apply();
   const double site_flops = static_cast<double>(n) * 10.0 * 48.0;
 
+  // (Re)start the recursion from the true residual:
+  // r = b - M x; r0 = r; p = r.
+  Cplxd rho;
+  const auto rebuild = [&]() -> double {
+    m.apply(r, cspan(x));
+    parallel_for(n, [&](std::size_t i) {
+      WilsonSpinor<T> w = b[i];
+      w -= r[i];
+      r[i] = w;
+    });
+    blas::copy(r0, cspan(r));
+    blas::copy(p, cspan(r));
+    rho = blas::dot(cspan(r0), cspan(r));
+    return blas::norm2(cspan(r));
+  };
+  double rr = rebuild();
+
   int it = 0;
-  bool breakdown = false;
-  for (; it < params.max_iterations && rr > target2; ++it) {
+  double best_rr = rr;
+  int since_best = 0;
+  while (it < params.max_iterations && rr > target2) {
+    Breakdown bd = Breakdown::None;
     m.apply(v, cspan(p));
     const Cplxd r0v = blas::dot(cspan(r0), cspan(v));
-    if (norm2(r0v) == 0.0) {
-      breakdown = true;
-      break;
+    if (!std::isfinite(r0v.re) || !std::isfinite(r0v.im)) {
+      bd = Breakdown::NonFinite;
+    } else if (norm2(r0v) == 0.0) {
+      bd = Breakdown::ZeroPivot;
+    } else {
+      const Cplxd alpha = div(rho, r0v);
+      // s = r - alpha v   (reuse r as s)
+      blas::caxpy(
+          Cplx<T>(static_cast<T>(-alpha.re), static_cast<T>(-alpha.im)),
+          cspan(v), r);
+      const double ss = blas::norm2(cspan(r));
+      if (!std::isfinite(ss)) {
+        bd = Breakdown::NonFinite;
+      } else if (ss <= target2) {
+        // x += alpha p; converged on the half step.
+        blas::caxpy(
+            Cplx<T>(static_cast<T>(alpha.re), static_cast<T>(alpha.im)),
+            cspan(p), x);
+        rr = ss;
+        ++it;
+        res.flops += op_flops + site_flops;
+        break;
+      } else {
+        m.apply(t, cspan(r));
+        const double tt = blas::norm2(cspan(t));
+        if (!std::isfinite(tt)) {
+          bd = Breakdown::NonFinite;
+        } else if (tt == 0.0) {
+          bd = Breakdown::ZeroPivot;
+        } else {
+          const Cplxd ts = blas::dot(cspan(t), cspan(r));
+          const Cplxd omega(ts.re / tt, ts.im / tt);
+          // x += alpha p + omega s
+          blas::caxpy(
+              Cplx<T>(static_cast<T>(alpha.re), static_cast<T>(alpha.im)),
+              cspan(p), x);
+          blas::caxpy(
+              Cplx<T>(static_cast<T>(omega.re), static_cast<T>(omega.im)),
+              cspan(r), x);
+          // r = s - omega t
+          blas::caxpy(
+              Cplx<T>(static_cast<T>(-omega.re), static_cast<T>(-omega.im)),
+              cspan(t), r);
+          rr = blas::norm2(cspan(r));
+          const Cplxd rho_new = blas::dot(cspan(r0), cspan(r));
+          if (!std::isfinite(rr) || !std::isfinite(rho_new.re) ||
+              !std::isfinite(rho_new.im)) {
+            bd = Breakdown::NonFinite;
+          } else if (norm2(rho) == 0.0 || norm2(omega) == 0.0) {
+            bd = Breakdown::ZeroPivot;
+          } else {
+            const Cplxd beta = div(rho_new, rho) * div(alpha, omega);
+            rho = rho_new;
+            // p = r + beta (p - omega v)
+            blas::caxpy(Cplx<T>(static_cast<T>(-omega.re),
+                                static_cast<T>(-omega.im)),
+                        cspan(v), p);
+            parallel_for(n, [&](std::size_t i) {
+              WilsonSpinor<T> w = p[i];
+              w *= Cplx<T>(static_cast<T>(beta.re), static_cast<T>(beta.im));
+              w += r[i];
+              p[i] = w;
+            });
+            ++it;
+            res.flops += 2.0 * op_flops + site_flops;
+            if (rr < best_rr) {
+              best_rr = rr;
+              since_best = 0;
+            } else if (params.stagnation_window > 0 &&
+                       ++since_best >= params.stagnation_window) {
+              bd = Breakdown::Stagnation;
+            }
+            if (params.verbose)
+              log_debug("bicgstab iter ", it, " rel ",
+                        std::sqrt(rr / b_norm2));
+          }
+        }
+      }
     }
-    const Cplxd alpha = div(rho, r0v);
-    // s = r - alpha v   (reuse r as s)
-    blas::caxpy(Cplx<T>(static_cast<T>(-alpha.re), static_cast<T>(-alpha.im)),
-                cspan(v), r);
-    const double ss = blas::norm2(cspan(r));
-    if (ss <= target2) {
-      // x += alpha p; converged on the half step.
-      blas::caxpy(Cplx<T>(static_cast<T>(alpha.re), static_cast<T>(alpha.im)),
-                  cspan(p), x);
-      rr = ss;
-      ++it;
-      res.flops += op_flops + site_flops;
-      break;
+    if (bd != Breakdown::None) {
+      res.breakdown = bd;
+      if (res.restarts >= params.max_restarts) break;
+      ++res.restarts;
+      if (!std::isfinite(blas::norm2(cspan(x)))) blas::zero(x);
+      rr = rebuild();
+      res.flops += op_flops;
+      best_rr = rr;
+      since_best = 0;
+      log_info("bicgstab: breakdown (", to_string(bd), ") at iter ", it,
+               ", restart ", res.restarts, "/", params.max_restarts);
     }
-    m.apply(t, cspan(r));
-    const double tt = blas::norm2(cspan(t));
-    if (tt == 0.0) {
-      breakdown = true;
-      break;
-    }
-    const Cplxd ts = blas::dot(cspan(t), cspan(r));
-    const Cplxd omega(ts.re / tt, ts.im / tt);
-    // x += alpha p + omega s
-    blas::caxpy(Cplx<T>(static_cast<T>(alpha.re), static_cast<T>(alpha.im)),
-                cspan(p), x);
-    blas::caxpy(Cplx<T>(static_cast<T>(omega.re), static_cast<T>(omega.im)),
-                cspan(r), x);
-    // r = s - omega t
-    blas::caxpy(Cplx<T>(static_cast<T>(-omega.re), static_cast<T>(-omega.im)),
-                cspan(t), r);
-    rr = blas::norm2(cspan(r));
-    const Cplxd rho_new = blas::dot(cspan(r0), cspan(r));
-    if (norm2(rho) == 0.0 || norm2(omega) == 0.0) {
-      breakdown = true;
-      break;
-    }
-    const Cplxd beta = div(rho_new, rho) * div(alpha, omega);
-    rho = rho_new;
-    // p = r + beta (p - omega v)
-    blas::caxpy(Cplx<T>(static_cast<T>(-omega.re), static_cast<T>(-omega.im)),
-                cspan(v), p);
-    parallel_for(n, [&](std::size_t i) {
-      WilsonSpinor<T> w = p[i];
-      w *= Cplx<T>(static_cast<T>(beta.re), static_cast<T>(beta.im));
-      w += r[i];
-      p[i] = w;
-    });
-    res.flops += 2.0 * op_flops + site_flops;
-    if (params.verbose)
-      log_debug("bicgstab iter ", it + 1, " rel ", std::sqrt(rr / b_norm2));
   }
 
   res.iterations = it;
-  res.converged = !breakdown && rr <= target2;
+  // On a terminal breakdown the loop exits with rr above target, so the
+  // residual test alone decides convergence (recovered restarts don't
+  // disqualify a solve that went on to converge).
+  res.converged = rr <= target2;
   if (params.check_true_residual) {
     m.apply(t, cspan(x));
     parallel_for(n, [&](std::size_t i) {
@@ -131,6 +186,7 @@ SolverResult bicgstab_solve(const LinearOperator<T>& m,
   } else {
     res.relative_residual = std::sqrt(rr / b_norm2);
   }
+  if (res.converged) res.breakdown = Breakdown::None;  // fully recovered
   res.seconds = timer.seconds();
   return res;
 }

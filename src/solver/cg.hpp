@@ -4,6 +4,17 @@
 // Standard three-term CG with double-precision reductions. The residual
 // recursion is checked against the true residual on exit when
 // params.check_true_residual is set.
+//
+// Breakdown recovery: NaN/Inf in the recursion, loss of positivity of
+// p^†Ap, stagnation (no residual improvement over a window), or a
+// recursion that claims convergence the true residual contradicts
+// (rounding drift) abort the current Krylov cycle; the solver scrubs a
+// non-finite iterate, rebuilds the recursion from the true residual and
+// retries, bounded by params.max_restarts. Exhausted restarts return (not
+// throw) with SolverResult::breakdown set, so campaign drivers can decide
+// policy.
+
+#include <cmath>
 
 #include "dirac/operator.hpp"
 #include "linalg/blas.hpp"
@@ -42,48 +53,89 @@ SolverResult cg_solve(const LinearOperator<T>& a,
   }
   const double target2 = params.tol * params.tol * b_norm2;
 
-  // r = b - A x ; p = r.
-  a.apply(r, std::span<const WilsonSpinor<T>>(x.data(), n));
-  parallel_for(n, [&](std::size_t i) {
-    WilsonSpinor<T> t = b[i];
-    t -= r[i];
-    r[i] = t;
-  });
-  blas::copy(p, std::span<const WilsonSpinor<T>>(r.data(), n));
-  double rr = blas::norm2(std::span<const WilsonSpinor<T>>(r.data(), n));
-
   const double op_flops = a.flops_per_apply();
   const double site_flops =
       static_cast<double>(n) *
       (2.0 * kAxpyFlopsPerSite + kNormFlopsPerSite + kDotFlopsPerSite);
 
-  int it = 0;
-  for (; it < params.max_iterations && rr > target2; ++it) {
-    a.apply(ap, std::span<const WilsonSpinor<T>>(p.data(), n));
-    const double pap =
-        blas::re_dot(std::span<const WilsonSpinor<T>>(p.data(), n),
-                     std::span<const WilsonSpinor<T>>(ap.data(), n));
-    LQCD_ASSERT(pap > 0.0, "CG: operator not positive definite");
-    const double alpha = rr / pap;
-    blas::axpy(static_cast<T>(alpha),
-               std::span<const WilsonSpinor<T>>(p.data(), n), x);
-    blas::axpy(static_cast<T>(-alpha),
-               std::span<const WilsonSpinor<T>>(ap.data(), n), r);
-    const double rr_new =
-        blas::norm2(std::span<const WilsonSpinor<T>>(r.data(), n));
-    const double beta = rr_new / rr;
-    // p = r + beta p
-    blas::xpay(std::span<const WilsonSpinor<T>>(r.data(), n),
-               static_cast<T>(beta), p);
-    rr = rr_new;
-    res.flops += op_flops + site_flops;
-    if (params.verbose)
-      log_debug("cg iter ", it + 1, " rel ", std::sqrt(rr / b_norm2));
-  }
+  // (Re)build the recursion from the true residual: r = b - A x; p = r.
+  const auto rebuild = [&]() -> double {
+    a.apply(r, std::span<const WilsonSpinor<T>>(x.data(), n));
+    parallel_for(n, [&](std::size_t i) {
+      WilsonSpinor<T> t = b[i];
+      t -= r[i];
+      r[i] = t;
+    });
+    blas::copy(p, std::span<const WilsonSpinor<T>>(r.data(), n));
+    return blas::norm2(std::span<const WilsonSpinor<T>>(r.data(), n));
+  };
+  double rr = rebuild();
 
-  res.iterations = it;
-  res.converged = rr <= target2;
-  if (params.check_true_residual) {
+  int it = 0;
+  double best_rr = rr;
+  int since_best = 0;
+  for (;;) {
+    while (it < params.max_iterations && rr > target2) {
+      Breakdown bd = Breakdown::None;
+      a.apply(ap, std::span<const WilsonSpinor<T>>(p.data(), n));
+      const double pap =
+          blas::re_dot(std::span<const WilsonSpinor<T>>(p.data(), n),
+                       std::span<const WilsonSpinor<T>>(ap.data(), n));
+      if (!std::isfinite(pap)) {
+        bd = Breakdown::NonFinite;
+      } else if (pap <= 0.0) {
+        bd = Breakdown::LostPositivity;
+      } else {
+        const double alpha = rr / pap;
+        blas::axpy(static_cast<T>(alpha),
+                   std::span<const WilsonSpinor<T>>(p.data(), n), x);
+        blas::axpy(static_cast<T>(-alpha),
+                   std::span<const WilsonSpinor<T>>(ap.data(), n), r);
+        const double rr_new =
+            blas::norm2(std::span<const WilsonSpinor<T>>(r.data(), n));
+        if (!std::isfinite(rr_new)) {
+          bd = Breakdown::NonFinite;
+        } else {
+          const double beta = rr_new / rr;
+          // p = r + beta p
+          blas::xpay(std::span<const WilsonSpinor<T>>(r.data(), n),
+                     static_cast<T>(beta), p);
+          rr = rr_new;
+          ++it;
+          res.flops += op_flops + site_flops;
+          if (rr < best_rr) {
+            best_rr = rr;
+            since_best = 0;
+          } else if (params.stagnation_window > 0 &&
+                     ++since_best >= params.stagnation_window) {
+            bd = Breakdown::Stagnation;
+          }
+          if (params.verbose)
+            log_debug("cg iter ", it, " rel ", std::sqrt(rr / b_norm2));
+        }
+      }
+      if (bd != Breakdown::None) {
+        res.breakdown = bd;
+        if (res.restarts >= params.max_restarts) break;
+        ++res.restarts;
+        // A NaN/Inf-infected iterate cannot seed a restart: reset it.
+        if (!std::isfinite(
+                blas::norm2(std::span<const WilsonSpinor<T>>(x.data(), n))))
+          blas::zero(x);
+        rr = rebuild();
+        res.flops += op_flops;
+        best_rr = rr;
+        since_best = 0;
+        log_info("cg: breakdown (", to_string(bd), ") at iter ", it,
+                 ", restart ", res.restarts, "/", params.max_restarts);
+      }
+    }
+
+    res.converged = rr <= target2;
+    if (!params.check_true_residual) {
+      res.relative_residual = std::sqrt(rr / b_norm2);
+      break;
+    }
     a.apply(ap, std::span<const WilsonSpinor<T>>(x.data(), n));
     parallel_for(n, [&](std::size_t i) {
       WilsonSpinor<T> t = b[i];
@@ -93,10 +145,32 @@ SolverResult cg_solve(const LinearOperator<T>& a,
     const double true_r2 =
         blas::norm2(std::span<const WilsonSpinor<T>>(ap.data(), n));
     res.relative_residual = std::sqrt(true_r2 / b_norm2);
-    res.converged = res.converged && res.relative_residual <= 10 * params.tol;
-  } else {
-    res.relative_residual = std::sqrt(rr / b_norm2);
+    if (res.converged && res.relative_residual > 10 * params.tol) {
+      // The recursion claims convergence but the true residual disagrees:
+      // accumulated rounding has decoupled the two (the attainable-accuracy
+      // stall). Rebuild from the true residual and squeeze again; if the
+      // restart budget is spent the solve is stagnant at its floor.
+      res.converged = false;
+      res.breakdown = Breakdown::Stagnation;
+      if (res.restarts < params.max_restarts && it < params.max_iterations) {
+        ++res.restarts;
+        rr = rebuild();
+        res.flops += op_flops;
+        best_rr = rr;
+        since_best = 0;
+        log_info("cg: true residual ", res.relative_residual,
+                 " above target after recursion converged, restart ",
+                 res.restarts, "/", params.max_restarts);
+        continue;
+      }
+    } else {
+      res.converged =
+          res.converged && res.relative_residual <= 10 * params.tol;
+    }
+    break;
   }
+  res.iterations = it;
+  if (res.converged) res.breakdown = Breakdown::None;  // fully recovered
   res.seconds = timer.seconds();
   return res;
 }

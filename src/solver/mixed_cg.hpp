@@ -9,9 +9,20 @@
 // the memory-bound dslash, at the cost of a few extra total iterations —
 // the trade quantified by bench_mixed_precision.
 //
+// Robustness: a float inner solve can break down (NaN from a corrupted
+// apply, a system too ill-conditioned for single precision) or the outer
+// residual can stall between cycles. Either condition triggers an
+// automatic fallback: the offending cycle is re-run with the *double*
+// operator, and once a fallback happens the solver stays in double (the
+// condition that broke float once will break it again). Fallback cycles
+// are counted in SolverResult::fallbacks.
+//
 // Requires a hermitian positive-definite operator pair (double + float
 // instances of the same matrix, e.g. NormalOperator of Wilson on a double
 // and a float copy of the links).
+
+#include <cmath>
+#include <limits>
 
 #include "dirac/operator.hpp"
 #include "linalg/blas.hpp"
@@ -28,6 +39,10 @@ struct MixedCgParams {
   double inner_reduction = 1e-5;  ///< per-cycle float residual reduction
   int inner_max_iterations = 2000;
   int max_outer_cycles = 50;
+  /// A cycle that fails to shrink the outer residual below this fraction
+  /// of its previous value counts as stalled and triggers the double
+  /// fallback (stalled again in double = terminal stagnation).
+  double stall_factor = 0.9;
 };
 
 inline SolverResult mixed_cg_solve(const LinearOperator<double>& a_double,
@@ -58,12 +73,15 @@ inline SolverResult mixed_cg_solve(const LinearOperator<double>& a_double,
   }
   const double target = params.outer.tol;
 
-  aligned_vector<WilsonSpinor<double>> r_s(n), t_s(n);
+  aligned_vector<WilsonSpinor<double>> r_s(n), t_s(n), dd_s(n);
   aligned_vector<WilsonSpinor<float>> rf_s(n), df_s(n);
-  std::span<WilsonSpinor<double>> r(r_s.data(), n), t(t_s.data(), n);
+  std::span<WilsonSpinor<double>> r(r_s.data(), n), t(t_s.data(), n),
+      dd(dd_s.data(), n);
   std::span<WilsonSpinor<float>> rf(rf_s.data(), n), df(df_s.data(), n);
 
   double rel = 0.0;
+  double prev_rel = 0.0;
+  bool prefer_double = false;  // sticky once a fallback is triggered
   for (int cycle = 0; cycle < params.max_outer_cycles; ++cycle) {
     // True residual in double.
     a_double.apply(t, cspan(x));
@@ -82,38 +100,96 @@ inline SolverResult mixed_cg_solve(const LinearOperator<double>& a_double,
       res.converged = true;
       break;
     }
+    // A NaN-infected iterate cannot be corrected incrementally: reset.
+    if (!std::isfinite(rel)) {
+      res.breakdown = Breakdown::NonFinite;
+      if (!prefer_double) {
+        prefer_double = true;
+        blas::zero(x);
+        prev_rel = std::numeric_limits<double>::infinity();
+        log_warn("mixed_cg: non-finite residual, restarting in double");
+        continue;
+      }
+      break;  // double pass also produced NaN: give up
+    }
+    // Outer stall detection.
+    if (cycle > 0 && rel >= params.stall_factor * prev_rel) {
+      if (prefer_double) {
+        res.breakdown = Breakdown::Stagnation;
+        break;
+      }
+      prefer_double = true;
+      log_warn("mixed_cg: outer residual stalled (", prev_rel, " -> ", rel,
+               "), falling back to double cycles");
+    }
+    prev_rel = rel;
     res.outer_cycles = cycle + 1;
 
-    // Normalize the residual so the float inner solve is well-scaled.
+    // Normalize the residual so the inner solve is well-scaled.
     const double scale = std::sqrt(rr);
-    parallel_for(n, [&](std::size_t i) {
-      WilsonSpinor<double> w = r[i];
-      w *= 1.0 / scale;
-      rf[i] = convert<float>(w);
-    });
 
     SolverParams inner;
-    // Never ask float for more than it can deliver; also don't overshoot
-    // far below the remaining outer gap.
+    // Never ask the inner precision for more than it can deliver; also
+    // don't overshoot far below the remaining outer gap.
     inner.tol = std::max(params.inner_reduction, 0.3 * target / rel);
     inner.max_iterations = params.inner_max_iterations;
     inner.check_true_residual = false;
-    blas::zero(df);
-    const SolverResult inner_res = cg_solve<float>(a_float, df, cspan(rf),
-                                                   inner);
-    res.inner_iterations += inner_res.iterations;
-    res.flops += inner_res.flops;
 
-    // x += scale * d (promote to double).
-    parallel_for(n, [&](std::size_t i) {
-      WilsonSpinor<double> d = convert<double>(df[i]);
-      d *= scale;
-      x[i] += d;
-    });
+    bool accumulated = false;
+    if (!prefer_double) {
+      parallel_for(n, [&](std::size_t i) {
+        WilsonSpinor<double> w = r[i];
+        w *= 1.0 / scale;
+        rf[i] = convert<float>(w);
+      });
+      blas::zero(df);
+      const SolverResult inner_res =
+          cg_solve<float>(a_float, df, cspan(rf), inner);
+      res.inner_iterations += inner_res.iterations;
+      res.flops += inner_res.flops;
+      const double d_norm = blas::norm2(cspan(df));
+      if (inner_res.breakdown != Breakdown::None ||
+          !std::isfinite(d_norm)) {
+        // Float cycle broke down: discard it and redo in double.
+        prefer_double = true;
+        res.breakdown = inner_res.breakdown != Breakdown::None
+                            ? inner_res.breakdown
+                            : Breakdown::NonFinite;
+        log_warn("mixed_cg: float inner breakdown (",
+                 to_string(res.breakdown), "), falling back to double");
+      } else {
+        // x += scale * d (promote to double).
+        parallel_for(n, [&](std::size_t i) {
+          WilsonSpinor<double> d = convert<double>(df[i]);
+          d *= scale;
+          x[i] += d;
+        });
+        accumulated = true;
+      }
+    }
+    if (prefer_double && !accumulated) {
+      ++res.fallbacks;
+      parallel_for(n, [&](std::size_t i) {
+        WilsonSpinor<double> w = r[i];
+        w *= 1.0 / scale;
+        dd[i] = w;  // reuse as the normalized rhs…
+      });
+      blas::zero(t);  // …and t as the correction
+      const SolverResult inner_res =
+          cg_solve<double>(a_double, t, cspan(dd), inner);
+      res.inner_iterations += inner_res.iterations;
+      res.flops += inner_res.flops;
+      parallel_for(n, [&](std::size_t i) {
+        WilsonSpinor<double> d = t[i];
+        d *= scale;
+        x[i] += d;
+      });
+    }
   }
 
   res.iterations = res.inner_iterations;
   res.relative_residual = rel;
+  if (res.converged) res.breakdown = Breakdown::None;  // fully recovered
   res.seconds = timer.seconds();
   return res;
 }

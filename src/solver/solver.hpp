@@ -10,6 +10,23 @@ struct SolverParams {
   int max_iterations = 10000;
   bool check_true_residual = true;  ///< recompute ||b - Ax|| at the end
   bool verbose = false;             ///< log per-iteration residuals
+  // --- breakdown recovery ---------------------------------------------
+  /// Restarts allowed after a detected breakdown (NaN/Inf in the
+  /// recursion, loss of positivity, stagnation). A restart rebuilds the
+  /// Krylov recursion from the true residual; 0 disables recovery.
+  int max_restarts = 2;
+  /// Iterations without any residual-norm improvement before the solve is
+  /// declared stagnant (and restarted). 0 disables the check.
+  int stagnation_window = 100;
+};
+
+/// Why a solve (or one Krylov cycle of it) broke down.
+enum class Breakdown {
+  None,
+  NonFinite,     ///< NaN/Inf entered the recursion
+  LostPositivity,  ///< p^T A p <= 0 in CG: operator/recursion corrupted
+  ZeroPivot,     ///< rho/omega ~ 0 in BiCGStab
+  Stagnation,    ///< no residual progress for stagnation_window iters
 };
 
 struct SolverResult {
@@ -21,11 +38,28 @@ struct SolverResult {
   /// For nested solvers (mixed precision): total inner iterations.
   int inner_iterations = 0;
   int outer_cycles = 0;
+  // --- breakdown reporting --------------------------------------------
+  int restarts = 0;   ///< breakdown-recovery restarts performed
+  int fallbacks = 0;  ///< mixed precision: cycles re-run in double
+  /// Last breakdown observed; Breakdown::None if the solve stayed clean
+  /// or a restart fully recovered and then converged.
+  Breakdown breakdown = Breakdown::None;
 
   [[nodiscard]] double gflops_per_second() const {
     return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
   }
 };
+
+[[nodiscard]] constexpr const char* to_string(Breakdown b) {
+  switch (b) {
+    case Breakdown::None: return "none";
+    case Breakdown::NonFinite: return "non-finite";
+    case Breakdown::LostPositivity: return "lost-positivity";
+    case Breakdown::ZeroPivot: return "zero-pivot";
+    case Breakdown::Stagnation: return "stagnation";
+  }
+  return "?";
+}
 
 /// Per-spinor-site flop costs of the level-1 field operations
 /// (24 real components per site).

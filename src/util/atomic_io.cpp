@@ -1,0 +1,64 @@
+#include "util/atomic_io.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/error.hpp"
+
+namespace lqcd {
+
+namespace {
+std::string unique_tmp_name(const std::string& path) {
+  // Unique within this process; the PID disambiguates across processes
+  // sharing a directory (concurrent campaign ranks).
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return path + ".tmp-" + std::to_string(::getpid()) + "-" +
+         std::to_string(n);
+}
+
+void remove_quiet(const std::string& p) {
+  std::error_code ec;
+  std::filesystem::remove(p, ec);
+}
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = unique_tmp_name(path);
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) {
+      remove_quiet(tmp);
+      throw FatalError("atomic_write_file: cannot open temporary for " +
+                       path);
+    }
+    try {
+      writer(os);
+    } catch (...) {
+      os.close();
+      remove_quiet(tmp);
+      throw;
+    }
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      remove_quiet(tmp);
+      throw FatalError("atomic_write_file: write failed for " + path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    remove_quiet(tmp);
+    throw FatalError("atomic_write_file: rename to " + path +
+                     " failed: " + ec.message());
+  }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,23 @@
+#pragma once
+// Crash-safe file replacement: stream into a unique temporary in the
+// destination directory, then rename over the target. POSIX rename is
+// atomic within a filesystem, so a reader (or a process resuming after a
+// kill) either sees the complete old file or the complete new file —
+// never a truncated write. Used by the gauge-config writer and the HMC
+// checkpointer.
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace lqcd {
+
+/// Write `path` atomically: `writer` streams the full contents into a
+/// temporary sibling file, which is fsynced, closed and renamed onto
+/// `path` only if the stream stayed good. On writer exception or stream
+/// failure the temporary is removed and the previous `path` (if any) is
+/// left untouched. Throws lqcd::FatalError on I/O failure.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace lqcd

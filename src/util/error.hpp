@@ -20,6 +20,23 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure that a resilience layer may recover from by retrying or
+/// re-routing: a lost peer mid-exchange, a timed-out message, a transient
+/// resource shortage. Catching code is expected to either retry the whole
+/// operation (e.g. resume from a checkpoint) or escalate to FatalError.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// An unrecoverable failure: retry budget exhausted, persistent data
+/// corruption, or an invariant that retrying cannot restore. Campaign
+/// drivers should stop and surface this to the operator.
+class FatalError : public Error {
+ public:
+  explicit FatalError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* kind, const char* cond,
                               const char* file, int line,

@@ -1,0 +1,635 @@
+// Tests for the fault-tolerance layer: error taxonomy, deterministic
+// fault injection, checksummed halo exchange with bounded retransmit,
+// solver breakdown detection/recovery, crash-safe file replacement and
+// HMC checkpoint/restart determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "comm/halo.hpp"
+#include "comm/machine.hpp"
+#include "comm/perf_model.hpp"
+#include "dirac/normal.hpp"
+#include "dirac/wilson.hpp"
+#include "gauge/heatbath.hpp"
+#include "gauge/io.hpp"
+#include "gauge/observables.hpp"
+#include "hmc/checkpoint.hpp"
+#include "hmc/hmc.hpp"
+#include "linalg/blas.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/cg.hpp"
+#include "solver/mixed_cg.hpp"
+#include "util/atomic_io.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo8() {
+  static LatticeGeometry geo({8, 4, 4, 8});
+  return geo;
+}
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+void fill_random(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+GaugeFieldD thermal(const LatticeGeometry& geo, std::uint64_t seed) {
+  GaugeFieldD u(geo);
+  u.set_random(SiteRngFactory(seed));
+  Heatbath hb(u, {.beta = 5.9, .or_per_hb = 1, .seed = seed + 1});
+  for (int i = 0; i < 3; ++i) hb.sweep();
+  return u;
+}
+
+double field_diff2(const FermionFieldD& a, const FermionFieldD& b) {
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < a.geometry().volume(); ++s)
+    diff += norm2(a[s] - b[s]);
+  return diff;
+}
+
+std::string temp_path(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+/// Wraps an operator and poisons applies in [fail_first, fail_last] with a
+/// NaN — the footprint of a silent data corruption inside the matrix.
+template <typename T>
+class FaultyOperator final : public LinearOperator<T> {
+ public:
+  FaultyOperator(const LinearOperator<T>& inner, int fail_first,
+                 int fail_last)
+      : inner_(inner), fail_first_(fail_first), fail_last_(fail_last) {}
+
+  void apply(std::span<WilsonSpinor<T>> out,
+             std::span<const WilsonSpinor<T>> in) const override {
+    inner_.apply(out, in);
+    const int k = count_++;
+    if (k >= fail_first_ && k <= fail_last_)
+      out[out.size() / 2].s[0].c[0] =
+          Cplx<T>(std::numeric_limits<T>::quiet_NaN(), T(0));
+  }
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return inner_.vector_size();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    return inner_.flops_per_apply();
+  }
+  [[nodiscard]] bool hermitian_positive() const override {
+    return inner_.hermitian_positive();
+  }
+
+ private:
+  const LinearOperator<T>& inner_;
+  int fail_first_;
+  int fail_last_;
+  mutable std::atomic<int> count_{0};
+};
+
+// --- error taxonomy ----------------------------------------------------
+
+TEST(ErrorTaxonomy, TransientAndFatalAreErrors) {
+  EXPECT_THROW(throw TransientError("peer lost"), Error);
+  EXPECT_THROW(throw FatalError("corrupt"), Error);
+  // The split is meaningful: a handler can retry transients only.
+  try {
+    throw TransientError("rank died");
+  } catch (const FatalError&) {
+    FAIL() << "transient caught as fatal";
+  } catch (const TransientError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank died"), std::string::npos);
+  }
+}
+
+// --- fault injector ----------------------------------------------------
+
+TEST(FaultInjectorTest, DecisionsAreDeterministic) {
+  const FaultSpec spec{.corrupt_prob = 0.5, .drop_prob = 0.5};
+  FaultInjector a(1234, spec);
+  FaultInjector b(1234, spec);
+  std::vector<double> bytes_a(64, 1.5), bytes_b(64, 1.5);
+  const std::span<std::byte> raw_a{reinterpret_cast<std::byte*>(
+                                       bytes_a.data()),
+                                   bytes_a.size() * sizeof(double)};
+  const std::span<std::byte> raw_b{reinterpret_cast<std::byte*>(
+                                       bytes_b.data()),
+                                   bytes_b.size() * sizeof(double)};
+  for (std::uint64_t epoch = 0; epoch < 8; ++epoch)
+    for (int rank = 0; rank < 4; ++rank)
+      for (int mu = 0; mu < Nd; ++mu)
+        for (int dir = -1; dir <= 1; dir += 2) {
+          EXPECT_EQ(a.should_drop(epoch, rank, mu, dir, 0),
+                    b.should_drop(epoch, rank, mu, dir, 0));
+          EXPECT_EQ(a.corrupt(raw_a, epoch, rank, mu, dir, 0),
+                    b.corrupt(raw_b, epoch, rank, mu, dir, 0));
+        }
+  // Identical decisions implies identical injected bit flips.
+  EXPECT_EQ(std::memcmp(bytes_a.data(), bytes_b.data(), raw_a.size()), 0);
+  EXPECT_EQ(a.stats().drops.load(), b.stats().drops.load());
+  EXPECT_EQ(a.stats().corruptions.load(), b.stats().corruptions.load());
+  EXPECT_GT(a.stats().drops.load() + a.stats().corruptions.load(), 0);
+}
+
+TEST(FaultInjectorTest, RetransmitAttemptsRollFreshDice) {
+  FaultInjector fi(99, {.drop_prob = 0.5});
+  bool differs = false;
+  for (std::uint64_t epoch = 0; epoch < 32 && !differs; ++epoch)
+    differs = fi.should_drop(epoch, 0, 0, +1, 0) !=
+              fi.should_drop(epoch, 0, 0, +1, 1);
+  EXPECT_TRUE(differs);  // attempt index is part of the key
+}
+
+TEST(FaultInjectorTest, EventBudgetCapsInjection) {
+  FaultInjector fi(7, {.corrupt_prob = 1.0});
+  fi.set_event_budget(3);
+  std::vector<double> payload(16, 2.0);
+  const std::span<std::byte> raw{reinterpret_cast<std::byte*>(
+                                     payload.data()),
+                                 payload.size() * sizeof(double)};
+  int injected = 0;
+  for (int k = 0; k < 10; ++k)
+    injected += fi.corrupt(raw, 0, 0, 0, +1, k) ? 1 : 0;
+  EXPECT_EQ(injected, 3);
+  EXPECT_EQ(fi.stats().corruptions.load(), 3);
+}
+
+// --- crash-safe file replacement ---------------------------------------
+
+TEST(AtomicIo, WriterFailureLeavesOriginalIntact) {
+  const std::string path = temp_path("lqcd_atomic_io_test.dat");
+  atomic_write_file(path, [](std::ostream& os) { os << "generation-1"; });
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream& os) {
+                                   os << "gener";  // partial write…
+                                   throw std::runtime_error("kill");
+                                 }),
+               std::runtime_error);
+  std::ifstream is(path);
+  std::string content;
+  std::getline(is, content);
+  EXPECT_EQ(content, "generation-1");  // old file untouched
+  // No temporary litter left next to the target.
+  const auto dir = std::filesystem::path(path).parent_path();
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    EXPECT_EQ(e.path().string().find("lqcd_atomic_io_test.dat.tmp"),
+              std::string::npos);
+  atomic_write_file(path, [](std::ostream& os) { os << "generation-2"; });
+  std::ifstream is2(path);
+  std::getline(is2, content);
+  EXPECT_EQ(content, "generation-2");
+  std::filesystem::remove(path);
+}
+
+// --- gauge file integrity ----------------------------------------------
+
+TEST(GaugeIo, RejectsBitFlippedFile) {
+  const GaugeFieldD u = thermal(geo4(), 500);
+  const std::string path = temp_path("lqcd_corrupt_test.cfg");
+  save_gauge(u, path, 5.9);
+
+  // Flip one bit in the middle of the link payload.
+  std::fstream f(path,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  const auto size = std::filesystem::file_size(path);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.write(&byte, 1);
+  f.close();
+
+  GaugeFieldD v(geo4());
+  EXPECT_THROW(load_gauge(v, path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(GaugeIo, RejectsTruncatedFile) {
+  const GaugeFieldD u = thermal(geo4(), 501);
+  const std::string path = temp_path("lqcd_truncate_test.cfg");
+  save_gauge(u, path, 5.9);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  GaugeFieldD v(geo4());
+  EXPECT_THROW(load_gauge(v, path), Error);
+  std::filesystem::remove(path);
+}
+
+// --- hardened halo exchange --------------------------------------------
+
+TEST(ResilientHalo, CorruptionDetectedRetransmittedBitIdentical) {
+  const GaugeFieldD u = thermal(geo8(), 310);
+  const double kappa = 0.12;
+  WilsonOperator<double> single(u, kappa);
+  DistributedWilsonOperator<double> dist(u, kappa, ProcessGrid({2, 1, 1, 2}));
+
+  FaultInjector fi(4242, {.corrupt_prob = 1.0});
+  fi.set_event_budget(5);  // hammer the first messages, then run clean
+  dist.cluster().set_resilience({.checksum = true, .max_retries = 8});
+  dist.cluster().set_fault_injector(&fi);
+  dist.cluster().stats().reset();
+
+  FermionFieldD in(geo8()), a(geo8()), b(geo8());
+  fill_random(in.span(), 311);
+  single.apply(a.span(), in.span());
+  dist.apply(b.span(), in.span());
+
+  // Every injected corruption was caught by the CRC and retransmitted;
+  // the delivered halos — and hence the operator — are bit-identical.
+  EXPECT_EQ(field_diff2(a, b), 0.0);
+  const CommStats& st = dist.cluster().stats();
+  EXPECT_EQ(st.crc_failures, 5);
+  EXPECT_EQ(st.retransmits, 5);
+  EXPECT_EQ(fi.stats().corruptions.load(), 5);
+  EXPECT_GT(st.checksum_bytes, st.bytes);  // retransmits re-framed
+  EXPECT_GT(st.modeled_delay_us, 0.0);     // backoff was charged
+}
+
+TEST(ResilientHalo, RandomCorruptionAcrossEpochsStaysBitIdentical) {
+  const GaugeFieldD u = thermal(geo8(), 320);
+  const double kappa = 0.12;
+  WilsonOperator<double> single(u, kappa);
+  DistributedWilsonOperator<double> dist(u, kappa, ProcessGrid({2, 2, 1, 1}));
+
+  FaultInjector fi(5555, {.corrupt_prob = 0.2, .drop_prob = 0.05});
+  dist.cluster().set_resilience({.checksum = true, .max_retries = 12});
+  dist.cluster().set_fault_injector(&fi);
+  dist.cluster().stats().reset();
+
+  FermionFieldD in(geo8()), a(geo8()), b(geo8());
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    fill_random(in.span(), 321 + k);
+    single.apply(a.span(), in.span());
+    dist.apply(b.span(), in.span());
+    ASSERT_EQ(field_diff2(a, b), 0.0) << "epoch " << k;
+  }
+  const CommStats& st = dist.cluster().stats();
+  EXPECT_GT(st.crc_failures, 0);
+  EXPECT_EQ(st.crc_failures + st.timeouts, st.retransmits);
+}
+
+TEST(ResilientHalo, DroppedMessagesTimeOutAndRetransmit) {
+  const GaugeFieldD u = thermal(geo8(), 330);
+  const double kappa = 0.12;
+  WilsonOperator<double> single(u, kappa);
+  DistributedWilsonOperator<double> dist(u, kappa, ProcessGrid({2, 1, 1, 2}));
+
+  FaultInjector fi(77, {.drop_prob = 1.0});
+  fi.set_event_budget(4);
+  dist.cluster().set_resilience({.checksum = true, .max_retries = 8});
+  dist.cluster().set_fault_injector(&fi);
+  dist.cluster().stats().reset();
+
+  FermionFieldD in(geo8()), a(geo8()), b(geo8());
+  fill_random(in.span(), 331);
+  single.apply(a.span(), in.span());
+  dist.apply(b.span(), in.span());
+  EXPECT_EQ(field_diff2(a, b), 0.0);
+  EXPECT_EQ(dist.cluster().stats().timeouts, 4);
+  EXPECT_EQ(dist.cluster().stats().retransmits, 4);
+}
+
+TEST(ResilientHalo, StragglersAreAccounted) {
+  const GaugeFieldD u = thermal(geo8(), 340);
+  DistributedWilsonOperator<double> dist(u, 0.12, ProcessGrid({2, 1, 1, 2}));
+  FaultInjector fi(88, {.straggle_prob = 1.0, .straggle_us = 150.0});
+  dist.cluster().set_fault_injector(&fi);
+  dist.cluster().stats().reset();
+
+  FermionFieldD in(geo8()), out(geo8());
+  fill_random(in.span(), 341);
+  dist.apply(out.span(), in.span());
+  EXPECT_EQ(dist.cluster().stats().straggler_events, 4);  // every rank
+  EXPECT_GE(dist.cluster().stats().modeled_delay_us, 4 * 150.0);
+}
+
+TEST(ResilientHalo, UncheckedCorruptionFlowsThroughSilently) {
+  // The control experiment: same faults, checksums off — the exchange
+  // reports success and the operator silently computes garbage. This is
+  // the failure mode the CRC framing exists to close.
+  const GaugeFieldD u = thermal(geo8(), 350);
+  const double kappa = 0.12;
+  WilsonOperator<double> single(u, kappa);
+  DistributedWilsonOperator<double> dist(u, kappa, ProcessGrid({2, 1, 1, 2}));
+
+  FaultInjector fi(91, {.corrupt_prob = 1.0});
+  fi.set_event_budget(3);
+  dist.cluster().set_fault_injector(&fi);  // no set_resilience: raw path
+  dist.cluster().stats().reset();
+
+  FermionFieldD in(geo8()), a(geo8()), b(geo8());
+  fill_random(in.span(), 351);
+  single.apply(a.span(), in.span());
+  dist.apply(b.span(), in.span());
+  const double diff = field_diff2(a, b);
+  EXPECT_FALSE(diff == 0.0);  // NaN-safe "results differ"
+  EXPECT_EQ(dist.cluster().stats().crc_failures, 0);
+  EXPECT_EQ(dist.cluster().stats().retransmits, 0);
+}
+
+TEST(ResilientHalo, RetryBudgetExhaustionIsFatal) {
+  const GaugeFieldD u = thermal(geo8(), 360);
+  DistributedWilsonOperator<double> dist(u, 0.12, ProcessGrid({2, 1, 1, 2}));
+  FaultInjector fi(17, {.corrupt_prob = 1.0});  // unlimited events
+  dist.cluster().set_resilience({.checksum = true, .max_retries = 2});
+  dist.cluster().set_fault_injector(&fi);
+
+  FermionFieldD in(geo8()), out(geo8());
+  fill_random(in.span(), 361);
+  EXPECT_THROW(dist.apply(out.span(), in.span()), FatalError);
+}
+
+TEST(ResilientHalo, RankDeathRaisesTransientThenRecovers) {
+  const GaugeFieldD u = thermal(geo8(), 370);
+  const double kappa = 0.12;
+  WilsonOperator<double> single(u, kappa);
+  DistributedWilsonOperator<double> dist(u, kappa, ProcessGrid({2, 1, 1, 2}));
+
+  FaultInjector fi(19);
+  dist.cluster().set_fault_injector(&fi);
+  dist.cluster().stats().reset();
+  fi.schedule_kill(/*rank=*/2, /*epoch=*/0);
+
+  FermionFieldD in(geo8()), a(geo8()), b(geo8());
+  fill_random(in.span(), 371);
+  EXPECT_THROW(dist.apply(b.span(), in.span()), TransientError);
+  EXPECT_EQ(fi.stats().kills.load(), 1);
+
+  // Recovery path: the "rank" comes back (checkpoint/restart in a real
+  // campaign) and the retried exchange is exact.
+  fi.schedule_kill(2, std::numeric_limits<std::uint64_t>::max());
+  single.apply(a.span(), in.span());
+  dist.apply(b.span(), in.span());
+  EXPECT_EQ(field_diff2(a, b), 0.0);
+}
+
+// --- solver breakdown recovery -----------------------------------------
+
+TEST(SolverRecovery, CgRestartsThroughTransientNaN) {
+  const GaugeFieldD u = thermal(geo4(), 600);
+  WilsonOperator<double> m(u, 0.12);
+  NormalOperator<double> nm(m);
+  // Applies: 0 = initial rebuild, then one per iteration. Poison apply 3.
+  FaultyOperator<double> faulty(nm, 3, 3);
+
+  FermionFieldD b(geo4()), x(geo4());
+  fill_random(b.span(), 601);
+  SolverParams p{.tol = 1e-10, .max_iterations = 2000};
+  const SolverResult r = cg_solve<double>(faulty, x.span(), b.span(), p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.breakdown, Breakdown::None);  // fully recovered
+  EXPECT_LE(r.relative_residual, 1e-9);
+}
+
+TEST(SolverRecovery, CgPersistentBreakdownExhaustsRestarts) {
+  const GaugeFieldD u = thermal(geo4(), 610);
+  WilsonOperator<double> m(u, 0.12);
+  NormalOperator<double> nm(m);
+  FaultyOperator<double> faulty(nm, 2, std::numeric_limits<int>::max());
+
+  FermionFieldD b(geo4()), x(geo4());
+  fill_random(b.span(), 611);
+  SolverParams p{.tol = 1e-10, .max_iterations = 2000, .max_restarts = 2};
+  const SolverResult r = cg_solve<double>(faulty, x.span(), b.span(), p);
+  EXPECT_FALSE(r.converged);
+  // At least one restart was attempted; a rebuild that itself comes back
+  // non-finite ends the solve immediately (nothing left to retry from).
+  EXPECT_GE(r.restarts, 1);
+  EXPECT_EQ(r.breakdown, Breakdown::NonFinite);
+}
+
+TEST(SolverRecovery, CgStagnationDetected) {
+  const GaugeFieldD u = thermal(geo4(), 620);
+  WilsonOperator<double> m(u, 0.12);
+  NormalOperator<double> nm(m);
+  FermionFieldD b(geo4()), x(geo4());
+  fill_random(b.span(), 621);
+  // An impossible tolerance: CG plateaus at rounding level and must report
+  // stagnation instead of spinning to max_iterations.
+  SolverParams p{.tol = 1e-30,
+                 .max_iterations = 5000,
+                 .max_restarts = 2,
+                 .stagnation_window = 10};
+  const SolverResult r = cg_solve<double>(nm, x.span(), b.span(), p);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.breakdown, Breakdown::Stagnation);
+  EXPECT_EQ(r.restarts, 2);
+  EXPECT_LT(r.iterations, p.max_iterations);  // gave up early, by design
+  // The iterate is still the best available answer, near round-off.
+  EXPECT_LE(r.relative_residual, 1e-12);
+}
+
+TEST(SolverRecovery, BicgstabRestartsThroughTransientNaN) {
+  const GaugeFieldD u = thermal(geo4(), 630);
+  WilsonOperator<double> m(u, 0.12);
+  FaultyOperator<double> faulty(m, 4, 4);
+
+  FermionFieldD b(geo4()), x(geo4());
+  fill_random(b.span(), 631);
+  SolverParams p{.tol = 1e-8, .max_iterations = 2000};
+  const SolverResult r = bicgstab_solve<double>(faulty, x.span(), b.span(), p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.restarts, 1);
+  EXPECT_EQ(r.breakdown, Breakdown::None);
+}
+
+TEST(SolverRecovery, MixedCgFallsBackToDoubleOnFloatBreakdown) {
+  const GaugeFieldD u = thermal(geo4(), 640);
+  GaugeFieldF uf(geo4());
+  convert_gauge(uf, u);
+  WilsonOperator<double> md(u, 0.12);
+  WilsonOperator<float> mf(uf, 0.12);
+  NormalOperator<double> nd(md);
+  NormalOperator<float> nf(mf);
+  // The float operator breaks down on every iteration apply; the double
+  // operator is healthy. The solver must converge anyway, in double.
+  FaultyOperator<float> faulty_f(nf, 1, std::numeric_limits<int>::max());
+
+  FermionFieldD b(geo4()), x(geo4());
+  fill_random(b.span(), 641);
+  MixedCgParams mp;
+  mp.outer.tol = 1e-10;
+  const SolverResult r = mixed_cg_solve(nd, faulty_f, x.span(), b.span(), mp);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.fallbacks, 1);
+  EXPECT_LE(r.relative_residual, 1e-10);
+}
+
+// --- HMC checkpoint/restart --------------------------------------------
+
+TEST(Checkpoint, RoundTripIsBitExact) {
+  const GaugeFieldD u = thermal(geo4(), 700);
+  const HmcCheckpointState state{
+      .trajectories = 17,
+      .accepted = 13,
+      .params = {.beta = 5.6, .trajectory_length = 0.7, .steps = 9,
+                 .integrator = Integrator::Leapfrog, .seed = 4711}};
+  const std::string path = temp_path("lqcd_ckpt_roundtrip.ckpt");
+  save_checkpoint(u, state, path);
+  EXPECT_TRUE(checkpoint_exists(path));
+
+  GaugeFieldD v(geo4());
+  const HmcCheckpointState got = load_checkpoint(v, path);
+  EXPECT_EQ(got.trajectories, 17u);
+  EXPECT_EQ(got.accepted, 13u);
+  EXPECT_EQ(got.params.seed, 4711u);
+  EXPECT_EQ(got.params.steps, 9);
+  EXPECT_EQ(got.params.integrator, Integrator::Leapfrog);
+  EXPECT_EQ(got.params.beta, 5.6);
+  EXPECT_EQ(got.params.trajectory_length, 0.7);
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      diff += norm2(v(s, mu) - u(s, mu));
+  EXPECT_EQ(diff, 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsCorruptionAndMismatch) {
+  const GaugeFieldD u = thermal(geo4(), 710);
+  const std::string path = temp_path("lqcd_ckpt_corrupt.ckpt");
+  save_checkpoint(u, {.trajectories = 1, .accepted = 1, .params = {}}, path);
+
+  // Bit flip in the gauge payload → CRC failure.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  const auto size = std::filesystem::file_size(path);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  const char z = 0x7f;
+  f.write(&z, 1);
+  f.close();
+  GaugeFieldD v(geo4());
+  EXPECT_THROW(load_checkpoint(v, path), FatalError);
+
+  // Truncation → detected before the CRC is even reached.
+  save_checkpoint(u, {.trajectories = 1, .accepted = 1, .params = {}}, path);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 8);
+  EXPECT_THROW(load_checkpoint(v, path), FatalError);
+
+  // Wrong geometry → rejected by the header check.
+  save_checkpoint(u, {.trajectories = 1, .accepted = 1, .params = {}}, path);
+  GaugeFieldD w(geo8());
+  EXPECT_THROW(load_checkpoint(w, path), FatalError);
+
+  // checkpoint_exists: magic probe only.
+  EXPECT_TRUE(checkpoint_exists(path));
+  EXPECT_FALSE(checkpoint_exists(path + ".nope"));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, ResumeRejectsForkedParams) {
+  GaugeFieldD u(geo4());
+  u.set_random(SiteRngFactory(720));
+  const HmcParams params{.beta = 5.6, .steps = 6, .seed = 31};
+  Hmc hmc(u, params);
+  HmcCheckpointState state{.trajectories = 2, .accepted = 2,
+                           .params = params};
+  state.params.seed = 32;  // different campaign
+  EXPECT_THROW(resume_hmc(hmc, state), FatalError);
+}
+
+TEST(Checkpoint, ResumedRunReproducesUninterruptedStream) {
+  const HmcParams params{.beta = 5.6,
+                         .trajectory_length = 0.5,
+                         .steps = 6,
+                         .integrator = Integrator::Omelyan,
+                         .seed = 808};
+  const int total = 6, cut = 3;
+  const std::string path = temp_path("lqcd_ckpt_resume.ckpt");
+
+  // Reference: one uninterrupted campaign.
+  GaugeFieldD ua(geo4());
+  ua.set_random(SiteRngFactory(809));
+  Hmc ha(ua, params);
+  std::vector<TrajectoryResult> ref;
+  for (int i = 0; i < total; ++i) ref.push_back(ha.trajectory());
+
+  // Interrupted campaign: run `cut`, checkpoint, "crash", resume in a
+  // fresh driver over a freshly loaded field, finish.
+  GaugeFieldD ub(geo4());
+  ub.set_random(SiteRngFactory(809));
+  {
+    Hmc hb(ub, params);
+    for (int i = 0; i < cut; ++i) hb.trajectory();
+    save_checkpoint(ub,
+                    {.trajectories = hb.trajectories_run(),
+                     .accepted = hb.trajectories_accepted(),
+                     .params = params},
+                    path);
+  }
+  GaugeFieldD uc(geo4());  // nothing survives the "crash" but the file
+  const HmcCheckpointState state = load_checkpoint(uc, path);
+  EXPECT_EQ(state.trajectories, static_cast<std::uint64_t>(cut));
+  Hmc hc(uc, params);
+  resume_hmc(hc, state);
+  std::vector<TrajectoryResult> resumed;
+  for (int i = cut; i < total; ++i) resumed.push_back(hc.trajectory());
+
+  // The resumed tail is bit-identical to the uninterrupted stream.
+  for (int i = 0; i < total - cut; ++i) {
+    EXPECT_EQ(resumed[static_cast<std::size_t>(i)].delta_h,
+              ref[static_cast<std::size_t>(cut + i)].delta_h)
+        << "trajectory " << cut + i;
+    EXPECT_EQ(resumed[static_cast<std::size_t>(i)].plaquette,
+              ref[static_cast<std::size_t>(cut + i)].plaquette);
+    EXPECT_EQ(resumed[static_cast<std::size_t>(i)].accepted,
+              ref[static_cast<std::size_t>(cut + i)].accepted);
+  }
+  // And the final gauge fields agree bit-for-bit.
+  double diff = 0.0;
+  for (std::int64_t s = 0; s < geo4().volume(); ++s)
+    for (int mu = 0; mu < Nd; ++mu)
+      diff += norm2(ua(s, mu) - uc(s, mu));
+  EXPECT_EQ(diff, 0.0);
+  std::filesystem::remove(path);
+}
+
+// --- perf model: resilience surcharge ----------------------------------
+
+TEST(PerfModelResilience, ChecksumAndFaultsChargeCommTime) {
+  const Coord local{8, 8, 8, 8};
+  const Coord grid{2, 2, 2, 2};
+  PerfModelOptions base;
+  const DslashCost c0 = model_dslash(local, grid, blue_gene_q(), base);
+  EXPECT_EQ(c0.t_resilience, 0.0);
+
+  PerfModelOptions crc = base;
+  crc.checksummed_halo = true;
+  const DslashCost c1 = model_dslash(local, grid, blue_gene_q(), crc);
+  EXPECT_GT(c1.t_resilience, 0.0);
+  EXPECT_GT(c1.t_comm, c0.t_comm);
+
+  PerfModelOptions faulty = crc;
+  faulty.message_fault_prob = 0.05;
+  const DslashCost c2 = model_dslash(local, grid, blue_gene_q(), faulty);
+  EXPECT_GT(c2.t_resilience, c1.t_resilience);
+
+  // No network, no surcharge — resilience never taxes local compute.
+  const DslashCost single =
+      model_dslash(local, {1, 1, 1, 1}, blue_gene_q(), faulty);
+  EXPECT_EQ(single.t_resilience, 0.0);
+}
+
+}  // namespace
+}  // namespace lqcd
