@@ -3,6 +3,11 @@
 //
 //   ./ensemble_generation [--L 4] [--T 4] [--beta 5.7] [--sweeps 40]
 //                         [--trajectories 20] [--out /tmp/lqcd_cfgs]
+//                         [--report report.json]
+//
+// --report writes the telemetry run report (schema lqcd.telemetry/1:
+// counters, gauges, trace tree) as JSON on exit — including the
+// simulated-crash exit, so a killed campaign still leaves its metrics.
 //
 // Campaign durability: with --checkpoint-every N the HMC stream
 // checkpoints every N trajectories (atomic write + CRC); --resume picks
@@ -21,6 +26,7 @@
 #include "hmc/hmc.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
+#include "util/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace lqcd;
@@ -36,7 +42,13 @@ int main(int argc, char** argv) {
   const int checkpoint_every = cli.get_int("checkpoint-every", 0);
   const bool resume = cli.get_flag("resume");
   const int halt_after = cli.get_int("halt-after", 0);
+  const std::string report = cli.get_string("report", "");
   cli.finish();
+  const auto write_report = [&] {
+    if (report.empty()) return;
+    telemetry::write_report(report);
+    std::printf("telemetry report -> %s\n", report.c_str());
+  };
 
   const LatticeGeometry geo({L, L, L, T});
   std::filesystem::create_directories(out_dir);
@@ -114,6 +126,7 @@ int main(int argc, char** argv) {
       // identical stream.
       std::printf("halting after %llu trajectories (simulated crash)\n",
                   static_cast<unsigned long long>(done));
+      write_report();
       return 0;
     }
   }
@@ -129,5 +142,6 @@ int main(int argc, char** argv) {
   std::printf("heatbath vs HMC plaquette: %.5f vs %.5f (same theory, two "
               "samplers)\n",
               mean(thermal), mean(plaq_hmc));
+  write_report();
   return 0;
 }

@@ -30,6 +30,7 @@
 #include "util/aligned.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -250,6 +251,10 @@ class VirtualCluster {
     const Coord& l = local_dims_;
     const std::uint64_t epoch = static_cast<std::uint64_t>(stats_.exchanges);
     const bool resilient = resil_.checksum || injector_ != nullptr;
+    // Telemetry charges the per-exchange deltas after the parallel region
+    // (one snapshot + a handful of relaxed adds; nothing runs inside the
+    // per-rank bodies).
+    const CommStats before = stats_;
     for_each_rank([&](int r) {
       auto& mine = field[static_cast<std::size_t>(r)];
       CommStats local;  // per-rank tally, merged once under the lock
@@ -373,6 +378,32 @@ class VirtualCluster {
       stats_.modeled_delay_us += local.modeled_delay_us;
     });
     stats_.exchanges += 1;
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c_exchanges =
+          telemetry::counter("comm.halo.exchanges");
+      static telemetry::Counter& c_messages =
+          telemetry::counter("comm.halo.messages");
+      static telemetry::Counter& c_bytes =
+          telemetry::counter("comm.halo.bytes");
+      static telemetry::Counter& c_retransmits =
+          telemetry::counter("comm.halo.retransmits");
+      static telemetry::Counter& c_crc_failures =
+          telemetry::counter("comm.halo.crc_failures");
+      static telemetry::Counter& c_timeouts =
+          telemetry::counter("comm.halo.timeouts");
+      static telemetry::Counter& c_checksum_bytes =
+          telemetry::counter("comm.halo.checksum_bytes");
+      static telemetry::Counter& c_stragglers =
+          telemetry::counter("comm.halo.straggler_events");
+      c_exchanges.add(1);
+      c_messages.add(stats_.messages - before.messages);
+      c_bytes.add(stats_.bytes - before.bytes);
+      c_retransmits.add(stats_.retransmits - before.retransmits);
+      c_crc_failures.add(stats_.crc_failures - before.crc_failures);
+      c_timeouts.add(stats_.timeouts - before.timeouts);
+      c_checksum_bytes.add(stats_.checksum_bytes - before.checksum_bytes);
+      c_stragglers.add(stats_.straggler_events - before.straggler_events);
+    }
   }
 
   const LatticeGeometry* global_;
@@ -406,6 +437,14 @@ class DistributedWilsonOperator final : public LinearOperator<T> {
 
   void apply(std::span<WilsonSpinor<T>> out,
              std::span<const WilsonSpinor<T>> in) const override {
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c_applies =
+          telemetry::counter("dslash.applies");
+      static telemetry::Counter& c_sites =
+          telemetry::counter("dslash.site_applies");
+      c_applies.add(1);
+      c_sites.add(cluster_.global_geometry().volume());
+    }
     cluster_.scatter(in_ranks_, in);
     cluster_.exchange(in_ranks_);
     const HaloLattice& halo = cluster_.halo();

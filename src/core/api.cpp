@@ -6,6 +6,7 @@
 #include "gauge/observables.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -39,9 +40,11 @@ void EnsembleGenerator::thermalize() {
 }
 
 const GaugeFieldD& EnsembleGenerator::next_config() {
+  telemetry::TraceRegion trace("ensemble.next_config");
   thermalize();
   for (int i = 0; i < params_.sweeps_between_configs; ++i)
     heatbath_.sweep();
+  telemetry::counter("ensemble.configs").add(1);
   return u_;
 }
 
@@ -49,6 +52,7 @@ double EnsembleGenerator::plaquette() const { return average_plaquette(u_); }
 
 SpectroscopyResult run_spectroscopy(const GaugeFieldD& u,
                                     const SpectroscopyParams& params) {
+  telemetry::TraceRegion trace("spectroscopy.run");
   SpectroscopyResult res;
   Propagator prop(u.geometry());
   res.solve_stats = compute_point_propagator(prop, u, params.propagator,

@@ -22,6 +22,7 @@
 #include "dirac/operator.hpp"
 #include "dirac/wilson.hpp"
 #include "linalg/blas.hpp"
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -45,6 +46,11 @@ class SchurWilsonOperator final : public LinearOperator<T> {
     LQCD_REQUIRE(out.size() == static_cast<std::size_t>(hv) &&
                      in.size() == out.size(),
                  "Schur apply span sizes");
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c =
+          telemetry::counter("dslash.schur_applies");
+      c.add(1);
+    }
     std::span<WilsonSpinor<T>> f1(f1_.data(), f1_.size());
     std::span<WilsonSpinor<T>> f2(f2_.data(), f2_.size());
     // Odd block of f1 <- in.
@@ -149,6 +155,11 @@ class SchurCloverOperator final : public LinearOperator<T> {
     LQCD_REQUIRE(out.size() == static_cast<std::size_t>(hv) &&
                      in.size() == out.size(),
                  "Schur apply span sizes");
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c =
+          telemetry::counter("dslash.schur_applies");
+      c.add(1);
+    }
     std::span<WilsonSpinor<T>> f1(f1_.data(), f1_.size());
     std::span<WilsonSpinor<T>> f2(f2_.data(), f2_.size());
     auto f1_odd = f1.subspan(static_cast<std::size_t>(hv));

@@ -26,6 +26,7 @@
 #include "linalg/gamma.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -100,6 +101,14 @@ void dslash_full(std::span<WilsonSpinor<T>> out,
   LQCD_REQUIRE(out.size() == static_cast<std::size_t>(geo.volume()) &&
                    in.size() == out.size(),
                "dslash_full span sizes");
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c_applies =
+        telemetry::counter("dslash.applies");
+    static telemetry::Counter& c_sites =
+        telemetry::counter("dslash.site_applies");
+    c_applies.add(1);
+    c_sites.add(geo.volume());
+  }
   parallel_for(out.size(), [&](std::size_t s) {
     out[s] = detail::hop_site(u, in, geo, static_cast<std::int64_t>(s));
   });
@@ -118,6 +127,14 @@ void dslash_parity(std::span<WilsonSpinor<T>> out,
                "dslash_parity span sizes");
   const std::int64_t hv = geo.half_volume();
   const std::int64_t base = target_parity == 0 ? 0 : hv;
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c_applies =
+        telemetry::counter("dslash.parity_applies");
+    static telemetry::Counter& c_sites =
+        telemetry::counter("dslash.site_applies");
+    c_applies.add(1);
+    c_sites.add(hv);
+  }
   parallel_for(static_cast<std::size_t>(hv), [&](std::size_t i) {
     const std::int64_t cb = base + static_cast<std::int64_t>(i);
     out[static_cast<std::size_t>(cb)] = detail::hop_site(u, in, geo, cb);

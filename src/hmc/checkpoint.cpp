@@ -7,6 +7,7 @@
 #include "util/atomic_io.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -61,6 +62,7 @@ void save_checkpoint(const GaugeFieldD& u, const HmcCheckpointState& state,
     }
     os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   });
+  telemetry::counter("hmc.checkpoint.writes").add(1);
 }
 
 HmcCheckpointState load_checkpoint(GaugeFieldD& u, const std::string& path) {

@@ -10,6 +10,7 @@
 #include "solver/cg.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -90,6 +91,7 @@ DynamicalHmc::DynamicalHmc(GaugeFieldD& u,
 }
 
 DynamicalTrajectoryResult DynamicalHmc::trajectory() {
+  telemetry::TraceRegion trace("hmc.dynamical_trajectory");
   const LatticeGeometry& geo = u_.geometry();
   const auto vol = static_cast<std::size_t>(geo.volume());
   DynamicalTrajectoryResult res;
@@ -141,6 +143,7 @@ DynamicalTrajectoryResult DynamicalHmc::trajectory() {
       log_warn("dynamical HMC force solve unconverged: rel=",
                r.relative_residual);
     cg_total += r.iterations;
+    telemetry::counter("hmc.force_evals").add(1);
     FermionFieldD y(geo);
     m.apply(y.span(), x_guess.span());
     add_wilson_fermion_force(f, m.fermion_links(), params_.kappa,
@@ -169,6 +172,13 @@ DynamicalTrajectoryResult DynamicalHmc::trajectory() {
   res.cg_iterations = cg_total;
   ++count_;
   if (res.accepted) ++accepted_;
+  if (telemetry::enabled()) {
+    telemetry::counter("hmc.dynamical_trajectories").add(1);
+    if (res.accepted) telemetry::counter("hmc.accepts").add(1);
+    telemetry::counter("hmc.force_cg_iterations").add(cg_total);
+    telemetry::gauge("hmc.last_delta_h").set(res.delta_h);
+    telemetry::gauge("hmc.last_plaquette").set(res.plaquette);
+  }
   return res;
 }
 

@@ -6,6 +6,7 @@
 #include "gauge/staples.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -130,6 +131,7 @@ Hmc::Hmc(GaugeFieldD& u, const HmcParams& params) : u_(u), params_(params) {
 }
 
 TrajectoryResult Hmc::trajectory() {
+  telemetry::TraceRegion trace("hmc.trajectory");
   const LatticeGeometry& geo = u_.geometry();
   MomentumField p(geo);
   const SiteRngFactory rngs(params_.seed, 2 * count_);
@@ -160,6 +162,12 @@ TrajectoryResult Hmc::trajectory() {
   res.plaquette = average_plaquette(u_);
   ++count_;
   if (res.accepted) ++accepted_;
+  if (telemetry::enabled()) {
+    telemetry::counter("hmc.trajectories").add(1);
+    if (res.accepted) telemetry::counter("hmc.accepts").add(1);
+    telemetry::gauge("hmc.last_delta_h").set(res.delta_h);
+    telemetry::gauge("hmc.last_plaquette").set(res.plaquette);
+  }
   return res;
 }
 

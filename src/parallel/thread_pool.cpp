@@ -79,6 +79,16 @@ void ThreadPool::worker_loop(std::size_t tid) {
 void ThreadPool::run_chunks(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  // Mark the region active for the whole call (exception-safe), so
+  // busy() covers the serial fast path too — set_global_threads relies
+  // on it to refuse swapping a pool that is mid-region.
+  struct RegionGuard {
+    std::atomic<int>& count;
+    explicit RegionGuard(std::atomic<int>& c) : count(c) {
+      count.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~RegionGuard() { count.fetch_sub(1, std::memory_order_acq_rel); }
+  } guard(active_regions_);
   if (nthreads_ == 1 || n == 0) {
     if (n > 0) body(0, n, 0);
     return;
@@ -113,22 +123,44 @@ void ThreadPool::run_chunks(
 }
 
 namespace {
-ThreadPool*& global_pool_slot() {
-  static ThreadPool* pool = nullptr;
+std::atomic<ThreadPool*>& global_pool_slot() {
+  static std::atomic<ThreadPool*> pool{nullptr};
   return pool;
+}
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
 }
 }  // namespace
 
 ThreadPool& ThreadPool::global() {
-  ThreadPool*& slot = global_pool_slot();
-  if (!slot) slot = new ThreadPool();
-  return *slot;
+  auto& slot = global_pool_slot();
+  ThreadPool* p = slot.load(std::memory_order_acquire);
+  if (!p) {
+    // Double-checked creation: two threads racing to the first
+    // parallel_for must agree on one pool.
+    std::lock_guard<std::mutex> lock(global_pool_mutex());
+    p = slot.load(std::memory_order_relaxed);
+    if (!p) {
+      p = new ThreadPool();
+      slot.store(p, std::memory_order_release);
+    }
+  }
+  return *p;
 }
 
 void ThreadPool::set_global_threads(std::size_t threads) {
-  ThreadPool*& slot = global_pool_slot();
-  delete slot;
-  slot = new ThreadPool(threads);
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  ThreadPool* old = slot.load(std::memory_order_acquire);
+  // Deleting the pool joins its workers; doing that from inside one of
+  // its own parallel regions deadlocks (or leaves peers touching freed
+  // state). Refuse instead of corrupting.
+  LQCD_REQUIRE(!old || !old->busy(),
+               "set_global_threads while a parallel region is active");
+  slot.store(nullptr, std::memory_order_release);
+  delete old;  // joins the old workers
+  slot.store(new ThreadPool(threads), std::memory_order_release);
 }
 
 }  // namespace lqcd

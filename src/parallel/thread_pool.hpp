@@ -8,6 +8,7 @@
 // deterministic: the chunk assignment depends only on (range, nthreads),
 // never on scheduling, so reductions are reproducible.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -36,10 +37,22 @@ class ThreadPool {
                   const std::function<void(std::size_t, std::size_t,
                                            std::size_t)>& body);
 
+  /// True while any run_chunks invocation on this pool is in flight
+  /// (including the serial nthreads==1 fast path).
+  [[nodiscard]] bool busy() const noexcept {
+    return active_regions_.load(std::memory_order_acquire) > 0;
+  }
+
   /// Process-wide default pool (lazily created, size from
-  /// LQCD_THREADS env var or hardware concurrency).
+  /// LQCD_THREADS env var or hardware concurrency). Creation is
+  /// thread-safe (double-checked atomic slot).
   static ThreadPool& global();
-  /// Resize the global pool (only safe when no parallel region is active).
+  /// Replace the global pool with one of `threads` workers.
+  /// Contract: no parallel region may be active — calling this from
+  /// inside a parallel_for body (or concurrently with one) throws
+  /// instead of deleting the pool out from under its own workers. The
+  /// old pool's workers are joined before the new pool goes live.
+  /// References returned by an earlier global() are invalidated.
   static void set_global_threads(std::size_t threads);
 
  private:
@@ -47,6 +60,7 @@ class ThreadPool {
 
   std::size_t nthreads_;
   std::vector<std::thread> workers_;
+  std::atomic<int> active_regions_{0};
 
   std::mutex mutex_;
   std::condition_variable cv_start_;

@@ -29,6 +29,7 @@ SolverResult bicgstab_solve(const LinearOperator<T>& m,
   const std::size_t n = b.size();
   LQCD_REQUIRE(x.size() == n, "bicgstab size mismatch");
 
+  telemetry::TraceRegion trace("solver.bicgstab");
   WallTimer timer;
   SolverResult res;
 
@@ -44,6 +45,7 @@ SolverResult bicgstab_solve(const LinearOperator<T>& m,
     blas::zero(x);
     res.converged = true;
     res.seconds = timer.seconds();
+    record_solve("bicgstab", res);
     return res;
   }
   const double target2 = params.tol * params.tol * b_norm2;
@@ -67,6 +69,7 @@ SolverResult bicgstab_solve(const LinearOperator<T>& m,
     return blas::norm2(cspan(r));
   };
   double rr = rebuild();
+  res.flops += op_flops;  // initial residual build is one apply
 
   int it = 0;
   double best_rr = rr;
@@ -147,9 +150,9 @@ SolverResult bicgstab_solve(const LinearOperator<T>& m,
                        ++since_best >= params.stagnation_window) {
               bd = Breakdown::Stagnation;
             }
-            if (params.verbose)
-              log_debug("bicgstab iter ", it, " rel ",
-                        std::sqrt(rr / b_norm2));
+            // Residual trace at Debug level (self-gated).
+            log_debug("bicgstab iter ", it, " rel ",
+                      std::sqrt(rr / b_norm2));
           }
         }
       }
@@ -175,6 +178,7 @@ SolverResult bicgstab_solve(const LinearOperator<T>& m,
   res.converged = rr <= target2;
   if (params.check_true_residual) {
     m.apply(t, cspan(x));
+    res.flops += op_flops;  // true-residual verification apply
     parallel_for(n, [&](std::size_t i) {
       WilsonSpinor<T> w = b[i];
       w -= t[i];
@@ -188,6 +192,7 @@ SolverResult bicgstab_solve(const LinearOperator<T>& m,
   }
   if (res.converged) res.breakdown = Breakdown::None;  // fully recovered
   res.seconds = timer.seconds();
+  record_solve("bicgstab", res);
   return res;
 }
 

@@ -36,6 +36,7 @@ SolverResult cg_solve(const LinearOperator<T>& a,
   const std::size_t n = b.size();
   LQCD_REQUIRE(x.size() == n, "cg_solve size mismatch");
 
+  telemetry::TraceRegion trace("solver.cg");
   WallTimer timer;
   SolverResult res;
 
@@ -49,6 +50,7 @@ SolverResult cg_solve(const LinearOperator<T>& a,
     blas::zero(x);
     res.converged = true;
     res.seconds = timer.seconds();
+    record_solve("cg", res);
     return res;
   }
   const double target2 = params.tol * params.tol * b_norm2;
@@ -70,6 +72,9 @@ SolverResult cg_solve(const LinearOperator<T>& a,
     return blas::norm2(std::span<const WilsonSpinor<T>>(r.data(), n));
   };
   double rr = rebuild();
+  // The initial residual build is one operator apply: charge it, so the
+  // flop count telemetry reads stays consistent with the apply counters.
+  res.flops += op_flops;
 
   int it = 0;
   double best_rr = rr;
@@ -110,8 +115,10 @@ SolverResult cg_solve(const LinearOperator<T>& a,
                      ++since_best >= params.stagnation_window) {
             bd = Breakdown::Stagnation;
           }
-          if (params.verbose)
-            log_debug("cg iter ", it, " rel ", std::sqrt(rr / b_norm2));
+          // Per-iteration residual trace whenever the log level admits
+          // it (log_debug gates itself; the level check is one relaxed
+          // atomic load).
+          log_debug("cg iter ", it, " rel ", std::sqrt(rr / b_norm2));
         }
       }
       if (bd != Breakdown::None) {
@@ -137,6 +144,7 @@ SolverResult cg_solve(const LinearOperator<T>& a,
       break;
     }
     a.apply(ap, std::span<const WilsonSpinor<T>>(x.data(), n));
+    res.flops += op_flops;  // true-residual verification apply
     parallel_for(n, [&](std::size_t i) {
       WilsonSpinor<T> t = b[i];
       t -= ap[i];
@@ -172,6 +180,7 @@ SolverResult cg_solve(const LinearOperator<T>& a,
   res.iterations = it;
   if (res.converged) res.breakdown = Breakdown::None;  // fully recovered
   res.seconds = timer.seconds();
+  record_solve("cg", res);
   return res;
 }
 

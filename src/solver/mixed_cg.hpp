@@ -57,6 +57,7 @@ inline SolverResult mixed_cg_solve(const LinearOperator<double>& a_double,
   LQCD_REQUIRE(a_double.hermitian_positive() && a_float.hermitian_positive(),
                "mixed_cg needs hermitian positive operators");
 
+  telemetry::TraceRegion trace("solver.mixed_cg");
   WallTimer timer;
   SolverResult res;
   auto cspan = [](auto s) {
@@ -69,6 +70,7 @@ inline SolverResult mixed_cg_solve(const LinearOperator<double>& a_double,
     blas::zero(x);
     res.converged = true;
     res.seconds = timer.seconds();
+    record_solve("mixed_cg", res);
     return res;
   }
   const double target = params.outer.tol;
@@ -187,10 +189,30 @@ inline SolverResult mixed_cg_solve(const LinearOperator<double>& a_double,
     }
   }
 
+  if (!res.converged) {
+    // The loop exits on cycle exhaustion (or breakdown) *after* the last
+    // correction was accumulated, so `rel` is the residual measured at
+    // the top of the final cycle — stale by one correction. Recompute the
+    // true residual so the reported value matches the returned x; the
+    // last cycle may even have converged.
+    a_double.apply(t, cspan(x));
+    parallel_for(n, [&](std::size_t i) {
+      WilsonSpinor<double> w = b[i];
+      w -= t[i];
+      r[i] = w;
+    });
+    rel = std::sqrt(blas::norm2(cspan(r)) / b_norm2);
+    res.flops += a_double.flops_per_apply() +
+                 static_cast<double>(n) * 2.0 * 48.0;
+    if (rel <= target) {
+      res.converged = true;
+    }
+  }
   res.iterations = res.inner_iterations;
   res.relative_residual = rel;
   if (res.converged) res.breakdown = Breakdown::None;  // fully recovered
   res.seconds = timer.seconds();
+  record_solve("mixed_cg", res);
   return res;
 }
 

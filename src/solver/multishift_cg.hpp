@@ -46,9 +46,24 @@ MultiShiftResult multishift_cg_solve(
   LQCD_REQUIRE(x.size() == nshift, "output count mismatch");
   const std::size_t n = b.size();
 
+  telemetry::TraceRegion trace("solver.multishift_cg");
   WallTimer timer;
   MultiShiftResult res;
   res.shift_residuals.assign(nshift, 0.0);
+  const auto record = [&] {
+    if (!telemetry::enabled()) return;
+    telemetry::counter("solver.multishift_cg.solves").add(1);
+    telemetry::counter("solver.multishift_cg.iterations")
+        .add(res.iterations);
+    telemetry::counter("solver.multishift_cg.flops")
+        .add(static_cast<std::int64_t>(res.flops));
+    telemetry::counter("solver.multishift_cg.shifts")
+        .add(static_cast<std::int64_t>(nshift));
+    if (res.converged)
+      telemetry::counter("solver.multishift_cg.converged").add(1);
+    else
+      telemetry::counter("solver.multishift_cg.unconverged").add(1);
+  };
 
   const double b_norm2 = blas::norm2(b);
   if (b_norm2 == 0.0) {
@@ -57,6 +72,7 @@ MultiShiftResult multishift_cg_solve(
     }
     res.converged = true;
     res.seconds = timer.seconds();
+    record();
     return res;
   }
   const double target2 = params.tol * params.tol * b_norm2;
@@ -138,8 +154,15 @@ MultiShiftResult multishift_cg_solve(
         v += zr;
         pk[i] = v;
       });
-      // Shift k has converged once |zeta_k|^2 rr < target.
-      if (zeta[k] * zeta[k] * rr_new <= target2) done[k] = true;
+      // Shift k has converged once |zeta_k|^2 rr < target. Record its
+      // residual at freeze time: zeta_k and x_k stop updating once done,
+      // so evaluating |zeta_k| against the *final* base residual would
+      // report a value smaller than the system actually achieved.
+      if (zeta[k] * zeta[k] * rr_new <= target2) {
+        done[k] = true;
+        res.shift_residuals[k] =
+            std::sqrt(zeta[k] * zeta[k] * rr_new / b_norm2);
+      }
     }
 
     // Base direction.
@@ -163,13 +186,17 @@ MultiShiftResult multishift_cg_solve(
   }
 
   res.iterations = it;
+  // Converged shifts were recorded at freeze time; only the stragglers
+  // track the current base residual.
   for (std::size_t k = 0; k < nshift; ++k)
-    res.shift_residuals[k] =
-        std::sqrt(zeta[k] * zeta[k] * rr / b_norm2);
+    if (!done[k])
+      res.shift_residuals[k] =
+          std::sqrt(zeta[k] * zeta[k] * rr / b_norm2);
   res.converged = rr <= target2;
   for (std::size_t k = 0; k < nshift; ++k)
     res.converged = res.converged && done[k];
   res.seconds = timer.seconds();
+  record();
   return res;
 }
 

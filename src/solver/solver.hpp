@@ -2,6 +2,10 @@
 // Common solver parameter/result types.
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -66,5 +70,30 @@ struct SolverResult {
 inline constexpr double kAxpyFlopsPerSite = 48.0;
 inline constexpr double kDotFlopsPerSite = 48.0;
 inline constexpr double kNormFlopsPerSite = 48.0;
+
+/// Publish one finished solve to the telemetry counters under
+/// `solver.<name>.*`. Called once per solve (every exit path), so the
+/// string concatenation + registry lookup cost is off the iteration path.
+inline void record_solve(std::string_view name, const SolverResult& r) {
+  if (!telemetry::enabled()) return;
+  const std::string prefix = "solver." + std::string(name);
+  telemetry::counter(prefix + ".solves").add(1);
+  telemetry::counter(prefix + ".iterations").add(r.iterations);
+  telemetry::counter(prefix + ".restarts").add(r.restarts);
+  telemetry::counter(prefix + ".fallbacks").add(r.fallbacks);
+  telemetry::counter(prefix + ".flops")
+      .add(static_cast<std::int64_t>(r.flops));
+  if (r.inner_iterations > 0)
+    telemetry::counter(prefix + ".inner_iterations")
+        .add(r.inner_iterations);
+  if (r.converged)
+    telemetry::counter(prefix + ".converged").add(1);
+  else
+    telemetry::counter(prefix + ".unconverged").add(1);
+  if (r.breakdown != Breakdown::None)
+    telemetry::counter(prefix + ".breakdowns").add(1);
+  telemetry::gauge(prefix + ".last_relative_residual")
+      .set(r.relative_residual);
+}
 
 }  // namespace lqcd

@@ -1,0 +1,324 @@
+#include "util/telemetry.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lqcd::telemetry {
+
+namespace {
+
+bool env_enabled() {
+  const char* v = std::getenv("LQCD_TELEMETRY");
+  if (!v) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "OFF") == 0 ||
+           std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+double now_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- named counter/gauge registries ---------------------------------
+
+// std::map keeps iteration (and therefore report key order) sorted;
+// unique_ptr keeps references stable across rehashes/inserts.
+template <typename T>
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<T>, std::less<>> entries;
+
+  T& get(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(name);
+    if (it == entries.end())
+      it = entries.emplace(std::string(name), std::make_unique<T>()).first;
+    return *it->second;
+  }
+};
+
+Registry<Counter>& counters() {
+  static Registry<Counter> r;
+  return r;
+}
+
+Registry<Gauge>& gauges() {
+  static Registry<Gauge> r;
+  return r;
+}
+
+// ---- per-thread span trees ------------------------------------------
+
+struct SpanNode {
+  std::int64_t count = 0;
+  double seconds = 0.0;
+  std::map<std::string, std::unique_ptr<SpanNode>, std::less<>> children;
+};
+
+// One tree per thread. The owning thread mutates it only under `mutex`
+// (uncontended in steady state); report/reset lock the same mutex, so a
+// merge never observes a half-updated node. Nodes are never deleted while
+// the process lives — reset() zeroes them instead — so a TraceRegion that
+// straddles a reset stays valid.
+struct ThreadTrace {
+  std::mutex mutex;
+  SpanNode root;
+  std::vector<SpanNode*> stack;  ///< open regions, innermost last
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTrace>> traces;
+};
+
+TraceRegistry& trace_registry() {
+  static TraceRegistry r;
+  return r;
+}
+
+ThreadTrace& this_thread_trace() {
+  thread_local std::shared_ptr<ThreadTrace> trace = [] {
+    auto t = std::make_shared<ThreadTrace>();
+    TraceRegistry& reg = trace_registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.traces.push_back(t);
+    return t;
+  }();
+  return *trace;
+}
+
+// ---- JSON helpers ----------------------------------------------------
+
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Shortest round-trip double formatting: deterministic for identical
+// bit patterns, human-readable in the report.
+void json_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(2 * depth), ' ');
+}
+
+// Merge `src` into `dst` (same path), recursively.
+void merge_span(SpanNode& dst, const SpanNode& src) {
+  dst.count += src.count;
+  dst.seconds += src.seconds;
+  for (const auto& [name, child] : src.children) {
+    auto it = dst.children.find(name);
+    if (it == dst.children.end())
+      it = dst.children.emplace(name, std::make_unique<SpanNode>()).first;
+    merge_span(*it->second, *child);
+  }
+}
+
+bool span_nonzero(const SpanNode& n) {
+  if (n.count != 0) return true;
+  for (const auto& [name, child] : n.children)
+    if (span_nonzero(*child)) return true;
+  return false;
+}
+
+void span_to_json(std::string& out, const std::string& name,
+                  const SpanNode& node, int depth, bool include_timings) {
+  indent(out, depth);
+  out += "{\"name\": \"";
+  json_escape(out, name);
+  out += "\", \"count\": " + std::to_string(node.count);
+  if (include_timings) {
+    out += ", \"seconds\": ";
+    json_double(out, node.seconds);
+  }
+  bool any_child = false;
+  for (const auto& [cname, child] : node.children)
+    any_child = any_child || span_nonzero(*child);
+  if (any_child) {
+    out += ", \"children\": [\n";
+    bool first = true;
+    for (const auto& [cname, child] : node.children) {
+      if (!span_nonzero(*child)) continue;
+      if (!first) out += ",\n";
+      first = false;
+      span_to_json(out, cname, *child, depth + 1, include_timings);
+    }
+    out += "\n";
+    indent(out, depth);
+    out += "]}";
+  } else {
+    out += "}";
+  }
+}
+
+void reset_span(SpanNode& n) {
+  n.count = 0;
+  n.seconds = 0.0;
+  for (auto& [name, child] : n.children) reset_span(*child);
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) { return counters().get(name); }
+
+Gauge& gauge(std::string_view name) { return gauges().get(name); }
+
+TraceRegion::TraceRegion(const char* name) noexcept {
+  if (!enabled()) return;
+  ThreadTrace& trace = this_thread_trace();
+  const std::lock_guard<std::mutex> lock(trace.mutex);
+  SpanNode& parent =
+      trace.stack.empty() ? trace.root : *trace.stack.back();
+  auto it = parent.children.find(std::string_view(name));
+  if (it == parent.children.end())
+    it = parent.children.emplace(name, std::make_unique<SpanNode>()).first;
+  trace.stack.push_back(it->second.get());
+  node_ = it->second.get();
+  t0_ = now_seconds();
+}
+
+TraceRegion::~TraceRegion() {
+  if (!node_) return;
+  const double dt = now_seconds() - t0_;
+  ThreadTrace& trace = this_thread_trace();
+  const std::lock_guard<std::mutex> lock(trace.mutex);
+  auto* node = static_cast<SpanNode*>(node_);
+  node->count += 1;
+  node->seconds += dt;
+  // Unwind to this region even if an exception skipped inner dtors'
+  // bookkeeping order (inner dtors still run first in practice; this is
+  // belt-and-braces against mismatched stacks).
+  while (!trace.stack.empty()) {
+    SpanNode* top = trace.stack.back();
+    trace.stack.pop_back();
+    if (top == node) break;
+  }
+}
+
+std::string report_json(bool include_timings) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"";
+  out += kSchema;
+  out += "\",\n";
+
+  out += "  \"counters\": {";
+  {
+    Registry<Counter>& reg = counters();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    bool first = true;
+    for (const auto& [name, c] : reg.entries) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"";
+      json_escape(out, name);
+      out += "\": " + std::to_string(c->value());
+    }
+    if (!first) out += "\n  ";
+  }
+  out += "},\n";
+
+  out += "  \"gauges\": {";
+  {
+    Registry<Gauge>& reg = gauges();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    bool first = true;
+    for (const auto& [name, g] : reg.entries) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"";
+      json_escape(out, name);
+      out += "\": ";
+      json_double(out, g->value());
+    }
+    if (!first) out += "\n  ";
+  }
+  out += "},\n";
+
+  // Merge every thread's tree into one, then serialize sorted.
+  SpanNode merged;
+  {
+    TraceRegistry& reg = trace_registry();
+    const std::lock_guard<std::mutex> reg_lock(reg.mutex);
+    for (const auto& trace : reg.traces) {
+      const std::lock_guard<std::mutex> lock(trace->mutex);
+      merge_span(merged, trace->root);
+    }
+  }
+  out += "  \"trace\": [";
+  bool first = true;
+  for (const auto& [name, child] : merged.children) {
+    if (!span_nonzero(*child)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    span_to_json(out, name, *child, 2, include_timings);
+  }
+  if (!first) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+void write_report(const std::string& path, bool include_timings) {
+  std::ofstream os(path);
+  os << report_json(include_timings);
+}
+
+void reset() {
+  {
+    Registry<Counter>& reg = counters();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& [name, c] : reg.entries) c->reset();
+  }
+  {
+    Registry<Gauge>& reg = gauges();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& [name, g] : reg.entries) g->reset();
+  }
+  TraceRegistry& reg = trace_registry();
+  const std::lock_guard<std::mutex> reg_lock(reg.mutex);
+  for (const auto& trace : reg.traces) {
+    const std::lock_guard<std::mutex> lock(trace->mutex);
+    reset_span(trace->root);
+  }
+}
+
+}  // namespace lqcd::telemetry

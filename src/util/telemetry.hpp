@@ -1,0 +1,113 @@
+#pragma once
+// lqcd::telemetry — low-overhead, thread-safe metrics and tracing.
+//
+// Three primitives, all process-global and compiled in unconditionally:
+//
+//   Counter      named monotonic int64 (dslash applies, halo bytes,
+//                solver iterations, ...). add() is a relaxed atomic
+//                fetch_add behind a single enabled() branch — cheap
+//                enough for once-per-apply / once-per-exchange call
+//                sites, and never called inside parallel_for bodies.
+//   Gauge        named last-value double (acceptance rate, force norm).
+//   TraceRegion  RAII wall-clock scope. Regions nest; each thread owns a
+//                private span tree (no cross-thread locking on the hot
+//                path), and report_json() merges the per-thread trees.
+//
+// Runtime switch: the LQCD_TELEMETRY environment variable ("off"/"0"
+// disables collection at startup) or set_enabled(). When disabled,
+// add()/set() and TraceRegion are branch-only no-ops — the overhead
+// contract bench_telemetry measures.
+//
+// Reports serialize to JSON with a stable schema (kSchemaVersion) and
+// deterministic key order (counters/gauges sorted by name, span children
+// sorted by name), so two identical virtual-cluster runs produce
+// byte-identical counter sections — asserted by test_telemetry. Wall-clock
+// span durations are inherently nondeterministic; report_json(false)
+// omits them for golden/determinism tests.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lqcd::telemetry {
+
+/// Schema identifier stamped into every JSON report. Bump when the report
+/// layout changes shape (adding new counter names is not a schema change).
+inline constexpr const char* kSchema = "lqcd.telemetry/1";
+
+/// Global collection switch (initialized from LQCD_TELEMETRY; "off"/"0"
+/// disables). Reads are relaxed atomic loads.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonic counter. Obtain a stable reference once via counter() (cache
+/// it in a function-local static at hot call sites); add() from any
+/// thread.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-value gauge (per-rank or per-run scalars).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Look up (registering on first use) a named counter/gauge. The returned
+/// reference is valid for the lifetime of the process. Registration takes
+/// a mutex; cache the reference where the call site is hot.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+
+/// RAII trace scope. `name` must outlive the region (string literals).
+/// Regions nest: a region opened while another is active on the same
+/// thread becomes its child in the span tree. Durations and entry counts
+/// accumulate across repeated entries of the same path.
+class TraceRegion {
+ public:
+  explicit TraceRegion(const char* name) noexcept;
+  ~TraceRegion();
+  TraceRegion(const TraceRegion&) = delete;
+  TraceRegion& operator=(const TraceRegion&) = delete;
+
+ private:
+  void* node_ = nullptr;  ///< SpanNode* when active, nullptr when disabled
+  double t0_ = 0.0;
+};
+
+/// Serialize all counters, gauges and the merged span tree to JSON.
+/// Key order is deterministic. `include_timings = false` omits wall-clock
+/// span durations (the nondeterministic part) so the output of two
+/// identical runs compares byte-for-byte.
+[[nodiscard]] std::string report_json(bool include_timings = true);
+
+/// report_json() to a file (atomically-ish: plain ofstream; reports are
+/// end-of-run artifacts, not checkpoints).
+void write_report(const std::string& path, bool include_timings = true);
+
+/// Zero every counter and gauge and drop all span trees. Registered names
+/// survive (references stay valid) but report_json() omits zero-count
+/// spans, so a reset starts a clean measurement window.
+void reset();
+
+}  // namespace lqcd::telemetry

@@ -26,10 +26,15 @@ class WallTimer {
 class AccumTimer {
  public:
   void begin() { timer_.start(); running_ = true; }
+  /// Close the interval opened by the matching begin(). An end() without
+  /// an open interval is a no-op: it must not bump intervals(), or
+  /// per-interval averages (total_seconds()/intervals()) come out low.
   void end() {
-    if (running_) total_ += timer_.seconds();
+    if (running_) {
+      total_ += timer_.seconds();
+      ++intervals_;
+    }
     running_ = false;
-    ++intervals_;
   }
   [[nodiscard]] double total_seconds() const { return total_; }
   [[nodiscard]] long intervals() const { return intervals_; }

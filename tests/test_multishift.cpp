@@ -116,6 +116,47 @@ TEST(MultiShiftCg, MatchesIndividualSolves) {
   }
 }
 
+TEST(MultiShiftCg, FrozenShiftResidualsRecordedAtConvergenceTime) {
+  // Regression: shift_residuals[k] used to be evaluated against the FINAL
+  // base residual even though zeta_k and x_k freeze when shift k
+  // converges. A large shift (converges early) then reported a residual
+  // orders of magnitude below what its iterate actually achieves. The
+  // recorded value must track the true residual of x_k.
+  WilsonOperator<double> m(gauge(), 0.12);
+  NormalOperator<double> a(m);
+  FermionFieldD b(geo4());
+  fill_random(b.span(), 705);
+
+  // Widely separated shifts: 2.0 freezes long before 0.0 finishes.
+  const std::vector<double> shifts = {0.0, 2.0};
+  std::vector<aligned_vector<WilsonSpinorD>> x(shifts.size());
+  SolverParams p{.tol = 1e-10, .max_iterations = 4000};
+  const MultiShiftResult r =
+      multishift_cg_solve<double>(a, shifts, x, b.span(), p);
+  ASSERT_TRUE(r.converged);
+
+  const std::size_t n = b.span().size();
+  std::vector<WilsonSpinorD> ax(n);
+  const double b_norm2 = blas::norm2(b.span());
+  for (std::size_t k = 0; k < shifts.size(); ++k) {
+    ShiftedOperator<double> as(a, shifts[k]);
+    as.apply(std::span<WilsonSpinorD>(ax),
+             std::span<const WilsonSpinorD>(x[k].data(), n));
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) err += norm2(ax[i] - b.span()[i]);
+    const double true_rel = std::sqrt(err / b_norm2);
+    // Recurrence vs true residual agree to well within an order of
+    // magnitude at freeze time; the stale-evaluation bug was off by the
+    // full remaining CG reduction (many orders).
+    EXPECT_GT(r.shift_residuals[k], 0.02 * true_rel)
+        << "shift " << shifts[k] << " reported " << r.shift_residuals[k]
+        << " true " << true_rel;
+    EXPECT_LT(r.shift_residuals[k], 50.0 * true_rel + p.tol)
+        << "shift " << shifts[k];
+    EXPECT_LE(r.shift_residuals[k], p.tol) << "shift " << shifts[k];
+  }
+}
+
 TEST(MultiShiftCg, SingleZeroShiftIsPlainCg) {
   WilsonOperator<double> m(gauge(), 0.12);
   NormalOperator<double> a(m);

@@ -102,5 +102,54 @@ TEST(ThreadPool, ManySmallJobs) {
   }
 }
 
+TEST(ThreadPool, BusyTrueInsideRegionIncludingSerialPath) {
+  ThreadPool pool(1);  // serial fast path must count too
+  EXPECT_FALSE(pool.busy());
+  pool.run_chunks(4, [&](std::size_t, std::size_t, std::size_t) {
+    EXPECT_TRUE(pool.busy());
+  });
+  EXPECT_FALSE(pool.busy());
+
+  ThreadPool pool2(2);
+  pool2.run_chunks(8, [&](std::size_t, std::size_t, std::size_t) {
+    EXPECT_TRUE(pool2.busy());
+  });
+  EXPECT_FALSE(pool2.busy());
+}
+
+TEST(ThreadPool, BusyClearedAfterBodyThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_chunks(4,
+                      [](std::size_t, std::size_t, std::size_t) {
+                        throw Error("boom");
+                      }),
+      Error);
+  EXPECT_FALSE(pool.busy());
+}
+
+TEST(ThreadPool, SetGlobalThreadsRefusedInsideParallelRegion) {
+  // Regression: resizing the global pool from inside one of its own
+  // parallel regions used to delete the pool under its running workers.
+  // Now it throws and the pool keeps working.
+  ThreadPool::set_global_threads(2);
+  EXPECT_THROW(
+      parallel_for(4, [](std::size_t) { ThreadPool::set_global_threads(4); }),
+      Error);
+  std::atomic<int> visits{0};
+  parallel_for(100, [&](std::size_t) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), 100);
+}
+
+TEST(ThreadPool, SetGlobalThreadsSwapsCleanly) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().size(), 3u);
+  std::atomic<int> visits{0};
+  parallel_for(50, [&](std::size_t) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), 50);
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().size(), 2u);
+}
+
 }  // namespace
 }  // namespace lqcd

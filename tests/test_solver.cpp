@@ -260,6 +260,34 @@ TEST(MixedCg, AchievesBeyondSinglePrecision) {
   EXPECT_LE(r.relative_residual, 1e-12);
 }
 
+TEST(MixedCg, UnconvergedResidualMatchesReturnedIterate) {
+  // Regression: on cycle exhaustion the reported residual was the value
+  // measured at the TOP of the last cycle — stale by one accumulated
+  // correction. The reported value must describe the x actually returned.
+  const GaugeFieldD& u = shared_gauge();
+  GaugeFieldF uf(geo4());
+  convert_gauge(uf, u);
+  WilsonOperator<double> md(u, 0.12);
+  WilsonOperator<float> mf(uf, 0.12);
+  NormalOperator<double> nd(md);
+  NormalOperator<float> nf(mf);
+  FermionFieldD b(geo4()), x(geo4());
+  fill_random(b.span(), 1011);
+
+  MixedCgParams mp;
+  mp.outer.tol = 1e-13;      // far beyond what one cycle reaches...
+  mp.max_outer_cycles = 1;   // ...and only one cycle allowed
+  mp.inner_reduction = 1e-2;
+  const SolverResult r = mixed_cg_solve(nd, nf, x.span(), cspan(b), mp);
+  ASSERT_FALSE(r.converged);
+  const double true_rel = residual(nd, cspan(x), cspan(b));
+  ASSERT_GT(true_rel, 0.0);
+  // Stale value would be 1.0 (residual before the only correction);
+  // the fixed value agrees with the returned iterate.
+  EXPECT_NEAR(r.relative_residual / true_rel, 1.0, 1e-6);
+  EXPECT_LT(r.relative_residual, 0.9);
+}
+
 TEST(EvenOdd, SchurSolveMatchesFullSolve) {
   const GaugeFieldD& u = shared_gauge();
   const double kappa = 0.12;

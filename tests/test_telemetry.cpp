@@ -1,0 +1,239 @@
+// Tests for lqcd::telemetry: counter atomicity, nested trace accounting,
+// JSON report shape, run-to-run determinism of the counter section under
+// the virtual cluster, and agreement between the hot-path counters and
+// the analytic performance model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include "comm/halo.hpp"
+#include "comm/machine.hpp"
+#include "comm/perf_model.hpp"
+#include "comm/process_grid.hpp"
+#include "dirac/normal.hpp"
+#include "gauge/heatbath.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solver/cg.hpp"
+#include "util/telemetry.hpp"
+
+namespace lqcd {
+namespace {
+
+const LatticeGeometry& geo4() {
+  static LatticeGeometry geo({4, 4, 4, 4});
+  return geo;
+}
+
+const GaugeFieldD& gauge4() {
+  static GaugeFieldD u = [] {
+    GaugeFieldD v(geo4());
+    v.set_random(SiteRngFactory(900));
+    Heatbath hb(v, {.beta = 5.9, .or_per_hb = 1, .seed = 901});
+    for (int i = 0; i < 3; ++i) hb.sweep();
+    return v;
+  }();
+  return u;
+}
+
+void fill_random(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+TEST(TelemetryCounter, AtomicUnderParallelFor) {
+  telemetry::set_enabled(true);
+  telemetry::Counter& c = telemetry::counter("test.atomicity");
+  c.reset();
+  constexpr std::size_t kN = 100000;
+  parallel_for(kN, [&](std::size_t) { c.add(1); });
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kN));
+  parallel_for(kN, [&](std::size_t) { c.add(3); });
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(4 * kN));
+}
+
+TEST(TelemetryCounter, DisabledIsNoop) {
+  telemetry::set_enabled(true);
+  telemetry::Counter& c = telemetry::counter("test.disabled");
+  telemetry::Gauge& g = telemetry::gauge("test.disabled_gauge");
+  c.reset();
+  g.reset();
+  telemetry::set_enabled(false);
+  c.add(5);
+  g.set(2.5);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0.0);
+  {
+    telemetry::TraceRegion r("test.disabled_span");
+  }
+  telemetry::set_enabled(true);
+  c.add(5);
+  g.set(2.5);
+  EXPECT_EQ(c.value(), 5);
+  EXPECT_EQ(g.value(), 2.5);
+  // The disabled span never entered the tree.
+  const std::string rep = telemetry::report_json(false);
+  EXPECT_EQ(rep.find("test.disabled_span"), std::string::npos);
+}
+
+TEST(TelemetryCounter, StableReferenceAcrossLookups) {
+  telemetry::set_enabled(true);
+  telemetry::Counter& a = telemetry::counter("test.stable");
+  telemetry::Counter& b = telemetry::counter("test.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(TelemetryTrace, NestedAccounting) {
+  telemetry::set_enabled(true);
+  telemetry::reset();
+  {
+    telemetry::TraceRegion outer("t_outer");
+    for (int i = 0; i < 3; ++i) {
+      telemetry::TraceRegion inner("t_inner");
+    }
+  }
+  {
+    telemetry::TraceRegion outer("t_outer");
+  }
+  const std::string rep = telemetry::report_json(false);
+  // t_outer entered twice, t_inner three times as its child.
+  EXPECT_NE(rep.find("{\"name\": \"t_outer\", \"count\": 2, "
+                     "\"children\": [\n"),
+            std::string::npos)
+      << rep;
+  EXPECT_NE(rep.find("{\"name\": \"t_inner\", \"count\": 3}"),
+            std::string::npos)
+      << rep;
+}
+
+TEST(TelemetryTrace, SiblingRegionsStaySiblings) {
+  telemetry::set_enabled(true);
+  telemetry::reset();
+  {
+    telemetry::TraceRegion outer("t_a");
+    { telemetry::TraceRegion x("t_b"); }
+    { telemetry::TraceRegion y("t_c"); }
+  }
+  const std::string rep = telemetry::report_json(false);
+  // t_b and t_c are both leaf children of t_a: each serializes with the
+  // closed leaf form (no "children" key), and t_a holds both.
+  EXPECT_NE(rep.find("{\"name\": \"t_a\", \"count\": 1, \"children\": [\n"),
+            std::string::npos)
+      << rep;
+  EXPECT_NE(rep.find("{\"name\": \"t_b\", \"count\": 1}"),
+            std::string::npos)
+      << rep;
+  EXPECT_NE(rep.find("{\"name\": \"t_c\", \"count\": 1}"),
+            std::string::npos)
+      << rep;
+}
+
+TEST(TelemetryReport, JsonGoldenShape) {
+  telemetry::set_enabled(true);
+  telemetry::reset();
+  telemetry::counter("zz.golden.count").add(7);
+  telemetry::gauge("zz.golden.gauge").set(1.5);
+  {
+    telemetry::TraceRegion r("zz_golden_span");
+  }
+  const std::string rep = telemetry::report_json(false);
+  // Header and section skeleton are exact.
+  EXPECT_EQ(rep.rfind("{\n  \"schema\": \"lqcd.telemetry/1\",\n", 0), 0)
+      << rep;
+  EXPECT_NE(rep.find("  \"counters\": {"), std::string::npos);
+  EXPECT_NE(rep.find("  \"gauges\": {"), std::string::npos);
+  EXPECT_NE(rep.find("  \"trace\": ["), std::string::npos);
+  // Entries serialize with exact, stable formatting.
+  EXPECT_NE(rep.find("\"zz.golden.count\": 7"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("\"zz.golden.gauge\": 1.5"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("{\"name\": \"zz_golden_span\", \"count\": 1}"),
+            std::string::npos)
+      << rep;
+  // include_timings=false omits every wall-clock field.
+  EXPECT_EQ(rep.find("\"seconds\""), std::string::npos) << rep;
+  // include_timings=true adds them.
+  const std::string timed = telemetry::report_json(true);
+  EXPECT_NE(timed.find("\"seconds\""), std::string::npos) << timed;
+}
+
+TEST(TelemetryReport, ResetZeroesButKeepsReferences) {
+  telemetry::set_enabled(true);
+  telemetry::Counter& c = telemetry::counter("test.reset");
+  c.add(9);
+  telemetry::reset();
+  EXPECT_EQ(c.value(), 0);
+  c.add(2);
+  EXPECT_EQ(telemetry::counter("test.reset").value(), 2);
+}
+
+// Two identical virtual-cluster solves must produce byte-identical
+// counter/gauge/trace-count sections: every counted quantity (iterations,
+// messages, bytes, applies) is deterministic under the functional
+// cluster, and the serialization order is fixed.
+TEST(TelemetryReport, DeterministicAcrossIdenticalRuns) {
+  telemetry::set_enabled(true);
+  const auto run = [] {
+    telemetry::reset();
+    DistributedWilsonOperator<double> dist(gauge4(), 0.12,
+                                           ProcessGrid({2, 1, 1, 2}));
+    NormalOperator<double> a(dist);
+    FermionFieldD x(geo4()), b(geo4());
+    fill_random(b.span(), 902);
+    const SolverParams p{.tol = 1e-8, .max_iterations = 500};
+    const SolverResult r = cg_solve<double>(a, x.span(), b.span(), p);
+    EXPECT_TRUE(r.converged);
+    return telemetry::report_json(false);
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  // And the report actually carries the hot-path counters.
+  EXPECT_NE(first.find("\"comm.halo.bytes\""), std::string::npos);
+  EXPECT_NE(first.find("\"dslash.site_applies\""), std::string::npos);
+  EXPECT_NE(first.find("\"solver.cg.iterations\""), std::string::npos);
+}
+
+// The achieved-work counters must agree with the alpha-beta/roofline
+// perf model they are diffed against in run reports. With a fully
+// decomposed grid and full-spinor double-precision halos, the mapping is
+// exact; we still assert the documented 1% tolerance.
+TEST(TelemetryReport, CountersMatchPerfModel) {
+  telemetry::set_enabled(true);
+  const ProcessGrid pg({2, 2, 2, 2});
+  DistributedWilsonOperator<double> dist(gauge4(), 0.12, pg);
+  FermionFieldD in(geo4()), out(geo4());
+  fill_random(in.span(), 903);
+
+  telemetry::Counter& bytes = telemetry::counter("comm.halo.bytes");
+  telemetry::Counter& sites = telemetry::counter("dslash.site_applies");
+  const std::int64_t b0 = bytes.value();
+  const std::int64_t s0 = sites.value();
+  constexpr int kApplies = 3;
+  for (int i = 0; i < kApplies; ++i) dist.apply(out.span(), in.span());
+
+  PerfModelOptions opt;
+  opt.precision_bytes = 8;       // virtual cluster ships doubles
+  opt.half_spinor_comm = false;  // ...and full 24-real spinors
+  const DslashCost model =
+      model_dslash({2, 2, 2, 2}, {2, 2, 2, 2}, blue_gene_q(), opt);
+
+  const double ranks = 16.0;
+  const double measured_bytes_per_rank_per_apply =
+      static_cast<double>(bytes.value() - b0) / (ranks * kApplies);
+  EXPECT_NEAR(measured_bytes_per_rank_per_apply, model.comm_bytes,
+              0.01 * model.comm_bytes);
+
+  const double measured_flops =
+      static_cast<double>(sites.value() - s0) * kDslashFlopsPerSite;
+  const double model_flops = model.flops * ranks * kApplies;
+  EXPECT_NEAR(measured_flops, model_flops, 0.01 * model_flops);
+}
+
+}  // namespace
+}  // namespace lqcd

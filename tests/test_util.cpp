@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/timer.hpp"
 
 namespace lqcd {
 namespace {
@@ -229,6 +230,34 @@ TEST(Cli, RejectsUnknownOption) {
 TEST(Cli, RejectsNonOptionArgument) {
   const char* argv[] = {"prog", "positional"};
   EXPECT_THROW(Cli(2, argv), Error);
+}
+
+TEST(AccumTimer, CountsOnlyMatchedIntervals) {
+  AccumTimer t;
+  // Regression: a stray end() (no begin()) used to bump intervals(),
+  // silently deflating total/intervals averages.
+  t.end();
+  EXPECT_EQ(t.intervals(), 0);
+  EXPECT_EQ(t.total_seconds(), 0.0);
+  t.begin();
+  t.end();
+  EXPECT_EQ(t.intervals(), 1);
+  t.end();  // double end: still one interval
+  EXPECT_EQ(t.intervals(), 1);
+  t.begin();
+  t.end();
+  EXPECT_EQ(t.intervals(), 2);
+}
+
+TEST(AccumTimer, ResetClearsState) {
+  AccumTimer t;
+  t.begin();
+  t.end();
+  t.reset();
+  EXPECT_EQ(t.intervals(), 0);
+  EXPECT_EQ(t.total_seconds(), 0.0);
+  t.end();  // reset also closes any open interval
+  EXPECT_EQ(t.intervals(), 0);
 }
 
 }  // namespace
