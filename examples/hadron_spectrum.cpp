@@ -4,6 +4,11 @@
 //
 //   ./hadron_spectrum [--L 4] [--T 8] [--beta 5.9] [--kappa 0.115]
 //                     [--configs 5] [--csw 0] [--therm 20] [--sep 5]
+//                     [--solver eo_cg|mixed_cg|bicgstab|gcr|sap_gcr|mg]
+//
+// --solver picks the propagator solve pipeline from the shared factory
+// (solver/factory.hpp). `mg` builds one adaptive multigrid setup per
+// configuration and reuses it across all 12 spin-color sources.
 //
 // On a realistically sized lattice this is the measurement campaign
 // behind every lattice spectroscopy paper; the defaults here are sized
@@ -30,11 +35,14 @@ int main(int argc, char** argv) {
   const int therm = cli.get_int("therm", 20);
   const int sep = cli.get_int("sep", 5);
   const std::string out = cli.get_string("out", "");
+  const std::string solver_name = cli.get_string("solver", "eo_cg");
   cli.finish();
+  const SolverKind solver_kind = parse_solver_kind(solver_name);
 
   std::printf("hadron spectrum: %d^3 x %d, beta=%.2f, kappa=%.4f, "
-              "csw=%.2f, %d configs\n\n",
-              L, L, T, beta, kappa, csw, n_configs);
+              "csw=%.2f, %d configs, solver=%s\n\n",
+              L, T, beta, kappa, csw, n_configs,
+              std::string(to_string(solver_kind)).c_str());
 
   Context ctx({L, L, L, T}, 20130301);
   EnsembleGenerator gen(ctx, {.beta = beta,
@@ -46,6 +54,7 @@ int main(int argc, char** argv) {
   sp.propagator.kappa = kappa;
   sp.propagator.csw = csw;
   sp.propagator.solver.tol = 1e-9;
+  sp.propagator.method = solver_kind;
   sp.plateau_t_min = 2;
   sp.plateau_t_max = std::max(3, T / 2 - 1);
 

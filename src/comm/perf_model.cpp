@@ -208,6 +208,79 @@ std::vector<ScalingPoint> scaling_curve(
 }
 }  // namespace
 
+MgIterationCost model_mg_vcycle(const Coord& local, const Coord& grid,
+                                int nodes, const MachineModel& m,
+                                const PerfModelOptions& opt,
+                                const MgModelParams& mg) {
+  MgIterationCost out;
+  // Fine level. model_sap_gcr_iteration prices one outer GCR iteration
+  // wrapped around one smoother apply; the V-cycle runs the smoother
+  // twice (pre + post), so double the cycles, then add the second
+  // residual-refresh dslash the V-cycle does between correction and
+  // post-smoothing.
+  out.fine = model_sap_gcr_iteration(local, grid, nodes, m, opt,
+                                     2 * mg.smoother_cycles,
+                                     mg.smoother_mr_iters);
+  const DslashCost refresh = model_dslash(local, grid, m, opt);
+  out.fine.dslash.flops += refresh.flops;
+  out.fine.dslash.mem_bytes += refresh.mem_bytes;
+  out.fine.dslash.comm_bytes += refresh.comm_bytes;
+  out.fine.dslash.messages += refresh.messages;
+  out.fine.dslash.t_compute += refresh.t_compute;
+  out.fine.dslash.t_comm += refresh.t_comm;
+  out.fine.dslash.t_total += refresh.t_total;
+  out.fine.t_iter += refresh.t_total;
+
+  // Coarse level: each aggregate becomes one site carrying 2*nvec complex
+  // dof; the Galerkin stencil is 9 dense blocks per site.
+  Coord coarse_local{};
+  for (int mu = 0; mu < Nd; ++mu)
+    coarse_local[mu] = std::max(1, local[mu] / mg.block[mu]);
+  const double vc = static_cast<double>(volume_of(coarse_local));
+  const double ncols = 2.0 * static_cast<double>(mg.nvec);
+  const double iters = static_cast<double>(mg.coarse_iterations);
+
+  out.coarse_flops = iters * vc * 9.0 * ncols * ncols * 8.0;
+  const double peak = m.peak_gflops(opt.precision_bytes) * 1e9 *
+                      m.compute_efficiency;
+  out.t_coarse_compute = opt.calibration * out.coarse_flops / peak;
+
+  // Coarse halos: a face site ships ncols complex numbers. The payloads
+  // are so small that per-message latency dominates — which is exactly
+  // why the coarse level sets the method's strong-scaling floor.
+  const double prec = static_cast<double>(opt.precision_bytes);
+  double bytes_per_apply = 0.0;
+  int msgs_per_apply = 0;
+  int active = 0;
+  for (int mu = 0; mu < Nd; ++mu) {
+    if (grid[mu] <= 1) continue;
+    ++active;
+    const double face_sites = vc / static_cast<double>(coarse_local[mu]);
+    bytes_per_apply += 2.0 * face_sites * ncols * 2.0 * prec;
+    msgs_per_apply += 2;
+  }
+  out.coarse_comm_bytes = iters * bytes_per_apply;
+  out.coarse_messages = mg.coarse_iterations * msgs_per_apply;
+  if (active > 0) {
+    const int concurrency = std::min(m.links_per_node, 2 * active);
+    const double link_bw =
+        m.link_bw_gbs * 1e9 * static_cast<double>(concurrency);
+    out.t_coarse_comm =
+        iters * (m.link_latency_us * 1e-6 + bytes_per_apply / link_bw);
+  }
+  // Two reductions (orthogonalization + norm) per coarse GCR iteration.
+  const double stages = nodes > 1 ? std::ceil(std::log2(nodes)) : 0.0;
+  out.t_coarse_allreduce =
+      2.0 * iters * m.allreduce_latency_us * 1e-6 * stages;
+
+  out.t_coarse =
+      out.t_coarse_compute + out.t_coarse_comm + out.t_coarse_allreduce;
+  out.t_vcycle = out.fine.t_iter + out.t_coarse;
+  out.coarse_fraction =
+      out.t_vcycle > 0.0 ? out.t_coarse / out.t_vcycle : 0.0;
+  return out;
+}
+
 std::vector<ScalingPoint> strong_scaling(const Coord& global,
                                          const MachineModel& m,
                                          const PerfModelOptions& opt,

@@ -74,6 +74,38 @@ IterationCost model_sap_gcr_iteration(const Coord& local, const Coord& grid,
                                       const PerfModelOptions& opt,
                                       int cycles, int mr_iters);
 
+/// Multigrid geometry/cost knobs the model needs (mirrors mg::MgParams
+/// without pulling the mg subsystem into the comm layer).
+struct MgModelParams {
+  Coord block{2, 2, 2, 2};   ///< aggregate extents (coarse = local/block)
+  int nvec = 8;              ///< near-null vectors; 2*nvec coarse dof/site
+  int smoother_cycles = 2;   ///< SAP cycles per smoother apply
+  int smoother_mr_iters = 4; ///< MR steps per block solve
+  int coarse_iterations = 16;  ///< coarse GCR iterations per V-cycle
+};
+
+/// One MG-preconditioned GCR outer iteration: a full V-cycle (2 smoother
+/// applies + 2 fine residual refreshes) plus the coarse-level solve. The
+/// coarse grid is tiny, so its halos are latency-dominated — the model
+/// separates t_coarse_comm to make that visible: at scale the coarse
+/// level is the latency floor of the whole method.
+struct MgIterationCost {
+  IterationCost fine;             ///< smoother + fine-grid work
+  double coarse_flops = 0.0;      ///< coarse stencil flops per node
+  double coarse_comm_bytes = 0.0; ///< coarse halo bytes per node
+  int coarse_messages = 0;        ///< coarse halo messages per node
+  double t_coarse_compute = 0.0;
+  double t_coarse_comm = 0.0;     ///< latency-dominated at scale
+  double t_coarse_allreduce = 0.0;  ///< coarse GCR reductions
+  double t_coarse = 0.0;
+  double t_vcycle = 0.0;          ///< fine + coarse total
+  double coarse_fraction = 0.0;   ///< coarse share of t_vcycle
+};
+MgIterationCost model_mg_vcycle(const Coord& local, const Coord& grid,
+                                int nodes, const MachineModel& m,
+                                const PerfModelOptions& opt,
+                                const MgModelParams& mg);
+
 /// One point of a scaling curve.
 struct ScalingPoint {
   int nodes = 0;

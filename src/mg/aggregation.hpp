@@ -1,0 +1,90 @@
+#pragma once
+// Block aggregation: the geometric half of adaptive multigrid.
+//
+// The fine lattice is tiled with non-overlapping rectangular blocks
+// ("aggregates"). Each aggregate becomes one site of a coarse
+// `LatticeGeometry`, so the coarse level reuses the same checkerboarded
+// site machinery (neighbor tables, wrap detection) as the fine level —
+// including `lqcd::comm` halo pricing, which treats the coarse grid as
+// just another (tiny) lattice.
+//
+// Within an aggregate, fine sites are enumerated in ascending checkerboard
+// order. Every consumer (prolongator, Galerkin assembly) iterates that
+// fixed order serially, which is what makes the whole multigrid stack
+// bit-reproducible across thread counts.
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/geometry.hpp"
+#include "util/error.hpp"
+
+namespace lqcd::mg {
+
+class Aggregation {
+ public:
+  /// `fine` must outlive the aggregation. Each block extent must divide
+  /// the fine extent with an even quotient >= 2 (the coarse grid is a
+  /// `LatticeGeometry` and inherits its checkerboarding requirement).
+  Aggregation(const LatticeGeometry& fine, const Coord& block)
+      : fine_(&fine), block_(block), coarse_(coarse_dims(fine, block)) {
+    const std::int64_t nc = coarse_.volume();
+    coarse_of_.resize(static_cast<std::size_t>(fine.volume()));
+    sites_.resize(static_cast<std::size_t>(nc));
+    const std::int64_t sites_per_block =
+        fine.volume() / nc;
+    for (auto& s : sites_) s.reserve(static_cast<std::size_t>(sites_per_block));
+    // Ascending fine cb order within each aggregate, by construction.
+    for (std::int64_t s = 0; s < fine.volume(); ++s) {
+      const Coord x = fine.coords(s);
+      Coord bc{};
+      for (int mu = 0; mu < Nd; ++mu) bc[mu] = x[mu] / block_[mu];
+      const std::int64_t xc = coarse_.cb_index(bc);
+      coarse_of_[static_cast<std::size_t>(s)] = xc;
+      sites_[static_cast<std::size_t>(xc)].push_back(s);
+    }
+  }
+
+  [[nodiscard]] const LatticeGeometry& fine() const noexcept { return *fine_; }
+  [[nodiscard]] const LatticeGeometry& coarse() const noexcept {
+    return coarse_;
+  }
+  [[nodiscard]] const Coord& block() const noexcept { return block_; }
+
+  /// Coarse cb index owning a fine cb index.
+  [[nodiscard]] std::int64_t coarse_of(std::int64_t fine_cb) const noexcept {
+    return coarse_of_[static_cast<std::size_t>(fine_cb)];
+  }
+
+  /// Fine cb indices of one aggregate, in ascending order.
+  [[nodiscard]] const std::vector<std::int64_t>& sites(
+      std::int64_t coarse_cb) const noexcept {
+    return sites_[static_cast<std::size_t>(coarse_cb)];
+  }
+
+  /// Fine sites per aggregate (uniform by construction).
+  [[nodiscard]] std::int64_t aggregate_size() const noexcept {
+    return fine_->volume() / coarse_.volume();
+  }
+
+ private:
+  static Coord coarse_dims(const LatticeGeometry& fine, const Coord& block) {
+    Coord dims{};
+    for (int mu = 0; mu < Nd; ++mu) {
+      LQCD_REQUIRE(block[mu] >= 1 && fine.dim(mu) % block[mu] == 0,
+                   "MG block extent must divide the fine lattice extent");
+      dims[mu] = fine.dim(mu) / block[mu];
+      LQCD_REQUIRE(dims[mu] >= 2 && dims[mu] % 2 == 0,
+                   "MG coarse extent must be even and >= 2");
+    }
+    return dims;
+  }
+
+  const LatticeGeometry* fine_;
+  Coord block_;
+  LatticeGeometry coarse_;
+  std::vector<std::int64_t> coarse_of_;           // fine cb -> coarse cb
+  std::vector<std::vector<std::int64_t>> sites_;  // coarse cb -> fine cbs
+};
+
+}  // namespace lqcd::mg

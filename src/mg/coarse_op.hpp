@@ -1,0 +1,218 @@
+#pragma once
+// Galerkin coarse operator A_c = P^H A P, materialized as a nearest-
+// neighbor stencil on the coarse lattice.
+//
+// Because the fine Wilson operator only hops one site, A_c couples a
+// coarse site to itself and its 8 coarse neighbors: 9 dense
+// (ncols x ncols) complex blocks per coarse site. Forward and backward
+// legs are accumulated separately, which keeps extent-2 coarse
+// directions correct: there fwd(xc,mu) == bwd(xc,mu) as a *site* but the
+// two legs carry distinct face contributions and apply() sums both.
+//
+// The diagonal (self) block starts from the exact Gram matrix of P's
+// columns within the aggregate — the identity, by per-aggregate
+// per-chirality orthonormalization — and accumulates every hop that stays
+// inside the aggregate.
+//
+// Assembly and apply are parallel over coarse sites with a fixed serial
+// loop inside each site, so both are bit-reproducible across thread
+// counts.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dirac/wilson.hpp"
+#include "linalg/gamma.hpp"
+#include "mg/aggregation.hpp"
+#include "mg/coarse_vector.hpp"
+#include "mg/prolongator.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/telemetry.hpp"
+
+namespace lqcd::mg {
+
+template <typename T>
+class CoarseOperator {
+ public:
+  /// Stencil legs per coarse site: self, 4 forward, 4 backward.
+  static constexpr int kLegs = 1 + 2 * Nd;
+  static constexpr int kSelf = 0;
+  static constexpr int leg_fwd(int mu) { return 1 + mu; }
+  static constexpr int leg_bwd(int mu) { return 1 + Nd + mu; }
+
+  /// `agg` must outlive the operator.
+  CoarseOperator(const Aggregation& agg, int ncols)
+      : agg_(&agg),
+        ncols_(ncols),
+        stencil_(static_cast<std::size_t>(agg.coarse().volume()) * kLegs *
+                 ncols * ncols) {}
+
+  [[nodiscard]] const LatticeGeometry& geometry() const noexcept {
+    return agg_->coarse();
+  }
+  [[nodiscard]] int ncols() const noexcept { return ncols_; }
+
+  /// Dense (ncols x ncols) row-major block for one (site, leg).
+  [[nodiscard]] Cplx<T>* block(std::int64_t xc, int leg) noexcept {
+    return stencil_.data() +
+           (static_cast<std::size_t>(xc) * kLegs + leg) * ncols_ * ncols_;
+  }
+  [[nodiscard]] const Cplx<T>* block(std::int64_t xc, int leg) const noexcept {
+    return stencil_.data() +
+           (static_cast<std::size_t>(xc) * kLegs + leg) * ncols_ * ncols_;
+  }
+
+  /// out = A_c in.
+  void apply(CoarseVector<T>& out, const CoarseVector<T>& in) const {
+    const std::int64_t nc = agg_->coarse().volume();
+    LQCD_REQUIRE(out.nsites() == nc && in.nsites() == nc &&
+                     out.ncols() == ncols_ && in.ncols() == ncols_,
+                 "coarse apply shape mismatch");
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c_applies =
+          telemetry::counter("mg.coarse.applies");
+      c_applies.add(1);
+    }
+    const LatticeGeometry& geo = agg_->coarse();
+    parallel_for(static_cast<std::size_t>(nc), [&](std::size_t xc) {
+      Cplx<T>* o = out.site(static_cast<std::int64_t>(xc));
+      for (int a = 0; a < ncols_; ++a) o[a] = Cplx<T>{};
+      accum_block(o, block(static_cast<std::int64_t>(xc), kSelf),
+                  in.site(static_cast<std::int64_t>(xc)));
+      for (int mu = 0; mu < Nd; ++mu) {
+        accum_block(o, block(static_cast<std::int64_t>(xc), leg_fwd(mu)),
+                    in.site(geo.fwd(static_cast<std::int64_t>(xc), mu)));
+        accum_block(o, block(static_cast<std::int64_t>(xc), leg_bwd(mu)),
+                    in.site(geo.bwd(static_cast<std::int64_t>(xc), mu)));
+      }
+    });
+  }
+
+  [[nodiscard]] double flops_per_apply() const noexcept {
+    // 9 dense blocks per site, 8 flops per complex fma.
+    return static_cast<double>(agg_->coarse().volume()) * kLegs *
+           static_cast<double>(ncols_) * ncols_ * 8.0;
+  }
+
+ private:
+  void accum_block(Cplx<T>* out, const Cplx<T>* m, const Cplx<T>* in) const {
+    for (int a = 0; a < ncols_; ++a) {
+      Cplx<T> acc = out[a];
+      const Cplx<T>* row = m + static_cast<std::size_t>(a) * ncols_;
+      for (int b = 0; b < ncols_; ++b) fma_acc(acc, row[b], in[b]);
+      out[a] = acc;
+    }
+  }
+
+  const Aggregation* agg_;
+  int ncols_;
+  std::vector<Cplx<T>> stencil_;
+};
+
+namespace detail {
+
+/// v with only chirality block `chi` kept.
+template <typename T>
+WilsonSpinor<T> chirality_mask(const WilsonSpinor<T>& v, int chi) {
+  WilsonSpinor<T> out{};
+  const int sp0 = chirality_spin(chi);
+  out.s[sp0] = v.s[sp0];
+  out.s[sp0 + 1] = v.s[sp0 + 1];
+  return out;
+}
+
+/// entry(2i+chi_a, col) += sum over chirality-chi_a spins of
+/// conj(v_i(x)) . w for every row column i, chi_a.
+template <typename T>
+void accum_rows(Cplx<T>* leg, int ncols, const Prolongator<T>& p,
+                std::int64_t x, int col, const WilsonSpinor<T>& w) {
+  const int nvec = p.nvec();
+  for (int i = 0; i < nvec; ++i) {
+    const WilsonSpinor<T>& v = p.vec(i)[static_cast<std::size_t>(x)];
+    for (int chi = 0; chi < 2; ++chi) {
+      const int sp0 = chirality_spin(chi);
+      Cplx<T> c = dot(v.s[sp0], w.s[sp0]);
+      c += dot(v.s[sp0 + 1], w.s[sp0 + 1]);
+      leg[static_cast<std::size_t>(2 * i + chi) * ncols + col] += c;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Assemble A_c = P^H M P link by link for the Wilson operator
+/// M = 1 - kappa D. Parallel over coarse sites: each builds only its own
+/// stencil row from the fine links on and around its aggregate.
+template <typename T>
+CoarseOperator<T> galerkin_coarse_operator(const WilsonOperator<T>& m,
+                                           const Aggregation& agg,
+                                           const Prolongator<T>& p) {
+  LQCD_REQUIRE(&agg.fine() == &m.geometry() ||
+                   agg.fine() == m.geometry(),
+               "aggregation built for a different lattice");
+  CoarseOperator<T> ac(agg, p.ncols());
+  const LatticeGeometry& geo = m.geometry();
+  const GaugeField<T>& u = m.fermion_links();
+  const T kappa = static_cast<T>(m.kappa());
+  const int ncols = p.ncols();
+  const int nvec = p.nvec();
+
+  parallel_for(
+      static_cast<std::size_t>(agg.coarse().volume()), [&](std::size_t xcs) {
+        const auto xc = static_cast<std::int64_t>(xcs);
+        // Identity part of M: the per-aggregate Gram of P's columns,
+        // which per-chirality orthonormalization makes the identity.
+        Cplx<T>* self = ac.block(xc, CoarseOperator<T>::kSelf);
+        for (int a = 0; a < ncols; ++a) self[a * ncols + a] = Cplx<T>(T(1));
+
+        for (const std::int64_t x : agg.sites(xc)) {
+          for (int mu = 0; mu < Nd; ++mu) {
+            // Forward hop: -kappa (1 - gamma_mu) U_mu(x) psi(x+mu).
+            {
+              const std::int64_t xf = geo.fwd(x, mu);
+              const std::int64_t cf = agg.coarse_of(xf);
+              Cplx<T>* leg =
+                  cf == xc ? self
+                           : ac.block(xc, CoarseOperator<T>::leg_fwd(mu));
+              for (int j = 0; j < nvec; ++j) {
+                const WilsonSpinor<T>& vj =
+                    p.vec(j)[static_cast<std::size_t>(xf)];
+                for (int chi = 0; chi < 2; ++chi) {
+                  const WilsonSpinor<T> h =
+                      mul(u(x, mu), detail::chirality_mask(vj, chi));
+                  WilsonSpinor<T> w = h;
+                  w -= apply_gamma(mu, h);
+                  w *= -kappa;
+                  detail::accum_rows(leg, ncols, p, x, 2 * j + chi, w);
+                }
+              }
+            }
+            // Backward hop: -kappa (1 + gamma_mu) U_mu^†(x-mu) psi(x-mu).
+            {
+              const std::int64_t xb = geo.bwd(x, mu);
+              const std::int64_t cb = agg.coarse_of(xb);
+              Cplx<T>* leg =
+                  cb == xc ? self
+                           : ac.block(xc, CoarseOperator<T>::leg_bwd(mu));
+              for (int j = 0; j < nvec; ++j) {
+                const WilsonSpinor<T>& vj =
+                    p.vec(j)[static_cast<std::size_t>(xb)];
+                for (int chi = 0; chi < 2; ++chi) {
+                  const WilsonSpinor<T> h =
+                      adj_mul(u(xb, mu), detail::chirality_mask(vj, chi));
+                  WilsonSpinor<T> w = h;
+                  w += apply_gamma(mu, h);
+                  w *= -kappa;
+                  detail::accum_rows(leg, ncols, p, x, 2 * j + chi, w);
+                }
+              }
+            }
+          }
+        }
+      });
+  return ac;
+}
+
+}  // namespace lqcd::mg

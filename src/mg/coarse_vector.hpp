@@ -1,0 +1,89 @@
+#pragma once
+// Coarse-level vectors: `ncols` complex degrees of freedom per coarse site
+// (2 * nvec after the chirality split), stored flat.
+//
+// The coarse grid is tiny — a few hundred sites — so all coarse BLAS here
+// is *serial by design*. The fine-level `blas::dot`/`norm2` chunk their
+// reductions by thread count and are therefore not bit-identical across
+// pool sizes; the coarse level must not inherit that, because the V-cycle
+// promises bit-identical results for any thread count.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/cplx.hpp"
+#include "util/error.hpp"
+
+namespace lqcd::mg {
+
+template <typename T>
+class CoarseVector {
+ public:
+  CoarseVector() = default;
+  CoarseVector(std::int64_t nsites, int ncols)
+      : nsites_(nsites),
+        ncols_(ncols),
+        data_(static_cast<std::size_t>(nsites) * ncols) {}
+
+  [[nodiscard]] std::int64_t nsites() const noexcept { return nsites_; }
+  [[nodiscard]] int ncols() const noexcept { return ncols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] Cplx<T>* site(std::int64_t s) noexcept {
+    return data_.data() + static_cast<std::size_t>(s) * ncols_;
+  }
+  [[nodiscard]] const Cplx<T>* site(std::int64_t s) const noexcept {
+    return data_.data() + static_cast<std::size_t>(s) * ncols_;
+  }
+
+  [[nodiscard]] Cplx<T>& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const Cplx<T>& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+ private:
+  std::int64_t nsites_ = 0;
+  int ncols_ = 0;
+  std::vector<Cplx<T>> data_;
+};
+
+// Serial coarse BLAS. All loops run in cb-index order on one thread.
+namespace cblas {
+
+template <typename T>
+void zero(CoarseVector<T>& x) {
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = Cplx<T>{};
+}
+
+template <typename T>
+void copy(CoarseVector<T>& dst, const CoarseVector<T>& src) {
+  LQCD_REQUIRE(dst.size() == src.size(), "coarse copy size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+}
+
+/// y += a x
+template <typename T>
+void caxpy(const Cplx<T>& a, const CoarseVector<T>& x, CoarseVector<T>& y) {
+  LQCD_REQUIRE(x.size() == y.size(), "coarse caxpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) fma_acc(y[i], a, x[i]);
+}
+
+/// conj(x) . y, serial (deterministic) reduction.
+template <typename T>
+[[nodiscard]] Cplx<T> dot(const CoarseVector<T>& x, const CoarseVector<T>& y) {
+  LQCD_REQUIRE(x.size() == y.size(), "coarse dot size mismatch");
+  Cplx<T> acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) fma_conj_acc(acc, x[i], y[i]);
+  return acc;
+}
+
+template <typename T>
+[[nodiscard]] T norm2(const CoarseVector<T>& x) {
+  T acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += lqcd::norm2(x[i]);
+  return acc;
+}
+
+}  // namespace cblas
+
+}  // namespace lqcd::mg

@@ -1,0 +1,21 @@
+#pragma once
+// Umbrella header for the adaptive aggregation-based multigrid subsystem.
+//
+// Layering (bottom up):
+//   aggregation    fine lattice -> coarse LatticeGeometry + site lists
+//   coarse_vector  coarse dof storage + serial (deterministic) BLAS
+//   prolongator    near-null vectors, chirality-split columns, R/P ops
+//   coarse_op      Galerkin stencil A_c = P^H A P + its apply
+//   coarse_solver  serial restarted GCR on the coarse system
+//   setup          adaptive setup (relax random starts) -> MgHierarchy
+//   vcycle         two-level V-cycle as a Preconditioner<T>
+//   solver         MgSolver: setup-once, solve-many outer GCR
+
+#include "mg/aggregation.hpp"
+#include "mg/coarse_op.hpp"
+#include "mg/coarse_solver.hpp"
+#include "mg/coarse_vector.hpp"
+#include "mg/prolongator.hpp"
+#include "mg/setup.hpp"
+#include "mg/solver.hpp"
+#include "mg/vcycle.hpp"

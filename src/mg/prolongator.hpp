@@ -1,0 +1,185 @@
+#pragma once
+// Prolongator P for aggregation-based multigrid.
+//
+// Stores `nvec` near-null-space candidate spinor fields. Each stored field
+// contributes TWO coarse columns per aggregate — one per chirality block
+// (gamma5 = diag(1,1,-1,-1) in the DeGrand–Rossi basis, so the blocks are
+// spins {0,1} and {2,3}). The chirality split preserves the fine
+// operator's gamma5-hermiticity structure on the coarse level, which is
+// what makes the Galerkin operator an effective coarse Dirac operator
+// rather than a generic sparse matrix.
+//
+// Column index convention: column (2*j + chi) at coarse site xc is vector
+// j restricted to the chirality-chi spins of aggregate xc.
+//
+// All per-aggregate work (orthonormalization, restriction) iterates the
+// aggregate's fine sites serially in the fixed order provided by
+// `Aggregation`, so results are bit-identical for any thread count.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/spinor.hpp"
+#include "mg/aggregation.hpp"
+#include "mg/coarse_vector.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd::mg {
+
+/// First spin row of chirality block `chi` (blocks are 2 spins each).
+constexpr int chirality_spin(int chi) { return 2 * chi; }
+
+template <typename T>
+class Prolongator {
+ public:
+  /// `agg` must outlive the prolongator.
+  Prolongator(const Aggregation& agg, int nvec) : agg_(&agg), nvec_(nvec) {
+    LQCD_REQUIRE(nvec >= 1, "MG needs at least one near-null vector");
+    const auto vol = static_cast<std::size_t>(agg.fine().volume());
+    vecs_.resize(static_cast<std::size_t>(nvec));
+    for (auto& v : vecs_) v.assign(vol, WilsonSpinor<T>{});
+  }
+
+  [[nodiscard]] int nvec() const noexcept { return nvec_; }
+  [[nodiscard]] int ncols() const noexcept { return 2 * nvec_; }
+  [[nodiscard]] const Aggregation& aggregation() const noexcept {
+    return *agg_;
+  }
+
+  [[nodiscard]] std::span<WilsonSpinor<T>> vec(int j) noexcept {
+    return {vecs_[static_cast<std::size_t>(j)].data(),
+            vecs_[static_cast<std::size_t>(j)].size()};
+  }
+  [[nodiscard]] std::span<const WilsonSpinor<T>> vec(int j) const noexcept {
+    return {vecs_[static_cast<std::size_t>(j)].data(),
+            vecs_[static_cast<std::size_t>(j)].size()};
+  }
+
+  /// Modified Gram–Schmidt within every (aggregate, chirality) block.
+  /// A rank-deficient candidate (norm below threshold after projection)
+  /// is replaced by a deterministic counter-RNG fill and re-projected, so
+  /// P always has full column rank. Parallel over aggregates; serial and
+  /// order-fixed within each, hence bit-reproducible.
+  void orthonormalize(std::uint64_t fallback_seed) {
+    const std::int64_t nagg = agg_->coarse().volume();
+    parallel_for(static_cast<std::size_t>(nagg), [&](std::size_t xc) {
+      const auto& sites = agg_->sites(static_cast<std::int64_t>(xc));
+      for (int chi = 0; chi < 2; ++chi) {
+        const int sp0 = chirality_spin(chi);
+        for (int j = 0; j < nvec_; ++j) {
+          auto& vj = vecs_[static_cast<std::size_t>(j)];
+          for (int attempt = 0; attempt < 2; ++attempt) {
+            // Project out previous columns of this block.
+            for (int k = 0; k < j; ++k) {
+              const auto& vk = vecs_[static_cast<std::size_t>(k)];
+              Cplx<T> c{};
+              for (const std::int64_t s : sites)
+                for (int d = 0; d < 2; ++d)
+                  c += dot(vk[static_cast<std::size_t>(s)].s[sp0 + d],
+                           vj[static_cast<std::size_t>(s)].s[sp0 + d]);
+              for (const std::int64_t s : sites)
+                for (int d = 0; d < 2; ++d) {
+                  ColorVector<T> t = vk[static_cast<std::size_t>(s)].s[sp0 + d];
+                  t *= c;
+                  vj[static_cast<std::size_t>(s)].s[sp0 + d] -= t;
+                }
+            }
+            T n2{};
+            for (const std::int64_t s : sites)
+              for (int d = 0; d < 2; ++d)
+                n2 += norm2(vj[static_cast<std::size_t>(s)].s[sp0 + d]);
+            if (n2 > T(1e-24)) {
+              const T inv = T(1) / std::sqrt(n2);
+              for (const std::int64_t s : sites)
+                for (int d = 0; d < 2; ++d)
+                  vj[static_cast<std::size_t>(s)].s[sp0 + d] *= inv;
+              break;
+            }
+            // Deterministic fallback: refill this block from the site RNG
+            // (stream = global lex index, so decomposition-independent).
+            const SiteRngFactory rngs(fallback_seed,
+                                      /*epoch=*/static_cast<std::uint64_t>(
+                                          2 * j + chi + 1));
+            for (const std::int64_t s : sites) {
+              CounterRng rng = rngs.make(static_cast<std::uint64_t>(
+                  agg_->fine().lex_index(agg_->fine().coords(s))));
+              for (int d = 0; d < 2; ++d)
+                for (int c = 0; c < Nc; ++c)
+                  vj[static_cast<std::size_t>(s)].s[sp0 + d].c[c] =
+                      Cplx<T>(static_cast<T>(rng.gaussian()),
+                              static_cast<T>(rng.gaussian()));
+            }
+          }
+        }
+      }
+    });
+  }
+
+  /// out[xc][2j+chi] = sum over aggregate sites and chirality-chi spins of
+  /// conj(v_j) . in. (The restriction R = P^H.)
+  void restrict_to(CoarseVector<T>& out,
+                   std::span<const WilsonSpinor<T>> in) const {
+    const std::int64_t nagg = agg_->coarse().volume();
+    LQCD_REQUIRE(out.nsites() == nagg && out.ncols() == ncols() &&
+                     in.size() == static_cast<std::size_t>(
+                                      agg_->fine().volume()),
+                 "restrict_to shape mismatch");
+    parallel_for(static_cast<std::size_t>(nagg), [&](std::size_t xc) {
+      Cplx<T>* row = out.site(static_cast<std::int64_t>(xc));
+      for (int col = 0; col < ncols(); ++col) row[col] = Cplx<T>{};
+      for (const std::int64_t s : agg_->sites(static_cast<std::int64_t>(xc))) {
+        const WilsonSpinor<T>& psi = in[static_cast<std::size_t>(s)];
+        for (int j = 0; j < nvec_; ++j) {
+          const WilsonSpinor<T>& v =
+              vecs_[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+          for (int chi = 0; chi < 2; ++chi) {
+            const int sp0 = chirality_spin(chi);
+            Cplx<T> acc = row[2 * j + chi];
+            acc += dot(v.s[sp0], psi.s[sp0]);
+            acc += dot(v.s[sp0 + 1], psi.s[sp0 + 1]);
+            row[2 * j + chi] = acc;
+          }
+        }
+      }
+    });
+  }
+
+  /// out += P in. Parallel over fine sites (each reads one coarse row).
+  void prolong_add(std::span<WilsonSpinor<T>> out,
+                   const CoarseVector<T>& in) const {
+    LQCD_REQUIRE(in.nsites() == agg_->coarse().volume() &&
+                     in.ncols() == ncols() &&
+                     out.size() == static_cast<std::size_t>(
+                                       agg_->fine().volume()),
+                 "prolong_add shape mismatch");
+    parallel_for(out.size(), [&](std::size_t s) {
+      const Cplx<T>* row =
+          in.site(agg_->coarse_of(static_cast<std::int64_t>(s)));
+      WilsonSpinor<T> acc = out[s];
+      for (int j = 0; j < nvec_; ++j) {
+        const WilsonSpinor<T>& v = vecs_[static_cast<std::size_t>(j)][s];
+        for (int chi = 0; chi < 2; ++chi) {
+          const int sp0 = chirality_spin(chi);
+          const Cplx<T>& c = row[2 * j + chi];
+          for (int d = 0; d < 2; ++d) {
+            ColorVector<T> t = v.s[sp0 + d];
+            t *= c;
+            acc.s[sp0 + d] += t;
+          }
+        }
+      }
+      out[s] = acc;
+    });
+  }
+
+ private:
+  const Aggregation* agg_;
+  int nvec_;
+  std::vector<aligned_vector<WilsonSpinor<T>>> vecs_;
+};
+
+}  // namespace lqcd::mg

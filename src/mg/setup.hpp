@@ -1,0 +1,112 @@
+#pragma once
+// Adaptive multigrid setup: generate near-null-space vectors and build the
+// two-level hierarchy.
+//
+// The setup is "adaptive" in the DD-alphaAMG sense: start from Gaussian
+// random fields (the null space of the interacting Wilson operator is not
+// known analytically) and relax them with v <- (1 - S M) v, where S is
+// the SAP smoother. Relaxation kills the high modes S handles well; what
+// survives is exactly the low-mode content the coarse grid must
+// represent. A handful of iterations on a handful of vectors suffices.
+//
+// Cost model: setup is O(nvec * setup_iters) smoother applications plus
+// one Galerkin assembly — paid once per gauge configuration, then
+// amortized over every solve against that configuration (12 spin-color
+// sources per propagator, more for multiple source positions). The
+// `mg.setup.*` counters and the `mg.setup.reuses` counter in MgSolver
+// make that amortization observable.
+//
+// Determinism: Gaussian fills use per-site counter RNG streams, SAP and
+// the Galerkin assembly are order-fixed within parallel chunks, and no
+// step takes a global (thread-chunked) reduction — so the entire setup,
+// not just the V-cycle, is bit-reproducible across thread counts.
+
+#include <cstdint>
+#include <memory>
+
+#include "dirac/wilson.hpp"
+#include "mg/aggregation.hpp"
+#include "mg/coarse_op.hpp"
+#include "mg/coarse_solver.hpp"
+#include "mg/prolongator.hpp"
+#include "solver/sap.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
+
+namespace lqcd::mg {
+
+struct MgParams {
+  Coord block{2, 2, 2, 2};  ///< aggregate extents (coarse dims must be even)
+  int nvec = 8;             ///< near-null vectors (2*nvec coarse dof/site)
+  int setup_iters = 3;      ///< relaxation rounds per vector
+  SapParams smoother{{2, 2, 2, 2}, 2, 4};  ///< SAP smoother (also V-cycle)
+  CoarseSolveParams coarse{};              ///< coarse-level GCR
+  std::uint64_t seed = 0x6d67u;            ///< RNG seed for random starts
+};
+
+/// The assembled two-level hierarchy. Members are held by unique_ptr so
+/// the internal cross-pointers (Prolongator -> Aggregation,
+/// CoarseOperator -> Aggregation) survive moves of the hierarchy.
+template <typename T>
+struct MgHierarchy {
+  std::unique_ptr<Aggregation> aggregation;
+  std::unique_ptr<Prolongator<T>> prolongator;
+  std::unique_ptr<CoarseOperator<T>> coarse;
+};
+
+/// Run the adaptive setup against `m` using `smoother` for relaxation.
+/// Both must outlive the returned hierarchy.
+template <typename T>
+MgHierarchy<T> mg_setup(const WilsonOperator<T>& m,
+                        const SapPreconditioner<T>& smoother,
+                        const MgParams& params) {
+  telemetry::TraceRegion span("mg.setup");
+  WallTimer timer;
+
+  MgHierarchy<T> h;
+  h.aggregation = std::make_unique<Aggregation>(m.geometry(), params.block);
+  h.prolongator =
+      std::make_unique<Prolongator<T>>(*h.aggregation, params.nvec);
+
+  const auto vol = static_cast<std::size_t>(m.geometry().volume());
+  aligned_vector<WilsonSpinor<T>> mv(vol), sv(vol);
+  const std::span<WilsonSpinor<T>> mvs(mv.data(), vol), svs(sv.data(), vol);
+
+  for (int j = 0; j < params.nvec; ++j) {
+    const std::span<WilsonSpinor<T>> v = h.prolongator->vec(j);
+    // Gaussian start, one counter-RNG stream per global site.
+    const SiteRngFactory rngs(params.seed,
+                              /*epoch=*/static_cast<std::uint64_t>(j));
+    const LatticeGeometry& geo = m.geometry();
+    parallel_for(vol, [&](std::size_t s) {
+      CounterRng rng = rngs.make(static_cast<std::uint64_t>(
+          geo.lex_index(geo.coords(static_cast<std::int64_t>(s)))));
+      for (int sp = 0; sp < Ns; ++sp)
+        for (int c = 0; c < Nc; ++c)
+          v[s].s[sp].c[c] = Cplx<T>(static_cast<T>(rng.gaussian()),
+                                    static_cast<T>(rng.gaussian()));
+    });
+    // Relax toward the near-null space: v <- v - S(M v).
+    for (int it = 0; it < params.setup_iters; ++it) {
+      m.apply(mvs, std::span<const WilsonSpinor<T>>(v.data(), vol));
+      smoother.apply(svs, std::span<const WilsonSpinor<T>>(mv.data(), vol));
+      parallel_for(vol, [&](std::size_t s) { v[s] -= sv[s]; });
+    }
+  }
+  if (telemetry::enabled()) {
+    telemetry::counter("mg.setup.vectors").add(params.nvec);
+    telemetry::counter("mg.setup.relax_applies")
+        .add(static_cast<std::int64_t>(params.nvec) * params.setup_iters);
+  }
+
+  h.prolongator->orthonormalize(params.seed ^ 0x5a5a5a5aULL);
+  h.coarse = std::make_unique<CoarseOperator<T>>(
+      galerkin_coarse_operator(m, *h.aggregation, *h.prolongator));
+
+  telemetry::gauge("mg.setup.seconds").set(timer.seconds());
+  return h;
+}
+
+}  // namespace lqcd::mg

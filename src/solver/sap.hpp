@@ -19,6 +19,7 @@
 #include "dirac/wilson.hpp"
 #include "solver/gcr.hpp"
 #include "util/aligned.hpp"
+#include "util/telemetry.hpp"
 
 namespace lqcd {
 
@@ -47,6 +48,18 @@ class SapPreconditioner final : public Preconditioner<T> {
     if (rho_.size() != n) {
       rho_.resize(n);
       mv_.resize(n);
+    }
+    if (telemetry::enabled()) {
+      // Block-local Wilson applies, in site units: every cycle runs
+      // block_mr_iterations MR steps over each block, and the red+black
+      // sweeps together cover the full volume. Counted once per apply
+      // (never inside the parallel sweep) so bench_mg can price the
+      // smoother's fine-grid work next to dslash.site_applies.
+      static telemetry::Counter& c_sites =
+          telemetry::counter("dslash.block_site_applies");
+      c_sites.add(static_cast<std::int64_t>(params_.cycles) *
+                  params_.block_mr_iterations *
+                  m_->geometry().volume());
     }
     std::span<WilsonSpinor<T>> rho(rho_.data(), n);
     std::span<WilsonSpinor<T>> mv(mv_.data(), n);

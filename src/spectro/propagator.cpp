@@ -2,11 +2,7 @@
 
 #include <algorithm>
 
-#include "dirac/clover.hpp"
-#include "dirac/eo.hpp"
-#include "dirac/normal.hpp"
 #include "linalg/blas.hpp"
-#include "solver/cg.hpp"
 #include "spectro/source.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -17,33 +13,31 @@ Propagator::Propagator(const LatticeGeometry& geo) : geo_(&geo) {
   for (auto& c : columns_) c = std::make_unique<FermionFieldD>(geo);
 }
 
-namespace {
-// Shared solve path: even-odd Schur + CG on the normal equations.
-template <typename SchurOp>
-PropagatorStats solve_all_columns(
-    Propagator& out, const SchurOp& shat, const SolverParams& solver,
-    const std::function<void(FermionFieldD&, int, int)>& make_source,
-    const LatticeGeometry& geo) {
+PropagatorStats compute_propagator(
+    Propagator& out, const GaugeFieldD& u, const PropagatorParams& params,
+    const std::function<void(FermionFieldD&, int, int)>& make_source) {
   PropagatorStats stats;
   WallTimer timer;
-  NormalOperator<double> nhat(shat);
-  const auto hv = static_cast<std::size_t>(geo.half_volume());
+  const LatticeGeometry& geo = u.geometry();
+
+  // One solver for all 12 columns. Setup-heavy methods (mg) pay their
+  // setup here, once, and reuse it per column.
+  SolverConfig cfg;
+  cfg.kappa = params.kappa;
+  cfg.csw = params.csw;
+  cfg.bc = params.bc;
+  cfg.base = params.solver;
+  cfg.mg = params.mg_params;
+  const std::unique_ptr<FullSolver> solver =
+      make_solver(u, params.method, cfg);
 
   FermionFieldD b(geo);
-  aligned_vector<WilsonSpinorD> bhat(hv), bhat2(hv), xo(hv), tmp(hv);
-
   for (int s0 = 0; s0 < Ns; ++s0)
     for (int c0 = 0; c0 < Nc; ++c0) {
       make_source(b, s0, c0);
-      shat.prepare_rhs(std::span<WilsonSpinorD>(bhat.data(), hv), b.span());
-      apply_dagger_g5<double>(
-          shat, std::span<WilsonSpinorD>(bhat2.data(), hv),
-          std::span<const WilsonSpinorD>(bhat.data(), hv),
-          std::span<WilsonSpinorD>(tmp.data(), hv));
-      std::fill(xo.begin(), xo.end(), WilsonSpinorD{});
-      const SolverResult r = cg_solve<double>(
-          nhat, std::span<WilsonSpinorD>(xo.data(), hv),
-          std::span<const WilsonSpinorD>(bhat2.data(), hv), solver);
+      FermionFieldD& x = out.column(s0, c0);
+      blas::zero(x.span());
+      const SolverResult r = solver->solve(x.span(), b.span());
       stats.total_iterations += r.iterations;
       stats.worst_residual =
           std::max(stats.worst_residual, r.relative_residual);
@@ -51,26 +45,9 @@ PropagatorStats solve_all_columns(
       if (!r.converged)
         log_warn("propagator column (", s0, ",", c0,
                  ") did not converge: rel=", r.relative_residual);
-      shat.reconstruct(out.column(s0, c0).span(),
-                       std::span<const WilsonSpinorD>(xo.data(), hv),
-                       b.span());
     }
   stats.seconds = timer.seconds();
   return stats;
-}
-}  // namespace
-
-PropagatorStats compute_propagator(
-    Propagator& out, const GaugeFieldD& u, const PropagatorParams& params,
-    const std::function<void(FermionFieldD&, int, int)>& make_source) {
-  const LatticeGeometry& geo = u.geometry();
-  if (params.csw > 0.0) {
-    SchurCloverOperator<double> shat(
-        u, u, {.kappa = params.kappa, .csw = params.csw, .bc = params.bc});
-    return solve_all_columns(out, shat, params.solver, make_source, geo);
-  }
-  SchurWilsonOperator<double> shat(u, params.kappa, params.bc);
-  return solve_all_columns(out, shat, params.solver, make_source, geo);
 }
 
 PropagatorStats compute_point_propagator(Propagator& out,
