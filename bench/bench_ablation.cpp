@@ -2,8 +2,14 @@
 // production dslash ships — (a) the spin-projection trick (vs the naive
 // dense-gamma kernel) and (b) even-odd preconditioning (vs CG on the
 // full normal system). Measured kernel times and iteration counts.
+//
+// --json <path> records the speedups and iteration counts; --quick
+// shrinks the lattice and kappa sweep for CI smoke runs.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "dirac/eo.hpp"
@@ -12,21 +18,29 @@
 #include "linalg/blas.hpp"
 #include "solver/cg.hpp"
 #include "solver/multishift_cg.hpp"
+#include "util/cli.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqcd;
   using namespace lqcd::bench;
+  Cli cli(argc, argv);
+  const std::string json_path = cli.get_string("json", "");
+  const bool quick = cli.get_flag("quick");
+  cli.finish();
 
-  const LatticeGeometry geo({8, 8, 8, 8});
-  const GaugeFieldD u = thermalized(geo, 5.9, 50);
+  const LatticeGeometry geo(quick ? Coord{4, 4, 4, 8}
+                                  : Coord{8, 8, 8, 8});
+  const GaugeFieldD u = thermalized(geo, 5.9, 50, quick ? 6 : 8);
   const GaugeFieldD links = make_fermion_links(u,
                                                TimeBoundary::Antiperiodic);
 
-  std::printf("F6a: spin projection ablation (8^4 dslash, double)\n");
+  std::printf("F6a: spin projection ablation (%dx%dx%dx%d dslash, "
+              "double)\n",
+              geo.dim(0), geo.dim(1), geo.dim(2), geo.dim(3));
   FermionFieldD in(geo), out(geo);
   fill_gaussian(in.span(), 51);
-  const int reps = 20;
+  const int reps = quick ? 5 : 20;
   WallTimer t1;
   for (int i = 0; i < reps; ++i)
     dslash_full(out.span(), cspan(in.span()), links);
@@ -41,7 +55,8 @@ int main() {
               1320.0 * vol / (proj_ms * 1e-3) * 1e-9);
   std::printf("%22s %12.3f %14.2f\n", "naive dense gamma", naive_ms,
               1320.0 * vol / (naive_ms * 1e-3) * 1e-9);
-  std::printf("speedup from projection: %.2fx\n", naive_ms / proj_ms);
+  const double proj_speedup = naive_ms / proj_ms;
+  std::printf("speedup from projection: %.2fx\n", proj_speedup);
 
   std::printf("\nF6b: even-odd preconditioning ablation (CG on normal "
               "equations, tol=1e-8)\n");
@@ -51,7 +66,11 @@ int main() {
   fill_gaussian(b.span(), 52);
   const auto hv = static_cast<std::size_t>(geo.half_volume());
   SolverParams p{.tol = 1e-8, .max_iterations = 20000};
-  for (const double kappa : {0.105, 0.118, 0.124}) {
+  const std::vector<double> kappas =
+      quick ? std::vector<double>{0.118}
+            : std::vector<double>{0.105, 0.118, 0.124};
+  std::string json_rows;
+  for (const double kappa : kappas) {
     WilsonOperator<double> m(u, kappa);
     NormalOperator<double> nm(m);
     FermionFieldD x(geo);
@@ -72,9 +91,18 @@ int main() {
                 rs.seconds * 1e3,
                 rs.seconds > 0 ? rf.seconds / rs.seconds : 0.0,
                 (rf.converged && rs.converged) ? "" : "  [!]");
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "    {\"kappa\": %.3f, \"full_iters\": %d, "
+                  "\"eo_iters\": %d, \"converged\": %s}",
+                  kappa, rf.iterations, rs.iterations,
+                  (rf.converged && rs.converged) ? "true" : "false");
+    if (!json_rows.empty()) json_rows += ",\n";
+    json_rows += row;
   }
   std::printf("\nF6c: multishift CG ablation — one shifted Krylov space vs "
               "sequential solves (4 twisted masses, tol=1e-8)\n");
+  double multishift_speedup = 0.0;
   {
     WilsonOperator<double> m(u, 0.12);
     NormalOperator<double> nm(m);
@@ -96,7 +124,22 @@ int main() {
                 ms_time);
     std::printf("%16s %8d iters %10.2f ms\n", "sequential", seq_iters,
                 seq_time);
-    std::printf("speedup: %.2fx\n", seq_time / ms_time);
+    multishift_speedup = ms_time > 0 ? seq_time / ms_time : 0.0;
+    std::printf("speedup: %.2fx\n", multishift_speedup);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    js << "{\n"
+       << "  \"schema\": \"lqcd.bench.ablation/1\",\n"
+       << "  \"experiment\": \"structural-ablations\",\n"
+       << "  \"lattice\": [" << geo.dim(0) << ", " << geo.dim(1) << ", "
+       << geo.dim(2) << ", " << geo.dim(3) << "],\n"
+       << "  \"projection_speedup\": " << proj_speedup << ",\n"
+       << "  \"multishift_speedup\": " << multishift_speedup << ",\n"
+       << "  \"eo\": [\n" << json_rows << "\n  ]\n"
+       << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   std::printf("\nShape: projection wins ~1.5-2x on kernel time (half the "

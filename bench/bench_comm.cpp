@@ -2,46 +2,73 @@
 // exchange byte/message counts from the virtual cluster (the structure an
 // MPI job would produce), cross-checked against the analytic model's
 // charges. Model side: per-message sizes and times vs local volume on
-// the machine presets.
+// the machine presets, reported both as the un-overlapped serial sum
+// (t_sequential) and the overlap-adjusted total (t_total) with the
+// hidden-comm fraction. Measured side: the split-phase distributed
+// dslash's own phase timers (T3d).
 //
-// --json <path> records the T3c achieved-vs-model comparison
-// (schema-versioned); --report <path> dumps the full telemetry run
-// report (schema lqcd.telemetry/1) so the comm.halo.* counters can be
-// diffed against the model offline.
+// --json <path> records the T3c achieved-vs-model comparison and the
+// T3d measured overlap numbers (schema-versioned); --report <path>
+// dumps the full telemetry run report (schema lqcd.telemetry/1) so the
+// comm.halo.* counters can be diffed against the model offline.
+// --quick shrinks the lattice and rep counts for CI smoke runs.
 
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "comm/halo.hpp"
 #include "comm/machine.hpp"
 #include "comm/perf_model.hpp"
+#include "gauge/gauge_field.hpp"
 #include "lattice/field.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+struct OverlapRow {
+  lqcd::Coord grid{};
+  int ranks = 0;
+  double t_seq_ms = 0.0;
+  double t_ovl_ms = 0.0;
+  double hidden = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace lqcd;
   Cli cli(argc, argv);
   const std::string json_path = cli.get_string("json", "");
   const std::string report_path = cli.get_string("report", "");
+  const bool quick = cli.get_flag("quick");
   cli.finish();
 
+  const LatticeGeometry geo(quick ? Coord{4, 4, 4, 8}
+                                  : Coord{8, 8, 8, 16});
+  const int reps = quick ? 2 : 5;
+
   std::printf("T3a (functional): virtual-cluster halo exchange, "
-              "8x8x8x16 global lattice\n");
+              "%dx%dx%dx%d global lattice\n",
+              geo.dim(0), geo.dim(1), geo.dim(2), geo.dim(3));
   std::printf("%12s %8s %12s %14s %12s\n", "grid", "ranks", "msgs/xchg",
               "bytes/xchg", "time[ms]");
-  const LatticeGeometry geo({8, 8, 8, 16});
-  for (const Coord grid : {Coord{1, 1, 1, 2}, Coord{2, 1, 1, 2},
-                           Coord{2, 2, 2, 2}, Coord{2, 2, 2, 4}}) {
+  std::vector<Coord> grids{Coord{1, 1, 1, 2}, Coord{2, 1, 1, 2}};
+  if (!quick) {
+    grids.push_back(Coord{2, 2, 2, 2});
+    grids.push_back(Coord{2, 2, 2, 4});
+  }
+  for (const Coord grid : grids) {
     const ProcessGrid pg(grid);
     VirtualCluster<double> vc(geo, pg);
     auto f = vc.make_fermion();
     vc.exchange(f);  // warm-up
     vc.stats().reset();
     WallTimer t;
-    const int reps = 5;
     for (int i = 0; i < reps; ++i) vc.exchange(f);
     const double ms = t.seconds() * 1e3 / reps;
     std::printf("%5dx%dx%dx%-3d %8d %12lld %14lld %12.3f\n", grid[0],
@@ -56,9 +83,12 @@ int main(int argc, char** argv) {
               "halo bytes", "msgs", "BG/Q t[us]", "K t[us]",
               "cluster t[us]");
   PerfModelOptions opt;
-  for (const Coord local : {Coord{4, 4, 4, 4}, Coord{8, 8, 8, 8},
-                            Coord{16, 16, 16, 16},
-                            Coord{24, 24, 24, 24}}) {
+  const std::vector<Coord> locals =
+      quick ? std::vector<Coord>{Coord{4, 4, 4, 4}, Coord{8, 8, 8, 8}}
+            : std::vector<Coord>{Coord{4, 4, 4, 4}, Coord{8, 8, 8, 8},
+                                 Coord{16, 16, 16, 16},
+                                 Coord{24, 24, 24, 24}};
+  for (const Coord local : locals) {
     const Coord grid{2, 2, 2, 2};
     const DslashCost bgq = model_dslash(local, grid, blue_gene_q(), opt);
     const DslashCost k = model_dslash(local, grid, k_computer(), opt);
@@ -69,12 +99,35 @@ int main(int argc, char** argv) {
                 bgq.messages, bgq.t_comm * 1e6, k.t_comm * 1e6,
                 cl.t_comm * 1e6);
   }
+
+  // The un-overlapped serial sum vs the overlap-adjusted total. The
+  // hidden fraction is capped by both the overlap knob and the interior
+  // fraction (share of sites computable while halos are in flight).
+  std::printf("\nT3b' (modeled): overlap-adjusted dslash time, grid "
+              "2x2x2x2 (overlap knob %.2f)\n", opt.overlap);
+  std::printf("%14s %8s | %12s %12s %8s %8s\n", "local volume",
+              "machine", "t_seq[us]", "t_total[us]", "hidden", "interior");
+  for (const Coord local : locals) {
+    const Coord grid{2, 2, 2, 2};
+    struct { const char* name; MachineModel m; } machines[] = {
+        {"bgq", blue_gene_q()}, {"k", k_computer()},
+        {"cluster", generic_cluster()}};
+    for (const auto& mm : machines) {
+      const DslashCost c = model_dslash(local, grid, mm.m, opt);
+      std::printf("%5dx%dx%dx%-4d %8s | %12.2f %12.2f %8.3f %8.3f\n",
+                  local[0], local[1], local[2], local[3], mm.name,
+                  c.t_sequential * 1e6, c.t_total * 1e6,
+                  c.hidden_fraction, c.interior_fraction);
+    }
+  }
   std::printf("\nShape: halo bytes scale with the local surface "
               "(volume^(3/4) per direction); at small local volumes the "
               "per-message latency floor dominates — the same effect that "
-              "bends the strong-scaling curve in F1. The functional "
-              "counts in T3a are exact and match what the model charges "
-              "per exchange.\n");
+              "bends the strong-scaling curve in F1. Overlap recovers at "
+              "most the interior-window share of comm; thin local extents "
+              "(<= 2 sites) have no interior and hide nothing. The "
+              "functional counts in T3a are exact and match what the "
+              "model charges per exchange.\n");
 
   // T3c: the telemetry counters charged by the exchanges above, diffed
   // against the model for the fully decomposed grid. The virtual cluster
@@ -90,7 +143,6 @@ int main(int argc, char** argv) {
   const ProcessGrid pg({2, 2, 2, 2});
   VirtualCluster<double> vc(geo, pg);
   auto f = vc.make_fermion();
-  const int reps = 4;
   for (int i = 0; i < reps; ++i) vc.exchange(f);
   const double achieved_per_exchange =
       static_cast<double>(c_bytes.value() - bytes0) /
@@ -110,19 +162,71 @@ int main(int argc, char** argv) {
               achieved_per_exchange, model_per_exchange,
               achieved_per_exchange / model_per_exchange);
 
+  // T3d: measured split-phase overlap. The distributed Wilson operator
+  // times its four phases (begin / interior / finish / surface); the
+  // serial sum is what the blocking schedule costs, the overlapped
+  // total subtracts the comm time hidden behind the interior window.
+  // bench_dslash --overlap compares these fractions against the model.
+  std::printf("\nT3d (measured): split-phase dslash, serial sum vs "
+              "overlap-adjusted total\n");
+  std::printf("%12s %8s %12s %12s %8s\n", "grid", "ranks", "t_seq[ms]",
+              "t_ovl[ms]", "hidden");
+  GaugeFieldD u(geo);
+  u.set_random(SiteRngFactory(11));
+  FermionFieldD fin(geo), fout(geo);
+  for (auto& s : fin.span()) s.s[0].c[0] = Cplxd(1.0);
+  std::vector<Coord> ogrids{Coord{2, 1, 1, 2}};
+  if (!quick) ogrids.push_back(Coord{2, 2, 2, 2});
+  std::vector<OverlapRow> orows;
+  for (const Coord grid : ogrids) {
+    DistributedWilsonOperator<double> op(u, 0.12, ProcessGrid(grid));
+    op.apply(fout.span(), fin.span());  // warm-up
+    op.reset_overlap_stats();
+    for (int i = 0; i < reps; ++i) op.apply(fout.span(), fin.span());
+    const OverlapStats& ov = op.overlap_stats();
+    const double n = static_cast<double>(ov.applies);
+    OverlapRow row;
+    row.grid = grid;
+    row.ranks = ProcessGrid(grid).size();
+    row.t_seq_ms = ov.t_sequential_s() * 1e3 / n;
+    row.t_ovl_ms = ov.t_overlapped_s() * 1e3 / n;
+    row.hidden = ov.hidden_fraction();
+    orows.push_back(row);
+    std::printf("%5dx%dx%dx%-3d %8d %12.3f %12.3f %8.3f\n", grid[0],
+                grid[1], grid[2], grid[3], row.ranks, row.t_seq_ms,
+                row.t_ovl_ms, row.hidden);
+  }
+
   if (!json_path.empty()) {
     std::ofstream js(json_path);
     js << "{\n"
        << "  \"schema\": \"lqcd.bench.comm/1\",\n"
        << "  \"telemetry_schema\": \"" << telemetry::kSchema << "\",\n"
        << "  \"experiment\": \"halo-exchange-counts\",\n"
-       << "  \"lattice\": [8, 8, 8, 16],\n"
+       << "  \"lattice\": [" << geo.dim(0) << ", " << geo.dim(1) << ", "
+       << geo.dim(2) << ", " << geo.dim(3) << "],\n"
        << "  \"grid\": [2, 2, 2, 2],\n"
        << "  \"achieved_halo_bytes_per_exchange\": "
        << achieved_per_exchange << ",\n"
        << "  \"model_halo_bytes_per_exchange\": " << model_per_exchange
        << ",\n"
-       << "  \"model_tolerance_pct\": 1.0\n"
+       << "  \"model_tolerance_pct\": 1.0,\n"
+       << "  \"model_t_sequential_us\": " << model.t_sequential * 1e6
+       << ",\n"
+       << "  \"model_t_total_us\": " << model.t_total * 1e6 << ",\n"
+       << "  \"model_hidden_fraction\": " << model.hidden_fraction
+       << ",\n"
+       << "  \"overlap_measured\": [\n";
+    for (std::size_t i = 0; i < orows.size(); ++i) {
+      const OverlapRow& r = orows[i];
+      js << "    {\"grid\": [" << r.grid[0] << ", " << r.grid[1] << ", "
+         << r.grid[2] << ", " << r.grid[3] << "], \"ranks\": " << r.ranks
+         << ", \"t_sequential_ms\": " << r.t_seq_ms
+         << ", \"t_overlapped_ms\": " << r.t_ovl_ms
+         << ", \"hidden_fraction\": " << r.hidden << "}"
+         << (i + 1 < orows.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n"
        << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -1,51 +1,82 @@
 // Experiment T4: gauge ensemble generation throughput and correctness
 // diagnostics — heatbath/over-relaxation sweep times and plaquettes over
 // a beta sweep, plus HMC dH / acceptance at two step sizes.
+//
+// --json <path> records the plaquette/acceptance summary; --quick trims
+// the sweeps/trajectories for CI smoke runs.
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "gauge/flow.hpp"
 #include "gauge/heatbath.hpp"
 #include "gauge/observables.hpp"
 #include "hmc/hmc.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqcd;
-  const LatticeGeometry geo({8, 8, 8, 8});
+  Cli cli(argc, argv);
+  const std::string json_path = cli.get_string("json", "");
+  const bool quick = cli.get_flag("quick");
+  cli.finish();
 
-  std::printf("T4a: heatbath + 2x over-relaxation on 8^4, 10 measured "
-              "sweeps after 10 thermalization sweeps\n");
+  const LatticeGeometry geo(quick ? Coord{4, 4, 4, 4}
+                                  : Coord{8, 8, 8, 8});
+  const int sweeps = quick ? 4 : 10;
+
+  std::printf("T4a: heatbath + 2x over-relaxation on %dx%dx%dx%d, %d "
+              "measured sweeps after %d thermalization sweeps\n",
+              geo.dim(0), geo.dim(1), geo.dim(2), geo.dim(3), sweeps,
+              sweeps);
   std::printf("%6s %12s %12s %14s %14s\n", "beta", "<P>", "err",
               "sweep[ms]", "strong/weak ref");
-  for (const double beta : {0.5, 5.7, 6.0, 6.2}) {
+  const std::vector<double> betas =
+      quick ? std::vector<double>{0.5, 5.7}
+            : std::vector<double>{0.5, 5.7, 6.0, 6.2};
+  std::string hb_rows;
+  for (const double beta : betas) {
     GaugeFieldD u(geo);
     u.set_random(SiteRngFactory(40));
     Heatbath hb(u, {.beta = beta, .or_per_hb = 2, .seed = 41});
-    for (int i = 0; i < 10; ++i) hb.sweep();
+    for (int i = 0; i < sweeps; ++i) hb.sweep();
     std::vector<double> plaq;
     WallTimer t;
-    for (int i = 0; i < 10; ++i) plaq.push_back(hb.sweep());
-    const double ms = t.seconds() * 1e3 / 10;
+    for (int i = 0; i < sweeps; ++i) plaq.push_back(hb.sweep());
+    const double ms = t.seconds() * 1e3 / sweeps;
     const double ref = beta < 2.0 ? plaquette_strong_coupling(beta)
                                   : plaquette_weak_coupling(beta);
     std::printf("%6.2f %12.5f %12.5f %14.1f %14.4f\n", beta, mean(plaq),
                 standard_error(plaq), ms, ref);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "    {\"beta\": %.2f, \"plaquette\": %.5f, "
+                  "\"sweep_ms\": %.3f}",
+                  beta, mean(plaq), ms);
+    if (!hb_rows.empty()) hb_rows += ",\n";
+    hb_rows += row;
   }
 
-  std::printf("\nT4b: pure-gauge HMC on 8^4 at beta=5.7 (Omelyan, "
-              "trajectory length 1)\n");
+  std::printf("\nT4b: pure-gauge HMC on %dx%dx%dx%d at beta=5.7 "
+              "(Omelyan, trajectory length 1)\n",
+              geo.dim(0), geo.dim(1), geo.dim(2), geo.dim(3));
   std::printf("%8s %12s %12s %12s %14s\n", "steps", "<|dH|>", "accept",
               "<P>", "traj[ms]");
-  for (const int steps : {8, 16}) {
+  const std::vector<int> step_counts =
+      quick ? std::vector<int>{8} : std::vector<int>{8, 16};
+  std::string hmc_rows;
+  for (const int steps : step_counts) {
     GaugeFieldD u(geo);
     u.set_random(SiteRngFactory(42));
     {
       Heatbath pre(u, {.beta = 5.7, .or_per_hb = 1, .seed = 43});
-      for (int i = 0; i < 8; ++i) pre.sweep();
+      for (int i = 0; i < (quick ? 4 : 8); ++i) pre.sweep();
     }
     Hmc hmc(u, {.beta = 5.7,
                 .trajectory_length = 1.0,
@@ -54,7 +85,7 @@ int main() {
                 .seed = 44});
     std::vector<double> adh, plaq;
     WallTimer t;
-    const int n = 8;
+    const int n = quick ? 3 : 8;
     for (int i = 0; i < n; ++i) {
       const TrajectoryResult r = hmc.trajectory();
       adh.push_back(std::abs(r.delta_h));
@@ -63,6 +94,13 @@ int main() {
     std::printf("%8d %12.4f %11.0f%% %12.5f %14.1f\n", steps, mean(adh),
                 100.0 * hmc.acceptance_rate(), mean(plaq),
                 t.seconds() * 1e3 / n);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "    {\"steps\": %d, \"mean_abs_dh\": %.4f, "
+                  "\"acceptance\": %.3f}",
+                  steps, mean(adh), hmc.acceptance_rate());
+    if (!hmc_rows.empty()) hmc_rows += ",\n";
+    hmc_rows += row;
   }
   std::printf("\nT4c: Wilson flow scale setting on the beta=6.0 stream "
               "(t^2<E> vs flow time)\n");
@@ -70,12 +108,26 @@ int main() {
     GaugeFieldD u(geo);
     u.set_random(SiteRngFactory(45));
     Heatbath hb(u, {.beta = 6.0, .or_per_hb = 2, .seed = 46});
-    for (int i = 0; i < 15; ++i) hb.sweep();
-    const auto hist = wilson_flow(u, {.step = 0.02, .steps = 10});
+    for (int i = 0; i < (quick ? 6 : 15); ++i) hb.sweep();
+    const auto hist = wilson_flow(u, {.step = 0.02,
+                                      .steps = quick ? 4 : 10});
     std::printf("%8s %12s %12s %12s\n", "t", "<E>", "t^2<E>", "plaq");
     for (const auto& o : hist)
       std::printf("%8.3f %12.4f %12.5f %12.5f\n", o.t, o.energy, o.t2e,
                   o.plaquette);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    js << "{\n"
+       << "  \"schema\": \"lqcd.bench.ensemble/1\",\n"
+       << "  \"experiment\": \"ensemble-generation\",\n"
+       << "  \"lattice\": [" << geo.dim(0) << ", " << geo.dim(1) << ", "
+       << geo.dim(2) << ", " << geo.dim(3) << "],\n"
+       << "  \"heatbath\": [\n" << hb_rows << "\n  ],\n"
+       << "  \"hmc\": [\n" << hmc_rows << "\n  ]\n"
+       << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   std::printf("\nShape: plaquette tracks beta/18 at strong coupling and "

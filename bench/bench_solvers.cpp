@@ -3,24 +3,36 @@
 // normal Schur system, BiCGStab on M, and GCR — measured on a thermalized
 // quenched configuration. All pipelines come from solver/factory.hpp, the
 // same code path the examples use.
+//
+// --json <path> records the per-kappa iteration counts; --quick shrinks
+// the lattice and kappa sweep for CI smoke runs.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "solver/factory.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqcd;
   using namespace lqcd::bench;
+  Cli cli(argc, argv);
+  const std::string json_path = cli.get_string("json", "");
+  const bool quick = cli.get_flag("quick");
+  cli.finish();
 
-  const LatticeGeometry geo({8, 8, 8, 8});
-  const GaugeFieldD u = thermalized(geo, 5.9, 10);
+  const LatticeGeometry geo(quick ? Coord{4, 4, 4, 8}
+                                  : Coord{8, 8, 8, 8});
+  const GaugeFieldD u = thermalized(geo, 5.9, 10, quick ? 4 : 8);
   FermionFieldD b(geo);
   fill_gaussian(b.span(), 11);
 
-  std::printf("T2: solver comparison on a thermalized 8^4 quenched "
-              "configuration (beta=5.9, tol=1e-8)\n");
+  std::printf("T2: solver comparison on a thermalized %dx%dx%dx%d "
+              "quenched configuration (beta=5.9, tol=1e-8)\n",
+              geo.dim(0), geo.dim(1), geo.dim(2), geo.dim(3));
   std::printf("%8s | %22s | %22s | %22s\n", "kappa", "eo-CG (normal eq)",
               "BiCGStab (full M)", "GCR(16) (full M)");
   std::printf("%8s | %10s %11s | %10s %11s | %10s %11s\n", "", "iters",
@@ -28,7 +40,11 @@ int main() {
 
   const SolverKind kinds[] = {SolverKind::EoCg, SolverKind::BiCgStab,
                               SolverKind::Gcr};
-  for (const double kappa : {0.100, 0.110, 0.118, 0.124}) {
+  const std::vector<double> kappas =
+      quick ? std::vector<double>{0.118}
+            : std::vector<double>{0.100, 0.110, 0.118, 0.124};
+  std::string json_rows;
+  for (const double kappa : kappas) {
     SolverConfig cfg;
     cfg.kappa = kappa;
     cfg.base = {.tol = 1e-8, .max_iterations = 20000};
@@ -46,6 +62,27 @@ int main() {
                 results[1].iterations, results[1].seconds * 1e3,
                 results[2].iterations, results[2].seconds * 1e3,
                 ok ? "" : "  [!] unconverged");
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"kappa\": %.3f, \"eo_cg_iters\": %d, "
+                  "\"bicgstab_iters\": %d, \"gcr_iters\": %d, "
+                  "\"converged\": %s}",
+                  kappa, results[0].iterations, results[1].iterations,
+                  results[2].iterations, ok ? "true" : "false");
+    if (!json_rows.empty()) json_rows += ",\n";
+    json_rows += row;
+  }
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    js << "{\n"
+       << "  \"schema\": \"lqcd.bench.solvers/1\",\n"
+       << "  \"experiment\": \"critical-slowing-down\",\n"
+       << "  \"lattice\": [" << geo.dim(0) << ", " << geo.dim(1) << ", "
+       << geo.dim(2) << ", " << geo.dim(3) << "],\n"
+       << "  \"tol\": 1e-8,\n"
+       << "  \"kappas\": [\n" << json_rows << "\n  ]\n"
+       << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
   }
   std::printf("\nShape check: every column's iteration count must grow "
               "toward kappa_c (critical slowing down);\n"

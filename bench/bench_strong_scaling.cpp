@@ -3,12 +3,18 @@
 // figure, regenerated from the calibrated analytic model (the documented
 // substitution for cluster access; the functional virtual cluster
 // validates the communication structure the model charges for).
+//
+// --json <path> records the BG/Q 48^3x96 curve; --quick trims the node
+// sweep for CI smoke runs.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "comm/machine.hpp"
 #include "comm/perf_model.hpp"
+#include "util/cli.hpp"
 
 namespace {
 void table(const char* title, const std::vector<lqcd::ScalingPoint>& pts) {
@@ -23,14 +29,21 @@ void table(const char* title, const std::vector<lqcd::ScalingPoint>& pts) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqcd;
+  Cli cli(argc, argv);
+  const std::string json_path = cli.get_string("json", "");
+  const bool quick = cli.get_flag("quick");
+  cli.finish();
+
   PerfModelOptions opt;
   opt.precision_bytes = 8;
 
-  const std::vector<int> nodes = {16,   32,   64,   128,  256,   512,
-                                  1024, 2048, 4096, 8192, 16384, 32768,
-                                  49152, 65536};
+  const std::vector<int> nodes =
+      quick ? std::vector<int>{16, 64, 256, 1024}
+            : std::vector<int>{16,   32,   64,    128,   256,  512,
+                               1024, 2048, 4096,  8192,  16384, 32768,
+                               49152, 65536};
 
   std::printf("F1: strong scaling, even-odd CG iteration "
               "(modeled; double precision, half-spinor halos)\n");
@@ -41,9 +54,30 @@ int main() {
     std::snprintf(t1, sizeof(t1), "=== 48^3 x 96 on %s ===",
                   machine.name.c_str());
     table(t1, strong_scaling({48, 48, 48, 96}, machine, opt, nodes));
+    if (quick) continue;
     std::snprintf(t2, sizeof(t2), "=== 96^3 x 192 on %s ===",
                   machine.name.c_str());
     table(t2, strong_scaling({96, 96, 96, 192}, machine, opt, nodes));
+  }
+
+  if (!json_path.empty()) {
+    const auto pts = strong_scaling({48, 48, 48, 96}, blue_gene_q(), opt,
+                                    nodes);
+    std::ofstream js(json_path);
+    js << "{\n"
+       << "  \"schema\": \"lqcd.bench.strong_scaling/1\",\n"
+       << "  \"experiment\": \"strong-scaling\",\n"
+       << "  \"machine\": \"" << blue_gene_q().name << "\",\n"
+       << "  \"lattice\": [48, 48, 48, 96],\n"
+       << "  \"points\": [\n";
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      js << "    {\"nodes\": " << pts[i].nodes << ", \"t_iter_us\": "
+         << pts[i].cost.t_iter * 1e6 << ", \"efficiency\": "
+         << pts[i].efficiency << "}"
+         << (i + 1 < pts.size() ? "," : "") << "\n";
+    js << "  ]\n"
+       << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   std::printf("\nShape: efficiency stays >90%% while the local volume is "

@@ -1,20 +1,33 @@
 // Experiment F2: weak scaling (sustained PFLOP/s at fixed local volume)
 // out to ~10^5 nodes on the machine presets — the "machine fills up"
 // figure. Modeled; see DESIGN.md for the substitution rationale.
+//
+// --json <path> records the BG/Q 16^4-per-node curve; --quick trims the
+// node sweep for CI smoke runs.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "comm/machine.hpp"
 #include "comm/perf_model.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqcd;
+  Cli cli(argc, argv);
+  const std::string json_path = cli.get_string("json", "");
+  const bool quick = cli.get_flag("quick");
+  cli.finish();
+
   PerfModelOptions opt;
   opt.precision_bytes = 8;
 
-  const std::vector<int> nodes = {16,    64,    256,   1024, 4096,
-                                  16384, 49152, 98304};
+  const std::vector<int> nodes =
+      quick ? std::vector<int>{16, 256, 4096}
+            : std::vector<int>{16,    64,    256,   1024, 4096,
+                               16384, 49152, 98304};
 
   std::printf("F2: weak scaling, even-odd CG iteration (modeled)\n");
   for (const auto& machine : {blue_gene_q(), k_computer(),
@@ -30,6 +43,27 @@ int main() {
                     100.0 * p.efficiency, 100.0 * p.cost.comm_fraction);
     }
   }
+
+  if (!json_path.empty()) {
+    const auto pts =
+        weak_scaling({16, 16, 16, 16}, blue_gene_q(), opt, nodes);
+    std::ofstream js(json_path);
+    js << "{\n"
+       << "  \"schema\": \"lqcd.bench.weak_scaling/1\",\n"
+       << "  \"experiment\": \"weak-scaling\",\n"
+       << "  \"machine\": \"" << blue_gene_q().name << "\",\n"
+       << "  \"local\": [16, 16, 16, 16],\n"
+       << "  \"points\": [\n";
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      js << "    {\"nodes\": " << pts[i].nodes << ", \"tflops\": "
+         << pts[i].sustained_tflops << ", \"efficiency\": "
+         << pts[i].efficiency << "}"
+         << (i + 1 < pts.size() ? "," : "") << "\n";
+    js << "  ]\n"
+       << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
   std::printf("\nShape: near-flat efficiency (nearest-neighbor halos are "
               "node-count independent); the slow decay is the log(N) "
               "allreduce. Larger local volumes sit closer to 100%%. The "

@@ -3,20 +3,32 @@
 // inside one process.
 //
 // Each rank owns a local sub-lattice stored with a depth-1 ghost frame
-// (the "halo"). exchange() packs boundary planes into per-message buffers
-// and delivers them into the neighbor rank's ghost frame — the same
-// pack/send/recv/unpack structure an MPI backend would run, with memcpy as
-// the transport. Byte and message counts are recorded so the analytic
-// network model can be cross-checked against the functional path.
+// (the "halo"). The exchange is split-phase, the way a production dslash
+// drives MPI: exchange_begin() packs boundary planes into per-message
+// buffers and posts them through the fault injector / CRC framing;
+// exchange_finish() delivers, verifies, retransmits and unpacks into the
+// ghost frames. The blocking exchange() is the composition of the two.
+// Byte and message counts are recorded so the analytic network model can
+// be cross-checked against the functional path.
 //
 // DistributedWilsonOperator applies the full Wilson matrix through this
-// machinery and is validated bit-for-bit against the single-domain
-// operator — the correctness anchor for every scaling claim in the bench
-// harness.
+// machinery with communication/computation overlap: sites at least one
+// step away from every local face ("interior" in the overlap sense) only
+// read resident data, so they are computed between begin and finish; the
+// remaining "surface" sites follow once the ghosts are filled. The result
+// is bit-identical to the sequential schedule by construction — the
+// per-site arithmetic is shared, only the order differs — and is
+// validated bit-for-bit against the single-domain operator: the
+// correctness anchor for every scaling claim in the bench harness.
 
+#include <algorithm>
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "comm/fault.hpp"
@@ -31,6 +43,7 @@
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/telemetry.hpp"
+#include "util/timer.hpp"
 
 namespace lqcd {
 
@@ -76,11 +89,45 @@ class HaloLattice {
     return interior_vol_ / l_[mu];
   }
 
+  // --- overlap partition -------------------------------------------------
+  // "Interior" here is the overlap sense (distinct from interior_volume(),
+  // which counts all owned sites): a site whose full stencil is closed
+  // over resident data, i.e. >= 1 away from every local face. "Surface"
+  // sites touch at least one ghost. Both lists hold lexicographic site
+  // indices (the argument interior_coords() accepts); they are disjoint
+  // and together cover the local volume. With any extent == 2 the interior
+  // is empty and every site is surface.
+
+  /// Sites computable before the halo exchange completes.
+  [[nodiscard]] std::span<const std::int64_t> interior_sites()
+      const noexcept {
+    return interior_all_;
+  }
+  /// Sites whose hops read ghost data; compute after exchange_finish().
+  [[nodiscard]] std::span<const std::int64_t> surface_sites()
+      const noexcept {
+    return surface_all_;
+  }
+  /// Parity-filtered views; `parity` is the local checkerboard parity
+  /// (x0+x1+x2+x3) mod 2 of the site's local coordinate.
+  [[nodiscard]] std::span<const std::int64_t> interior_sites(
+      int parity) const noexcept {
+    return interior_par_[static_cast<std::size_t>(parity)];
+  }
+  [[nodiscard]] std::span<const std::int64_t> surface_sites(
+      int parity) const noexcept {
+    return surface_par_[static_cast<std::size_t>(parity)];
+  }
+
  private:
   Coord l_;
   Coord e_;
   std::int64_t interior_vol_;
   std::int64_t ext_vol_;
+  std::vector<std::int64_t> interior_all_;
+  std::vector<std::int64_t> surface_all_;
+  std::array<std::vector<std::int64_t>, 2> interior_par_;
+  std::array<std::vector<std::int64_t>, 2> surface_par_;
 };
 
 /// Communication counters accumulated by exchange operations.
@@ -138,6 +185,12 @@ class VirtualCluster {
   [[nodiscard]] const Coord& origin(int rank) const {
     return origins_[static_cast<std::size_t>(rank)];
   }
+  /// Checkerboard parity of rank's origin: a rank-local site's global
+  /// parity is its local parity XOR this.
+  [[nodiscard]] int origin_parity(int rank) const {
+    const Coord& o = origins_[static_cast<std::size_t>(rank)];
+    return static_cast<int>((o[0] + o[1] + o[2] + o[3]) & 1);
+  }
   [[nodiscard]] CommStats& stats() const { return stats_; }
 
   /// Enable/disable the hardened transport (CRC framing + retransmit).
@@ -193,6 +246,50 @@ class VirtualCluster {
     });
   }
 
+  /// Distribute one checkerboard block of a global field (half volume,
+  /// cb layout: index 0 of block `parity` is that parity's first site)
+  /// into the matching rank-local sites. Sites of the other parity keep
+  /// their current values — callers reuse zero-initialized rank storage
+  /// so those stay deterministically zero.
+  void scatter_parity(std::vector<RankFermion>& dst,
+                      std::span<const WilsonSpinor<T>> src,
+                      int parity) const {
+    const std::int64_t hv = global_->half_volume();
+    LQCD_REQUIRE(src.size() == static_cast<std::size_t>(hv),
+                 "scatter_parity: half-volume field size");
+    const std::int64_t base = parity == 0 ? 0 : hv;
+    for_each_rank([&](int r) {
+      RankFermion& loc = dst[static_cast<std::size_t>(r)];
+      for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+        const Coord xl = halo_.interior_coords(i);
+        const std::int64_t cb = global_->cb_index(global_coords(r, xl));
+        if ((cb >= hv ? 1 : 0) != parity) continue;
+        loc[static_cast<std::size_t>(halo_.ext_index(xl))] =
+            src[static_cast<std::size_t>(cb - base)];
+      }
+    });
+  }
+
+  /// Collect one parity's rank-local sites into a half-volume cb block.
+  void gather_parity(std::span<WilsonSpinor<T>> dst,
+                     const std::vector<RankFermion>& src,
+                     int parity) const {
+    const std::int64_t hv = global_->half_volume();
+    LQCD_REQUIRE(dst.size() == static_cast<std::size_t>(hv),
+                 "gather_parity: half-volume field size");
+    const std::int64_t base = parity == 0 ? 0 : hv;
+    for_each_rank([&](int r) {
+      const RankFermion& loc = src[static_cast<std::size_t>(r)];
+      for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+        const Coord xl = halo_.interior_coords(i);
+        const std::int64_t cb = global_->cb_index(global_coords(r, xl));
+        if ((cb >= hv ? 1 : 0) != parity) continue;
+        dst[static_cast<std::size_t>(cb - base)] =
+            loc[static_cast<std::size_t>(halo_.ext_index(xl))];
+      }
+    });
+  }
+
   /// Distribute a gauge field and fill its ghost links (one-time setup
   /// exchange, as a production code does after loading a configuration).
   [[nodiscard]] std::vector<RankGauge> scatter_gauge(
@@ -212,15 +309,37 @@ class VirtualCluster {
     return out;
   }
 
-  /// Halo exchange for a fermion field: fill every rank's ghost frame
-  /// from the neighbors' boundary planes.
+  /// Blocking halo exchange for a fermion field: the composition of
+  /// exchange_begin() and exchange_finish().
   void exchange(std::vector<RankFermion>& f) const {
-    exchange_impl<WilsonSpinor<T>>(f);
+    begin_impl<WilsonSpinor<T>>(f, /*split=*/false);
+    finish_impl<WilsonSpinor<T>>(f);
+  }
+
+  /// Phase 1 of the split exchange: pack every rank's 8 face messages and
+  /// post them through the fault injector / CRC framing. After this call
+  /// the boundary planes of `f` may not be modified until
+  /// exchange_finish() — a detected corruption repacks from them.
+  /// Interior (overlap-partition) sites are free to be read and written.
+  void exchange_begin(std::vector<RankFermion>& f) const {
+    begin_impl<WilsonSpinor<T>>(f, /*split=*/true);
+  }
+
+  /// Phase 2: verify, retransmit on detected faults, and unpack into the
+  /// ghost frames. Must follow an exchange_begin() on the same field.
+  void exchange_finish(std::vector<RankFermion>& f) const {
+    finish_impl<WilsonSpinor<T>>(f);
+  }
+
+  /// True between exchange_begin() and exchange_finish().
+  [[nodiscard]] bool exchange_in_flight() const noexcept {
+    return pending_.phase == ExchangePhase::kBegun;
   }
 
   /// Halo exchange for gauge ghosts.
   void exchange_gauge(std::vector<RankGauge>& g) const {
-    exchange_impl<LinkSite<T>>(g);
+    begin_impl<LinkSite<T>>(g, /*split=*/false);
+    finish_impl<LinkSite<T>>(g);
   }
 
   /// Global coordinate of rank-local coordinate xl (periodic wrap).
@@ -239,95 +358,228 @@ class VirtualCluster {
                  [&](std::size_t r) { body(static_cast<int>(r)); });
   }
 
+  enum class ExchangePhase { kIdle, kBegun };
+
+  /// One in-flight face message: type-erased payload plus the transport
+  /// state the finish phase needs to verify and retransmit.
+  struct PendingMessage {
+    std::vector<std::byte> payload;
+    std::uint32_t sent_crc = 0;
+    bool arrived = true;
+    bool tampered = false;
+  };
+
+  /// Split-exchange bookkeeping. Scalar fields are written only outside
+  /// the parallel regions; msgs slots are partitioned by rank, so the
+  /// per-rank bodies never race.
+  struct PendingExchange {
+    ExchangePhase phase = ExchangePhase::kIdle;
+    const void* field = nullptr;  ///< identity guard for finish()
+    std::size_t site_bytes = 0;   ///< site-type guard for finish()
+    std::uint64_t epoch = 0;
+    bool split = false;  ///< driven via the public begin/finish pair
+    CommStats before;    ///< telemetry delta base, snapshot at begin
+    std::vector<PendingMessage> msgs;  ///< indexed by msg_slot()
+  };
+
+  [[nodiscard]] std::size_t msg_slot(int r, int mu, int dir) const noexcept {
+    return (static_cast<std::size_t>(r) * Nd +
+            static_cast<std::size_t>(mu)) *
+               2 +
+           (dir > 0 ? 1 : 0);
+  }
+
+  /// Pack the neighbor's boundary plane orthogonal to mu at x[mu] =
+  /// src_coord into a byte payload (site-wise memcpy: one flat message
+  /// buffer regardless of site type).
   template <typename SiteT>
-  void exchange_impl(std::vector<std::vector<SiteT, AlignedAllocator<SiteT>>>&
-                         field) const {
-    // Pull model: every rank fills its 8 ghost planes by packing the
-    // matching boundary plane of the neighbor rank through a message
-    // buffer (mimicking send/recv). With resilience enabled each message
-    // is CRC-32-framed; the fault injector may corrupt or drop it in
-    // transit, and a detected fault triggers a bounded retransmit with
-    // exponential backoff (modeled, not slept).
+  void pack_face(std::vector<std::byte>& out,
+                 const std::vector<SiteT, AlignedAllocator<SiteT>>& theirs,
+                 int mu, int src_coord) const {
     const Coord& l = local_dims_;
-    const std::uint64_t epoch = static_cast<std::uint64_t>(stats_.exchanges);
+    out.resize(static_cast<std::size_t>(halo_.face_volume(mu)) *
+               sizeof(SiteT));
+    std::size_t k = 0;
+    Coord x{};
+    for (x[3] = 0; x[3] < l[3]; ++x[3])
+      for (x[2] = 0; x[2] < l[2]; ++x[2])
+        for (x[1] = 0; x[1] < l[1]; ++x[1])
+          for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+            if (x[mu] != 0) continue;  // iterate the face once
+            Coord src = x;
+            src[mu] = src_coord;
+            std::memcpy(out.data() + k * sizeof(SiteT),
+                        &theirs[static_cast<std::size_t>(
+                            halo_.ext_index(src))],
+                        sizeof(SiteT));
+            ++k;
+          }
+  }
+
+  /// Unpack a payload into our ghost plane at x[mu] = ghost_coord, same
+  /// traversal order as the pack.
+  template <typename SiteT>
+  void unpack_face(std::vector<SiteT, AlignedAllocator<SiteT>>& mine,
+                   const std::vector<std::byte>& payload, int mu,
+                   int ghost_coord) const {
+    const Coord& l = local_dims_;
+    std::size_t k = 0;
+    Coord x{};
+    for (x[3] = 0; x[3] < l[3]; ++x[3])
+      for (x[2] = 0; x[2] < l[2]; ++x[2])
+        for (x[1] = 0; x[1] < l[1]; ++x[1])
+          for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+            if (x[mu] != 0) continue;
+            Coord dst = x;
+            dst[mu] = ghost_coord;
+            std::memcpy(&mine[static_cast<std::size_t>(
+                            halo_.ext_index(dst))],
+                        payload.data() + k * sizeof(SiteT), sizeof(SiteT));
+            ++k;
+          }
+  }
+
+  void merge_stats(const CommStats& local) const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.messages += local.messages;
+    stats_.bytes += local.bytes;
+    stats_.retransmits += local.retransmits;
+    stats_.crc_failures += local.crc_failures;
+    stats_.timeouts += local.timeouts;
+    stats_.straggler_events += local.straggler_events;
+    stats_.checksum_bytes += local.checksum_bytes;
+    stats_.modeled_delay_us += local.modeled_delay_us;
+  }
+
+  /// Drop the in-flight state (payload capacities are kept for reuse).
+  void reset_pending() const {
+    pending_.phase = ExchangePhase::kIdle;
+    pending_.field = nullptr;
+    pending_.site_bytes = 0;
+    pending_.split = false;
+  }
+
+  // Pull model: every rank fills its 8 ghost planes by packing the
+  // matching boundary plane of the neighbor rank through a message buffer
+  // (mimicking send/recv). With resilience enabled each message is
+  // CRC-32-framed; the fault injector may corrupt or drop it in transit,
+  // and a detected fault triggers a bounded retransmit with exponential
+  // backoff (modeled, not slept). begin posts attempt 0 of every message;
+  // finish runs the verify/retransmit loop and unpacks. Injector
+  // decisions are pure functions of (epoch, rank, mu, dir, attempt), so
+  // deferring retransmits to finish leaves the fault schedule unchanged.
+
+  template <typename SiteT>
+  void begin_impl(std::vector<std::vector<SiteT, AlignedAllocator<SiteT>>>&
+                      field,
+                  bool split) const {
+    LQCD_REQUIRE(pending_.phase == ExchangePhase::kIdle,
+                 "halo exchange_begin: an exchange is already in flight "
+                 "(double begin)");
+    pending_.phase = ExchangePhase::kBegun;
+    pending_.field = &field;
+    pending_.site_bytes = sizeof(SiteT);
+    pending_.epoch = static_cast<std::uint64_t>(stats_.exchanges);
+    pending_.split = split;
+    pending_.before = stats_;
+    pending_.msgs.resize(static_cast<std::size_t>(ranks()) * Nd * 2);
+    const std::uint64_t epoch = pending_.epoch;
     const bool resilient = resil_.checksum || injector_ != nullptr;
-    // Telemetry charges the per-exchange deltas after the parallel region
-    // (one snapshot + a handful of relaxed adds; nothing runs inside the
-    // per-rank bodies).
-    const CommStats before = stats_;
-    for_each_rank([&](int r) {
-      auto& mine = field[static_cast<std::size_t>(r)];
-      CommStats local;  // per-rank tally, merged once under the lock
-      if (injector_ != nullptr) {
-        if (injector_->should_kill(epoch, r)) {
-          injector_->record_kill();
-          throw TransientError("halo exchange: rank " + std::to_string(r) +
-                               " died at epoch " + std::to_string(epoch));
+    try {
+      for_each_rank([&](int r) {
+        CommStats local;  // per-rank tally, merged once under the lock
+        if (injector_ != nullptr) {
+          if (injector_->should_kill(epoch, r)) {
+            injector_->record_kill();
+            throw TransientError("halo exchange: rank " +
+                                 std::to_string(r) + " died at epoch " +
+                                 std::to_string(epoch));
+          }
+          const double stall = injector_->straggle_us(epoch, r);
+          if (stall > 0.0) {
+            local.straggler_events += 1;
+            local.modeled_delay_us += stall;
+          }
         }
-        const double stall = injector_->straggle_us(epoch, r);
-        if (stall > 0.0) {
-          local.straggler_events += 1;
-          local.modeled_delay_us += stall;
+        for (int mu = 0; mu < Nd; ++mu) {
+          for (int dir = -1; dir <= 1; dir += 2) {
+            const int nbr = grid_.neighbor(r, mu, dir);
+            PendingMessage& msg = pending_.msgs[msg_slot(r, mu, dir)];
+            msg.sent_crc = 0;
+            msg.arrived = true;
+            msg.tampered = false;
+            // Ghost plane at x[mu] = l (dir=+1) or -1 (dir=-1) receives
+            // the neighbor's interior plane x[mu] = 0 (resp. l-1).
+            const int src_coord = dir > 0 ? 0 : local_dims_[mu] - 1;
+            pack_face(msg.payload, field[static_cast<std::size_t>(nbr)],
+                      mu, src_coord);
+            const std::size_t payload_bytes = msg.payload.size();
+            if (resilient) {
+              // Sender frames the payload with its CRC; the receiver
+              // verifies in finish.
+              msg.sent_crc =
+                  resil_.checksum ? crc32(msg.payload.data(), payload_bytes)
+                                  : 0;
+              if (resil_.checksum)
+                local.checksum_bytes +=
+                    static_cast<std::int64_t>(payload_bytes);
+              if (injector_ != nullptr) {
+                msg.arrived =
+                    !injector_->should_drop(epoch, r, mu, dir, 0);
+                if (msg.arrived)
+                  msg.tampered = injector_->corrupt(
+                      {msg.payload.data(), payload_bytes}, epoch, r, mu,
+                      dir, 0);
+              }
+            }
+            local.messages += 1;
+            local.bytes += static_cast<std::int64_t>(payload_bytes);
+          }
         }
-      }
-      std::vector<SiteT> buffer;  // message payload, faults applied in place
-      for (int mu = 0; mu < Nd; ++mu) {
-        for (int dir = -1; dir <= 1; dir += 2) {
-          const int nbr = grid_.neighbor(r, mu, dir);
-          const auto& theirs = field[static_cast<std::size_t>(nbr)];
-          // Ghost plane at x[mu] = l (dir=+1) or -1 (dir=-1) receives the
-          // neighbor's interior plane x[mu] = 0 (resp. l-1).
-          const int ghost_coord = dir > 0 ? l[mu] : -1;
-          const int src_coord = dir > 0 ? 0 : l[mu] - 1;
-          // Pack (neighbor side). Re-invoked to restore the pristine
-          // payload when a retransmit follows detected corruption.
-          const auto pack = [&] {
-            buffer.clear();
-            buffer.reserve(static_cast<std::size_t>(halo_.face_volume(mu)));
-            Coord x{};
-            for (x[3] = 0; x[3] < l[3]; ++x[3])
-              for (x[2] = 0; x[2] < l[2]; ++x[2])
-                for (x[1] = 0; x[1] < l[1]; ++x[1])
-                  for (x[0] = 0; x[0] < l[0]; ++x[0]) {
-                    if (x[mu] != 0) continue;  // iterate the face once
-                    Coord src = x;
-                    src[mu] = src_coord;
-                    buffer.push_back(theirs[static_cast<std::size_t>(
-                        halo_.ext_index(src))]);
-                  }
-          };
-          pack();
-          const std::size_t payload_bytes = buffer.size() * sizeof(SiteT);
-          if (resilient) {
-            // Sender frames the payload with its CRC; receiver verifies.
-            const std::uint32_t sent_crc =
-                resil_.checksum ? crc32(buffer.data(), payload_bytes) : 0;
-            if (resil_.checksum)
-              local.checksum_bytes +=
-                  static_cast<std::int64_t>(payload_bytes);
+        merge_stats(local);
+      });
+    } catch (...) {
+      reset_pending();  // leave the cluster reusable for a recovery retry
+      throw;
+    }
+  }
+
+  template <typename SiteT>
+  void finish_impl(std::vector<std::vector<SiteT, AlignedAllocator<SiteT>>>&
+                       field) const {
+    LQCD_REQUIRE(pending_.phase == ExchangePhase::kBegun,
+                 "halo exchange_finish without a matching exchange_begin");
+    LQCD_REQUIRE(pending_.field == static_cast<const void*>(&field),
+                 "halo exchange_finish: field does not match "
+                 "exchange_begin");
+    LQCD_REQUIRE(pending_.site_bytes == sizeof(SiteT),
+                 "halo exchange_finish: site type does not match "
+                 "exchange_begin");
+    const Coord& l = local_dims_;
+    const std::uint64_t epoch = pending_.epoch;
+    try {
+      for_each_rank([&](int r) {
+        CommStats local;
+        for (int mu = 0; mu < Nd; ++mu) {
+          for (int dir = -1; dir <= 1; dir += 2) {
+            PendingMessage& msg = pending_.msgs[msg_slot(r, mu, dir)];
+            const std::size_t payload_bytes = msg.payload.size();
             // In-process transport: sender and receiver share the payload
             // memory, so the receiver-side verify is tautological unless
             // the injector actually touched the bytes — hash again only
             // then. The alpha-beta model still charges both ends of the
             // link for real networks (perf_model.cpp).
             if (injector_ != nullptr) {
+              const int nbr = grid_.neighbor(r, mu, dir);
+              const int src_coord = dir > 0 ? 0 : l[mu] - 1;
               int attempt = 0;
               for (;;) {
-                bool tampered = false;
-                const bool arrived =
-                    !injector_->should_drop(epoch, r, mu, dir, attempt);
-                if (arrived) {
-                  const std::span<std::byte> raw{
-                      reinterpret_cast<std::byte*>(buffer.data()),
-                      payload_bytes};
-                  tampered =
-                      injector_->corrupt(raw, epoch, r, mu, dir, attempt);
-                }
-                if (arrived &&
-                    (!tampered || !resil_.checksum ||
-                     crc32(buffer.data(), payload_bytes) == sent_crc))
+                if (msg.arrived &&
+                    (!msg.tampered || !resil_.checksum ||
+                     crc32(msg.payload.data(), payload_bytes) ==
+                         msg.sent_crc))
                   break;  // intact (or corruption is undetectable)
-                if (!arrived)
+                if (!msg.arrived)
                   local.timeouts += 1;
                 else
                   local.crc_failures += 1;
@@ -345,38 +597,36 @@ class VirtualCluster {
                 if (resil_.checksum)
                   local.checksum_bytes +=
                       static_cast<std::int64_t>(payload_bytes);
-                if (tampered) pack();  // retransmit the pristine payload
+                // Retransmit the pristine payload. The overlapped
+                // interior compute never writes boundary planes, so a
+                // deferred repack reads the same data the original send
+                // did.
+                if (msg.tampered)
+                  pack_face(msg.payload,
+                            field[static_cast<std::size_t>(nbr)], mu,
+                            src_coord);
+                msg.arrived =
+                    !injector_->should_drop(epoch, r, mu, dir, attempt);
+                msg.tampered =
+                    msg.arrived &&
+                    injector_->corrupt({msg.payload.data(), payload_bytes},
+                                       epoch, r, mu, dir, attempt);
               }
             }
+            const int ghost_coord = dir > 0 ? l[mu] : -1;
+            unpack_face(field[static_cast<std::size_t>(r)], msg.payload,
+                        mu, ghost_coord);
           }
-          const SiteT* recv = buffer.data();
-          // Unpack (our ghost plane), same traversal order as the pack.
-          std::size_t k = 0;
-          Coord x{};
-          for (x[3] = 0; x[3] < l[3]; ++x[3])
-            for (x[2] = 0; x[2] < l[2]; ++x[2])
-              for (x[1] = 0; x[1] < l[1]; ++x[1])
-                for (x[0] = 0; x[0] < l[0]; ++x[0]) {
-                  if (x[mu] != 0) continue;
-                  Coord dst = x;
-                  dst[mu] = ghost_coord;
-                  mine[static_cast<std::size_t>(halo_.ext_index(dst))] =
-                      recv[k++];
-                }
-          local.messages += 1;
-          local.bytes += static_cast<std::int64_t>(payload_bytes);
         }
-      }
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.messages += local.messages;
-      stats_.bytes += local.bytes;
-      stats_.retransmits += local.retransmits;
-      stats_.crc_failures += local.crc_failures;
-      stats_.timeouts += local.timeouts;
-      stats_.straggler_events += local.straggler_events;
-      stats_.checksum_bytes += local.checksum_bytes;
-      stats_.modeled_delay_us += local.modeled_delay_us;
-    });
+        merge_stats(local);
+      });
+    } catch (...) {
+      reset_pending();
+      throw;
+    }
+    const CommStats before = pending_.before;
+    const bool split = pending_.split;
+    reset_pending();
     stats_.exchanges += 1;
     if (telemetry::enabled()) {
       static telemetry::Counter& c_exchanges =
@@ -395,6 +645,8 @@ class VirtualCluster {
           telemetry::counter("comm.halo.checksum_bytes");
       static telemetry::Counter& c_stragglers =
           telemetry::counter("comm.halo.straggler_events");
+      static telemetry::Counter& c_split =
+          telemetry::counter("comm.halo.overlap.split_exchanges");
       c_exchanges.add(1);
       c_messages.add(stats_.messages - before.messages);
       c_bytes.add(stats_.bytes - before.bytes);
@@ -403,6 +655,7 @@ class VirtualCluster {
       c_timeouts.add(stats_.timeouts - before.timeouts);
       c_checksum_bytes.add(stats_.checksum_bytes - before.checksum_bytes);
       c_stragglers.add(stats_.straggler_events - before.straggler_events);
+      if (split) c_split.add(1);
     }
   }
 
@@ -413,14 +666,108 @@ class VirtualCluster {
   std::vector<Coord> origins_;
   mutable CommStats stats_;
   mutable std::mutex stats_mutex_;
+  mutable PendingExchange pending_;
   ResilienceConfig resil_;
   FaultInjector* injector_ = nullptr;
+};
+
+namespace detail {
+
+/// One direction of the Wilson hopping term on a haloed rank-local field:
+/// forward (project -1, U(x) hop from x+mu) then backward (project +1,
+/// U†(x-mu) hop from x-mu), accumulated into acc. Shared by the full and
+/// the even-odd distributed operators so both stay bit-identical to their
+/// single-domain counterparts.
+template <int Mu, typename T>
+inline void dist_accum_hop(WilsonSpinor<T>& acc, const Coord& x,
+                           const aligned_vector<WilsonSpinor<T>>& psi,
+                           const aligned_vector<LinkSite<T>>& ug,
+                           const HaloLattice& halo) {
+  Coord xp = x;
+  ++xp[Mu];
+  Coord xm = x;
+  --xm[Mu];
+  const std::int64_t xpe = halo.ext_index(xp);
+  const std::int64_t xme = halo.ext_index(xm);
+  const std::int64_t xe0 = halo.ext_index(x);
+  {
+    const HalfSpinor<T> h =
+        project<Mu, -1>(psi[static_cast<std::size_t>(xpe)]);
+    const ColorMatrix<T>& u =
+        ug[static_cast<std::size_t>(xe0)][static_cast<std::size_t>(Mu)];
+    HalfSpinor<T> uh;
+    uh.s[0] = mul(u, h.s[0]);
+    uh.s[1] = mul(u, h.s[1]);
+    accum_reconstruct<Mu, -1>(acc, uh);
+  }
+  {
+    const HalfSpinor<T> h =
+        project<Mu, +1>(psi[static_cast<std::size_t>(xme)]);
+    const ColorMatrix<T>& u =
+        ug[static_cast<std::size_t>(xme)][static_cast<std::size_t>(Mu)];
+    HalfSpinor<T> uh;
+    uh.s[0] = adj_mul(u, h.s[0]);
+    uh.s[1] = adj_mul(u, h.s[1]);
+    accum_reconstruct<Mu, +1>(acc, uh);
+  }
+}
+
+/// Full 8-point hop sum D psi at local coordinate x (kappa not applied).
+template <typename T>
+[[nodiscard]] inline WilsonSpinor<T> dist_hop_site(
+    const Coord& x, const aligned_vector<WilsonSpinor<T>>& psi,
+    const aligned_vector<LinkSite<T>>& ug, const HaloLattice& halo) {
+  WilsonSpinor<T> acc{};
+  dist_accum_hop<0>(acc, x, psi, ug, halo);
+  dist_accum_hop<1>(acc, x, psi, ug, halo);
+  dist_accum_hop<2>(acc, x, psi, ug, halo);
+  dist_accum_hop<3>(acc, x, psi, ug, halo);
+  return acc;
+}
+
+}  // namespace detail
+
+/// Measured wall-clock decomposition of overlapped applies, accumulated
+/// across calls. Phase times are real (the rank loop runs through the
+/// thread pool inside each phase); t_hidden_s() is the comm time a
+/// machine with asynchronous progress would hide behind the interior
+/// window — the quantity model_dslash prices as `hidden`.
+struct OverlapStats {
+  std::int64_t applies = 0;
+  std::int64_t interior_sites = 0;  ///< summed over ranks and applies
+  std::int64_t surface_sites = 0;
+  double t_begin_s = 0.0;     ///< pack + post (comm send side)
+  double t_interior_s = 0.0;  ///< interior compute (overlap window)
+  double t_finish_s = 0.0;    ///< verify + retransmit + unpack
+  double t_surface_s = 0.0;   ///< surface compute
+  [[nodiscard]] double t_comm_s() const { return t_begin_s + t_finish_s; }
+  [[nodiscard]] double t_compute_s() const {
+    return t_interior_s + t_surface_s;
+  }
+  /// Serial sum: what the un-overlapped schedule would cost.
+  [[nodiscard]] double t_sequential_s() const {
+    return t_comm_s() + t_compute_s();
+  }
+  [[nodiscard]] double t_hidden_s() const {
+    return std::min(t_comm_s(), t_interior_s);
+  }
+  /// Overlap-adjusted total, comparable to model_dslash's t_total.
+  [[nodiscard]] double t_overlapped_s() const {
+    return t_sequential_s() - t_hidden_s();
+  }
+  /// Fraction of comm time hidden behind the interior window.
+  [[nodiscard]] double hidden_fraction() const {
+    return t_comm_s() > 0.0 ? t_hidden_s() / t_comm_s() : 0.0;
+  }
+  void reset() { *this = OverlapStats{}; }
 };
 
 /// Full Wilson operator evaluated through the virtual cluster. Implements
 /// LinearOperator on *global* fields (scatter/exchange/compute/gather), so
 /// any solver in the library runs "distributed" unchanged and must produce
-/// identical iterates to the single-domain operator.
+/// identical iterates to the single-domain operator. By default the halo
+/// exchange is split-phase and overlapped with the interior compute;
+/// set_overlap(false) restores the sequential schedule (same bits).
 template <typename T>
 class DistributedWilsonOperator final : public LinearOperator<T> {
  public:
@@ -446,28 +793,10 @@ class DistributedWilsonOperator final : public LinearOperator<T> {
       c_sites.add(cluster_.global_geometry().volume());
     }
     cluster_.scatter(in_ranks_, in);
-    cluster_.exchange(in_ranks_);
-    const HaloLattice& halo = cluster_.halo();
-    const T k = kappa_;
-    parallel_for(static_cast<std::size_t>(cluster_.ranks()),
-                 [&](std::size_t r) {
-      const auto& psi = in_ranks_[r];
-      const auto& ug = gauge_[r];
-      auto& res = out_ranks_[r];
-      for (std::int64_t i = 0; i < halo.interior_volume(); ++i) {
-        const Coord x = halo.interior_coords(i);
-        const std::int64_t xe = halo.ext_index(x);
-        WilsonSpinor<T> acc{};
-        hop_dir<0>(acc, x, xe, psi, ug, halo);
-        hop_dir<1>(acc, x, xe, psi, ug, halo);
-        hop_dir<2>(acc, x, xe, psi, ug, halo);
-        hop_dir<3>(acc, x, xe, psi, ug, halo);
-        acc *= k;
-        WilsonSpinor<T> v = psi[static_cast<std::size_t>(xe)];
-        v -= acc;
-        res[static_cast<std::size_t>(xe)] = v;
-      }
-    });
+    if (overlap_)
+      apply_overlapped();
+    else
+      apply_blocking();
     cluster_.gather(out, out_ranks_);
   }
 
@@ -481,39 +810,89 @@ class DistributedWilsonOperator final : public LinearOperator<T> {
   /// Mutable access for attaching resilience config / fault injection.
   [[nodiscard]] VirtualCluster<T>& cluster() { return cluster_; }
 
+  /// Toggle the split-phase overlapped schedule (default on). Both
+  /// schedules run the same per-site arithmetic, so results are
+  /// bit-identical; only wall-clock structure differs.
+  void set_overlap(bool on) { overlap_ = on; }
+  [[nodiscard]] bool overlap() const { return overlap_; }
+  [[nodiscard]] const OverlapStats& overlap_stats() const { return ov_; }
+  void reset_overlap_stats() { ov_.reset(); }
+
  private:
-  template <int Mu>
-  void hop_dir(WilsonSpinor<T>& acc, const Coord& x, std::int64_t /*xe*/,
-               const typename VirtualCluster<T>::RankFermion& psi,
-               const typename VirtualCluster<T>::RankGauge& ug,
-               const HaloLattice& halo) const {
-    Coord xp = x;
-    ++xp[Mu];
-    Coord xm = x;
-    --xm[Mu];
-    const std::int64_t xpe = halo.ext_index(xp);
-    const std::int64_t xme = halo.ext_index(xm);
-    const std::int64_t xe0 = halo.ext_index(x);
-    {
-      const HalfSpinor<T> h =
-          project<Mu, -1>(psi[static_cast<std::size_t>(xpe)]);
-      const ColorMatrix<T>& u =
-          ug[static_cast<std::size_t>(xe0)][static_cast<std::size_t>(Mu)];
-      HalfSpinor<T> uh;
-      uh.s[0] = mul(u, h.s[0]);
-      uh.s[1] = mul(u, h.s[1]);
-      accum_reconstruct<Mu, -1>(acc, uh);
+  void apply_blocking() const {
+    cluster_.exchange(in_ranks_);
+    const HaloLattice& halo = cluster_.halo();
+    const T k = kappa_;
+    parallel_for(static_cast<std::size_t>(cluster_.ranks()),
+                 [&](std::size_t r) {
+      const auto& psi = in_ranks_[r];
+      const auto& ug = gauge_[r];
+      auto& res = out_ranks_[r];
+      for (std::int64_t i = 0; i < halo.interior_volume(); ++i) {
+        const Coord x = halo.interior_coords(i);
+        const std::int64_t xe = halo.ext_index(x);
+        WilsonSpinor<T> acc = detail::dist_hop_site(x, psi, ug, halo);
+        acc *= k;
+        WilsonSpinor<T> v = psi[static_cast<std::size_t>(xe)];
+        v -= acc;
+        res[static_cast<std::size_t>(xe)] = v;
+      }
+    });
+  }
+
+  void apply_overlapped() const {
+    const HaloLattice& halo = cluster_.halo();
+    WallTimer t;
+    cluster_.exchange_begin(in_ranks_);
+    ov_.t_begin_s += t.seconds();
+    t.start();
+    compute_sites(halo.interior_sites());
+    ov_.t_interior_s += t.seconds();
+    t.start();
+    cluster_.exchange_finish(in_ranks_);
+    ov_.t_finish_s += t.seconds();
+    t.start();
+    compute_sites(halo.surface_sites());
+    ov_.t_surface_s += t.seconds();
+    const std::int64_t nr = cluster_.ranks();
+    const std::int64_t n_int =
+        static_cast<std::int64_t>(halo.interior_sites().size());
+    const std::int64_t n_surf =
+        static_cast<std::int64_t>(halo.surface_sites().size());
+    ov_.applies += 1;
+    ov_.interior_sites += nr * n_int;
+    ov_.surface_sites += nr * n_surf;
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c_applies =
+          telemetry::counter("comm.halo.overlap.applies");
+      static telemetry::Counter& c_int =
+          telemetry::counter("comm.halo.overlap.interior_sites");
+      static telemetry::Counter& c_surf =
+          telemetry::counter("comm.halo.overlap.surface_sites");
+      c_applies.add(1);
+      c_int.add(nr * n_int);
+      c_surf.add(nr * n_surf);
     }
-    {
-      const HalfSpinor<T> h =
-          project<Mu, +1>(psi[static_cast<std::size_t>(xme)]);
-      const ColorMatrix<T>& u =
-          ug[static_cast<std::size_t>(xme)][static_cast<std::size_t>(Mu)];
-      HalfSpinor<T> uh;
-      uh.s[0] = adj_mul(u, h.s[0]);
-      uh.s[1] = adj_mul(u, h.s[1]);
-      accum_reconstruct<Mu, +1>(acc, uh);
-    }
+  }
+
+  void compute_sites(std::span<const std::int64_t> sites) const {
+    const HaloLattice& halo = cluster_.halo();
+    const T k = kappa_;
+    parallel_for(static_cast<std::size_t>(cluster_.ranks()),
+                 [&](std::size_t r) {
+      const auto& psi = in_ranks_[r];
+      const auto& ug = gauge_[r];
+      auto& res = out_ranks_[r];
+      for (const std::int64_t i : sites) {
+        const Coord x = halo.interior_coords(i);
+        const std::int64_t xe = halo.ext_index(x);
+        WilsonSpinor<T> acc = detail::dist_hop_site(x, psi, ug, halo);
+        acc *= k;
+        WilsonSpinor<T> v = psi[static_cast<std::size_t>(xe)];
+        v -= acc;
+        res[static_cast<std::size_t>(xe)] = v;
+      }
+    });
   }
 
   VirtualCluster<T> cluster_;
@@ -521,6 +900,8 @@ class DistributedWilsonOperator final : public LinearOperator<T> {
   mutable std::vector<typename VirtualCluster<T>::RankFermion> in_ranks_;
   mutable std::vector<typename VirtualCluster<T>::RankFermion> out_ranks_;
   T kappa_;
+  bool overlap_ = true;
+  mutable OverlapStats ov_;
 };
 
 }  // namespace lqcd

@@ -93,9 +93,19 @@ DslashCost model_dslash(const Coord& local, const Coord& grid,
     c.t_comm += t_res;
   }
 
-  // Overlap: the overlappable share of comm hides behind compute.
-  const double hidden = std::min(c.t_comm * opt.overlap, c.t_compute);
-  c.t_total = c.t_compute + c.t_comm - hidden;
+  // Overlap: only the interior window can hide comm. Sites within one
+  // step of a face wait for the unpack (HaloLattice's interior/surface
+  // partition — all 4 directions keep ghosts, decomposed or not), so the
+  // hideable compute is t_compute * interior_fraction.
+  double interior = 1.0;
+  for (int mu = 0; mu < Nd; ++mu)
+    interior *= static_cast<double>(std::max(0, local[mu] - 2)) /
+                static_cast<double>(local[mu]);
+  c.interior_fraction = interior;
+  c.t_sequential = c.t_compute + c.t_comm;
+  c.t_hidden = std::min(c.t_comm * opt.overlap, c.t_compute * interior);
+  c.hidden_fraction = c.t_comm > 0.0 ? c.t_hidden / c.t_comm : 0.0;
+  c.t_total = c.t_sequential - c.t_hidden;
   return c;
 }
 
@@ -114,6 +124,8 @@ IterationCost model_cg_iteration(const Coord& local, const Coord& grid,
   it.dslash.t_compute *= 2.0;
   it.dslash.t_comm *= 2.0;
   it.dslash.t_resilience *= 2.0;
+  it.dslash.t_sequential *= 2.0;
+  it.dslash.t_hidden *= 2.0;
   it.dslash.t_total *= 2.0;
 
   // Level-1 ops on the half volume: ~5 axpy/dot passes, 24 reals/site,
@@ -157,6 +169,11 @@ IterationCost model_sap_gcr_iteration(const Coord& local, const Coord& grid,
   it.dslash.t_compute = local_only.t_compute * local_sweeps +
                         global.t_compute * global_sweeps;
   it.dslash.t_comm = global.t_comm * global_sweeps;
+  it.dslash.t_sequential = local_only.t_sequential * local_sweeps +
+                           global.t_sequential * global_sweeps;
+  it.dslash.t_hidden = global.t_hidden * global_sweeps;
+  it.dslash.hidden_fraction = global.hidden_fraction;
+  it.dslash.interior_fraction = global.interior_fraction;
   it.dslash.t_total = local_only.t_total * local_sweeps +
                       global.t_total * global_sweeps;
 
@@ -228,6 +245,8 @@ MgIterationCost model_mg_vcycle(const Coord& local, const Coord& grid,
   out.fine.dslash.messages += refresh.messages;
   out.fine.dslash.t_compute += refresh.t_compute;
   out.fine.dslash.t_comm += refresh.t_comm;
+  out.fine.dslash.t_sequential += refresh.t_sequential;
+  out.fine.dslash.t_hidden += refresh.t_hidden;
   out.fine.dslash.t_total += refresh.t_total;
   out.fine.t_iter += refresh.t_total;
 

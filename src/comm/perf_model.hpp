@@ -25,6 +25,13 @@ struct DslashCost {
   double t_compute = 0.0;   ///< seconds (roofline)
   double t_comm = 0.0;      ///< seconds (alpha-beta, incl. resilience)
   double t_resilience = 0.0;  ///< CRC + expected-retransmit share of t_comm
+  /// Share of local sites >= 1 from every face — the overlap window the
+  /// functional path (HaloLattice's interior/surface partition) computes
+  /// while the exchange is in flight. Caps how much comm can hide.
+  double interior_fraction = 1.0;
+  double t_sequential = 0.0;  ///< un-overlapped serial sum compute + comm
+  double t_hidden = 0.0;      ///< comm hidden behind the interior window
+  double hidden_fraction = 0.0;  ///< t_hidden / t_comm (0 when no comm)
   double t_total = 0.0;     ///< with compute/comm overlap applied
 };
 
