@@ -2,14 +2,27 @@
 // Shared helpers for the experiment harness binaries.
 
 #include <cstdio>
+#include <fstream>
 #include <span>
+#include <string>
 
 #include "gauge/gauge_field.hpp"
 #include "gauge/heatbath.hpp"
 #include "lattice/field.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace lqcd::bench {
+
+/// Write a finished json::Writer document to `path` (the --json artifact
+/// every bench emits), with a trailing newline and a console note.
+inline void write_json(const std::string& path, const json::Writer& w) {
+  std::ofstream os(path);
+  os << w.str() << "\n";
+  if (!os) throw Error("failed to write " + path);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 /// Quenched, mildly thermalized configuration for solver experiments.
 inline GaugeFieldD thermalized(const LatticeGeometry& geo, double beta,

@@ -70,6 +70,11 @@ BENCHES = {
         "lqcd.bench.sap/1",
         ["plain_gcr_iters", "sap"],
     ),
+    "bench_serve": (
+        ["--quick"],
+        "lqcd.bench.serve/1",
+        ["sweep", "campaign"],
+    ),
     "bench_solvers": (
         ["--quick"],
         "lqcd.bench.solvers/1",

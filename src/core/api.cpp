@@ -55,9 +55,11 @@ SpectroscopyResult run_spectroscopy(const GaugeFieldD& u,
   telemetry::TraceRegion trace("spectroscopy.run");
   SpectroscopyResult res;
   Propagator prop(u.geometry());
-  res.solve_stats = compute_point_propagator(prop, u, params.propagator,
-                                             params.source_point);
-  const int t0 = params.source_point[3];
+  res.solve_stats = compute_propagator(prop, u, params.propagator,
+                                       params.source);
+  const int t0 = params.source.kind == SourceKind::Point
+                     ? params.source.point[3]
+                     : params.source.t0;
   res.pion = pion_correlator(prop, t0);
   res.rho = rho_correlator(prop, t0);
   res.nucleon = nucleon_correlator(prop, t0);

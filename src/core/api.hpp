@@ -91,13 +91,15 @@ struct SpectroscopyResult {
 
 struct SpectroscopyParams {
   PropagatorParams propagator;
-  Coord source_point{0, 0, 0, 0};
+  /// Quark source (defaults to a point source at the origin); the same
+  /// spec language the campaign service uses ("point:X,Y,Z,T", "wall:T0").
+  SourceSpec source{};
   int plateau_t_min = 2;  ///< effective-mass averaging window
   int plateau_t_max = 6;
 };
 
-/// Point-source propagator + pion/rho/nucleon correlators + plateau
-/// effective masses.
+/// Propagator + pion/rho/nucleon correlators + plateau effective masses
+/// for the configured source.
 SpectroscopyResult run_spectroscopy(const GaugeFieldD& u,
                                     const SpectroscopyParams& params);
 

@@ -106,8 +106,11 @@ void dslash_full(std::span<WilsonSpinor<T>> out,
         telemetry::counter("dslash.applies");
     static telemetry::Counter& c_sites =
         telemetry::counter("dslash.site_applies");
+    static telemetry::Counter& c_gauge =
+        telemetry::counter("dslash.gauge_site_loads");
     c_applies.add(1);
     c_sites.add(geo.volume());
+    c_gauge.add(geo.volume());
   }
   parallel_for(out.size(), [&](std::size_t s) {
     out[s] = detail::hop_site(u, in, geo, static_cast<std::int64_t>(s));
@@ -132,8 +135,11 @@ void dslash_parity(std::span<WilsonSpinor<T>> out,
         telemetry::counter("dslash.parity_applies");
     static telemetry::Counter& c_sites =
         telemetry::counter("dslash.site_applies");
+    static telemetry::Counter& c_gauge =
+        telemetry::counter("dslash.gauge_site_loads");
     c_applies.add(1);
     c_sites.add(hv);
+    c_gauge.add(hv);
   }
   parallel_for(static_cast<std::size_t>(hv), [&](std::size_t i) {
     const std::int64_t cb = base + static_cast<std::int64_t>(i);

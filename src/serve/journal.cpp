@@ -1,0 +1,133 @@
+#include "serve/journal.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace lqcd::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'Q', 'J', 'R'};
+constexpr std::size_t kHeaderBytes = 4 + 8 + 1 + 4;  // magic seq type len
+constexpr std::uint32_t kMaxPayload = 16u << 20;     // sanity bound
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+/// Serialize one frame (everything including trailing CRC).
+std::string encode_frame(std::uint64_t seq, RecordType type,
+                         std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size() + 4);
+  frame.append(kMagic, 4);
+  put_u64(frame, seq);
+  frame.push_back(static_cast<char>(type));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  // CRC covers seq..payload (not the magic): a frame moved to a different
+  // offset still validates, a bit flip anywhere inside does not.
+  const std::uint32_t crc = crc32(frame.data() + 4, frame.size() - 4);
+  put_u32(frame, crc);
+  return frame;
+}
+
+}  // namespace
+
+const char* to_string(RecordType t) {
+  switch (t) {
+    case RecordType::CampaignBegin: return "campaign_begin";
+    case RecordType::TaskRunning: return "task_running";
+    case RecordType::TaskDone: return "task_done";
+    case RecordType::TaskFailed: return "task_failed";
+    case RecordType::CampaignEnd: return "campaign_end";
+  }
+  return "?";
+}
+
+ReplayResult replay_journal(const std::string& path) {
+  ReplayResult out;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return out;  // no journal yet: empty campaign state
+  std::string data((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (pos + kHeaderBytes + 4 <= data.size()) {
+    const char* p = data.data() + pos;
+    if (std::memcmp(p, kMagic, 4) != 0) break;
+    const std::uint64_t seq = get_u64(p + 4);
+    const auto type = static_cast<std::uint8_t>(p[12]);
+    const std::uint32_t len = get_u32(p + 13);
+    if (len > kMaxPayload) break;
+    const std::size_t total = kHeaderBytes + len + 4;
+    if (pos + total > data.size()) break;  // torn tail
+    const std::uint32_t want = get_u32(p + kHeaderBytes + len);
+    const std::uint32_t got = crc32(p + 4, kHeaderBytes - 4 + len);
+    if (want != got) break;  // corrupt frame: stop at last good prefix
+    if (type < 1 || type > 5) break;
+    Record rec;
+    rec.seq = seq;
+    rec.type = static_cast<RecordType>(type);
+    rec.payload.assign(p + kHeaderBytes, len);
+    // Sequence numbers must be dense from 0; a gap means frames from a
+    // different journal were spliced in.
+    if (seq != out.records.size()) break;
+    out.records.push_back(std::move(rec));
+    pos += total;
+  }
+  out.valid_bytes = pos;
+  out.truncated_bytes = data.size() - pos;
+  return out;
+}
+
+ReplayResult Journal::open(const std::string& path) {
+  path_ = path;
+  ReplayResult replay = replay_journal(path);
+  if (replay.truncated_bytes > 0) {
+    // Drop the torn tail so the next append starts at a clean frame
+    // boundary.
+    std::filesystem::resize_file(path, replay.valid_bytes);
+  }
+  next_seq_ = replay.records.size();
+  return replay;
+}
+
+std::uint64_t Journal::append(RecordType type, std::string_view payload) {
+  LQCD_REQUIRE(!path_.empty(), "Journal::append before open()");
+  const std::uint64_t seq = next_seq_;
+  const std::string frame = encode_frame(seq, type, payload);
+  std::ofstream os(path_, std::ios::binary | std::ios::app);
+  os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  os.flush();
+  if (!os)
+    throw FatalError("journal append failed: " + path_ +
+                     " (campaign state would be lost)");
+  ++next_seq_;
+  return seq;
+}
+
+}  // namespace lqcd::serve

@@ -1,0 +1,72 @@
+#pragma once
+// Persistent work-queue journal: the crash-safe memory of a campaign.
+//
+// Append-only binary frames, one per state transition:
+//
+//   magic "LQJR" | seq u64 | type u8 | payload_len u32 | payload | crc u32
+//
+// (little-endian; crc is CRC-32 of seq..payload, util/crc32.hpp). The
+// payload is a small JSON fragment (task id, attempt, result numbers) —
+// framing is binary so truncation is detectable, payloads are JSON so
+// `lqcd_serve status` and humans can read them.
+//
+// Recovery contract: replay() scans frames until the file ends or a frame
+// fails its length or CRC check; everything after the last good frame is
+// a torn tail from a crash mid-append and is truncated away on the next
+// open_append(). A task counts as finished if and only if a TaskDone
+// frame survived replay — the scheduler re-runs anything else, so a kill
+// between "running" and "done" costs one recompute, never a wrong skip.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lqcd::serve {
+
+enum class RecordType : std::uint8_t {
+  CampaignBegin = 1,  ///< fingerprint + task count; always frame 0
+  TaskRunning = 2,    ///< task claimed by a lane (attempt recorded)
+  TaskDone = 3,       ///< task finished; payload carries the result
+  TaskFailed = 4,     ///< attempt failed (transient or exhausted)
+  CampaignEnd = 5,    ///< all tasks accounted for
+};
+
+[[nodiscard]] const char* to_string(RecordType t);
+
+struct Record {
+  std::uint64_t seq = 0;
+  RecordType type = RecordType::CampaignBegin;
+  std::string payload;  ///< JSON fragment
+};
+
+struct ReplayResult {
+  std::vector<Record> records;      ///< every frame that passed its CRC
+  std::uint64_t valid_bytes = 0;    ///< prefix length covered by them
+  std::uint64_t truncated_bytes = 0;  ///< torn tail dropped by recovery
+};
+
+/// Scan `path` (missing file = empty journal, not an error).
+[[nodiscard]] ReplayResult replay_journal(const std::string& path);
+
+/// Appender. open() replays existing frames (truncating any torn tail in
+/// place) and positions at the end; append() writes + flushes one frame.
+class Journal {
+ public:
+  /// Open for appending, returning the surviving records.
+  ReplayResult open(const std::string& path);
+
+  /// Append one frame; returns its sequence number. Throws FatalError if
+  /// the write fails (a journal that cannot record state must stop the
+  /// campaign, not limp on).
+  std::uint64_t append(RecordType type, std::string_view payload);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  std::string path_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lqcd::serve

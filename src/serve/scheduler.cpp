@@ -1,0 +1,89 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lqcd::serve {
+
+double ShardPlan::imbalance() const {
+  if (modeled_seconds.empty()) return 1.0;
+  double sum = 0.0, max = 0.0;
+  for (const double s : modeled_seconds) {
+    sum += s;
+    max = std::max(max, s);
+  }
+  const double mean = sum / static_cast<double>(modeled_seconds.size());
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
+double modeled_task_seconds(const CampaignSpec& spec, const SolveTask& task,
+                            const LatticeGeometry& geo,
+                            const MachineModel& machine) {
+  const double kappa = spec.kappas[static_cast<std::size_t>(task.kappa)];
+  // CG on the normal Schur system: iterations grow like the inverse quark
+  // mass ~ 1/(0.25 - kappa) (critical slowing down toward kappa_c).
+  const double iters = 40.0 / (0.25 - kappa);
+  // Work per iteration: two Schur applies (normal op) over 12 columns,
+  // ~1320 flops/site each, on the full volume.
+  const double flops_per_iter =
+      2.0 * 1320.0 * static_cast<double>(geo.volume()) * 12.0;
+  const double gflops =
+      machine.peak_gflops(8) * machine.compute_efficiency * 1e9;
+  double seconds = iters * flops_per_iter / gflops;
+  // A wall source excites every spatial site: denser rhs, slightly more
+  // expensive contractions — model as a flat 10% surcharge so wall and
+  // point tasks do not tie (deterministic LPT order matters).
+  const SourceSpec src =
+      parse_source_spec(spec.sources[static_cast<std::size_t>(task.source)]);
+  if (src.kind == SourceKind::Wall) seconds *= 1.10;
+  if (src.smear_iters > 0) seconds *= 1.0 + 0.01 * src.smear_iters;
+  return seconds;
+}
+
+ShardPlan shard_tasks(const CampaignSpec& spec,
+                      const std::vector<SolveTask>& tasks,
+                      const LatticeGeometry& geo,
+                      const MachineModel& machine) {
+  LQCD_REQUIRE(spec.ranks >= 1, "shard_tasks: ranks must be >= 1");
+  const auto nlanes = static_cast<std::size_t>(spec.ranks);
+  ShardPlan plan;
+  plan.lane_of.assign(tasks.size(), 0);
+  plan.lanes.assign(nlanes, {});
+  plan.modeled_seconds.assign(nlanes, 0.0);
+
+  // LPT: place the most expensive task first, always onto the least
+  // loaded lane. Ties (equal cost, equal load) break on task id / lane
+  // index, so the plan is a pure function of the spec.
+  std::vector<std::pair<double, int>> order;
+  order.reserve(tasks.size());
+  for (const SolveTask& t : tasks)
+    order.emplace_back(modeled_task_seconds(spec, t, geo, machine), t.id);
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (const auto& [cost, id] : order) {
+    std::size_t best = 0;
+    for (std::size_t l = 1; l < nlanes; ++l)
+      if (plan.modeled_seconds[l] < plan.modeled_seconds[best]) best = l;
+    plan.lane_of[static_cast<std::size_t>(id)] = static_cast<int>(best);
+    plan.lanes[best].push_back(id);
+    plan.modeled_seconds[best] += cost;
+  }
+
+  // Execution order within a lane: config-major so the resident gauge
+  // field (and the per-kappa solver cache) is reused across consecutive
+  // tasks; id as tie-break keeps it deterministic.
+  for (auto& lane : plan.lanes)
+    std::sort(lane.begin(), lane.end(), [&](int a, int b) {
+      const SolveTask& ta = tasks[static_cast<std::size_t>(a)];
+      const SolveTask& tb = tasks[static_cast<std::size_t>(b)];
+      if (ta.config != tb.config) return ta.config < tb.config;
+      if (ta.kappa != tb.kappa) return ta.kappa < tb.kappa;
+      return ta.id < tb.id;
+    });
+  return plan;
+}
+
+}  // namespace lqcd::serve

@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic task sharding for the campaign service.
+//
+// The service executes on a *virtual* cluster of `ranks` lanes (the same
+// modeling stance as comm/machine.hpp: we reproduce the scheduling
+// decisions of a multi-node campaign runner inside one process). Tasks
+// are assigned to lanes by LPT (longest-processing-time-first) greedy
+// bin packing over a modeled cost, with deterministic tie-breaking —
+// identical specs always shard identically, which the journal replay
+// tests rely on.
+//
+// Cost model: a solve at hopping parameter kappa costs roughly
+// iterations x dslash work, and CG iteration counts blow up as kappa
+// approaches the critical value — modeled as 1/(0.25 - kappa). The
+// machine preset converts that to modeled seconds (so lane balance
+// reflects the machine the spec targets, not wall-clock of this host).
+//
+// Within a lane, tasks execute config-major (then by id): consecutive
+// tasks reuse the resident gauge field and per-kappa solver setup — the
+// DAG edge "config loaded before task runs" becomes "config stays loaded
+// across its run of tasks".
+
+#include <vector>
+
+#include "comm/machine.hpp"
+#include "lattice/geometry.hpp"
+#include "serve/spec.hpp"
+
+namespace lqcd::serve {
+
+struct ShardPlan {
+  std::vector<int> lane_of;                ///< task id -> lane
+  std::vector<std::vector<int>> lanes;     ///< lane -> task ids, run order
+  std::vector<double> modeled_seconds;     ///< lane -> modeled busy time
+
+  /// Makespan / mean lane time (1.0 = perfectly balanced).
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Modeled cost (seconds on `machine`) of one task of the campaign.
+[[nodiscard]] double modeled_task_seconds(const CampaignSpec& spec,
+                                          const SolveTask& task,
+                                          const LatticeGeometry& geo,
+                                          const MachineModel& machine);
+
+/// Shard `tasks` over spec.ranks lanes (LPT over modeled cost,
+/// deterministic ties, config-major execution order within a lane).
+[[nodiscard]] ShardPlan shard_tasks(const CampaignSpec& spec,
+                                    const std::vector<SolveTask>& tasks,
+                                    const LatticeGeometry& geo,
+                                    const MachineModel& machine);
+
+}  // namespace lqcd::serve

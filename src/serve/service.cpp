@@ -1,0 +1,336 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <unordered_map>
+
+#include "gauge/io.hpp"
+#include "spectro/correlator.hpp"
+#include "spectro/propagator.hpp"
+#include "util/atomic_io.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
+
+namespace lqcd::serve {
+
+namespace {
+
+std::string begin_payload(const CampaignSpec& spec) {
+  json::Writer w;
+  w.begin_object()
+      .field("name", spec.name)
+      .field("fingerprint",
+             static_cast<std::int64_t>(spec_fingerprint(spec)))
+      .field("tasks", spec.num_tasks())
+      .end_object();
+  return w.str();
+}
+
+std::string running_payload(const SolveTask& task, int lane, int attempt) {
+  json::Writer w;
+  w.begin_object()
+      .field("task", task.id)
+      .field("lane", lane)
+      .field("attempt", attempt)
+      .end_object();
+  return w.str();
+}
+
+std::string failed_payload(const SolveTask& task, int attempt,
+                           std::string_view why) {
+  json::Writer w;
+  w.begin_object()
+      .field("task", task.id)
+      .field("attempt", attempt)
+      .field("error", why)
+      .end_object();
+  return w.str();
+}
+
+}  // namespace
+
+std::string CampaignService::journal_path() const {
+  return spec_.output + "/journal.lqj";
+}
+
+CampaignService::CampaignService(CampaignSpec spec, ServiceOptions opts)
+    : spec_(std::move(spec)),
+      opts_(opts),
+      tasks_(build_tasks(spec_)),
+      plan_(shard_tasks(spec_, tasks_,
+                        LatticeGeometry(
+                            read_gauge_header(spec_.configs.at(0)).dims),
+                        machine_by_name(spec_.machine))),
+      geo_(read_gauge_header(spec_.configs.at(0)).dims),
+      configs_(spec_.configs.size()) {
+  // Every config must live on one geometry: the service keeps one
+  // propagator workspace shape for the whole campaign.
+  for (const std::string& path : spec_.configs) {
+    const GaugeFileHeader h = read_gauge_header(path);
+    LQCD_REQUIRE(h.dims == geo_.dims(),
+                 "campaign configs disagree on lattice dims: " + path);
+  }
+}
+
+CampaignService::~CampaignService() = default;
+
+const GaugeFieldD& CampaignService::config(int index) {
+  auto& slot = configs_.at(static_cast<std::size_t>(index));
+  if (!slot) {
+    telemetry::TraceRegion trace("serve.config_load");
+    slot = std::make_unique<GaugeFieldD>(geo_);
+    load_gauge(*slot, spec_.configs[static_cast<std::size_t>(index)]);
+    telemetry::counter("serve.config_loads").add(1);
+  }
+  return *slot;
+}
+
+void CampaignService::execute_task(Journal& journal, const SolveTask& task,
+                                   int lane, std::uint64_t epoch) {
+  const SourceSpec source = parse_source_spec(
+      spec_.sources[static_cast<std::size_t>(task.source)]);
+  const double kappa = spec_.kappas[static_cast<std::size_t>(task.kappa)];
+
+  for (int attempt = 0;; ++attempt) {
+    journal.append(RecordType::TaskRunning,
+                   running_payload(task, lane, attempt));
+    // A scheduled kill lands after the Running frame: the exact crash
+    // window (daemon died mid-solve) the resume path must cover.
+    if (opts_.faults && opts_.faults->should_kill(epoch, lane)) {
+      opts_.faults->record_kill();
+      telemetry::counter("serve.kills").add(1);
+      throw TransientError("service killed at epoch " +
+                           std::to_string(epoch) + " (task " +
+                           std::to_string(task.id) + "); rerun to resume");
+    }
+    try {
+      // Injected transient fault (modeled lost lane / preempted node).
+      if (opts_.faults &&
+          opts_.faults->should_drop(epoch, lane, 0, 0, attempt))
+        throw TransientError("injected transient fault");
+
+      telemetry::TraceRegion trace("serve.solve");
+      PropagatorParams params;
+      params.kappa = kappa;
+      params.solver.tol = spec_.tol;
+      params.solver.max_iterations = spec_.max_iterations;
+      params.method = spec_.solver;
+      params.block = spec_.block;
+      if (attempt > 0 && spec_.solver == SolverKind::BlockCg) {
+        // Retry on the scalar pipeline: eo_cg has full breakdown
+        // recovery, the block path deliberately does not.
+        params.method = SolverKind::EoCg;
+        params.block = 1;
+      }
+      Propagator prop(geo_);
+      const PropagatorStats stats =
+          compute_propagator(prop, config(task.config), params, source);
+      if (!stats.converged)
+        throw TransientError("solve unconverged (worst rel " +
+                             std::to_string(stats.worst_residual) + ")");
+
+      const int t0 =
+          source.kind == SourceKind::Point ? source.point[3] : source.t0;
+      const Correlator pion = pion_correlator(prop, t0);
+
+      // Result payload: deterministic fields only (no wall time), so a
+      // resumed campaign journals bytes identical to an uninterrupted
+      // one.
+      json::Writer w;
+      w.begin_object()
+          .field("task", task.id)
+          .field("config", spec_.configs[static_cast<std::size_t>(
+                               task.config)])
+          .field("kappa", kappa)
+          .field("source",
+                 spec_.sources[static_cast<std::size_t>(task.source)])
+          .field("solver", to_string(params.method))
+          .field("block", params.block)
+          .field("attempt", attempt)
+          .field("iterations", stats.total_iterations)
+          .field("worst_residual", stats.worst_residual);
+      w.key("pion").begin_array();
+      for (const double c : pion.c) w.value(c);
+      w.end_array();
+      w.end_object();
+      journal.append(RecordType::TaskDone, w.str());
+      telemetry::counter("serve.tasks_done").add(1);
+      telemetry::counter("serve.columns_solved").add(Ns * Nc);
+      return;
+    } catch (const TransientError& e) {
+      journal.append(RecordType::TaskFailed,
+                     failed_payload(task, attempt, e.what()));
+      telemetry::counter("serve.transient_failures").add(1);
+      if (attempt >= spec_.max_retries)
+        throw FatalError("task " + std::to_string(task.id) +
+                         " exhausted its retry budget (" +
+                         std::to_string(spec_.max_retries) +
+                         "): " + e.what());
+      telemetry::counter("serve.task_retries").add(1);
+      log_warn("serve: task ", task.id, " attempt ", attempt,
+               " failed transiently (", e.what(), "), retrying");
+    }
+  }
+}
+
+CampaignOutcome CampaignService::run() {
+  telemetry::TraceRegion trace("serve.campaign");
+  WallTimer timer;
+  CampaignOutcome outcome;
+  outcome.total = static_cast<int>(tasks_.size());
+  std::filesystem::create_directories(spec_.output);
+
+  Journal journal;
+  const ReplayResult replay = journal.open(journal_path());
+  if (replay.truncated_bytes > 0) {
+    telemetry::counter("serve.journal_truncated_bytes")
+        .add(static_cast<std::int64_t>(replay.truncated_bytes));
+    log_warn("serve: dropped ", replay.truncated_bytes,
+             " torn bytes from ", journal_path());
+  }
+
+  // Reconcile with any previous life of this campaign.
+  std::set<int> done;
+  bool ended = false;
+  if (replay.records.empty()) {
+    journal.append(RecordType::CampaignBegin, begin_payload(spec_));
+  } else {
+    const Record& first = replay.records.front();
+    LQCD_REQUIRE(first.type == RecordType::CampaignBegin,
+                 "journal does not start with campaign_begin: " +
+                     journal_path());
+    const json::Value head = json::Value::parse(first.payload);
+    const auto fp =
+        static_cast<std::uint32_t>(head.get_or("fingerprint",
+                                               std::int64_t{0}));
+    if (fp != spec_fingerprint(spec_))
+      throw FatalError("journal " + journal_path() +
+                       " belongs to a different campaign spec "
+                       "(fingerprint mismatch); refusing to resume");
+    for (const Record& rec : replay.records) {
+      if (rec.type == RecordType::TaskDone)
+        done.insert(static_cast<int>(
+            json::Value::parse(rec.payload).get_or("task",
+                                                   std::int64_t{-1})));
+      ended = ended || rec.type == RecordType::CampaignEnd;
+    }
+  }
+  outcome.skipped = static_cast<int>(done.size());
+  telemetry::counter("serve.tasks_skipped")
+      .add(static_cast<std::int64_t>(done.size()));
+  if (telemetry::enabled())
+    telemetry::gauge("serve.shard_imbalance").set(plan_.imbalance());
+
+  if (!ended) {
+    // Wave execution: wave w hands every lane its w-th task. Epochs
+    // number execution slots globally and deterministically, which is
+    // what the fault injector keys on.
+    std::size_t max_wave = 0;
+    for (const auto& lane : plan_.lanes)
+      max_wave = std::max(max_wave, lane.size());
+    std::uint64_t epoch = 0;
+    const std::int64_t t0 = telemetry::counter("serve.transient_failures")
+                                .value();
+    for (std::size_t wave = 0; wave < max_wave; ++wave) {
+      for (std::size_t lane = 0; lane < plan_.lanes.size(); ++lane) {
+        if (wave >= plan_.lanes[lane].size()) continue;
+        const SolveTask& task = tasks_[static_cast<std::size_t>(
+            plan_.lanes[lane][wave])];
+        const std::uint64_t e = epoch++;
+        if (done.count(task.id)) continue;  // finished in a previous life
+        execute_task(journal, task, static_cast<int>(lane), e);
+        done.insert(task.id);
+        ++outcome.completed;
+      }
+    }
+    outcome.transient_failures = static_cast<int>(
+        telemetry::counter("serve.transient_failures").value() - t0);
+    journal.append(RecordType::CampaignEnd, "{}");
+  }
+  outcome.finished = true;
+  outcome.seconds = timer.seconds();
+  telemetry::counter("serve.campaigns").add(1);
+
+  if (opts_.write_result)
+    write_result_json(replay_journal(journal_path()).records, outcome);
+  return outcome;
+}
+
+void CampaignService::write_result_json(
+    const std::vector<Record>& records,
+    const CampaignOutcome& outcome) const {
+  json::Writer w;
+  w.begin_object()
+      .field("schema", kResultSchema)
+      .field("name", spec_.name)
+      .field("fingerprint",
+             static_cast<std::int64_t>(spec_fingerprint(spec_)))
+      .field("tasks_total", outcome.total)
+      .field("tasks_skipped", outcome.skipped)
+      .field("tasks_completed", outcome.completed)
+      .field("transient_failures", outcome.transient_failures)
+      .field("seconds", outcome.seconds);
+  // Every TaskDone payload, in task order (the journal is append order;
+  // resumes interleave, results should not).
+  std::vector<std::pair<int, const Record*>> results;
+  for (const Record& rec : records)
+    if (rec.type == RecordType::TaskDone)
+      results.emplace_back(
+          static_cast<int>(json::Value::parse(rec.payload)
+                               .get_or("task", std::int64_t{-1})),
+          &rec);
+  std::sort(results.begin(), results.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.key("results").begin_array();
+  for (const auto& [id, rec] : results) w.raw(rec->payload);
+  w.end_array();
+  // The lqcd.telemetry/1 report rides along, serve.* counters included.
+  w.key("telemetry").raw(telemetry::report_json(false));
+  w.end_object();
+  atomic_write_file(spec_.output + "/result.json",
+                    [&](std::ostream& os) { os << w.str() << "\n"; });
+}
+
+CampaignStatus CampaignService::status(const std::string& journal_path) {
+  CampaignStatus st;
+  const ReplayResult replay = replay_journal(journal_path);
+  st.frames = replay.records.size();
+  st.truncated_bytes = replay.truncated_bytes;
+  if (replay.records.empty()) return st;
+  st.journal_found = true;
+  std::set<int> done;
+  std::unordered_map<int, int> open_runs;
+  for (const Record& rec : replay.records) {
+    const auto task_of = [&rec]() {
+      return static_cast<int>(json::Value::parse(rec.payload)
+                                  .get_or("task", std::int64_t{-1}));
+    };
+    switch (rec.type) {
+      case RecordType::CampaignBegin: {
+        const json::Value head = json::Value::parse(rec.payload);
+        st.total = head.get_or("tasks", 0);
+        st.fingerprint = static_cast<std::uint32_t>(
+            head.get_or("fingerprint", std::int64_t{0}));
+        break;
+      }
+      case RecordType::TaskRunning: ++open_runs[task_of()]; break;
+      case RecordType::TaskDone:
+        done.insert(task_of());
+        open_runs[task_of()] = 0;
+        break;
+      case RecordType::TaskFailed:
+        ++st.failed_attempts;
+        open_runs[task_of()] = 0;
+        break;
+      case RecordType::CampaignEnd: st.finished = true; break;
+    }
+  }
+  st.done = static_cast<int>(done.size());
+  for (const auto& [task, open] : open_runs) st.in_flight += open > 0;
+  return st;
+}
+
+}  // namespace lqcd::serve

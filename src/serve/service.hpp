@@ -1,0 +1,111 @@
+#pragma once
+// The propagator campaign service: drains a CampaignSpec's task queue
+// through the journal, surviving kills and retrying transient faults.
+//
+// One run() call executes the shard plan wave by wave (each wave gives
+// every lane its next task, mimicking the parallel cluster the spec
+// models). Per task the lifecycle is
+//
+//   journal TaskRunning -> solve 12 columns (block solver) -> contract
+//   pion -> journal TaskDone(result payload)
+//
+// so a kill at any instant loses at most the task in flight: on the next
+// run() the journal replay marks every TaskDone task finished and the
+// scheduler skips it without touching the gauge field — the "resume
+// without recomputing finished propagator columns" contract, asserted by
+// tests/test_serve.cpp.
+//
+// Failure taxonomy (util/error.hpp): an injected drop or an unconverged
+// solve raises TransientError handling — journal TaskFailed, retry up to
+// spec.max_retries (block_cg campaigns retry on the scalar eo_cg pipeline,
+// which has full breakdown recovery); an exhausted budget escalates to
+// FatalError and stops the campaign. A scheduled kill from the
+// FaultInjector rethrows as TransientError("service killed") after the
+// TaskRunning frame, exactly the crash window the journal protects.
+//
+// TaskDone payloads are deterministic (no wall-clock fields), so a killed
+// + resumed campaign journals byte-identical results to an uninterrupted
+// one. Wall time and rates go to telemetry (serve.* counters) and the
+// final result.json instead.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "serve/journal.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/spec.hpp"
+
+namespace lqcd::serve {
+
+inline constexpr const char* kResultSchema = "lqcd.campaign.result/1";
+
+struct ServiceOptions {
+  /// Optional deterministic fault injection (kills via schedule_kill,
+  /// transient task failures via drop_prob). Not owned.
+  FaultInjector* faults = nullptr;
+  /// Write <output>/result.json when the campaign completes.
+  bool write_result = true;
+};
+
+struct CampaignOutcome {
+  int total = 0;            ///< tasks in the spec
+  int skipped = 0;          ///< finished in an earlier run, not recomputed
+  int completed = 0;        ///< finished by this run
+  int transient_failures = 0;  ///< failed attempts that were retried
+  bool finished = false;    ///< CampaignEnd journaled
+  double seconds = 0.0;     ///< wall time of this run
+};
+
+/// Journal-only campaign summary (for `lqcd_serve status`).
+struct CampaignStatus {
+  bool journal_found = false;
+  std::uint64_t frames = 0;
+  std::uint64_t truncated_bytes = 0;
+  std::uint32_t fingerprint = 0;
+  int total = 0;       ///< from CampaignBegin
+  int done = 0;        ///< distinct tasks with TaskDone
+  int failed_attempts = 0;
+  int in_flight = 0;   ///< Running frames not followed by Done/Failed
+  bool finished = false;
+};
+
+class CampaignService {
+ public:
+  explicit CampaignService(CampaignSpec spec, ServiceOptions opts = {});
+  ~CampaignService();
+
+  /// Execute (or resume) the campaign. Throws TransientError on a
+  /// scheduled kill (rerun to resume), FatalError when a task exhausts
+  /// its retry budget or the journal belongs to a different spec.
+  CampaignOutcome run();
+
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] std::string journal_path() const;
+
+  /// Summarize a journal without touching gauge data.
+  [[nodiscard]] static CampaignStatus status(const std::string& journal_path);
+
+ private:
+  struct TaskRun;  // per-task execution state (service.cpp)
+
+  void execute_task(Journal& journal, const SolveTask& task, int lane,
+                    std::uint64_t epoch);
+  [[nodiscard]] const GaugeFieldD& config(int index);
+  void write_result_json(const std::vector<Record>& records,
+                         const CampaignOutcome& outcome) const;
+
+  CampaignSpec spec_;
+  ServiceOptions opts_;
+  std::vector<SolveTask> tasks_;
+  ShardPlan plan_;
+  LatticeGeometry geo_;
+  // Gauge configs stay resident once loaded (campaign lattices are small;
+  // the lanes revisit them every wave).
+  std::vector<std::unique_ptr<GaugeFieldD>> configs_;
+};
+
+}  // namespace lqcd::serve

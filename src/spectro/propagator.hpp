@@ -19,6 +19,7 @@
 #include "lattice/field.hpp"
 #include "solver/factory.hpp"
 #include "solver/solver.hpp"
+#include "spectro/source.hpp"
 
 namespace lqcd {
 
@@ -56,6 +57,10 @@ struct PropagatorParams {
   /// builds its hierarchy once for all columns.
   SolverKind method = SolverKind::EoCg;
   mg::MgParams mg_params{};
+  /// Columns solved per batch (1..12). With `block_cg` each batch shares
+  /// one gauge sweep per iteration; other kinds loop columns internally,
+  /// so block > 1 is free to request for any method.
+  int block = 1;
 };
 
 struct PropagatorStats {
@@ -69,6 +74,12 @@ struct PropagatorStats {
 PropagatorStats compute_propagator(
     Propagator& out, const GaugeFieldD& u, const PropagatorParams& params,
     const std::function<void(FermionFieldD&, int, int)>& make_source);
+
+/// Solve all 12 columns of the source described by `spec` (the shared
+/// path used by run_spectroscopy, the campaign service and the benches).
+PropagatorStats compute_propagator(Propagator& out, const GaugeFieldD& u,
+                                   const PropagatorParams& params,
+                                   const SourceSpec& spec);
 
 /// Point-source convenience wrapper.
 PropagatorStats compute_point_propagator(Propagator& out,

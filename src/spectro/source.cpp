@@ -1,11 +1,86 @@
 #include "spectro/source.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace lqcd {
+
+namespace {
+
+/// Split "head+smear:alpha,n" into head and the optional smear suffix.
+void parse_smear_suffix(std::string_view& text, SourceSpec& spec) {
+  const auto plus = text.find('+');
+  if (plus == std::string_view::npos) return;
+  std::string_view tail = text.substr(plus + 1);
+  text = text.substr(0, plus);
+  LQCD_REQUIRE(tail.rfind("smear:", 0) == 0,
+               "source spec: expected +smear:ALPHA,N suffix");
+  tail.remove_prefix(6);
+  const auto comma = tail.find(',');
+  LQCD_REQUIRE(comma != std::string_view::npos,
+               "source spec: smear needs ALPHA,N");
+  spec.smear_alpha = std::atof(std::string(tail.substr(0, comma)).c_str());
+  spec.smear_iters = std::atoi(std::string(tail.substr(comma + 1)).c_str());
+  LQCD_REQUIRE(spec.smear_alpha > 0.0 && spec.smear_iters > 0,
+               "source spec: smear wants ALPHA > 0 and N > 0");
+}
+
+}  // namespace
+
+std::string to_string(const SourceSpec& spec) {
+  char buf[96];
+  int n = 0;
+  if (spec.kind == SourceKind::Point)
+    n = std::snprintf(buf, sizeof buf, "point:%d,%d,%d,%d", spec.point[0],
+                      spec.point[1], spec.point[2], spec.point[3]);
+  else
+    n = std::snprintf(buf, sizeof buf, "wall:%d", spec.t0);
+  if (spec.smear_iters > 0)
+    std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                  "+smear:%g,%d", spec.smear_alpha, spec.smear_iters);
+  return buf;
+}
+
+SourceSpec parse_source_spec(std::string_view text) {
+  SourceSpec spec;
+  parse_smear_suffix(text, spec);
+  if (text.rfind("point:", 0) == 0) {
+    spec.kind = SourceKind::Point;
+    std::string rest(text.substr(6));
+    int x[Nd];
+    char extra;
+    LQCD_REQUIRE(std::sscanf(rest.c_str(), "%d,%d,%d,%d%c", &x[0], &x[1],
+                             &x[2], &x[3], &extra) == Nd,
+                 "source spec: point wants X,Y,Z,T, got '" + rest + "'");
+    for (int mu = 0; mu < Nd; ++mu) spec.point[mu] = x[mu];
+  } else if (text.rfind("wall:", 0) == 0) {
+    spec.kind = SourceKind::Wall;
+    std::string rest(text.substr(5));
+    char extra;
+    LQCD_REQUIRE(std::sscanf(rest.c_str(), "%d%c", &spec.t0, &extra) == 1,
+                 "source spec: wall wants T0, got '" + rest + "'");
+  } else {
+    throw Error("unknown source spec '" + std::string(text) +
+                "' (valid: point:X,Y,Z,T, wall:T0, optional +smear:ALPHA,N)");
+  }
+  return spec;
+}
+
+void make_source(FermionFieldD& b, const SourceSpec& spec, int spin,
+                 int color, const GaugeFieldD* u) {
+  if (spec.kind == SourceKind::Point)
+    make_point_source(b, spec.point, spin, color);
+  else
+    make_wall_source(b, spec.t0, spin, color);
+  if (spec.smear_iters > 0) {
+    LQCD_REQUIRE(u != nullptr, "smeared source needs the gauge field");
+    smear_source(b, *u, spec.smear_alpha, spec.smear_iters);
+  }
+}
 
 void make_point_source(FermionFieldD& b, const Coord& point, int spin,
                        int color) {

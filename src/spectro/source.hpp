@@ -1,6 +1,14 @@
 #pragma once
 // Quark sources for spectroscopy. A source fixes one (spin, color) of the
 // 12 propagator columns; the full propagator needs all 12.
+//
+// SourceSpec is the one description of a source that the spectroscopy
+// API, the campaign service and the benches all share, so a campaign
+// spec string like "point:0,0,0,0" or "wall:3" means the same thing
+// everywhere.
+
+#include <string>
+#include <string_view>
 
 #include "gauge/gauge_field.hpp"
 #include "lattice/field.hpp"
@@ -20,5 +28,33 @@ void make_wall_source(FermionFieldD& b, int t0, int spin, int color);
 /// normalized each step. Improves ground-state overlap.
 void smear_source(FermionFieldD& b, const GaugeFieldD& u, double alpha,
                   int iterations);
+
+enum class SourceKind { Point, Wall };
+
+/// Declarative source description shared by spectroscopy, benches and
+/// the campaign service. The text form round-trips through
+/// parse_source_spec()/to_string():
+///
+///   point:X,Y,Z,T                delta source at (X,Y,Z,T)
+///   wall:T0                      wall on timeslice T0
+///   ...+smear:ALPHA,N            Wuppertal-smear the base source
+struct SourceSpec {
+  SourceKind kind = SourceKind::Point;
+  Coord point{0, 0, 0, 0};   ///< Point: source location
+  int t0 = 0;                ///< Wall: timeslice
+  double smear_alpha = 0.0;  ///< smearing strength (used when iters > 0)
+  int smear_iters = 0;       ///< 0 = no smearing
+};
+
+[[nodiscard]] std::string to_string(const SourceSpec& spec);
+
+/// Parse the text form above; throws lqcd::Error on malformed input.
+[[nodiscard]] SourceSpec parse_source_spec(std::string_view text);
+
+/// Build column (spin, color) of the source described by `spec`.
+/// Smearing needs the gauge links; passing u == nullptr with a smeared
+/// spec throws.
+void make_source(FermionFieldD& b, const SourceSpec& spec, int spin,
+                 int color, const GaugeFieldD* u = nullptr);
 
 }  // namespace lqcd

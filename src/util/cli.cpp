@@ -8,7 +8,29 @@ namespace lqcd {
 
 Cli::Cli(int argc, const char* const* argv) {
   program_ = argc > 0 ? argv[0] : "";
-  for (int i = 1; i < argc; ++i) {
+  parse_options(argc, argv, 1);
+}
+
+Cli::Cli(int argc, const char* const* argv,
+         std::initializer_list<const char*> subcommands) {
+  program_ = argc > 0 ? argv[0] : "";
+  std::string valid;
+  for (const char* s : subcommands) {
+    if (!valid.empty()) valid += "|";
+    valid += s;
+  }
+  if (argc < 2 || std::string(argv[1]).rfind("--", 0) == 0)
+    throw Error("usage: " + program_ + " <" + valid + "> [--options]");
+  command_ = argv[1];
+  bool known = false;
+  for (const char* s : subcommands) known = known || command_ == s;
+  if (!known)
+    throw Error("unknown command '" + command_ + "' (valid: " + valid + ")");
+  parse_options(argc, argv, 2);
+}
+
+void Cli::parse_options(int argc, const char* const* argv, int first) {
+  for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     LQCD_REQUIRE(arg.rfind("--", 0) == 0,
                  "options must start with --, got: " + arg);

@@ -7,7 +7,18 @@
 //   cli.finish();  // rejects unknown flags
 //
 // Options are spelled --name=value or --name value; bare --flag is a bool.
+//
+// Multi-command binaries (git-style `tool verb --flags`) pass the list of
+// valid verbs; argv[1] must then be one of them and is exposed via
+// command():
+//
+//   lqcd::Cli cli(argc, argv, {"run", "submit", "status"});
+//   if (cli.command() == "run") { ... }
+//
+// Single-command binaries are unchanged — the flat constructor never
+// treats a positional argument as a subcommand.
 
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -16,6 +27,15 @@ namespace lqcd {
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
+
+  /// Subcommand mode: argv[1] must be one of `subcommands` (throws
+  /// lqcd::Error listing the valid ones otherwise); remaining arguments
+  /// parse as normal options.
+  Cli(int argc, const char* const* argv,
+      std::initializer_list<const char*> subcommands);
+
+  /// The parsed subcommand; empty for flat (single-command) parsing.
+  [[nodiscard]] const std::string& command() const { return command_; }
 
   /// Typed getters with defaults; mark the option as recognized.
   int get_int(const std::string& name, int fallback);
@@ -42,8 +62,10 @@ class Cli {
     mutable bool used = false;
   };
   const Opt* find(const std::string& name) const;
+  void parse_options(int argc, const char* const* argv, int first);
 
   std::string program_;
+  std::string command_;
   std::vector<Opt> opts_;
 };
 

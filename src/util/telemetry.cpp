@@ -10,6 +10,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace lqcd::telemetry {
 
 namespace {
@@ -102,32 +104,10 @@ ThreadTrace& this_thread_trace() {
 
 // ---- JSON helpers ----------------------------------------------------
 
-void json_escape(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-// Shortest round-trip double formatting: deterministic for identical
-// bit patterns, human-readable in the report.
-void json_double(std::string& out, double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
+// Escaping and double formatting live in the shared util/json.hpp writer
+// (deterministic %.17g formatting — see json::format_double).
+using json::escape;
+using json::format_double;
 
 void indent(std::string& out, int depth) {
   out.append(static_cast<std::size_t>(2 * depth), ' ');
@@ -156,11 +136,11 @@ void span_to_json(std::string& out, const std::string& name,
                   const SpanNode& node, int depth, bool include_timings) {
   indent(out, depth);
   out += "{\"name\": \"";
-  json_escape(out, name);
+  escape(out, name);
   out += "\", \"count\": " + std::to_string(node.count);
   if (include_timings) {
     out += ", \"seconds\": ";
-    json_double(out, node.seconds);
+    format_double(out, node.seconds);
   }
   bool any_child = false;
   for (const auto& [cname, child] : node.children)
@@ -250,7 +230,7 @@ std::string report_json(bool include_timings) {
       out += first ? "\n" : ",\n";
       first = false;
       out += "    \"";
-      json_escape(out, name);
+      escape(out, name);
       out += "\": " + std::to_string(c->value());
     }
     if (!first) out += "\n  ";
@@ -266,9 +246,9 @@ std::string report_json(bool include_timings) {
       out += first ? "\n" : ",\n";
       first = false;
       out += "    \"";
-      json_escape(out, name);
+      escape(out, name);
       out += "\": ";
-      json_double(out, g->value());
+      format_double(out, g->value());
     }
     if (!first) out += "\n  ";
   }

@@ -1,0 +1,352 @@
+// Tests for the campaign service: spec validation and fingerprinting, the
+// CRC-framed journal (replay, torn tails, corruption), deterministic
+// sharding, and the headline contract — a killed campaign resumes without
+// recomputing any finished task, journaling byte-identical results.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "gauge/heatbath.hpp"
+#include "gauge/io.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace lqcd::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-process scratch root: ctest runs each discovered test as its own
+/// process in a shared working directory, so paths must not collide
+/// across concurrently running tests. Cleaned up at process exit.
+const std::string& scratch_root() {
+  static const std::string root =
+      "serve_test_scratch." + std::to_string(::getpid());
+  return root;
+}
+
+class ScratchCleanup : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    std::error_code ec;  // best effort; never fail the suite on cleanup
+    fs::remove_all(scratch_root(), ec);
+  }
+};
+const auto* const scratch_cleanup =
+    ::testing::AddGlobalTestEnvironment(new ScratchCleanup);
+
+std::string scratch(const std::string& name) {
+  const std::string dir = scratch_root() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// One small thermalized 4^4 config on disk, shared by every campaign in
+/// this binary (the path is part of the TaskDone payloads, so sharing it
+/// keeps cross-campaign payload comparisons meaningful).
+const std::string& shared_config() {
+  static const std::string path = [] {
+    const std::string dir = scratch("gauge");
+    const LatticeGeometry geo({4, 4, 4, 4});
+    GaugeFieldD u(geo);
+    u.set_random(SiteRngFactory(410));
+    Heatbath hb(u, {.beta = 5.9, .or_per_hb = 1, .seed = 411});
+    for (int i = 0; i < 6; ++i) hb.sweep();
+    const std::string p = dir + "/config_0.lqcd";
+    save_gauge(u, p, 5.9);
+    return p;
+  }();
+  return path;
+}
+
+/// 1 config x 2 kappas x 2 sources = 4 cheap tasks over 2 lanes.
+CampaignSpec small_spec(const std::string& output) {
+  CampaignSpec spec;
+  spec.name = "test-campaign";
+  spec.configs = {shared_config()};
+  spec.kappas = {0.110, 0.115};
+  spec.sources = {"point:0,0,0,0", "wall:0"};
+  spec.tol = 1e-7;
+  spec.block = 4;
+  spec.ranks = 2;
+  spec.output = output;
+  return spec;
+}
+
+std::map<int, std::string> done_payloads(const std::string& journal) {
+  std::map<int, std::string> out;
+  for (const Record& r : replay_journal(journal).records)
+    if (r.type == RecordType::TaskDone) {
+      const int id = json::Value::parse(r.payload).get_or("task", -1);
+      EXPECT_EQ(out.count(id), 0u) << "task " << id << " journaled twice";
+      out[id] = r.payload;
+    }
+  return out;
+}
+
+TEST(CampaignSpec, CanonicalRoundTripAndFingerprint) {
+  const CampaignSpec spec = small_spec("unused");
+  const std::string doc = canonical_json(spec);
+  const CampaignSpec back = parse_campaign(json::Value::parse(doc));
+  EXPECT_EQ(canonical_json(back), doc);  // parse . print = identity
+  EXPECT_EQ(spec_fingerprint(back), spec_fingerprint(spec));
+
+  CampaignSpec other = spec;
+  other.kappas[0] = 0.111;  // any field change moves the fingerprint
+  EXPECT_NE(spec_fingerprint(other), spec_fingerprint(spec));
+}
+
+TEST(CampaignSpec, RejectsMalformedDocuments) {
+  const auto parse = [](const std::string& body) {
+    return parse_campaign(json::Value::parse(body));
+  };
+  EXPECT_THROW(parse(R"({"schema": "wrong/1"})"), Error);
+  const std::string head = R"("schema": "lqcd.campaign/1")";
+  EXPECT_THROW(parse("{" + head + R"(, "configs": []})"), Error);
+  EXPECT_THROW(
+      parse("{" + head +
+            R"(, "configs": ["c"], "kappas": [0.3], "sources": ["wall:0"]})"),
+      Error);  // kappa outside (0, 0.25)
+  EXPECT_THROW(
+      parse("{" + head +
+            R"(, "configs": ["c"], "kappas": [0.12], "sources": ["blob:1"]})"),
+      Error);  // unknown source kind
+  EXPECT_THROW(
+      parse("{" + head + R"(, "configs": ["c"], "kappas": [0.12],
+             "sources": ["wall:0"], "solver": {"kind": "warp"}})"),
+      Error);  // unknown solver kind
+  EXPECT_THROW(
+      parse("{" + head + R"(, "configs": ["c"], "kappas": [0.12],
+             "sources": ["wall:0"], "schedule": {"machine": "cray"}})"),
+      Error);  // unknown machine preset
+}
+
+TEST(CampaignSpec, BuildsConfigMajorTaskList) {
+  CampaignSpec spec = small_spec("unused");
+  spec.configs = {shared_config(), shared_config()};
+  const std::vector<SolveTask> tasks = build_tasks(spec);
+  ASSERT_EQ(tasks.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tasks[std::size_t(i)].id, i);  // ids dense, in order
+    EXPECT_EQ(tasks[std::size_t(i)].config, i / 4);
+    EXPECT_EQ(tasks[std::size_t(i)].kappa, (i / 2) % 2);
+    EXPECT_EQ(tasks[std::size_t(i)].source, i % 2);
+  }
+}
+
+TEST(Journal, AppendReplayRoundTrip) {
+  const std::string dir = scratch("journal_roundtrip");
+  const std::string path = dir + "/j.lqj";
+  Journal j;
+  j.open(path);
+  j.append(RecordType::CampaignBegin, R"({"tasks": 2})");
+  j.append(RecordType::TaskRunning, R"({"task": 0})");
+  j.append(RecordType::TaskDone, R"({"task": 0, "iterations": 7})");
+  const ReplayResult r = replay_journal(path);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.truncated_bytes, 0u);
+  EXPECT_EQ(r.records[0].type, RecordType::CampaignBegin);
+  EXPECT_EQ(r.records[2].payload, R"({"task": 0, "iterations": 7})");
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(r.records[i].seq, i);
+}
+
+TEST(Journal, TornTailIsDroppedAndOverwritten) {
+  const std::string dir = scratch("journal_torn");
+  const std::string path = dir + "/j.lqj";
+  {
+    Journal j;
+    j.open(path);
+    j.append(RecordType::CampaignBegin, "{}");
+    j.append(RecordType::TaskRunning, R"({"task": 0})");
+  }
+  // Simulate a crash mid-append: a partial frame at the tail.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write("LQJR\x02\x00\x00", 7);
+  }
+  Journal j;
+  const ReplayResult r = j.open(path);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.truncated_bytes, 7u);
+  // open() truncated the tail; the next append lands on a clean boundary.
+  j.append(RecordType::TaskDone, R"({"task": 0})");
+  const ReplayResult r2 = replay_journal(path);
+  ASSERT_EQ(r2.records.size(), 3u);
+  EXPECT_EQ(r2.truncated_bytes, 0u);
+  EXPECT_EQ(r2.records[2].seq, 2u);
+}
+
+TEST(Journal, CorruptFrameStopsReplayAtLastGoodPrefix) {
+  const std::string dir = scratch("journal_corrupt");
+  const std::string path = dir + "/j.lqj";
+  {
+    Journal j;
+    j.open(path);
+    j.append(RecordType::CampaignBegin, "{}");
+    j.append(RecordType::TaskDone, R"({"task": 0})");
+    j.append(RecordType::TaskDone, R"({"task": 1})");
+  }
+  const ReplayResult before = replay_journal(path);
+  ASSERT_EQ(before.records.size(), 3u);
+  // Flip one payload bit inside the second frame.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(before.valid_bytes) / 2);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(-1, std::ios::cur);
+    c = static_cast<char>(c ^ 0x01);
+    f.write(&c, 1);
+  }
+  const ReplayResult after = replay_journal(path);
+  EXPECT_LT(after.records.size(), 3u);  // CRC caught the flip
+  EXPECT_GT(after.truncated_bytes, 0u);
+}
+
+TEST(Scheduler, DeterministicCoveringShard) {
+  CampaignSpec spec = small_spec("unused");
+  spec.ranks = 3;
+  const std::vector<SolveTask> tasks = build_tasks(spec);
+  const LatticeGeometry geo({4, 4, 4, 4});
+  const MachineModel machine = machine_by_name(spec.machine);
+  const ShardPlan a = shard_tasks(spec, tasks, geo, machine);
+  const ShardPlan b = shard_tasks(spec, tasks, geo, machine);
+  EXPECT_EQ(a.lane_of, b.lane_of);  // pure function of the spec
+  EXPECT_EQ(a.lanes, b.lanes);
+
+  // Every task lands on exactly one lane, consistently with lane_of.
+  std::set<int> seen;
+  for (std::size_t l = 0; l < a.lanes.size(); ++l)
+    for (const int id : a.lanes[l]) {
+      EXPECT_TRUE(seen.insert(id).second);
+      EXPECT_EQ(a.lane_of[std::size_t(id)], static_cast<int>(l));
+    }
+  EXPECT_EQ(seen.size(), tasks.size());
+  EXPECT_GE(a.imbalance(), 1.0);
+
+  // Within a lane: config-major execution order.
+  for (const auto& lane : a.lanes)
+    for (std::size_t i = 1; i < lane.size(); ++i) {
+      const SolveTask& prev = tasks[std::size_t(lane[i - 1])];
+      const SolveTask& cur = tasks[std::size_t(lane[i])];
+      EXPECT_LE(prev.config, cur.config);
+    }
+}
+
+TEST(CampaignService, RunsCampaignAndWritesResult) {
+  const std::string dir = scratch("run");
+  CampaignService service(small_spec(dir));
+  const CampaignOutcome out = service.run();
+  EXPECT_TRUE(out.finished);
+  EXPECT_EQ(out.total, 4);
+  EXPECT_EQ(out.completed, 4);
+  EXPECT_EQ(out.skipped, 0);
+  EXPECT_EQ(done_payloads(service.journal_path()).size(), 4u);
+
+  // result.json is valid JSON carrying results + telemetry.
+  std::ifstream is(dir + "/result.json");
+  ASSERT_TRUE(is.good());
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  const json::Value doc = json::Value::parse(text);
+  EXPECT_EQ(doc.at("schema").as_string(), "lqcd.campaign.result/1");
+  EXPECT_EQ(doc.at("results").size(), 4u);
+  EXPECT_EQ(doc.at("telemetry").at("schema").as_string(),
+            "lqcd.telemetry/1");
+
+  // Re-running a finished campaign recomputes nothing.
+  CampaignService again(small_spec(dir));
+  const CampaignOutcome out2 = again.run();
+  EXPECT_EQ(out2.completed, 0);
+  EXPECT_EQ(out2.skipped, 4);
+}
+
+TEST(CampaignService, KillResumeRecomputesNothing) {
+  const std::string dir = scratch("kill");
+
+  // Kill lane 0 at its second execution slot: by then the first wave
+  // (epochs 0, 1) has finished two tasks.
+  FaultInjector faults(7);
+  faults.schedule_kill(/*rank=*/0, /*epoch=*/2);
+  CampaignService service(small_spec(dir), {.faults = &faults});
+  EXPECT_THROW(service.run(), TransientError);
+  const auto before = done_payloads(service.journal_path());
+  EXPECT_EQ(before.size(), 2u);
+  const CampaignStatus mid = CampaignService::status(service.journal_path());
+  EXPECT_EQ(mid.done, 2);
+  EXPECT_EQ(mid.in_flight, 1);  // the killed task's dangling Running frame
+  EXPECT_FALSE(mid.finished);
+
+  // Resume without faults: only the unfinished tasks run.
+  CampaignService resumed(small_spec(dir));
+  const CampaignOutcome out = resumed.run();
+  EXPECT_EQ(out.skipped, 2);
+  EXPECT_EQ(out.completed, 2);
+
+  // Zero recompute, journal-verified: every task finished before the kill
+  // has exactly one Running frame in the whole (pre + post) journal.
+  std::map<int, int> running_frames;
+  for (const Record& r : replay_journal(resumed.journal_path()).records)
+    if (r.type == RecordType::TaskRunning)
+      ++running_frames[json::Value::parse(r.payload).get_or("task", -1)];
+  for (const auto& [id, payload] : before) EXPECT_EQ(running_frames[id], 1);
+
+  // The interrupted journal's results are byte-identical to an
+  // uninterrupted campaign's (TaskDone payloads carry no wall-clock).
+  const std::string clean_dir = scratch("kill_clean");
+  CampaignService clean(small_spec(clean_dir));
+  clean.run();
+  EXPECT_EQ(done_payloads(resumed.journal_path()),
+            done_payloads(clean.journal_path()));
+}
+
+TEST(CampaignService, TransientFaultsAreRetried) {
+  const std::string dir = scratch("retry");
+  FaultInjector faults(13, {.drop_prob = 1.0});
+  faults.set_event_budget(2);  // two injected failures, then clean
+  CampaignService service(small_spec(dir), {.faults = &faults});
+  const CampaignOutcome out = service.run();
+  EXPECT_TRUE(out.finished);
+  EXPECT_EQ(out.completed, 4);
+  EXPECT_EQ(out.transient_failures, 2);
+  int failed_frames = 0;
+  for (const Record& r : replay_journal(service.journal_path()).records)
+    failed_frames += r.type == RecordType::TaskFailed;
+  EXPECT_EQ(failed_frames, 2);
+}
+
+TEST(CampaignService, ExhaustedRetryBudgetIsFatal) {
+  const std::string dir = scratch("fatal");
+  CampaignSpec spec = small_spec(dir);
+  spec.max_retries = 1;
+  FaultInjector faults(17, {.drop_prob = 1.0});  // unlimited budget
+  CampaignService service(spec, {.faults = &faults});
+  EXPECT_THROW(service.run(), FatalError);
+}
+
+TEST(CampaignService, RefusesForeignJournal) {
+  const std::string dir = scratch("foreign");
+  CampaignService first(small_spec(dir));
+  first.run();
+  CampaignSpec other = small_spec(dir);  // same journal, different spec
+  other.kappas = {0.112, 0.117};
+  CampaignService second(other);
+  EXPECT_THROW(second.run(), FatalError);
+}
+
+TEST(CampaignService, StatusOnMissingJournal) {
+  const CampaignStatus st = CampaignService::status("does_not_exist.lqj");
+  EXPECT_FALSE(st.journal_found);
+  EXPECT_EQ(st.frames, 0u);
+}
+
+}  // namespace
+}  // namespace lqcd::serve

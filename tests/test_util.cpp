@@ -7,6 +7,7 @@
 #include "util/cli.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -232,6 +233,33 @@ TEST(Cli, RejectsNonOptionArgument) {
   EXPECT_THROW(Cli(2, argv), Error);
 }
 
+TEST(Cli, SubcommandParsesVerbThenOptions) {
+  const char* argv[] = {"tool", "run", "--n=3", "--flag"};
+  Cli cli(4, argv, {"run", "status"});
+  EXPECT_EQ(cli.command(), "run");
+  EXPECT_EQ(cli.get_int("n", 0), 3);
+  EXPECT_TRUE(cli.get_flag("flag"));
+  EXPECT_NO_THROW(cli.finish());
+}
+
+TEST(Cli, SubcommandRejectsUnknownVerb) {
+  const char* argv[] = {"tool", "frobnicate"};
+  EXPECT_THROW(Cli(2, argv, {"run", "status"}), Error);
+}
+
+TEST(Cli, SubcommandRequiresVerb) {
+  const char* argv[] = {"tool", "--n=3"};
+  EXPECT_THROW(Cli(2, argv, {"run", "status"}), Error);
+}
+
+TEST(Cli, FlatParsingUnaffectedBySubcommandSupport) {
+  // The flat constructor must never eat argv[1] as a verb.
+  const char* argv[] = {"prog", "--run=1"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.command().empty());
+  EXPECT_EQ(cli.get_int("run", 0), 1);
+}
+
 TEST(AccumTimer, CountsOnlyMatchedIntervals) {
   AccumTimer t;
   // Regression: a stray end() (no begin()) used to bump intervals(),
@@ -258,6 +286,103 @@ TEST(AccumTimer, ResetClearsState) {
   EXPECT_EQ(t.total_seconds(), 0.0);
   t.end();  // reset also closes any open interval
   EXPECT_EQ(t.intervals(), 0);
+}
+
+TEST(JsonWriter, DeterministicDocument) {
+  const auto build = [] {
+    json::Writer w;
+    w.begin_object()
+        .field("schema", "lqcd.test/1")
+        .field("count", 3)
+        .field("ratio", 0.1)
+        .key("dims")
+        .begin_array()
+        .value(4)
+        .value(4)
+        .end_array()
+        .end_object();
+    return w.str();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());  // byte-identical across builds
+  // Keys come out in call order, scalar arrays stay on one line.
+  EXPECT_NE(a.find("\"schema\": \"lqcd.test/1\""), std::string::npos);
+  EXPECT_NE(a.find("[4, 4]"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesStringsAndRoundTripsDoubles) {
+  json::Writer w;
+  w.begin_object()
+      .field("s", "a\"b\\c\nd")
+      .field("x", 0.30000000000000004)
+      .end_object();
+  const json::Value v = json::Value::parse(w.str());
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(v.at("x").as_double(), 0.30000000000000004);  // %.17g exact
+}
+
+TEST(JsonWriter, RawSplicesFragment) {
+  json::Writer inner;
+  inner.begin_object().field("a", 1).end_object();
+  json::Writer w;
+  w.begin_object().key("nested").raw(inner.str()).end_object();
+  const json::Value v = json::Value::parse(w.str());
+  EXPECT_EQ(v.at("nested").at("a").as_int(), 1);
+}
+
+TEST(JsonWriter, ThrowsOnUnbalancedDocument) {
+  json::Writer w;
+  w.begin_object();
+  EXPECT_THROW(w.str(), Error);
+}
+
+TEST(JsonValue, ParsesTypedDocument) {
+  const json::Value v = json::Value::parse(
+      R"({"n": 7, "x": 2.5, "on": true, "none": null,
+          "arr": [1, 2, 3], "obj": {"k": "v"}})");
+  EXPECT_EQ(v.at("n").as_int(), 7);
+  EXPECT_TRUE(v.at("n").is_integer());
+  EXPECT_DOUBLE_EQ(v.at("x").as_double(), 2.5);
+  EXPECT_FALSE(v.at("x").is_integer());
+  EXPECT_TRUE(v.at("on").as_bool());
+  EXPECT_TRUE(v.at("none").is_null());
+  ASSERT_EQ(v.at("arr").size(), 3u);
+  EXPECT_EQ(v.at("arr")[2].as_int(), 3);
+  EXPECT_EQ(v.at("obj").at("k").as_string(), "v");
+  EXPECT_EQ(v.get_or("missing", 42), 42);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValue, KeepsObjectKeysInFileOrder) {
+  const json::Value v = json::Value::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& items = v.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, "z");
+  EXPECT_EQ(items[1].first, "a");
+  EXPECT_EQ(items[2].first, "m");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(json::Value::parse("{"), Error);
+  EXPECT_THROW(json::Value::parse("{\"a\": }"), Error);
+  EXPECT_THROW(json::Value::parse("[1, 2,]"), Error);
+  EXPECT_THROW(json::Value::parse("{} trailing"), Error);
+  EXPECT_THROW(json::Value::parse("nul"), Error);
+  // Error messages carry a byte offset for spec debugging.
+  try {
+    json::Value::parse("[1, 2,]");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(JsonValue, AccessorsEnforceKinds) {
+  const json::Value v = json::Value::parse(R"({"s": "text"})");
+  EXPECT_THROW((void)v.at("s").as_int(), Error);
+  EXPECT_THROW((void)v.at("s").as_bool(), Error);
+  EXPECT_THROW((void)v.at("s")[0], Error);
+  EXPECT_THROW((void)v.at("missing"), Error);
 }
 
 }  // namespace
