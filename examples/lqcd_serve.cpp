@@ -7,13 +7,21 @@
 //       Thermalize the requested gauge configurations, save them next to
 //       the output directory, and write a validated campaign spec.
 //
-//   lqcd_serve run --spec camp.json [--kill-epoch N] [--drop-prob P]
+//   lqcd_serve run --spec camp.json [--kill-epoch N] [--kills "l:e,..."]
+//                  [--lane-dead "l:e,..."] [--drop-prob P]
+//                  [--straggle-prob P [--straggle-mult M]]
 //       Execute (or resume) the campaign: every finished task in the
 //       journal is skipped, the rest are solved and journaled. The fault
-//       flags drive the deterministic injector for crash drills.
+//       flags drive the deterministic injector for crash drills; lane
+//       deaths exercise the degraded-mode recovery path (re-sharding
+//       onto survivors), straggles the speculative re-execution path.
 //
 //   lqcd_serve status --spec camp.json   (or --journal path/journal.lqj)
 //       Summarize the journal without touching gauge data.
+//
+//   lqcd_serve compact --spec camp.json  (or --journal path/journal.lqj)
+//       Rewrite the journal without settled TaskRunning frames and
+//       duplicate TaskDone frames; `status` output is unchanged.
 //
 // Exit code: 0 on success (status: also when no journal exists yet),
 // 2 when a run was killed mid-campaign (rerun to resume), 1 on error.
@@ -115,23 +123,59 @@ int cmd_submit(Cli& cli) {
   return 0;
 }
 
+/// Parse a "lane:epoch[,lane:epoch...]" schedule string.
+std::vector<std::pair<int, std::uint64_t>> parse_schedule(
+    const std::string& s, const char* flag) {
+  std::vector<std::pair<int, std::uint64_t>> out;
+  if (s.empty()) return out;
+  for (const std::string& item : split(s, ',')) {
+    const std::size_t colon = item.find(':');
+    LQCD_REQUIRE(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < item.size(),
+                 std::string(flag) + ": expected lane:epoch, got '" + item +
+                     "'");
+    out.emplace_back(std::stoi(item.substr(0, colon)),
+                     static_cast<std::uint64_t>(
+                         std::stoull(item.substr(colon + 1))));
+  }
+  return out;
+}
+
 int cmd_run(Cli& cli) {
   const std::string spec_path = cli.get_string("spec", "campaign.json");
   const long kill_epoch = cli.get_long("kill-epoch", -1);
   const int kill_lane = cli.get_int("kill-lane", 0);
+  const std::string kills = cli.get_string("kills", "");
+  const std::string lane_dead = cli.get_string("lane-dead", "");
   const double drop_prob = cli.get_double("drop-prob", 0.0);
+  const double straggle_prob = cli.get_double("straggle-prob", 0.0);
+  const double straggle_mult = cli.get_double("straggle-mult", 8.0);
   const std::uint64_t fault_seed =
       static_cast<std::uint64_t>(cli.get_long("fault-seed", 7));
   cli.finish();
 
   const CampaignSpec spec = load_campaign(spec_path);
-  FaultInjector faults(fault_seed, {.drop_prob = drop_prob});
-  if (kill_epoch >= 0)
+  FaultInjector faults(fault_seed, {.drop_prob = drop_prob,
+                                    .task_straggle_prob = straggle_prob,
+                                    .task_straggle_mult = straggle_mult});
+  bool any_fault = drop_prob > 0.0 || straggle_prob > 0.0;
+  if (kill_epoch >= 0) {
     faults.schedule_kill(kill_lane,
                          static_cast<std::uint64_t>(kill_epoch));
+    any_fault = true;
+  }
+  for (const auto& [lane, epoch] : parse_schedule(kills, "--kills")) {
+    faults.schedule_kill(lane, epoch);
+    any_fault = true;
+  }
+  for (const auto& [lane, epoch] :
+       parse_schedule(lane_dead, "--lane-dead")) {
+    faults.schedule_lane_death(lane, epoch);
+    any_fault = true;
+  }
 
   ServiceOptions opts;
-  if (kill_epoch >= 0 || drop_prob > 0.0) opts.faults = &faults;
+  if (any_fault) opts.faults = &faults;
   CampaignService service(spec, opts);
   std::printf("campaign %s: %d tasks over %d lanes (imbalance %.3f)\n",
               spec.name.c_str(), spec.num_tasks(), spec.ranks,
@@ -142,6 +186,11 @@ int cmd_run(Cli& cli) {
                 "retries, %.2fs\n",
                 out.completed, out.skipped, out.transient_failures,
                 out.seconds);
+    if (out.degraded || out.speculative_tasks > 0)
+      std::printf("degraded: %d lanes lost, %d tasks reassigned, "
+                  "%d speculative (%d wins)\n",
+                  out.lanes_lost, out.tasks_reassigned,
+                  out.speculative_tasks, out.speculative_wins);
     std::printf("result: %s/result.json\n", spec.output.c_str());
   } catch (const TransientError& e) {
     std::printf("killed: %s\n", e.what());
@@ -169,6 +218,11 @@ int cmd_status(Cli& cli) {
               static_cast<unsigned long long>(st.frames), st.fingerprint);
   std::printf("  tasks: %d/%d done, %d failed attempts, %d in flight\n",
               st.done, st.total, st.failed_attempts, st.in_flight);
+  if (st.lanes_lost > 0 || st.tasks_reassigned > 0 ||
+      st.speculative_tasks > 0)
+    std::printf("  recovery: %d lanes lost, %d tasks reassigned, "
+                "%d speculative\n",
+                st.lanes_lost, st.tasks_reassigned, st.speculative_tasks);
   if (st.truncated_bytes > 0)
     std::printf("  torn tail: %llu bytes dropped\n",
                 static_cast<unsigned long long>(st.truncated_bytes));
@@ -176,13 +230,33 @@ int cmd_status(Cli& cli) {
   return 0;
 }
 
+int cmd_compact(Cli& cli) {
+  std::string journal = cli.get_string("journal", "");
+  const std::string spec_path = cli.get_string("spec", "");
+  cli.finish();
+  if (journal.empty()) {
+    LQCD_REQUIRE(!spec_path.empty(),
+                 "compact needs --journal or --spec");
+    journal = load_campaign(spec_path).output + "/journal.lqj";
+  }
+  const CompactionStats st = compact_journal(journal);
+  std::printf("%s: %llu -> %llu frames, %llu -> %llu bytes\n",
+              journal.c_str(),
+              static_cast<unsigned long long>(st.frames_before),
+              static_cast<unsigned long long>(st.frames_after),
+              static_cast<unsigned long long>(st.bytes_before),
+              static_cast<unsigned long long>(st.bytes_after));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    Cli cli(argc, argv, {"run", "submit", "status"});
+    Cli cli(argc, argv, {"run", "submit", "status", "compact"});
     if (cli.command() == "submit") return cmd_submit(cli);
     if (cli.command() == "run") return cmd_run(cli);
+    if (cli.command() == "compact") return cmd_compact(cli);
     return cmd_status(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lqcd_serve: %s\n", e.what());

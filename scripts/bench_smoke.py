@@ -32,6 +32,11 @@ BENCHES = {
         "lqcd.bench.ablation/1",
         ["projection_speedup", "multishift_speedup", "eo"],
     ),
+    "bench_chaos": (
+        ["--quick"],
+        "lqcd.bench.chaos/1",
+        ["seeds", "completed", "invariant_failures", "all_invariants_pass"],
+    ),
     "bench_comm": (
         ["--quick"],
         "lqcd.bench.comm/1",

@@ -11,6 +11,7 @@ constexpr std::uint64_t kKindDrop = 0x11;
 constexpr std::uint64_t kKindCorrupt = 0x22;
 constexpr std::uint64_t kKindStraggle = 0x33;
 constexpr std::uint64_t kKindPattern = 0x44;
+constexpr std::uint64_t kKindTaskStraggle = 0x55;
 
 std::uint64_t message_key(std::uint64_t epoch, int rank, int mu, int dir,
                           int attempt) {
@@ -84,6 +85,16 @@ double FaultInjector::straggle_us(std::uint64_t epoch, int rank) {
   if (!take_budget()) return 0.0;
   stats_.straggles.fetch_add(1, std::memory_order_relaxed);
   return s.straggle_us;
+}
+
+double FaultInjector::task_straggle_mult(std::uint64_t epoch, int lane) {
+  const FaultSpec& s = spec_for(lane);
+  if (!active(s, epoch) || s.task_straggle_prob <= 0.0) return 1.0;
+  if (roll(kKindTaskStraggle, epoch, lane, 0, 0, 0) >= s.task_straggle_prob)
+    return 1.0;
+  if (!take_budget()) return 1.0;
+  stats_.task_straggles.fetch_add(1, std::memory_order_relaxed);
+  return s.task_straggle_mult;
 }
 
 }  // namespace lqcd

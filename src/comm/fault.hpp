@@ -22,6 +22,8 @@
 #include <limits>
 #include <span>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace lqcd {
 
@@ -33,6 +35,8 @@ struct FaultSpec {
   double drop_prob = 0.0;      ///< message never arrives (timeout)
   double straggle_prob = 0.0;  ///< rank delays the exchange
   double straggle_us = 200.0;  ///< modeled delay per straggle event
+  double task_straggle_prob = 0.0;  ///< a whole task runs slow on a lane
+  double task_straggle_mult = 8.0;  ///< modeled task slowdown factor
   std::uint64_t first_epoch = 0;  ///< active window (inclusive)
   std::uint64_t last_epoch = std::numeric_limits<std::uint64_t>::max();
 };
@@ -44,12 +48,16 @@ struct FaultStats {
   std::atomic<std::int64_t> drops{0};
   std::atomic<std::int64_t> straggles{0};
   std::atomic<std::int64_t> kills{0};
+  std::atomic<std::int64_t> lane_deaths{0};
+  std::atomic<std::int64_t> task_straggles{0};
 
   void reset() {
     corruptions = 0;
     drops = 0;
     straggles = 0;
     kills = 0;
+    lane_deaths = 0;
+    task_straggles = 0;
   }
 };
 
@@ -66,10 +74,29 @@ class FaultInjector {
   }
   /// Kill `rank` at exchange `epoch`: the exchange observes the death and
   /// raises TransientError (checkpoint/restart is the recovery path).
+  /// Kills accumulate — a chaos schedule kills more than once across a
+  /// campaign's lives — so a second call adds a kill rather than
+  /// replacing the first. clear_kills() drops the whole schedule.
   void schedule_kill(int rank, std::uint64_t epoch) {
-    kill_rank_ = rank;
-    kill_epoch_ = epoch;
+    kills_.emplace_back(rank, epoch);
   }
+  void clear_kills() { kills_.clear(); }
+  /// Permanently stop `lane`'s heartbeats from `epoch` on. Unlike a
+  /// process kill (transient: the service itself dies and is restarted),
+  /// a lane death is survived in place: the scheduler declares the lane
+  /// dead after enough missed modeled deadlines and re-shards its
+  /// remaining tasks over the survivors.
+  void schedule_lane_death(int lane, std::uint64_t epoch) {
+    const auto it = lane_death_epoch_.find(lane);
+    if (it == lane_death_epoch_.end() || epoch < it->second)
+      lane_death_epoch_[lane] = epoch;
+  }
+  /// True once `lane`'s scheduled death epoch has passed (permanent).
+  [[nodiscard]] bool lane_dead(std::uint64_t epoch, int lane) const {
+    const auto it = lane_death_epoch_.find(lane);
+    return it != lane_death_epoch_.end() && epoch >= it->second;
+  }
+  void record_lane_death() { stats_.lane_deaths.fetch_add(1); }
   /// Cap the total number of injected corrupt/drop/straggle events
   /// (-1 = unlimited). With the cap exhausted the network runs clean.
   void set_event_budget(std::int64_t budget) { budget_ = budget; }
@@ -77,7 +104,9 @@ class FaultInjector {
   // --- transport hooks (called by VirtualCluster::exchange) ------------
 
   [[nodiscard]] bool should_kill(std::uint64_t epoch, int rank) const {
-    return rank == kill_rank_ && epoch == kill_epoch_;
+    for (const auto& [r, e] : kills_)
+      if (r == rank && e == epoch) return true;
+    return false;
   }
   void record_kill() { stats_.kills.fetch_add(1); }
 
@@ -93,6 +122,12 @@ class FaultInjector {
   /// Modeled straggler delay (microseconds) contributed by `rank` this
   /// epoch; 0 when the rank is on time.
   double straggle_us(std::uint64_t epoch, int rank);
+
+  /// Modeled slowdown factor for one whole task execution on `lane` at
+  /// `epoch`; 1.0 when the lane runs at full speed. A factor beyond the
+  /// campaign's heartbeat margin is what the lane health model sees as a
+  /// missed deadline (suspect lane, speculation candidate).
+  double task_straggle_mult(std::uint64_t epoch, int lane);
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
@@ -116,8 +151,8 @@ class FaultInjector {
   std::uint64_t seed_;
   FaultSpec default_spec_;
   std::unordered_map<int, FaultSpec> rank_specs_;
-  int kill_rank_ = -1;
-  std::uint64_t kill_epoch_ = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::pair<int, std::uint64_t>> kills_;  ///< (rank, epoch)
+  std::unordered_map<int, std::uint64_t> lane_death_epoch_;
   std::atomic<std::int64_t> budget_{-1};
   FaultStats stats_;
 };

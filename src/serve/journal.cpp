@@ -4,9 +4,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <unordered_map>
 
+#include "util/atomic_io.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace lqcd::serve {
 
@@ -65,6 +69,8 @@ const char* to_string(RecordType t) {
     case RecordType::TaskDone: return "task_done";
     case RecordType::TaskFailed: return "task_failed";
     case RecordType::CampaignEnd: return "campaign_end";
+    case RecordType::LaneDead: return "lane_dead";
+    case RecordType::TaskReassigned: return "task_reassigned";
   }
   return "?";
 }
@@ -88,7 +94,7 @@ ReplayResult replay_journal(const std::string& path) {
     const std::uint32_t want = get_u32(p + kHeaderBytes + len);
     const std::uint32_t got = crc32(p + 4, kHeaderBytes - 4 + len);
     if (want != got) break;  // corrupt frame: stop at last good prefix
-    if (type < 1 || type > 5) break;
+    if (type < 1 || type > 7) break;
     Record rec;
     rec.seq = seq;
     rec.type = static_cast<RecordType>(type);
@@ -128,6 +134,60 @@ std::uint64_t Journal::append(RecordType type, std::string_view payload) {
                      " (campaign state would be lost)");
   ++next_seq_;
   return seq;
+}
+
+CompactionStats compact_journal(const std::string& path) {
+  const ReplayResult replay = replay_journal(path);
+  CompactionStats stats;
+  stats.frames_before = replay.records.size();
+  stats.bytes_before = replay.valid_bytes + replay.truncated_bytes;
+  if (replay.records.empty()) return stats;
+
+  const auto task_of = [](const Record& rec) {
+    return static_cast<int>(
+        json::Value::parse(rec.payload).get_or("task", std::int64_t{-1}));
+  };
+
+  // A Running frame is dead weight once a later Done/Failed settles the
+  // same task; an open (unsettled) Running frame is the in_flight signal
+  // `status` reports, so it must survive. Map each task to the index of
+  // its last settling frame.
+  std::unordered_map<int, std::size_t> last_settled;
+  for (std::size_t i = 0; i < replay.records.size(); ++i) {
+    const Record& rec = replay.records[i];
+    if (rec.type == RecordType::TaskDone ||
+        rec.type == RecordType::TaskFailed)
+      last_settled[task_of(rec)] = i;
+  }
+
+  std::set<int> done_seen;
+  std::string compacted;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < replay.records.size(); ++i) {
+    const Record& rec = replay.records[i];
+    bool keep = true;
+    switch (rec.type) {
+      case RecordType::TaskRunning: {
+        const auto it = last_settled.find(task_of(rec));
+        keep = it == last_settled.end() || i > it->second;
+        break;
+      }
+      case RecordType::TaskDone:
+        // First-wins: a speculative duplicate adds no state.
+        keep = done_seen.insert(task_of(rec)).second;
+        break;
+      default: break;  // Begin/End/Failed/LaneDead/TaskReassigned survive
+    }
+    if (keep) compacted += encode_frame(seq++, rec.type, rec.payload);
+  }
+  stats.frames_after = seq;
+  stats.bytes_after = compacted.size();
+
+  atomic_write_file(path, [&](std::ostream& os) {
+    os.write(compacted.data(),
+             static_cast<std::streamsize>(compacted.size()));
+  });
+  return stats;
 }
 
 }  // namespace lqcd::serve

@@ -30,6 +30,8 @@ enum class RecordType : std::uint8_t {
   TaskDone = 3,       ///< task finished; payload carries the result
   TaskFailed = 4,     ///< attempt failed (transient or exhausted)
   CampaignEnd = 5,    ///< all tasks accounted for
+  LaneDead = 6,       ///< lane declared dead (missed modeled deadlines)
+  TaskReassigned = 7, ///< task moved/replicated to another lane
 };
 
 [[nodiscard]] const char* to_string(RecordType t);
@@ -68,5 +70,23 @@ class Journal {
   std::string path_;
   std::uint64_t next_seq_ = 0;
 };
+
+struct CompactionStats {
+  std::uint64_t frames_before = 0;
+  std::uint64_t frames_after = 0;
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+};
+
+/// Rewrite the journal at `path` without the frames that no longer carry
+/// state: the TaskRunning frames of every settled task (a task with a
+/// later TaskDone or TaskFailed) — the bulk of a thousand-task journal.
+/// Everything `status` and a resume depend on survives verbatim, in
+/// order: CampaignBegin (fingerprint intact), the first TaskDone per
+/// task, every TaskFailed, every LaneDead / TaskReassigned recovery
+/// decision, still-open TaskRunning frames, and CampaignEnd. Frames are
+/// re-sequenced dense from 0 and the file is replaced via atomic rename,
+/// so a kill mid-compaction leaves the original journal untouched.
+CompactionStats compact_journal(const std::string& path);
 
 }  // namespace lqcd::serve

@@ -86,4 +86,41 @@ ShardPlan shard_tasks(const CampaignSpec& spec,
   return plan;
 }
 
+std::vector<Reassignment> reshard_orphans(
+    const std::vector<int>& orphans, int from_lane,
+    const std::vector<double>& task_seconds,
+    std::vector<double>& remaining_seconds, const std::vector<bool>& alive) {
+  LQCD_REQUIRE(remaining_seconds.size() == alive.size(),
+               "reshard_orphans: remaining/alive size mismatch");
+  std::vector<Reassignment> moves;
+  if (orphans.empty()) return moves;
+
+  // Same LPT discipline as the initial shard: biggest orphan first, onto
+  // the least-loaded survivor, ties broken by id / lane index.
+  std::vector<std::pair<double, int>> order;
+  order.reserve(orphans.size());
+  for (const int id : orphans)
+    order.emplace_back(task_seconds.at(static_cast<std::size_t>(id)), id);
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  moves.reserve(orphans.size());
+  for (const auto& [cost, id] : order) {
+    int best = -1;
+    for (std::size_t l = 0; l < alive.size(); ++l) {
+      if (!alive[l]) continue;
+      if (best < 0 ||
+          remaining_seconds[l] < remaining_seconds[static_cast<std::size_t>(
+                                     best)])
+        best = static_cast<int>(l);
+    }
+    LQCD_REQUIRE(best >= 0, "reshard_orphans: no surviving lane");
+    remaining_seconds[static_cast<std::size_t>(best)] += cost;
+    moves.push_back({.task = id, .from = from_lane, .to = best});
+  }
+  return moves;
+}
+
 }  // namespace lqcd::serve

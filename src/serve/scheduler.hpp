@@ -50,4 +50,23 @@ struct ShardPlan {
                                     const LatticeGeometry& geo,
                                     const MachineModel& machine);
 
+/// One recovery decision: `task` moves from a dead lane to a survivor.
+struct Reassignment {
+  int task = 0;
+  int from = 0;
+  int to = 0;
+};
+
+/// Redistribute the `orphans` a dead lane left behind: LPT over the
+/// orphans' modeled cost onto the alive lane with the least remaining
+/// modeled work, deterministic ties (cost desc, task id asc, lane index
+/// asc). `remaining_seconds` is updated in place so successive deaths
+/// compose; `task_seconds[id]` prices task `id`. Orphans are returned in
+/// decision order — the order the journal records them in, which is the
+/// order a resumed run replays them.
+[[nodiscard]] std::vector<Reassignment> reshard_orphans(
+    const std::vector<int>& orphans, int from_lane,
+    const std::vector<double>& task_seconds,
+    std::vector<double>& remaining_seconds, const std::vector<bool>& alive);
+
 }  // namespace lqcd::serve

@@ -23,6 +23,18 @@
 // FaultInjector rethrows as TransientError("service killed") after the
 // TaskRunning frame, exactly the crash window the journal protects.
 //
+// Lane-failure recovery (serve/health.hpp): lanes heartbeat on modeled
+// deadlines (heartbeat_margin x modeled_task_seconds). A silent lane goes
+// healthy -> suspect -> dead; on death the scheduler LPT-redistributes
+// its remaining tasks over the survivors and journals the decisions as
+// LaneDead / TaskReassigned frames, so a killed-and-resumed run replays
+// the identical recovery plan. A straggling task on a suspect lane is
+// speculatively replicated onto the least-loaded healthy lane; whichever
+// copy journals TaskDone first wins, the other skips (TaskDone payloads
+// are task-level deterministic, so the winner's bytes are identical
+// either way). The campaign completes in degraded mode on whatever lanes
+// survive; only when every lane is dead does run() raise FatalError.
+//
 // TaskDone payloads are deterministic (no wall-clock fields), so a killed
 // + resumed campaign journals byte-identical results to an uninterrupted
 // one. Wall time and rates go to telemetry (serve.* counters) and the
@@ -34,6 +46,7 @@
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "serve/health.hpp"
 #include "serve/journal.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/spec.hpp"
@@ -57,6 +70,15 @@ struct CampaignOutcome {
   int transient_failures = 0;  ///< failed attempts that were retried
   bool finished = false;    ///< CampaignEnd journaled
   double seconds = 0.0;     ///< wall time of this run
+
+  // Degraded-mode accounting. lanes_lost / tasks_reassigned are
+  // campaign-cumulative (journal-replayed deaths count); speculative
+  // figures are this run's.
+  int lanes_lost = 0;          ///< lanes declared dead
+  int tasks_reassigned = 0;    ///< orphans re-sharded off dead lanes
+  int speculative_tasks = 0;   ///< stragglers replicated this run
+  int speculative_wins = 0;    ///< replicas that finished first this run
+  bool degraded = false;       ///< completed with at least one lane lost
 };
 
 /// Journal-only campaign summary (for `lqcd_serve status`).
@@ -70,6 +92,9 @@ struct CampaignStatus {
   int failed_attempts = 0;
   int in_flight = 0;   ///< Running frames not followed by Done/Failed
   bool finished = false;
+  int lanes_lost = 0;         ///< distinct lanes with a LaneDead frame
+  int tasks_reassigned = 0;   ///< TaskReassigned frames (reason lane_dead)
+  int speculative_tasks = 0;  ///< TaskReassigned frames (speculative)
 };
 
 class CampaignService {
@@ -103,6 +128,7 @@ class CampaignService {
   std::vector<SolveTask> tasks_;
   ShardPlan plan_;
   LatticeGeometry geo_;
+  std::vector<double> task_cost_;  ///< modeled seconds per task id
   // Gauge configs stay resident once loaded (campaign lattices are small;
   // the lanes revisit them every wave).
   std::vector<std::unique_ptr<GaugeFieldD>> configs_;

@@ -62,10 +62,19 @@ CampaignSpec parse_campaign(const json::Value& doc) {
     spec.ranks = sched->get_or("ranks", spec.ranks);
     spec.machine = sched->get_or("machine", spec.machine);
     spec.max_retries = sched->get_or("max_retries", spec.max_retries);
+    spec.heartbeat_margin =
+        sched->get_or("heartbeat_margin", spec.heartbeat_margin);
+    spec.deadline_misses =
+        sched->get_or("deadline_misses", spec.deadline_misses);
+    spec.speculate = sched->get_or("speculate", spec.speculate);
     LQCD_REQUIRE(spec.ranks >= 1 && spec.ranks <= 4096,
                  "campaign spec: ranks out of [1, 4096]");
     LQCD_REQUIRE(spec.max_retries >= 0,
                  "campaign spec: max_retries must be >= 0");
+    LQCD_REQUIRE(spec.heartbeat_margin > 1.0,
+                 "campaign spec: heartbeat_margin must exceed 1");
+    LQCD_REQUIRE(spec.deadline_misses >= 1,
+                 "campaign spec: deadline_misses must be >= 1");
     (void)machine_by_name(spec.machine);  // validate preset name
   }
 
@@ -111,6 +120,9 @@ void write_campaign(json::Writer& w, const CampaignSpec& spec) {
       .field("ranks", spec.ranks)
       .field("machine", spec.machine)
       .field("max_retries", spec.max_retries)
+      .field("heartbeat_margin", spec.heartbeat_margin)
+      .field("deadline_misses", spec.deadline_misses)
+      .field("speculate", spec.speculate)
       .end_object();
   w.field("output", spec.output).end_object();
 }

@@ -56,6 +56,15 @@ struct CampaignSpec {
   std::string machine = "cluster";   ///< comm/machine.hpp preset name
   int max_retries = 2;               ///< transient-failure budget per task
 
+  // Lane-failure recovery (see serve/health.hpp). A lane whose current
+  // task exceeds heartbeat_margin x modeled_task_seconds missed its
+  // heartbeat; deadline_misses consecutive misses declare it dead and
+  // re-shard its tasks. Suspect-lane stragglers are speculatively
+  // re-executed on a healthy lane when `speculate` is set.
+  double heartbeat_margin = 4.0;
+  int deadline_misses = 2;
+  bool speculate = true;
+
   std::string output = "campaign_out";  ///< journal + result directory
 
   [[nodiscard]] int num_tasks() const {

@@ -377,7 +377,7 @@ TEST(ResilientHalo, RankDeathRaisesTransientThenRecovers) {
 
   // Recovery path: the "rank" comes back (checkpoint/restart in a real
   // campaign) and the retried exchange is exact.
-  fi.schedule_kill(2, std::numeric_limits<std::uint64_t>::max());
+  fi.clear_kills();
   single.apply(a.span(), in.span());
   dist.apply(b.span(), in.span());
   EXPECT_EQ(field_diff2(a, b), 0.0);

@@ -348,5 +348,276 @@ TEST(CampaignService, StatusOnMissingJournal) {
   EXPECT_EQ(st.frames, 0u);
 }
 
+TEST(FaultInjector, HonorsAListOfScheduledKills) {
+  FaultInjector fi(7);
+  fi.schedule_kill(0, 2);
+  fi.schedule_kill(1, 5);  // must not overwrite the first kill
+  fi.schedule_kill(0, 9);
+  EXPECT_TRUE(fi.should_kill(2, 0));
+  EXPECT_TRUE(fi.should_kill(5, 1));
+  EXPECT_TRUE(fi.should_kill(9, 0));
+  EXPECT_FALSE(fi.should_kill(2, 1));  // rank mismatch
+  EXPECT_FALSE(fi.should_kill(5, 0));
+  EXPECT_FALSE(fi.should_kill(3, 0));  // epoch mismatch
+  fi.clear_kills();
+  EXPECT_FALSE(fi.should_kill(2, 0));
+  EXPECT_FALSE(fi.should_kill(5, 1));
+}
+
+TEST(LaneHealth, HealthyToSuspectToDeadWithRecovery) {
+  LaneHealthModel h(3, /*deadline_misses=*/2);
+  EXPECT_EQ(h.alive_count(), 3);
+  EXPECT_EQ(h.miss(0), LaneHealth::Suspect);
+  h.heartbeat(0);  // on-time completion clears the streak
+  EXPECT_EQ(h.health(0), LaneHealth::Healthy);
+  EXPECT_EQ(h.miss(0), LaneHealth::Suspect);
+  EXPECT_EQ(h.miss(0), LaneHealth::Dead);  // second consecutive miss
+  EXPECT_FALSE(h.alive(0));
+  h.heartbeat(0);  // death is permanent
+  EXPECT_EQ(h.health(0), LaneHealth::Dead);
+  EXPECT_EQ(h.alive_count(), 2);
+  EXPECT_EQ(h.dead_count(), 1);
+  h.suspect(1);  // suspicion without a streak: one miss still needed
+  EXPECT_EQ(h.health(1), LaneHealth::Suspect);
+  h.mark_dead(2);
+  EXPECT_EQ(h.alive_count(), 1);
+}
+
+TEST(Scheduler, ReshardOrphansIsDeterministicLpt) {
+  // Orphans 0 (cost 5), 1 (cost 3), 2 (cost 5) off dead lane 0; lanes 1
+  // and 2 survive with remaining 1.0 and 2.0. LPT order: 0 (tie with 2,
+  // lower id first), 2, 1.
+  const std::vector<double> cost = {5.0, 3.0, 5.0};
+  std::vector<double> rem = {0.0, 1.0, 2.0};
+  const std::vector<bool> alive = {false, true, true};
+  const std::vector<Reassignment> moves =
+      reshard_orphans({0, 1, 2}, 0, cost, rem, alive);
+  ASSERT_EQ(moves.size(), 3u);
+  EXPECT_EQ(moves[0].task, 0);
+  EXPECT_EQ(moves[0].to, 1);  // 1.0 < 2.0
+  EXPECT_EQ(moves[1].task, 2);
+  EXPECT_EQ(moves[1].to, 2);  // now 6.0 vs 2.0
+  EXPECT_EQ(moves[2].task, 1);
+  EXPECT_EQ(moves[2].to, 1);  // 6.0 vs 7.0
+  EXPECT_DOUBLE_EQ(rem[1], 9.0);
+  EXPECT_DOUBLE_EQ(rem[2], 7.0);
+
+  std::vector<double> none_rem = {0.0, 0.0, 0.0};
+  EXPECT_THROW(
+      reshard_orphans({0}, 0, cost, none_rem, {false, false, false}),
+      Error);  // no surviving lane
+}
+
+TEST(CampaignService, StatusCountsOpenRunsFailuresAndTornTails) {
+  const std::string dir = scratch("status_coverage");
+  const std::string path = dir + "/j.lqj";
+  {
+    Journal j;
+    j.open(path);
+    j.append(RecordType::CampaignBegin,
+             R"({"name": "s", "fingerprint": 42, "tasks": 2})");
+    j.append(RecordType::TaskRunning, R"({"task": 0, "attempt": 0})");
+    j.append(RecordType::TaskFailed, R"({"task": 0, "attempt": 0})");
+    j.append(RecordType::TaskRunning, R"({"task": 0, "attempt": 1})");
+    j.append(RecordType::TaskDone, R"({"task": 0})");
+    j.append(RecordType::TaskRunning, R"({"task": 1, "attempt": 0})");
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write("LQJR\x06\x00", 6);  // torn frame at the tail
+  }
+  const CampaignStatus st = CampaignService::status(path);
+  EXPECT_TRUE(st.journal_found);
+  EXPECT_EQ(st.frames, 6u);
+  EXPECT_EQ(st.total, 2);
+  EXPECT_EQ(st.fingerprint, 42u);
+  EXPECT_EQ(st.done, 1);
+  EXPECT_EQ(st.failed_attempts, 1);
+  EXPECT_EQ(st.in_flight, 1);  // task 1's Running frame is unsettled
+  EXPECT_EQ(st.truncated_bytes, 6u);
+  EXPECT_FALSE(st.finished);
+}
+
+TEST(CampaignService, LaneDeathCompletesDegradedOnSurvivor) {
+  const std::string dir = scratch("lane_death");
+  FaultInjector faults(23);
+  faults.schedule_lane_death(/*lane=*/0, /*epoch=*/0);
+  CampaignService service(small_spec(dir), {.faults = &faults});
+  const CampaignOutcome out = service.run();
+
+  // Lane 0 went silent before finishing anything: all 4 tasks complete
+  // on lane 1, the campaign finishes degraded.
+  EXPECT_TRUE(out.finished);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.completed, 4);
+  EXPECT_EQ(out.lanes_lost, 1);
+  EXPECT_EQ(out.tasks_reassigned, 2);  // lane 0's shard moved over
+
+  // The journal narrates the recovery.
+  int lane_dead_frames = 0, reassigned_frames = 0;
+  for (const Record& r : replay_journal(service.journal_path()).records) {
+    lane_dead_frames += r.type == RecordType::LaneDead;
+    reassigned_frames += r.type == RecordType::TaskReassigned;
+  }
+  EXPECT_EQ(lane_dead_frames, 1);
+  EXPECT_EQ(reassigned_frames, 2);
+  const CampaignStatus st = CampaignService::status(service.journal_path());
+  EXPECT_TRUE(st.finished);
+  EXPECT_EQ(st.lanes_lost, 1);
+  EXPECT_EQ(st.tasks_reassigned, 2);
+  EXPECT_EQ(st.speculative_tasks, 0);
+
+  // Degraded-mode physics is still the physics: payloads byte-identical
+  // to a fault-free campaign's.
+  const std::string clean_dir = scratch("lane_death_clean");
+  CampaignService clean(small_spec(clean_dir));
+  clean.run();
+  EXPECT_EQ(done_payloads(service.journal_path()),
+            done_payloads(clean.journal_path()));
+}
+
+TEST(CampaignService, AllLanesDeadIsFatalAndJournalSurvives) {
+  const std::string dir = scratch("all_dead");
+  FaultInjector faults(29);
+  faults.schedule_lane_death(0, 0);
+  faults.schedule_lane_death(1, 0);
+  CampaignService service(small_spec(dir), {.faults = &faults});
+  EXPECT_THROW(service.run(), FatalError);
+
+  // The journal replays cleanly and still refuses resurrection: every
+  // lane death is journaled, so a resume sees zero survivors.
+  const CampaignStatus st = CampaignService::status(service.journal_path());
+  EXPECT_TRUE(st.journal_found);
+  EXPECT_EQ(st.lanes_lost, 2);
+  EXPECT_FALSE(st.finished);
+  CampaignService resumed(small_spec(dir));
+  EXPECT_THROW(resumed.run(), FatalError);
+}
+
+TEST(CampaignService, KillAfterReassignmentReplaysRecovery) {
+  const std::string dir = scratch("kill_recovery");
+
+  // Lane 0 dies at epoch 0 (dead by its second slot, epoch 2); its two
+  // tasks move to lane 1. Lane 1 is then killed at epoch 4, after two
+  // completions — mid-recovery.
+  FaultInjector faults(31);
+  faults.schedule_lane_death(0, 0);
+  faults.schedule_kill(/*rank=*/1, /*epoch=*/4);
+  CampaignService service(small_spec(dir), {.faults = &faults});
+  EXPECT_THROW(service.run(), TransientError);
+  const auto before = done_payloads(service.journal_path());
+  EXPECT_EQ(before.size(), 2u);
+
+  // Resume fault-free: the journaled LaneDead/TaskReassigned frames
+  // replay the recovery plan, lane 0 stays dead, nothing recomputes.
+  CampaignService resumed(small_spec(dir));
+  const CampaignOutcome out = resumed.run();
+  EXPECT_TRUE(out.finished);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.skipped, 2);
+  EXPECT_EQ(out.completed, 2);
+  EXPECT_EQ(out.lanes_lost, 1);
+  EXPECT_EQ(out.tasks_reassigned, 2);  // replayed, not re-decided
+  int lane_dead_frames = 0, reassigned_frames = 0;
+  std::map<int, int> running_frames;
+  for (const Record& r : replay_journal(resumed.journal_path()).records) {
+    lane_dead_frames += r.type == RecordType::LaneDead;
+    reassigned_frames += r.type == RecordType::TaskReassigned;
+    if (r.type == RecordType::TaskRunning)
+      ++running_frames[json::Value::parse(r.payload).get_or("task", -1)];
+  }
+  EXPECT_EQ(lane_dead_frames, 1);   // no duplicate recovery decisions
+  EXPECT_EQ(reassigned_frames, 2);
+  for (const auto& [id, payload] : before) EXPECT_EQ(running_frames[id], 1);
+
+  const std::string clean_dir = scratch("kill_recovery_clean");
+  CampaignService clean(small_spec(clean_dir));
+  clean.run();
+  EXPECT_EQ(done_payloads(resumed.journal_path()),
+            done_payloads(clean.journal_path()));
+}
+
+TEST(CampaignService, SpeculativeReplicaWinsOverStraggler) {
+  const std::string dir = scratch("speculate");
+  FaultInjector faults(37);
+  FaultSpec straggly;
+  straggly.task_straggle_prob = 1.0;
+  straggly.task_straggle_mult = 8.0;  // blows the 4.0 heartbeat margin
+  faults.set_rank_spec(0, straggly);
+  faults.set_event_budget(1);  // one straggle, then lane 0 runs clean
+  CampaignService service(small_spec(dir), {.faults = &faults});
+  const CampaignOutcome out = service.run();
+
+  // Lane 0 straggled on its first task; the replica on lane 1 finished
+  // it first, lane 0 skipped it and completed the rest on time.
+  EXPECT_TRUE(out.finished);
+  EXPECT_FALSE(out.degraded);  // suspect lane recovered, nothing died
+  EXPECT_EQ(out.completed, 4);
+  EXPECT_EQ(out.lanes_lost, 0);
+  EXPECT_EQ(out.speculative_tasks, 1);
+  EXPECT_EQ(out.speculative_wins, 1);
+  EXPECT_EQ(faults.stats().task_straggles.load(), 1);
+
+  // Exactly one TaskDone per task (done_payloads asserts no duplicates),
+  // byte-identical to a fault-free campaign.
+  const auto payloads = done_payloads(service.journal_path());
+  EXPECT_EQ(payloads.size(), 4u);
+  const std::string clean_dir = scratch("speculate_clean");
+  CampaignService clean(small_spec(clean_dir));
+  clean.run();
+  EXPECT_EQ(payloads, done_payloads(clean.journal_path()));
+
+  const CampaignStatus st = CampaignService::status(service.journal_path());
+  EXPECT_EQ(st.speculative_tasks, 1);
+  EXPECT_EQ(st.lanes_lost, 0);
+}
+
+TEST(CampaignService, CompactionPreservesStatusAndResume) {
+  const std::string dir = scratch("compact");
+
+  // Build an eventful journal: two injected transient failures, a kill
+  // mid-campaign, then a fault-free resume to completion.
+  {
+    FaultInjector faults(41, {.drop_prob = 1.0});
+    faults.set_event_budget(2);
+    faults.schedule_kill(/*rank=*/1, /*epoch=*/3);
+    CampaignService service(small_spec(dir), {.faults = &faults});
+    EXPECT_THROW(service.run(), TransientError);
+    CampaignService resumed(small_spec(dir));
+    EXPECT_TRUE(resumed.run().finished);
+  }
+  const std::string journal = dir + "/journal.lqj";
+  const CampaignStatus before = CampaignService::status(journal);
+  ASSERT_TRUE(before.finished);
+  ASSERT_EQ(before.done, 4);
+  ASSERT_GT(before.failed_attempts, 0);
+
+  const CompactionStats cs = compact_journal(journal);
+  EXPECT_LT(cs.frames_after, cs.frames_before);
+  EXPECT_LT(cs.bytes_after, cs.bytes_before);
+
+  // `status` cannot tell the difference...
+  const CampaignStatus after = CampaignService::status(journal);
+  EXPECT_EQ(after.total, before.total);
+  EXPECT_EQ(after.done, before.done);
+  EXPECT_EQ(after.failed_attempts, before.failed_attempts);
+  EXPECT_EQ(after.in_flight, before.in_flight);
+  EXPECT_EQ(after.finished, before.finished);
+  EXPECT_EQ(after.fingerprint, before.fingerprint);
+  EXPECT_EQ(after.lanes_lost, before.lanes_lost);
+  EXPECT_EQ(after.tasks_reassigned, before.tasks_reassigned);
+  EXPECT_EQ(after.speculative_tasks, before.speculative_tasks);
+
+  // ...and neither can a resume: everything is still finished.
+  CampaignService again(small_spec(dir));
+  const CampaignOutcome out = again.run();
+  EXPECT_EQ(out.skipped, 4);
+  EXPECT_EQ(out.completed, 0);
+
+  // Compacting a compacted journal is the identity.
+  const CompactionStats cs2 = compact_journal(journal);
+  EXPECT_EQ(cs2.frames_after, cs2.frames_before);
+}
+
 }  // namespace
 }  // namespace lqcd::serve
