@@ -25,7 +25,13 @@ import time
 from pathlib import Path
 
 # name -> (extra argv before --json, expected "schema" value or None,
-#          expected top-level keys)
+#          expected top-level keys).
+# A name is the benchmark *mode*, not necessarily a binary: by default the
+# binary is build/bench/<name>, but an entry may carry a "binary" override
+# so one executable can appear under several modes (bench_dslash serves
+# both the overlap and the SIMD lane experiments). An entry may also carry
+# an "elements" spec — {list_key: [required subkeys]} — checked against
+# every record of the named top-level array.
 BENCHES = {
     "bench_ablation": (
         ["--quick"],
@@ -47,6 +53,15 @@ BENCHES = {
         ["--overlap", "--quick"],
         "lqcd.bench.dslash_overlap/1",
         ["tolerance_pct", "all_within_tolerance", "grids"],
+    ),
+    "bench_dslash_simd": (
+        ["--simd", "--quick"],
+        "lqcd.bench.dslash_simd/1",
+        ["lattice", "scalar_gflops", "best_float_speedup", "all_bitwise",
+         "pass", "lanes"],
+        {"binary": "bench_dslash",
+         "elements": {"lanes": ["precision", "width", "gflops", "speedup",
+                                "bitwise"]}},
     ),
     "bench_ensemble": (
         ["--quick"],
@@ -112,8 +127,9 @@ TIMEOUT_S = 300
 
 def run_one(name: str, build_dir: Path, out_dir: Path) -> list[str]:
     """Run one bench; return a list of failure messages (empty = pass)."""
-    extra, schema, keys = BENCHES[name]
-    exe = build_dir / "bench" / name
+    extra, schema, keys = BENCHES[name][:3]
+    opts = BENCHES[name][3] if len(BENCHES[name]) > 3 else {}
+    exe = build_dir / "bench" / opts.get("binary", name)
     if not exe.exists():
         return [f"binary not found: {exe}"]
     json_path = out_dir / f"{name}.json"
@@ -139,6 +155,16 @@ def run_one(name: str, build_dir: Path, out_dir: Path) -> list[str]:
     for k in keys:
         if k not in doc:
             errs.append(f"missing key: {k!r}")
+    for list_key, subkeys in opts.get("elements", {}).items():
+        records = doc.get(list_key)
+        if not isinstance(records, list) or not records:
+            errs.append(f"key {list_key!r} is not a non-empty array")
+            continue
+        for i, rec in enumerate(records):
+            missing = [k for k in subkeys
+                       if not isinstance(rec, dict) or k not in rec]
+            if missing:
+                errs.append(f"{list_key}[{i}] missing: {', '.join(missing)}")
     return errs
 
 

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <functional>
 
+#include "dirac/simd_wilson.hpp"
 #include "dirac/wilson.hpp"
 #include "gauge/gauge_field.hpp"
 #include "lattice/field.hpp"
+#include "lattice/vector_lattice.hpp"
+#include "linalg/simd.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -342,41 +345,84 @@ std::vector<ScalingPoint> weak_scaling(const Coord& local,
                        });
 }
 
-double calibrate_node(const MachineModel& m, int precision_bytes) {
+namespace {
+
+/// Seconds per full-lattice sweep of the scalar reference dslash.
+template <typename T>
+double time_scalar_calibration(const LatticeGeometry& geo, int reps) {
+  GaugeFieldD ud(geo);
+  ud.set_random(SiteRngFactory(77));
+  GaugeField<T> u(geo);
+  convert_gauge(u, ud);
+  FermionField<T> in(geo), out(geo);
+  for (auto& s : in.span()) s.s[0].c[0] = Cplx<T>(T(1));
+  WallTimer t;
+  for (int i = 0; i < reps; ++i)
+    dslash_full(out.span(),
+                std::span<const WilsonSpinor<T>>(in.span().data(),
+                                                 in.span().size()),
+                u);
+  return t.seconds() / reps;
+}
+
+/// Seconds per full-lattice sweep of the lane-packed dslash at width W,
+/// charging the ghost permutation fill each sweep exactly as a production
+/// sweep pays it. Negative when the geometry does not decompose at W.
+template <typename T, int W>
+double time_vector_calibration(const LatticeGeometry& geo, int reps) {
+  const auto vl = VectorLattice::make(geo, W);
+  if (!vl) return -1.0;
+  GaugeFieldD ud(geo);
+  ud.set_random(SiteRngFactory(77));
+  GaugeField<T> u(geo);
+  convert_gauge(u, ud);
+  const VectorGaugeField<T, W> vg(*vl, u);
+  FermionField<T> in(geo);
+  for (auto& s : in.span()) s.s[0].c[0] = Cplx<T>(T(1));
+  const auto total = static_cast<std::size_t>(vl->total_sites());
+  aligned_vector<WilsonSpinor<Simd<T, W>>> vin(total), vout(total);
+  std::span<WilsonSpinor<Simd<T, W>>> vin_s(vin.data(), vin.size());
+  pack_sites<T, W>(*vl,
+                   std::span<const WilsonSpinor<T>>(in.span().data(),
+                                                    in.span().size()),
+                   vin_s);
+  WallTimer t;
+  for (int i = 0; i < reps; ++i) {
+    vl->fill_ghosts(vin_s);
+    simd_dslash_full<T, W>(
+        {vout.data(), vout.size()},
+        std::span<const WilsonSpinor<Simd<T, W>>>(vin.data(), vin.size()),
+        vg);
+  }
+  return t.seconds() / reps;
+}
+
+template <typename T>
+double time_calibration(const LatticeGeometry& geo, int reps,
+                        int simd_width) {
+  double measured = -1.0;
+  switch (simd_width) {
+    case 2: measured = time_vector_calibration<T, 2>(geo, reps); break;
+    case 4: measured = time_vector_calibration<T, 4>(geo, reps); break;
+    case 8: measured = time_vector_calibration<T, 8>(geo, reps); break;
+    default: break;
+  }
+  if (measured < 0.0) measured = time_scalar_calibration<T>(geo, reps);
+  return measured;
+}
+
+}  // namespace
+
+double calibrate_node(const MachineModel& m, int precision_bytes,
+                      int simd_width) {
   // Time the real dslash kernel on an 8^4 local volume, single domain.
   const LatticeGeometry geo({8, 8, 8, 8});
-  const double vol = static_cast<double>(geo.volume());
+  const int reps = 10;
 
-  double measured = 0.0;
-  if (precision_bytes >= 8) {
-    GaugeFieldD u(geo);
-    u.set_random(SiteRngFactory(77));
-    FermionFieldD in(geo), out(geo);
-    for (auto& s : in.span()) s.s[0].c[0] = Cplxd(1.0);
-    WallTimer t;
-    const int reps = 10;
-    for (int i = 0; i < reps; ++i)
-      dslash_full(out.span(),
-                  std::span<const WilsonSpinor<double>>(in.span().data(),
-                                                        in.span().size()),
-                  u);
-    measured = t.seconds() / reps;
-  } else {
-    GaugeFieldD ud(geo);
-    ud.set_random(SiteRngFactory(77));
-    GaugeFieldF u(geo);
-    convert_gauge(u, ud);
-    FermionFieldF in(geo), out(geo);
-    for (auto& s : in.span()) s.s[0].c[0] = Cplxf(1.0f);
-    WallTimer t;
-    const int reps = 10;
-    for (int i = 0; i < reps; ++i)
-      dslash_full(out.span(),
-                  std::span<const WilsonSpinor<float>>(in.span().data(),
-                                                       in.span().size()),
-                  u);
-    measured = t.seconds() / reps;
-  }
+  const double measured =
+      precision_bytes >= 8
+          ? time_calibration<double>(geo, reps, simd_width)
+          : time_calibration<float>(geo, reps, simd_width);
 
   PerfModelOptions opt;
   opt.precision_bytes = precision_bytes;
@@ -384,7 +430,6 @@ double calibrate_node(const MachineModel& m, int precision_bytes) {
   const DslashCost modeled =
       model_dslash({8, 8, 8, 8}, {1, 1, 1, 1}, m, opt);
   LQCD_ASSERT(modeled.t_compute > 0.0, "model produced zero time");
-  (void)vol;
   return measured / modeled.t_compute;
 }
 

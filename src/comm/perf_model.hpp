@@ -139,6 +139,15 @@ std::vector<ScalingPoint> weak_scaling(const Coord& local,
 /// Measure this machine's actual dslash time per site (seconds) for the
 /// given precision on a small local volume, and return the ratio
 /// measured / modeled as a calibration factor for PerfModelOptions.
-double calibrate_node(const MachineModel& m, int precision_bytes);
+///
+/// With simd_width > 0 the measurement runs the lane-packed dslash
+/// (dirac/simd_wilson.hpp) at that width — ghost fill included, since the
+/// scaling tables charge for a full sweep — so the model's per-node
+/// throughput reflects the vectorized kernel. Falls back to the scalar
+/// reference kernel when the width is unsupported (non-power-of-two, or
+/// the calibration volume does not decompose). simd_width = 0 keeps the
+/// scalar kernel, which preserves the historical calibration.
+double calibrate_node(const MachineModel& m, int precision_bytes,
+                      int simd_width = 0);
 
 }  // namespace lqcd

@@ -13,10 +13,13 @@
 // modeled separately by PerfModelOptions::precision_bytes = 2.
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "dirac/operator.hpp"
 #include "dirac/wilson.hpp"
+#include "linalg/lanes.hpp"
+#include "linalg/simd.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
@@ -26,56 +29,105 @@ namespace detail16 {
 
 inline constexpr float kQScale = 32767.0f;
 
-inline std::int16_t quantize_one(float x, float inv_scale) {
-  float v = x * inv_scale * kQScale;
-  if (v > kQScale) v = kQScale;
-  if (v < -kQScale) v = -kQScale;
-  return static_cast<std::int16_t>(v >= 0.0f ? v + 0.5f : v - 0.5f);
+// The element-wise quantizers are defined on SCALAR components only: the
+// clamp/round and the per-site amax scan below are order/compare
+// operations that have no lane-wise meaning. Instantiating them over a
+// lane-packed Simd type used to compile into nonsense (a single scale
+// shared across unrelated sites); the static_asserts reject that at
+// compile time and the Simd overloads further down do the right thing
+// lane by lane.
+
+template <typename T>
+inline std::int16_t quantize_one(T x, T inv_scale) {
+  static_assert(!is_simd_v<T>,
+                "quantize_one is per-component scalar; use the lane-aware "
+                "quantize_* overloads for Simd types");
+  static_assert(std::is_floating_point_v<T>,
+                "quantize_one requires a floating-point component");
+  T v = x * inv_scale * T(kQScale);
+  if (v > T(kQScale)) v = T(kQScale);
+  if (v < -T(kQScale)) v = -T(kQScale);
+  return static_cast<std::int16_t>(v >= T(0) ? v + T(0.5) : v - T(0.5));
 }
 
-inline float dequantize_one(std::int16_t q, float scale) {
-  return static_cast<float>(q) * (scale / kQScale);
+template <typename T>
+inline T dequantize_one(std::int16_t q, T scale) {
+  static_assert(!is_simd_v<T> && std::is_floating_point_v<T>,
+                "dequantize_one is per-component scalar");
+  return static_cast<T>(q) * (scale / T(kQScale));
 }
 
 }  // namespace detail16
 
 /// Round-trip a color matrix through int16 fixed point (scale 1).
-inline ColorMatrix<float> quantize_link(const ColorMatrix<float>& u) {
-  ColorMatrix<float> out;
+template <typename T>
+inline ColorMatrix<T> quantize_link(const ColorMatrix<T>& u) {
+  static_assert(!is_simd_v<T> && std::is_floating_point_v<T>,
+                "quantize_link(scalar): use the Simd overload for "
+                "lane-packed links");
+  ColorMatrix<T> out;
   for (int r = 0; r < Nc; ++r)
     for (int c = 0; c < Nc; ++c) {
-      out.m[r][c] = Cplx<float>(
+      out.m[r][c] = Cplx<T>(
           detail16::dequantize_one(
-              detail16::quantize_one(u.m[r][c].re, 1.0f), 1.0f),
+              detail16::quantize_one(u.m[r][c].re, T(1)), T(1)),
           detail16::dequantize_one(
-              detail16::quantize_one(u.m[r][c].im, 1.0f), 1.0f));
+              detail16::quantize_one(u.m[r][c].im, T(1)), T(1)));
     }
   return out;
 }
 
 /// Round-trip a spinor through int16 with a per-site block-float scale
 /// (the max |component|). Returns the reconstruction.
-inline WilsonSpinor<float> quantize_spinor(const WilsonSpinor<float>& psi) {
-  float amax = 0.0f;
+template <typename T>
+inline WilsonSpinor<T> quantize_spinor(const WilsonSpinor<T>& psi) {
+  static_assert(!is_simd_v<T> && std::is_floating_point_v<T>,
+                "quantize_spinor(scalar): use the Simd overload for "
+                "lane-packed spinors");
+  T amax = T(0);
   for (int s = 0; s < Ns; ++s)
     for (int c = 0; c < Nc; ++c) {
-      const float re = psi.s[s].c[c].re < 0 ? -psi.s[s].c[c].re
-                                            : psi.s[s].c[c].re;
-      const float im = psi.s[s].c[c].im < 0 ? -psi.s[s].c[c].im
-                                            : psi.s[s].c[c].im;
+      const T re = psi.s[s].c[c].re < T(0) ? -psi.s[s].c[c].re
+                                           : psi.s[s].c[c].re;
+      const T im = psi.s[s].c[c].im < T(0) ? -psi.s[s].c[c].im
+                                           : psi.s[s].c[c].im;
       if (re > amax) amax = re;
       if (im > amax) amax = im;
     }
-  if (amax == 0.0f) return WilsonSpinor<float>{};
-  const float inv = 1.0f / amax;
-  WilsonSpinor<float> out;
+  if (amax == T(0)) return WilsonSpinor<T>{};
+  const T inv = T(1) / amax;
+  WilsonSpinor<T> out;
   for (int s = 0; s < Ns; ++s)
     for (int c = 0; c < Nc; ++c)
-      out.s[s].c[c] = Cplx<float>(
+      out.s[s].c[c] = Cplx<T>(
           detail16::dequantize_one(
               detail16::quantize_one(psi.s[s].c[c].re, inv), amax),
           detail16::dequantize_one(
               detail16::quantize_one(psi.s[s].c[c].im, inv), amax));
+  return out;
+}
+
+/// Lane-aware link quantization: each lane is an independent site, so the
+/// round-trip applies per lane (bit-identical to quantizing the scalar
+/// link of every packed site).
+template <typename T, int W>
+inline ColorMatrix<Simd<T, W>> quantize_link(
+    const ColorMatrix<Simd<T, W>>& u) {
+  ColorMatrix<Simd<T, W>> out;
+  for (int l = 0; l < W; ++l)
+    insert_lane(out, l, quantize_link(extract_lane(u, l)));
+  return out;
+}
+
+/// Lane-aware spinor quantization: the block-float amax scan runs per
+/// lane — one scale per scalar SITE, never one scale shared across the W
+/// unrelated sites of a vector site.
+template <typename T, int W>
+inline WilsonSpinor<Simd<T, W>> quantize_spinor(
+    const WilsonSpinor<Simd<T, W>>& psi) {
+  WilsonSpinor<Simd<T, W>> out;
+  for (int l = 0; l < W; ++l)
+    insert_lane(out, l, quantize_spinor(extract_lane(psi, l)));
   return out;
 }
 

@@ -1,0 +1,302 @@
+#pragma once
+// Lane-vectorized Wilson dslash over the VectorLattice SoA packing.
+//
+// The scalar site kernels in dirac/wilson.hpp are templated on their
+// scalar type and on the (gauge container, neighbor table) pair, so the
+// vectorized path is the SAME kernel instantiated over Simd<T, W> with a
+// lane-packed gauge field and the VectorLattice neighbor tables: one
+// "site" application advances W lattice sites. Because every lane runs
+// the identical instruction sequence the scalar path runs per site, the
+// results are bit-identical to the scalar dslash for every W — test_simd
+// asserts exact equality, and the operators here stay behind the
+// LinearOperator<T> interface with an automatic scalar fallback when the
+// geometry cannot be lane-decomposed.
+//
+// Pack/unpack (the AoS <-> SoA transpose) happens at the operator
+// boundary, and ghost lanes are refreshed before each stencil sweep; the
+// comm layer never sees packed data.
+
+#include <memory>
+#include <optional>
+
+#include "dirac/eo.hpp"
+#include "dirac/operator.hpp"
+#include "dirac/wilson.hpp"
+#include "lattice/vector_lattice.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/simd.hpp"
+#include "util/aligned.hpp"
+#include "util/telemetry.hpp"
+
+namespace lqcd {
+
+/// Gauge links packed W sites per lane over a VectorLattice, including
+/// the wrap-boundary ghost slots (links are static, so ghosts are
+/// materialized once at construction, not per sweep).
+template <typename T, int W>
+class VectorGaugeField {
+ public:
+  VectorGaugeField(const VectorLattice& vl, const GaugeField<T>& u)
+      : vl_(&vl),
+        links_(static_cast<std::size_t>(vl.total_sites())) {
+    LQCD_REQUIRE(u.geometry() == vl.scalar_geometry(),
+                 "VectorGaugeField geometry mismatch");
+    parallel_for(static_cast<std::size_t>(vl.inner_sites()),
+                 [&](std::size_t vo) {
+                   for (int l = 0; l < W; ++l) {
+                     const std::int64_t s =
+                         vl.site_of(static_cast<std::int64_t>(vo), l);
+                     for (int mu = 0; mu < Nd; ++mu)
+                       insert_lane(links_[vo][static_cast<std::size_t>(mu)],
+                                   l, u(s, mu));
+                   }
+                 });
+    vl.fill_ghosts(std::span<LinkSite<Simd<T, W>>>(links_.data(),
+                                                   links_.size()));
+  }
+
+  [[nodiscard]] const VectorLattice& lattice() const noexcept { return *vl_; }
+
+  const ColorMatrix<Simd<T, W>>& operator()(std::int64_t vs,
+                                            int mu) const noexcept {
+    return links_[static_cast<std::size_t>(vs)][static_cast<std::size_t>(mu)];
+  }
+
+ private:
+  const VectorLattice* vl_;
+  aligned_vector<LinkSite<Simd<T, W>>> links_;
+};
+
+/// out(vs) = (D in)(vs) for all inner vector sites. `in` spans the
+/// extended range with ghosts already filled; `out` needs >= inner_sites.
+template <typename T, int W>
+void simd_dslash_full(std::span<WilsonSpinor<Simd<T, W>>> out,
+                      std::span<const WilsonSpinor<Simd<T, W>>> in,
+                      const VectorGaugeField<T, W>& u) {
+  const VectorLattice& vl = u.lattice();
+  const std::int64_t n = vl.inner_sites();
+  LQCD_REQUIRE(out.size() >= static_cast<std::size_t>(n) &&
+                   in.size() == static_cast<std::size_t>(vl.total_sites()),
+               "simd_dslash_full span sizes");
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c_applies =
+        telemetry::counter("dslash.applies");
+    static telemetry::Counter& c_sites =
+        telemetry::counter("dslash.site_applies");
+    static telemetry::Counter& c_gauge =
+        telemetry::counter("dslash.gauge_site_loads");
+    c_applies.add(1);
+    c_sites.add(n * W);
+    // One gauge-site load feeds W lattice sites: the SoA layout's
+    // bandwidth amortization, visible as loads / site_applies = 1/W.
+    c_gauge.add(n);
+  }
+  parallel_for(static_cast<std::size_t>(n), [&](std::size_t vs) {
+    out[vs] = detail::hop_site(u, in, vl, static_cast<std::int64_t>(vs));
+  });
+}
+
+/// Parity-restricted hopping over vector sites: fills the target-parity
+/// inner block of `out` from the opposite-parity block of `in` (whose
+/// opposite-parity ghosts must be current — see VectorLattice::fill_ghosts).
+template <typename T, int W>
+void simd_dslash_parity(std::span<WilsonSpinor<Simd<T, W>>> out,
+                        std::span<const WilsonSpinor<Simd<T, W>>> in,
+                        const VectorGaugeField<T, W>& u, int target_parity) {
+  const VectorLattice& vl = u.lattice();
+  const std::int64_t hv = vl.outer_geometry().half_volume();
+  LQCD_REQUIRE(out.size() >= static_cast<std::size_t>(vl.inner_sites()) &&
+                   in.size() == static_cast<std::size_t>(vl.total_sites()),
+               "simd_dslash_parity span sizes");
+  const std::int64_t base = target_parity == 0 ? 0 : hv;
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c_applies =
+        telemetry::counter("dslash.parity_applies");
+    static telemetry::Counter& c_sites =
+        telemetry::counter("dslash.site_applies");
+    static telemetry::Counter& c_gauge =
+        telemetry::counter("dslash.gauge_site_loads");
+    c_applies.add(1);
+    c_sites.add(hv * W);
+    c_gauge.add(hv);
+  }
+  parallel_for(static_cast<std::size_t>(hv), [&](std::size_t i) {
+    const std::int64_t vs = base + static_cast<std::int64_t>(i);
+    out[static_cast<std::size_t>(vs)] = detail::hop_site(u, in, vl, vs);
+  });
+}
+
+/// M = 1 - kappa D over the lane-packed layout. Presents the same
+/// scalar-span LinearOperator<T> interface as WilsonOperator (pack and
+/// unpack inside apply); falls back to the scalar operator when the
+/// geometry does not decompose into W lanes.
+template <typename T, int W>
+class SimdWilsonOperator final : public LinearOperator<T> {
+ public:
+  SimdWilsonOperator(const GaugeField<T>& u, double kappa,
+                     TimeBoundary bc = TimeBoundary::Antiperiodic)
+      : ref_(u, kappa, bc) {
+    std::optional<VectorLattice> vl = VectorLattice::make(u.geometry(), W);
+    if (!vl) return;
+    vl_ = std::make_unique<VectorLattice>(std::move(*vl));
+    vgauge_ = std::make_unique<VectorGaugeField<T, W>>(*vl_,
+                                                       ref_.fermion_links());
+    const std::size_t n = static_cast<std::size_t>(vl_->total_sites());
+    va_.resize(n);
+    vb_.resize(n);
+  }
+
+  /// False when this geometry fell back to the scalar reference path.
+  [[nodiscard]] bool simd_active() const noexcept { return vl_ != nullptr; }
+  [[nodiscard]] static constexpr int width() noexcept { return W; }
+
+  void apply(std::span<WilsonSpinor<T>> out,
+             std::span<const WilsonSpinor<T>> in) const override {
+    if (!vl_) {
+      ref_.apply(out, in);
+      return;
+    }
+    std::span<WilsonSpinor<Simd<T, W>>> va(va_.data(), va_.size());
+    std::span<WilsonSpinor<Simd<T, W>>> vb(vb_.data(), vb_.size());
+    pack_sites<T, W>(*vl_, in, va);
+    vl_->fill_ghosts(va);
+    simd_dslash_full<T, W>(
+        vb, std::span<const WilsonSpinor<Simd<T, W>>>(va.data(), va.size()),
+        *vgauge_);
+    // Same per-lane combine sequence as WilsonOperator::apply: r = in;
+    // h = D in; h *= kappa; r -= h (bit-identical lane arithmetic).
+    const Simd<T, W> k(static_cast<T>(ref_.kappa()));
+    const std::int64_t n = vl_->inner_sites();
+    parallel_for(static_cast<std::size_t>(n), [&](std::size_t vs) {
+      WilsonSpinor<Simd<T, W>> r = va[vs];
+      WilsonSpinor<Simd<T, W>> h = vb[vs];
+      h *= k;
+      r -= h;
+      vb[vs] = r;
+    });
+    unpack_sites<T, W>(
+        *vl_, std::span<const WilsonSpinor<Simd<T, W>>>(vb.data(), vb.size()),
+        out);
+  }
+
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return ref_.vector_size();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    return ref_.flops_per_apply();
+  }
+  [[nodiscard]] double kappa() const { return ref_.kappa(); }
+  [[nodiscard]] const LatticeGeometry& geometry() const {
+    return ref_.geometry();
+  }
+  [[nodiscard]] const WilsonOperator<T>& reference() const { return ref_; }
+
+ private:
+  WilsonOperator<T> ref_;
+  std::unique_ptr<VectorLattice> vl_;
+  std::unique_ptr<VectorGaugeField<T, W>> vgauge_;
+  mutable aligned_vector<WilsonSpinor<Simd<T, W>>> va_;
+  mutable aligned_vector<WilsonSpinor<Simd<T, W>>> vb_;
+};
+
+/// Lane-packed odd-odd Schur complement Mhat = 1 - kappa^2 D_oe D_eo.
+/// apply() runs both half-dslashes in the vector domain (one pack, one
+/// unpack per apply); rhs preparation and reconstruction are once-per-
+/// solve cold paths and delegate to the scalar reference operator.
+template <typename T, int W>
+class SimdSchurWilsonOperator final : public LinearOperator<T> {
+ public:
+  SimdSchurWilsonOperator(const GaugeField<T>& u, double kappa,
+                          TimeBoundary bc = TimeBoundary::Antiperiodic)
+      : ref_(u, kappa, bc) {
+    std::optional<VectorLattice> vl = VectorLattice::make(u.geometry(), W);
+    if (!vl) return;
+    vl_ = std::make_unique<VectorLattice>(std::move(*vl));
+    GaugeField<T> links = make_fermion_links(u, bc);
+    vgauge_ = std::make_unique<VectorGaugeField<T, W>>(*vl_, links);
+    const std::size_t n = static_cast<std::size_t>(vl_->total_sites());
+    va_.resize(n);
+    vb_.resize(n);
+    vc_.resize(n);
+  }
+
+  [[nodiscard]] bool simd_active() const noexcept { return vl_ != nullptr; }
+  [[nodiscard]] static constexpr int width() noexcept { return W; }
+
+  void apply(std::span<WilsonSpinor<T>> out,
+             std::span<const WilsonSpinor<T>> in) const override {
+    if (!vl_) {
+      ref_.apply(out, in);
+      return;
+    }
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c =
+          telemetry::counter("dslash.schur_applies");
+      c.add(1);
+    }
+    const std::int64_t hv = vl_->outer_geometry().half_volume();
+    std::span<WilsonSpinor<Simd<T, W>>> va(va_.data(), va_.size());
+    std::span<WilsonSpinor<Simd<T, W>>> vb(vb_.data(), vb_.size());
+    std::span<WilsonSpinor<Simd<T, W>>> vc(vc_.data(), vc_.size());
+    // Mirror of SchurWilsonOperator::apply, lane-packed: odd va <- in,
+    // even vb <- D_eo va, odd vc <- D_oe vb, out <- in - kappa^2 vc_odd.
+    pack_parity<T, W>(*vl_, in, va, 1);
+    vl_->fill_ghosts(va, 1);
+    simd_dslash_parity<T, W>(
+        vb, std::span<const WilsonSpinor<Simd<T, W>>>(va.data(), va.size()),
+        *vgauge_, 0);
+    vl_->fill_ghosts(vb, 0);
+    simd_dslash_parity<T, W>(
+        vc, std::span<const WilsonSpinor<Simd<T, W>>>(vb.data(), vb.size()),
+        *vgauge_, 1);
+    const Simd<T, W> k2(static_cast<T>(ref_.kappa()) *
+                        static_cast<T>(ref_.kappa()));
+    parallel_for(static_cast<std::size_t>(hv), [&](std::size_t i) {
+      const std::size_t vs = static_cast<std::size_t>(hv) + i;
+      WilsonSpinor<Simd<T, W>> h = vc[vs];
+      h *= k2;
+      WilsonSpinor<Simd<T, W>> r = va[vs];
+      r -= h;
+      vc[vs] = r;
+    });
+    unpack_parity<T, W>(
+        *vl_, std::span<const WilsonSpinor<Simd<T, W>>>(vc.data(), vc.size()),
+        out, 1);
+  }
+
+  /// Cold path, once per solve: scalar reference.
+  void prepare_rhs(std::span<WilsonSpinor<T>> bhat,
+                   std::span<const WilsonSpinor<T>> b_full) const {
+    ref_.prepare_rhs(bhat, b_full);
+  }
+  /// Cold path, once per solve: scalar reference.
+  void reconstruct(std::span<WilsonSpinor<T>> x_full,
+                   std::span<const WilsonSpinor<T>> x_odd,
+                   std::span<const WilsonSpinor<T>> b_full) const {
+    ref_.reconstruct(x_full, x_odd, b_full);
+  }
+
+  [[nodiscard]] std::int64_t vector_size() const override {
+    return ref_.vector_size();
+  }
+  [[nodiscard]] double flops_per_apply() const override {
+    return ref_.flops_per_apply();
+  }
+  [[nodiscard]] double kappa() const { return ref_.kappa(); }
+  [[nodiscard]] const LatticeGeometry& geometry() const {
+    return ref_.geometry();
+  }
+  [[nodiscard]] const SchurWilsonOperator<T>& reference() const {
+    return ref_;
+  }
+
+ private:
+  SchurWilsonOperator<T> ref_;
+  std::unique_ptr<VectorLattice> vl_;
+  std::unique_ptr<VectorGaugeField<T, W>> vgauge_;
+  mutable aligned_vector<WilsonSpinor<Simd<T, W>>> va_;
+  mutable aligned_vector<WilsonSpinor<Simd<T, W>>> vb_;
+  mutable aligned_vector<WilsonSpinor<Simd<T, W>>> vc_;
+};
+
+}  // namespace lqcd

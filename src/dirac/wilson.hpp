@@ -51,10 +51,14 @@ GaugeField<T> make_fermion_links(const GaugeField<T>& u, TimeBoundary bc) {
 namespace detail {
 
 /// Accumulate the mu-direction forward+backward hopping contribution.
-template <int Mu, typename T>
-inline void accum_hop(WilsonSpinor<T>& acc, const GaugeField<T>& u,
+/// Generic over the gauge container and neighbor-table provider so the
+/// same kernel instantiates over (GaugeField<T>, LatticeGeometry) for the
+/// scalar path and (VectorGaugeField<T, W>, VectorLattice) for the
+/// lane-packed path — u(site, mu) and geo.fwd/bwd are the only contracts.
+template <int Mu, typename T, typename GaugeT, typename GeoT>
+inline void accum_hop(WilsonSpinor<T>& acc, const GaugeT& u,
                       std::span<const WilsonSpinor<T>> in,
-                      const LatticeGeometry& geo, std::int64_t cb) {
+                      const GeoT& geo, std::int64_t cb) {
   // Forward: (1 - gamma_mu) U_mu(x) psi(x+mu)
   {
     const std::int64_t xp = geo.fwd(cb, Mu);
@@ -78,10 +82,10 @@ inline void accum_hop(WilsonSpinor<T>& acc, const GaugeField<T>& u,
 }
 
 /// Full hopping sum at one site.
-template <typename T>
-inline WilsonSpinor<T> hop_site(const GaugeField<T>& u,
+template <typename T, typename GaugeT, typename GeoT>
+inline WilsonSpinor<T> hop_site(const GaugeT& u,
                                 std::span<const WilsonSpinor<T>> in,
-                                const LatticeGeometry& geo,
+                                const GeoT& geo,
                                 std::int64_t cb) {
   WilsonSpinor<T> acc{};
   accum_hop<0>(acc, u, in, geo, cb);

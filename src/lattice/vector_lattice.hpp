@@ -1,0 +1,350 @@
+#pragma once
+// Vector-site (SoA lane) packing of a checkerboarded lattice.
+//
+// A VectorLattice decomposes the scalar lattice into W congruent
+// sub-lattices and packs one site of each into the W lanes of a vector
+// site: pick per-dimension split factors S[mu] with prod S[mu] = W, outer
+// extents O[mu] = L[mu] / S[mu], and assign global coordinate
+//
+//   x[mu] = o[mu] + O[mu] * c[mu],   o = outer coordinate, c = lane coord
+//
+// (the Grid-style block decomposition). Every lane of a vector site then
+// has the SAME parity (O[mu] is required even) and the SAME neighbor
+// topology: the mu-neighbor of all W lanes lives in one neighbor vector
+// site, so a scalar site kernel templated on its scalar type runs
+// unchanged over Simd<T, W> and advances W sites at once.
+//
+// The one exception is the outer wrap: stepping off o[mu] = O[mu]-1
+// lands on o[mu] = 0 with the lane coordinate rotated by one (the global
+// periodic wrap is the rotation of the last lane). Rather than permuting
+// lanes inside the kernel, the wrap neighbors point at GHOST vector
+// sites appended after the inner sites; fill_ghosts() materializes them
+// as lane-rotated copies of their owners before each stencil sweep.
+// This is the lane-level analogue of a halo exchange, and it composes
+// with the real halo machinery untouched: src/comm/ exchanges scalar
+// sites, and the pack/unpack boundary sits inside the node.
+//
+// Supported widths: powers of two for which every factor of 2 can be
+// placed on some dimension keeping O[mu] even. Four even extents make
+// the volume divisible by 16, so a genuine volume % W remainder cannot
+// occur for W <= 16; the unsupported cases are indivisible *extents*
+// (e.g. 2^4 at W = 8, or 6 split by 4), and callers fall back to the
+// scalar path then (VectorLattice::make returns nullopt).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lattice/geometry.hpp"
+#include "linalg/lanes.hpp"
+#include "linalg/simd.hpp"
+#include "linalg/spinor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace lqcd {
+
+class VectorLattice {
+ public:
+  /// Build a W-lane packing of `geo`, or nullopt if no per-dimension
+  /// split with even outer extents exists (then use the scalar path).
+  static std::optional<VectorLattice> make(const LatticeGeometry& geo,
+                                           int width) {
+    Coord lanes{};
+    if (!choose_splits(geo.dims(), width, lanes)) return std::nullopt;
+    return VectorLattice(geo, width, lanes);
+  }
+
+  static bool supports(const LatticeGeometry& geo, int width) {
+    Coord lanes{};
+    return choose_splits(geo.dims(), width, lanes);
+  }
+
+  [[nodiscard]] const LatticeGeometry& scalar_geometry() const noexcept {
+    return *geo_;
+  }
+  [[nodiscard]] const LatticeGeometry& outer_geometry() const noexcept {
+    return outer_;
+  }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] const Coord& lane_dims() const noexcept { return lanes_; }
+
+  /// Inner (owned) vector sites: outer volume, checkerboard-ordered.
+  [[nodiscard]] std::int64_t inner_sites() const noexcept {
+    return outer_.volume();
+  }
+  /// Inner + ghost sites — the allocation size of packed fields.
+  [[nodiscard]] std::int64_t total_sites() const noexcept {
+    return inner_sites() + static_cast<std::int64_t>(ghosts_.size());
+  }
+  [[nodiscard]] std::int64_t ghost_sites() const noexcept {
+    return static_cast<std::int64_t>(ghosts_.size());
+  }
+
+  /// Neighbor tables over vector sites; results index the EXTENDED site
+  /// range [0, total_sites()): wrap neighbors resolve to ghost slots.
+  [[nodiscard]] std::int64_t fwd(std::int64_t vo, int mu) const noexcept {
+    return fwd_[mu][static_cast<std::size_t>(vo)];
+  }
+  [[nodiscard]] std::int64_t bwd(std::int64_t vo, int mu) const noexcept {
+    return bwd_[mu][static_cast<std::size_t>(vo)];
+  }
+
+  /// Scalar checkerboard site held in lane `l` of vector site `vo`.
+  [[nodiscard]] std::int64_t site_of(std::int64_t vo, int l) const noexcept {
+    return site_of_[static_cast<std::size_t>(vo) *
+                        static_cast<std::size_t>(width_) +
+                    static_cast<std::size_t>(l)];
+  }
+  /// Inverse map: gather()[site] = vo * width + lane.
+  [[nodiscard]] std::span<const std::int64_t> gather() const noexcept {
+    return {gather_};
+  }
+
+  /// Materialize the ghost sites of `f` as lane-permuted copies of their
+  /// owners. `parity` = 0/1 refreshes only ghosts owned by that parity
+  /// (all a parity-restricted stencil sweep reads); -1 refreshes all.
+  /// Site must be a lane-packed type of this lattice's width with a
+  /// shuffle(Site, const int*) overload (see linalg/lanes.hpp).
+  template <typename Site>
+  void fill_ghosts(std::span<Site> f, int parity = -1) const {
+    LQCD_REQUIRE(f.size() == static_cast<std::size_t>(total_sites()),
+                 "fill_ghosts span must cover inner + ghost sites");
+    const std::int64_t base = inner_sites();
+    parallel_for(ghosts_.size(), [&](std::size_t g) {
+      const Ghost& gh = ghosts_[g];
+      if (parity >= 0 && gh.parity != parity) return;
+      f[static_cast<std::size_t>(base) + g] =
+          shuffle(f[static_cast<std::size_t>(gh.owner)],
+                  perms_[static_cast<std::size_t>(gh.perm)].data());
+    });
+  }
+
+ private:
+  struct Ghost {
+    std::int64_t owner;  ///< inner vector site this ghost copies
+    int perm;            ///< index into perms_
+    int parity;          ///< owner parity (what a sweep reads)
+  };
+
+  /// Greedy factor-of-two placement: each factor goes to the dimension
+  /// with the largest remaining outer extent whose half is still even
+  /// (ties prefer higher mu, i.e. t before z before y before x).
+  static bool choose_splits(const Coord& dims, int width, Coord& lanes) {
+    lanes = {1, 1, 1, 1};
+    if (width < 1 || (width & (width - 1)) != 0) return false;
+    int rem = width;
+    while (rem > 1) {
+      int best = -1;
+      int best_outer = 0;
+      for (int mu = 0; mu < Nd; ++mu) {
+        const int outer = dims[mu] / lanes[mu];
+        const int next = outer / 2;
+        if (outer % 2 == 0 && next % 2 == 0 && outer >= best_outer) {
+          best = mu;
+          best_outer = outer;
+        }
+      }
+      if (best < 0) return false;
+      lanes[best] *= 2;
+      rem /= 2;
+    }
+    return true;
+  }
+
+  static Coord outer_dims(const Coord& dims, const Coord& lanes) {
+    Coord o{};
+    for (int mu = 0; mu < Nd; ++mu) o[mu] = dims[mu] / lanes[mu];
+    return o;
+  }
+
+  VectorLattice(const LatticeGeometry& geo, int width, const Coord& lanes)
+      : geo_(&geo), outer_(outer_dims(geo.dims(), lanes)), width_(width),
+        lanes_(lanes) {
+    const std::int64_t n = outer_.volume();
+    const std::size_t w = static_cast<std::size_t>(width_);
+
+    // Lane coordinate of lane index l (x fastest).
+    auto lane_coords = [&](int l) {
+      Coord c{};
+      for (int mu = 0; mu < Nd; ++mu) {
+        c[mu] = l % lanes_[mu];
+        l /= lanes_[mu];
+      }
+      return c;
+    };
+    auto lane_index = [&](const Coord& c) {
+      int l = 0;
+      for (int mu = Nd - 1; mu >= 0; --mu) l = l * lanes_[mu] + c[mu];
+      return l;
+    };
+
+    // Scalar-site map (and its inverse).
+    site_of_.resize(static_cast<std::size_t>(n) * w);
+    gather_.resize(static_cast<std::size_t>(geo_->volume()));
+    for (std::int64_t vo = 0; vo < n; ++vo) {
+      const Coord o = outer_.coords(vo);
+      for (int l = 0; l < width_; ++l) {
+        const Coord c = lane_coords(l);
+        Coord x{};
+        for (int mu = 0; mu < Nd; ++mu)
+          x[mu] = o[mu] + outer_.dim(mu) * c[mu];
+        const std::int64_t site = geo_->cb_index(x);
+        // Even outer extents make every lane share the outer parity, so
+        // vector sites checkerboard exactly like scalar sites.
+        LQCD_ASSERT(LatticeGeometry::parity(x) == outer_.parity_of(vo),
+                    "lane parity must match outer parity");
+        site_of_[static_cast<std::size_t>(vo) * w +
+                 static_cast<std::size_t>(l)] = site;
+        gather_[static_cast<std::size_t>(site)] =
+            vo * width_ + static_cast<std::int64_t>(l);
+      }
+    }
+
+    // Wrap-boundary lane rotations: stepping forward off the outer edge
+    // advances the lane coordinate in that dimension (and the last lane
+    // wraps to the first — the global periodic boundary).
+    std::array<int, Nd> perm_fwd{}, perm_bwd{};
+    for (int mu = 0; mu < Nd; ++mu) {
+      perm_fwd[mu] = perm_bwd[mu] = -1;
+      if (lanes_[mu] == 1) continue;
+      std::vector<int> pf(w), pb(w);
+      for (int l = 0; l < width_; ++l) {
+        Coord c = lane_coords(l);
+        c[mu] = (c[mu] + 1) % lanes_[mu];
+        pf[static_cast<std::size_t>(l)] = lane_index(c);
+        c = lane_coords(l);
+        c[mu] = (c[mu] + lanes_[mu] - 1) % lanes_[mu];
+        pb[static_cast<std::size_t>(l)] = lane_index(c);
+      }
+      perm_fwd[mu] = static_cast<int>(perms_.size());
+      perms_.push_back(std::move(pf));
+      perm_bwd[mu] = static_cast<int>(perms_.size());
+      perms_.push_back(std::move(pb));
+    }
+
+    // Neighbor tables; wrap neighbors in split dimensions get ghosts.
+    for (int mu = 0; mu < Nd; ++mu) {
+      fwd_[mu].resize(static_cast<std::size_t>(n));
+      bwd_[mu].resize(static_cast<std::size_t>(n));
+      for (std::int64_t vo = 0; vo < n; ++vo) {
+        const std::int64_t fw = outer_.fwd(vo, mu);
+        const std::int64_t bw = outer_.bwd(vo, mu);
+        if (lanes_[mu] == 1 || !outer_.fwd_wraps(vo, mu)) {
+          fwd_[mu][static_cast<std::size_t>(vo)] = fw;
+        } else {
+          fwd_[mu][static_cast<std::size_t>(vo)] =
+              n + static_cast<std::int64_t>(ghosts_.size());
+          ghosts_.push_back({fw, perm_fwd[mu], outer_.parity_of(fw)});
+        }
+        if (lanes_[mu] == 1 || !outer_.bwd_wraps(vo, mu)) {
+          bwd_[mu][static_cast<std::size_t>(vo)] = bw;
+        } else {
+          bwd_[mu][static_cast<std::size_t>(vo)] =
+              n + static_cast<std::int64_t>(ghosts_.size());
+          ghosts_.push_back({bw, perm_bwd[mu], outer_.parity_of(bw)});
+        }
+      }
+    }
+  }
+
+  const LatticeGeometry* geo_;
+  LatticeGeometry outer_;
+  int width_;
+  Coord lanes_;
+  std::vector<std::int64_t> site_of_;
+  std::vector<std::int64_t> gather_;
+  std::array<std::vector<std::int64_t>, Nd> fwd_;
+  std::array<std::vector<std::int64_t>, Nd> bwd_;
+  std::vector<Ghost> ghosts_;
+  std::vector<std::vector<int>> perms_;
+};
+
+// --- layout transposes -----------------------------------------------------
+
+/// Scalar AoS field -> lane-packed SoA field (inner sites only; call
+/// fill_ghosts afterwards). `in` spans the full scalar volume.
+template <typename T, int W>
+void pack_sites(const VectorLattice& vl,
+                std::span<const WilsonSpinor<T>> in,
+                std::span<WilsonSpinor<Simd<T, W>>> out) {
+  LQCD_REQUIRE(W == vl.width() &&
+                   in.size() ==
+                       static_cast<std::size_t>(
+                           vl.scalar_geometry().volume()) &&
+                   out.size() >= static_cast<std::size_t>(vl.inner_sites()),
+               "pack_sites span sizes");
+  parallel_for(static_cast<std::size_t>(vl.inner_sites()),
+               [&](std::size_t vo) {
+                 for (int l = 0; l < W; ++l)
+                   insert_lane(
+                       out[vo], l,
+                       in[static_cast<std::size_t>(
+                           vl.site_of(static_cast<std::int64_t>(vo), l))]);
+               });
+}
+
+/// Lane-packed SoA field -> scalar AoS field (inner sites only).
+template <typename T, int W>
+void unpack_sites(const VectorLattice& vl,
+                  std::span<const WilsonSpinor<Simd<T, W>>> in,
+                  std::span<WilsonSpinor<T>> out) {
+  LQCD_REQUIRE(W == vl.width() &&
+                   out.size() ==
+                       static_cast<std::size_t>(
+                           vl.scalar_geometry().volume()) &&
+                   in.size() >= static_cast<std::size_t>(vl.inner_sites()),
+               "unpack_sites span sizes");
+  parallel_for(static_cast<std::size_t>(vl.inner_sites()),
+               [&](std::size_t vo) {
+                 for (int l = 0; l < W; ++l)
+                   out[static_cast<std::size_t>(
+                       vl.site_of(static_cast<std::int64_t>(vo), l))] =
+                       extract_lane(in[vo], l);
+               });
+}
+
+/// Pack one checkerboard half: `in` is a scalar half-volume span (parity
+/// p block), written into the parity-p block of the packed field.
+template <typename T, int W>
+void pack_parity(const VectorLattice& vl,
+                 std::span<const WilsonSpinor<T>> in,
+                 std::span<WilsonSpinor<Simd<T, W>>> out, int p) {
+  const std::int64_t hv_o = vl.outer_geometry().half_volume();
+  const std::int64_t hv_s = vl.scalar_geometry().half_volume();
+  LQCD_REQUIRE(W == vl.width() &&
+                   in.size() == static_cast<std::size_t>(hv_s) &&
+                   out.size() >= static_cast<std::size_t>(vl.inner_sites()),
+               "pack_parity span sizes");
+  const std::int64_t base = p == 0 ? 0 : hv_o;
+  parallel_for(static_cast<std::size_t>(hv_o), [&](std::size_t i) {
+    const std::int64_t vo = base + static_cast<std::int64_t>(i);
+    for (int l = 0; l < W; ++l)
+      insert_lane(out[static_cast<std::size_t>(vo)], l,
+                  in[static_cast<std::size_t>(vl.site_of(vo, l) -
+                                              (p == 0 ? 0 : hv_s))]);
+  });
+}
+
+/// Unpack one checkerboard half into a scalar half-volume span.
+template <typename T, int W>
+void unpack_parity(const VectorLattice& vl,
+                   std::span<const WilsonSpinor<Simd<T, W>>> in,
+                   std::span<WilsonSpinor<T>> out, int p) {
+  const std::int64_t hv_o = vl.outer_geometry().half_volume();
+  const std::int64_t hv_s = vl.scalar_geometry().half_volume();
+  LQCD_REQUIRE(W == vl.width() &&
+                   out.size() == static_cast<std::size_t>(hv_s) &&
+                   in.size() >= static_cast<std::size_t>(vl.inner_sites()),
+               "unpack_parity span sizes");
+  const std::int64_t base = p == 0 ? 0 : hv_o;
+  parallel_for(static_cast<std::size_t>(hv_o), [&](std::size_t i) {
+    const std::int64_t vo = base + static_cast<std::int64_t>(i);
+    for (int l = 0; l < W; ++l)
+      out[static_cast<std::size_t>(vl.site_of(vo, l) -
+                                   (p == 0 ? 0 : hv_s))] =
+          extract_lane(in[static_cast<std::size_t>(vo)], l);
+  });
+}
+
+}  // namespace lqcd

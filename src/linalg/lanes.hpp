@@ -1,0 +1,125 @@
+#pragma once
+// Lane pack/unpack helpers for the composite linalg types.
+//
+// A WilsonSpinor<Simd<T, W>> is W scalar WilsonSpinor<T>s stored SoA:
+// component (spin, color, re/im) is the slow index, lane the fast one.
+// These helpers move one lane in or out of the packed form, and apply a
+// lane permutation to a whole packed site (used by VectorLattice to
+// materialize wrap-boundary ghost sites). They are the ONLY places that
+// transpose between the scalar AoS layout and the lane-packed SoA layout,
+// so the pack/unpack convention lives here and nowhere else.
+
+#include <array>
+#include <cstddef>
+
+#include "linalg/simd.hpp"
+#include "linalg/spinor.hpp"
+#include "linalg/su3.hpp"
+
+namespace lqcd {
+
+// --- Cplx ------------------------------------------------------------------
+
+template <typename T, int W>
+constexpr Cplx<T> extract_lane(const Cplx<Simd<T, W>>& a, int l) {
+  return {a.re.lane(l), a.im.lane(l)};
+}
+
+template <typename T, int W>
+constexpr void insert_lane(Cplx<Simd<T, W>>& a, int l, const Cplx<T>& x) {
+  a.re.set_lane(l, x.re);
+  a.im.set_lane(l, x.im);
+}
+
+template <typename T, int W>
+constexpr Cplx<Simd<T, W>> shuffle(const Cplx<Simd<T, W>>& a,
+                                   const int* perm) {
+  return {shuffle(a.re, perm), shuffle(a.im, perm)};
+}
+
+// --- ColorVector -----------------------------------------------------------
+
+template <typename T, int W>
+constexpr ColorVector<T> extract_lane(const ColorVector<Simd<T, W>>& a,
+                                      int l) {
+  ColorVector<T> r;
+  for (int c = 0; c < Nc; ++c) r.c[c] = extract_lane(a.c[c], l);
+  return r;
+}
+
+template <typename T, int W>
+constexpr void insert_lane(ColorVector<Simd<T, W>>& a, int l,
+                           const ColorVector<T>& x) {
+  for (int c = 0; c < Nc; ++c) insert_lane(a.c[c], l, x.c[c]);
+}
+
+template <typename T, int W>
+constexpr ColorVector<Simd<T, W>> shuffle(const ColorVector<Simd<T, W>>& a,
+                                          const int* perm) {
+  ColorVector<Simd<T, W>> r;
+  for (int c = 0; c < Nc; ++c) r.c[c] = shuffle(a.c[c], perm);
+  return r;
+}
+
+// --- ColorMatrix -----------------------------------------------------------
+
+template <typename T, int W>
+constexpr ColorMatrix<T> extract_lane(const ColorMatrix<Simd<T, W>>& a,
+                                      int l) {
+  ColorMatrix<T> r;
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j) r.m[i][j] = extract_lane(a.m[i][j], l);
+  return r;
+}
+
+template <typename T, int W>
+constexpr void insert_lane(ColorMatrix<Simd<T, W>>& a, int l,
+                           const ColorMatrix<T>& x) {
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j) insert_lane(a.m[i][j], l, x.m[i][j]);
+}
+
+template <typename T, int W>
+constexpr ColorMatrix<Simd<T, W>> shuffle(const ColorMatrix<Simd<T, W>>& a,
+                                          const int* perm) {
+  ColorMatrix<Simd<T, W>> r;
+  for (int i = 0; i < Nc; ++i)
+    for (int j = 0; j < Nc; ++j) r.m[i][j] = shuffle(a.m[i][j], perm);
+  return r;
+}
+
+// --- WilsonSpinor ----------------------------------------------------------
+
+template <typename T, int W>
+constexpr WilsonSpinor<T> extract_lane(const WilsonSpinor<Simd<T, W>>& a,
+                                       int l) {
+  WilsonSpinor<T> r;
+  for (int sp = 0; sp < Ns; ++sp) r.s[sp] = extract_lane(a.s[sp], l);
+  return r;
+}
+
+template <typename T, int W>
+constexpr void insert_lane(WilsonSpinor<Simd<T, W>>& a, int l,
+                           const WilsonSpinor<T>& x) {
+  for (int sp = 0; sp < Ns; ++sp) insert_lane(a.s[sp], l, x.s[sp]);
+}
+
+template <typename T, int W>
+constexpr WilsonSpinor<Simd<T, W>> shuffle(const WilsonSpinor<Simd<T, W>>& a,
+                                           const int* perm) {
+  WilsonSpinor<Simd<T, W>> r;
+  for (int sp = 0; sp < Ns; ++sp) r.s[sp] = shuffle(a.s[sp], perm);
+  return r;
+}
+
+// --- std::array of any of the above (gauge link sites) ---------------------
+
+template <typename Elem, std::size_t N>
+constexpr auto shuffle(const std::array<Elem, N>& a, const int* perm)
+    -> std::array<decltype(shuffle(a[0], perm)), N> {
+  std::array<Elem, N> r;
+  for (std::size_t i = 0; i < N; ++i) r[i] = shuffle(a[i], perm);
+  return r;
+}
+
+}  // namespace lqcd

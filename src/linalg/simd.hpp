@@ -1,0 +1,203 @@
+#pragma once
+// SoA lane-packed scalar type for data-parallel site vectorization.
+//
+// Simd<T, W> behaves like a floating-point scalar carrying W independent
+// lanes: every arithmetic operation acts lane-wise, so any kernel
+// templated on its scalar type (Cplx<T>, ColorMatrix<T>, WilsonSpinor<T>,
+// the gamma-projection tables) instantiates unchanged over Simd<T, W> and
+// then processes W lattice sites per "scalar" operation. This is the
+// Grid/HILA vectorized-site-layout trick: the data layout (see
+// lattice/vector_lattice.hpp) guarantees that all W lanes execute the
+// same instruction stream, so per-lane results are bit-identical to the
+// scalar kernel run site by site.
+//
+// Storage: on GCC/Clang, power-of-two widths use the vector_size
+// extension, which lowers directly to SIMD registers (and splits across
+// registers when W exceeds the ISA width) without relying on the loop
+// auto-vectorizer. Everything else — W == 1, non-power-of-two widths,
+// other compilers — falls back to a plain lane array with elementwise
+// loops; semantics are identical, only codegen differs.
+//
+// Division, sqrt and comparisons are deliberately absent from the hot
+// API: the vectorized kernels (dslash, linear combinations) never divide.
+// Reductions (norm2/dot) are *not* performed in the lane domain — the
+// canonical summation order is defined over scalar sites (see
+// linalg/blas.hpp), so reductions extract lanes first.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace lqcd {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LQCD_SIMD_VECTOR_EXT 1
+#else
+#define LQCD_SIMD_VECTOR_EXT 0
+#endif
+
+namespace detail_simd {
+
+constexpr bool is_pow2(int w) { return w > 0 && (w & (w - 1)) == 0; }
+
+/// Storage selector: lane array by default, compiler vector type when the
+/// width is a power of two and the extension is available.
+template <typename T, int W, bool Native>
+struct Storage {
+  using type = T[W];
+};
+
+#if LQCD_SIMD_VECTOR_EXT
+template <typename T, int W>
+struct Storage<T, W, true> {
+  typedef T type __attribute__((vector_size(W * sizeof(T))));
+};
+#endif
+
+}  // namespace detail_simd
+
+template <typename T, int W>
+struct Simd {
+  static_assert(std::is_floating_point_v<T>,
+                "Simd lanes must be floating point");
+  static_assert(W >= 1, "Simd width must be positive");
+
+  using scalar_type = T;
+  static constexpr int width = W;
+  /// True when storage is a compiler vector type (guaranteed SIMD
+  /// codegen); false on the portable lane-array fallback.
+  static constexpr bool kNative =
+      LQCD_SIMD_VECTOR_EXT != 0 && W > 1 && detail_simd::is_pow2(W) &&
+      W * sizeof(T) <= 64;
+
+  typename detail_simd::Storage<T, W, kNative>::type v;
+
+  constexpr Simd() : v{} {}
+
+  /// Broadcast: every lane gets the same value. Implicit so kernel
+  /// idioms like `T(pre) * z.re` and `h *= T(0.5)` instantiate.
+  template <typename U,
+            std::enable_if_t<std::is_arithmetic_v<U>, int> = 0>
+  constexpr Simd(U x) : v{} {
+    const T t = static_cast<T>(x);
+    for (int i = 0; i < W; ++i) v[i] = t;
+  }
+
+  [[nodiscard]] constexpr T lane(int i) const { return v[i]; }
+  constexpr void set_lane(int i, T x) { v[i] = x; }
+
+  constexpr Simd& operator+=(const Simd& o) {
+    if constexpr (kNative) {
+      v += o.v;
+    } else {
+      for (int i = 0; i < W; ++i) v[i] += o.v[i];
+    }
+    return *this;
+  }
+  constexpr Simd& operator-=(const Simd& o) {
+    if constexpr (kNative) {
+      v -= o.v;
+    } else {
+      for (int i = 0; i < W; ++i) v[i] -= o.v[i];
+    }
+    return *this;
+  }
+  constexpr Simd& operator*=(const Simd& o) {
+    if constexpr (kNative) {
+      v *= o.v;
+    } else {
+      for (int i = 0; i < W; ++i) v[i] *= o.v[i];
+    }
+    return *this;
+  }
+
+  friend constexpr Simd operator+(Simd a, const Simd& b) { return a += b; }
+  friend constexpr Simd operator-(Simd a, const Simd& b) { return a -= b; }
+  friend constexpr Simd operator*(Simd a, const Simd& b) { return a *= b; }
+  friend constexpr Simd operator-(const Simd& a) {
+    Simd r;
+    if constexpr (kNative) {
+      r.v = -a.v;
+    } else {
+      for (int i = 0; i < W; ++i) r.v[i] = -a.v[i];
+    }
+    return r;
+  }
+
+  /// All-lanes equality (cold paths and tests only).
+  friend constexpr bool operator==(const Simd& a, const Simd& b) {
+    for (int i = 0; i < W; ++i)
+      if (a.v[i] != b.v[i]) return false;
+    return true;
+  }
+};
+
+namespace detail_simd {
+
+/// Lane-sized signed integer (the element type __builtin_shuffle wants
+/// for its mask vector).
+template <std::size_t Bytes>
+struct int_of_size;
+template <>
+struct int_of_size<4> {
+  using type = std::int32_t;
+};
+template <>
+struct int_of_size<8> {
+  using type = std::int64_t;
+};
+
+}  // namespace detail_simd
+
+/// r.lane(i) = a.lane(perm[i]) — the lane rotation applied at vector-site
+/// wrap boundaries (see VectorLattice ghost filling). On native storage
+/// this lowers to a single vector permute; the mask build is hoisted by
+/// the compiler when one perm is applied to many components in a row
+/// (the ghost-fill access pattern).
+template <typename T, int W>
+constexpr Simd<T, W> shuffle(const Simd<T, W>& a, const int* perm) {
+  Simd<T, W> r;
+#if LQCD_SIMD_VECTOR_EXT
+  if constexpr (Simd<T, W>::kNative) {
+    using I = typename detail_simd::int_of_size<sizeof(T)>::type;
+    typedef I Mask __attribute__((vector_size(W * sizeof(T))));
+    Mask m;
+    for (int i = 0; i < W; ++i) m[i] = perm[i];
+    r.v = __builtin_shuffle(a.v, m);
+    return r;
+  }
+#endif
+  for (int i = 0; i < W; ++i) r.v[i] = a.v[perm[i]];
+  return r;
+}
+
+// --- traits ----------------------------------------------------------------
+
+template <typename T>
+struct is_simd : std::false_type {};
+template <typename T, int W>
+struct is_simd<Simd<T, W>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_simd_v = is_simd<T>::value;
+
+/// Lane count of a scalar type: W for Simd<T, W>, 1 for plain scalars.
+template <typename T>
+struct simd_width : std::integral_constant<int, 1> {};
+template <typename T, int W>
+struct simd_width<Simd<T, W>> : std::integral_constant<int, W> {};
+template <typename T>
+inline constexpr int simd_width_v = simd_width<T>::value;
+
+/// Underlying element type: T for both Simd<T, W> and plain T.
+template <typename T>
+struct simd_scalar {
+  using type = T;
+};
+template <typename T, int W>
+struct simd_scalar<Simd<T, W>> {
+  using type = T;
+};
+template <typename T>
+using simd_scalar_t = typename simd_scalar<T>::type;
+
+}  // namespace lqcd
