@@ -12,15 +12,24 @@
 // dumps the full telemetry run report (schema lqcd.telemetry/1) so the
 // comm.halo.* counters can be diffed against the model offline.
 // --quick shrinks the lattice and rep counts for CI smoke runs.
+//
+// --transport socket|shm reruns the T3a functional section over a real
+// backend instead of the in-process virtual cluster: one RankCluster
+// per OS process under lqcd_launch, payload vs wire bytes reported
+// separately (bench_transport measures the full T9 suite).
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "comm/halo.hpp"
 #include "comm/machine.hpp"
 #include "comm/perf_model.hpp"
+#include "comm/transport/rank_halo.hpp"
+#include "comm/transport/transport.hpp"
 #include "gauge/gauge_field.hpp"
 #include "lattice/field.hpp"
 #include "util/cli.hpp"
@@ -38,6 +47,51 @@ struct OverlapRow {
   double hidden = 0.0;
 };
 
+/// T3a over a real backend: this process is one rank of the grid; the
+/// launcher provides the environment. Rank 0 prints the same columns as
+/// the virtual table plus the wire-byte split.
+int run_real_transport(const std::string& backend,
+                       const lqcd::LatticeGeometry& geo, int reps) {
+  using namespace lqcd;
+  const char* env = std::getenv("LQCD_TRANSPORT");
+  if (env == nullptr || backend != env) {
+    std::fprintf(stderr,
+                 "bench_comm: --transport %s needs the launcher:\n"
+                 "  lqcd_launch -n N --transport %s -- bench_comm ...\n",
+                 backend.c_str(), backend.c_str());
+    return 2;
+  }
+  std::unique_ptr<transport::Transport> tp =
+      transport::make_transport_from_env();
+  const ProcessGrid pg(choose_grid(geo.dims(), tp->size()));
+  RankCluster<double> rc(geo, pg, *tp);
+  auto f = rc.make_fermion();
+  rc.exchange(f);  // warm-up
+  tp->barrier();
+  rc.exchange(f);  // advance the wire baseline past the barrier frames
+  rc.stats().reset();
+  WallTimer t;
+  for (int i = 0; i < reps; ++i) rc.exchange(f);
+  const double ms = t.seconds() * 1e3 / reps;
+  const CommStats& cs = rc.stats();
+  tp->barrier();
+  if (tp->rank() == 0) {
+    const Coord g = pg.dims();
+    std::printf("T3a (%s): rank-local halo exchange, %dx%dx%dx%d global "
+                "lattice\n",
+                backend.c_str(), geo.dim(0), geo.dim(1), geo.dim(2),
+                geo.dim(3));
+    std::printf("%12s %8s %12s %14s %14s %12s\n", "grid", "ranks",
+                "msgs/xchg", "payload/xchg", "wire/xchg", "time[ms]");
+    std::printf("%5dx%dx%dx%-3d %8d %12lld %14lld %14lld %12.3f\n", g[0],
+                g[1], g[2], g[3], pg.size(),
+                static_cast<long long>(cs.messages / reps),
+                static_cast<long long>(cs.bytes / reps),
+                static_cast<long long>(cs.wire_bytes / reps), ms);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,12 +99,17 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::string json_path = cli.get_string("json", "");
   const std::string report_path = cli.get_string("report", "");
+  const std::string transport_flag =
+      cli.get_string("transport", "virtual");
   const bool quick = cli.get_flag("quick");
   cli.finish();
 
   const LatticeGeometry geo(quick ? Coord{4, 4, 4, 8}
                                   : Coord{8, 8, 8, 16});
   const int reps = quick ? 2 : 5;
+
+  if (transport_flag != "virtual")
+    return run_real_transport(transport_flag, geo, reps < 3 ? 3 : reps);
 
   std::printf("T3a (functional): virtual-cluster halo exchange, "
               "%dx%dx%dx%d global lattice\n",

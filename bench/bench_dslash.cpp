@@ -17,18 +17,28 @@
 // path, link bandwidth back-solved from timed blocking exchanges).
 // Exits non-zero if measured and model disagree by more than 10%.
 // Supports --json <path> and --quick in that mode.
+//
+// --transport {virtual,socket,shm} times the distributed dslash over a
+// real backend (socket/shm run under lqcd_launch) and prints a
+// mode-independent throughput + CRC line for cross-backend diffing.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "comm/halo.hpp"
+#include "comm/transport/rank_halo.hpp"
+#include "comm/transport/transport.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
 #include "comm/machine.hpp"
 #include "comm/perf_model.hpp"
 #include "dirac/clover.hpp"
@@ -577,6 +587,101 @@ int run_overlap(int argc, char** argv) {
   return all_pass ? 0 : 1;
 }
 
+// --- real-transport throughput (--transport) --------------------------
+//
+// The distributed dslash timed over an actual backend. `--transport
+// virtual` runs the whole in-process cluster here (the baseline run CI
+// diffs CRCs against); socket and shm run one rank per OS process under
+// lqcd_launch. The printed line is identical across modes so a CRC or
+// throughput diff is a plain text diff. bench_transport measures the
+// full T9 suite (alpha-beta fit, collectives, model comparison); this
+// mode is the kernel-throughput view of the same wire.
+
+int run_transport(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string backend = cli.get_string("transport", "virtual");
+  const bool quick = cli.get_flag("quick");
+  const int L = cli.get_int("L", quick ? 4 : 8);
+  const int T = cli.get_int("T", quick ? 8 : 16);
+  const int np = cli.get_int("np", 2);
+  const int reps = cli.get_int("reps", quick ? 4 : 10);
+  const double kappa = cli.get_double("kappa", 0.13);
+  cli.finish();
+
+  const LatticeGeometry geo({L, L, L, T});
+  const ProcessGrid grid(choose_grid(geo.dims(), np));
+  GaugeFieldD u(geo);
+  u.set_random(SiteRngFactory(42));
+  const auto vol = static_cast<std::size_t>(geo.volume());
+  aligned_vector<WilsonSpinorD> src(vol);
+  {
+    SiteRngFactory rngs(43);
+    for (std::size_t i = 0; i < vol; ++i) {
+      CounterRng rng = rngs.make(i);
+      for (int sp = 0; sp < Ns; ++sp)
+        for (int c = 0; c < Nc; ++c)
+          src[i].s[sp].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+    }
+  }
+  const double flops_per_apply =
+      kDslashFlopsPerSite * static_cast<double>(geo.volume());
+
+  if (backend == "virtual") {
+    DistributedWilsonOperator<double> op(u, kappa, grid);
+    aligned_vector<WilsonSpinorD> in = src, out(vol);
+    op.apply({out.data(), vol}, {in.data(), vol});  // warm-up
+    WallTimer t;
+    for (int k = 0; k < reps; ++k) {
+      op.apply({out.data(), vol}, {in.data(), vol});
+      std::swap(in, out);
+    }
+    const double s = t.seconds() / reps;
+    std::printf("T1-transport: backend=virtual np=%d %dx%dx%dx%d "
+                "%.3f ms/apply %.2f GFLOP/s crc=0x%08x\n",
+                np, L, L, L, T, s * 1e3, flops_per_apply / s * 1e-9,
+                crc32(in.data(), vol * sizeof(WilsonSpinorD)));
+    return 0;
+  }
+  const char* env = std::getenv("LQCD_TRANSPORT");
+  if (env == nullptr || backend != env) {
+    std::fprintf(stderr,
+                 "bench_dslash: --transport %s needs the launcher:\n"
+                 "  lqcd_launch -n N --transport %s -- bench_dslash "
+                 "--transport %s ...\n",
+                 backend.c_str(), backend.c_str(), backend.c_str());
+    return 2;
+  }
+  std::unique_ptr<transport::Transport> tp =
+      transport::make_transport_from_env();
+  LQCD_REQUIRE(tp->size() == np,
+               "bench_dslash: --np must match lqcd_launch -n");
+  RankWilsonOperator<double> op(u, kappa, grid, *tp);
+  RankCluster<double>& cl = op.cluster();
+  auto in = cl.make_fermion();
+  auto out = cl.make_fermion();
+  cl.extract_local(in, {src.data(), vol});
+  op.apply(out, in);  // warm-up
+  tp->barrier();
+  WallTimer t;
+  for (int k = 0; k < reps; ++k) {
+    op.apply(out, in);
+    std::swap(in, out);
+  }
+  const double s = t.seconds() / reps;
+  // Match the virtual run's field history: warm-up + reps applies, the
+  // warm-up result discarded there, so gather the post-warm-up state.
+  aligned_vector<WilsonSpinorD> full(tp->rank() == 0 ? vol : 0);
+  cl.gather_to_root({full.data(), full.size()}, in);
+  tp->barrier();
+  if (tp->rank() == 0)
+    std::printf("T1-transport: backend=%s np=%d %dx%dx%dx%d "
+                "%.3f ms/apply %.2f GFLOP/s crc=0x%08x\n",
+                backend.c_str(), np, L, L, L, T, s * 1e3,
+                flops_per_apply / s * 1e-9,
+                crc32(full.data(), vol * sizeof(WilsonSpinorD)));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -584,6 +689,8 @@ int main(int argc, char** argv) {
     if (std::string_view(argv[i]) == "--overlap")
       return run_overlap(argc, argv);
     if (std::string_view(argv[i]) == "--simd") return run_simd(argc, argv);
+    if (std::string_view(argv[i]) == "--transport")
+      return run_transport(argc, argv);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

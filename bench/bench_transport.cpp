@@ -1,0 +1,410 @@
+// Experiment T9: the real transport, measured. Where T3/F1/F2 charge an
+// alpha-beta *model* for the network, this bench measures the actual
+// backends under the halo API and closes the loop: a pingpong fits the
+// backend's own alpha (latency) and beta (bandwidth), collectives are
+// timed, and the rank-local halo exchange and split-phase dslash are
+// measured against the alpha-beta prediction built from the *fitted*
+// constants — measured-vs-modeled on the same wire, not a preset.
+//
+// Modes (one binary, same measurement code):
+//   ./bench_transport --transport virtual --np 4
+//     in-process backend, every rank a thread of this process (the
+//     worker pool is pinned to one thread per rank so SPMD ranks do not
+//     fight over the fork-join pool);
+//   lqcd_launch -n 4 -- ./bench_transport --np 4
+//   lqcd_launch -n 4 --transport shm -- ./bench_transport --np 4
+//     socket / shared-memory backends, one OS process per rank; rank 0
+//     reports.
+//
+// The dslash section doubles as the T9 bit-identity check: the gathered
+// multi-rank result is CRC'd against a single-process virtual-cluster
+// run of the same spec. --json emits schema lqcd.bench.transport/1;
+// CI's bench_smoke.py validates it and the multi-process smoke job runs
+// the socket and shm modes under the launcher.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/dist_eo.hpp"
+#include "comm/halo.hpp"
+#include "comm/transport/inprocess.hpp"
+#include "comm/transport/rank_halo.hpp"
+#include "comm/transport/transport.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/cli.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace lqcd;
+
+struct PingPoint {
+  std::size_t bytes = 0;
+  double t_us = 0.0;    // one-way
+  double bw_gbs = 0.0;  // payload bytes / one-way time
+};
+
+struct RankReport {
+  std::vector<PingPoint> pingpong;
+  double alpha_us = 0.0;  // latency: one-way time of the smallest msg
+  double beta_gbs = 0.0;  // asymptotic bandwidth from the size sweep
+  double barrier_us = 0.0;
+  double allreduce_us = 0.0;
+  bool allreduce_exact = false;
+  // Halo exchange, per rank per exchange.
+  double xchg_t_us = 0.0;
+  double xchg_wire_bytes = 0.0;
+  double xchg_wire_frames = 0.0;
+  double xchg_model_us = 0.0;  // wire_frames * alpha + wire_bytes / beta
+  // Split-phase dslash.
+  double dslash_ms = 0.0;  // per apply
+  double sites_per_s = 0.0;
+  double hidden_fraction = 0.0;
+  std::uint32_t crc = 0;
+};
+
+struct Options {
+  LatticeGeometry geo{Coord{4, 4, 4, 8}};
+  ProcessGrid grid{Coord{1, 1, 1, 1}};
+  double kappa = 0.13;
+  std::uint64_t seed = 4242;
+  int dslash_applies = 5;  // total, including the one warm-up
+  bool quick = false;
+};
+
+void fill_random(std::span<WilsonSpinorD> f, std::uint64_t seed) {
+  SiteRngFactory rngs(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c)
+        f[i].s[s].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+}
+
+std::uint32_t field_crc(std::span<const WilsonSpinorD> f) {
+  return crc32(f.data(), f.size() * sizeof(WilsonSpinorD));
+}
+
+/// Single-process virtual-cluster run of the dslash section's spec: the
+/// reference bytes the multi-rank gathered result must reproduce.
+std::uint32_t virtual_reference_crc(const GaugeFieldD& u,
+                                    const Options& opt) {
+  DistributedWilsonOperator<double> op(u, opt.kappa, opt.grid);
+  const auto vol = static_cast<std::size_t>(opt.geo.volume());
+  aligned_vector<WilsonSpinorD> in(vol), out(vol);
+  fill_random({in.data(), vol}, opt.seed + 1);
+  for (int k = 0; k < opt.dslash_applies; ++k) {
+    op.apply({out.data(), vol}, {in.data(), vol});
+    std::swap(in, out);
+  }
+  return field_crc({in.data(), vol});
+}
+
+/// One rank's share of every measurement. Collective: all ranks of the
+/// group run it in step. The returned report is authoritative on rank 0
+/// (timings elsewhere are taken but unused).
+RankReport run_rank(transport::Transport& tp, const GaugeFieldD& u,
+                    const Options& opt) {
+  RankReport rep;
+  const int rank = tp.rank();
+  const int np = tp.size();
+  std::uint64_t seq = 0;
+  const auto ctrl = [&seq] {
+    return transport::make_seq_tag(transport::TagKind::kCtrl, seq++);
+  };
+
+  // --- pingpong: rank 0 <-> rank 1, alpha-beta fit -------------------
+  std::vector<std::size_t> sizes{64, 4096, 65536};
+  if (!opt.quick) sizes.push_back(1 << 20);
+  for (const std::size_t bytes : sizes) {
+    const int reps = bytes <= 4096 ? (opt.quick ? 50 : 200)
+                                   : (opt.quick ? 20 : 50);
+    tp.barrier();
+    if (np >= 2 && rank <= 1) {
+      std::vector<std::byte> buf(bytes, std::byte{0x5a});
+      std::vector<std::byte> in;
+      WallTimer t;
+      for (int i = -3; i < reps; ++i) {  // 3 warm-up round trips
+        if (i == 0) t.start();
+        if (rank == 0) {
+          tp.send(1, ctrl(), buf);
+          tp.recv(1, ctrl(), in);
+        } else {
+          tp.recv(0, ctrl(), in);
+          tp.send(0, ctrl(), buf);
+        }
+      }
+      const double one_way = t.seconds() / (2.0 * reps);
+      rep.pingpong.push_back(
+          {bytes, one_way * 1e6,
+           static_cast<double>(bytes) / std::max(one_way, 1e-12) / 1e9});
+    } else {
+      seq += static_cast<std::uint64_t>(reps + 3) * 2;  // keep tags in step
+    }
+    tp.barrier();
+  }
+  if (!rep.pingpong.empty()) {
+    const PingPoint& lo = rep.pingpong.front();
+    const PingPoint& hi = rep.pingpong.back();
+    rep.alpha_us = lo.t_us;
+    const double d_bytes = static_cast<double>(hi.bytes - lo.bytes);
+    const double d_us = std::max(hi.t_us - lo.t_us, 1e-9);
+    rep.beta_gbs = d_bytes / d_us * 1e6 / 1e9;
+  }
+  // Rank 0's fit is canonical; every rank prices the model with it.
+  {
+    std::vector<std::byte> ab(2 * sizeof(double));
+    std::memcpy(ab.data(), &rep.alpha_us, sizeof(double));
+    std::memcpy(ab.data() + sizeof(double), &rep.beta_gbs,
+                sizeof(double));
+    tp.broadcast(0, ab);
+    std::memcpy(&rep.alpha_us, ab.data(), sizeof(double));
+    std::memcpy(&rep.beta_gbs, ab.data() + sizeof(double),
+                sizeof(double));
+  }
+
+  // --- barrier latency ----------------------------------------------
+  {
+    const int reps = opt.quick ? 50 : 200;
+    for (int i = 0; i < 5; ++i) tp.barrier();
+    WallTimer t;
+    for (int i = 0; i < reps; ++i) tp.barrier();
+    rep.barrier_us = t.seconds() * 1e6 / reps;
+  }
+
+  // --- allreduce latency + determinism ------------------------------
+  {
+    const int reps = opt.quick ? 50 : 200;
+    std::vector<double> v(64);
+    for (int i = 0; i < 3; ++i) tp.allreduce_sum(v);
+    WallTimer t;
+    for (int i = 0; i < reps; ++i) tp.allreduce_sum(v);
+    rep.allreduce_us = t.seconds() * 1e6 / reps;
+    std::vector<double> one(8, static_cast<double>(rank + 1));
+    tp.allreduce_sum(one);
+    const double expect = static_cast<double>(np) *
+                          static_cast<double>(np + 1) / 2.0;
+    rep.allreduce_exact = true;
+    for (const double x : one) rep.allreduce_exact &= x == expect;
+  }
+
+  // --- halo exchange vs the fitted alpha-beta model ------------------
+  {
+    RankCluster<double> cl(opt.geo, opt.grid, tp);
+    auto f = cl.make_fermion();
+    const auto vol = static_cast<std::size_t>(opt.geo.volume());
+    aligned_vector<WilsonSpinorD> src(vol);
+    fill_random({src.data(), vol}, opt.seed + 1);
+    cl.extract_local(f, {src.data(), vol});
+    const int reps = opt.quick ? 10 : 50;
+    for (int i = 0; i < 2; ++i) cl.exchange(f);
+    tp.barrier();
+    // One more untimed exchange after the barrier: its harvest advances
+    // the cluster's wire baseline past the barrier frames, so the reset
+    // counters below see exactly the timed exchanges.
+    cl.exchange(f);
+    cl.stats().reset();
+    WallTimer t;
+    for (int i = 0; i < reps; ++i) cl.exchange(f);
+    rep.xchg_t_us = t.seconds() * 1e6 / reps;
+    const CommStats& cs = cl.stats();
+    rep.xchg_wire_bytes =
+        static_cast<double>(cs.wire_bytes) / static_cast<double>(reps);
+    rep.xchg_wire_frames =
+        static_cast<double>(cs.wire_frames) / static_cast<double>(reps);
+    if (rep.beta_gbs > 0.0)
+      rep.xchg_model_us = rep.xchg_wire_frames * rep.alpha_us +
+                          rep.xchg_wire_bytes / (rep.beta_gbs * 1e3);
+    tp.barrier();
+  }
+
+  // --- split-phase dslash: throughput, overlap, bit-identity ---------
+  {
+    RankWilsonOperator<double> op(u, opt.kappa, opt.grid, tp);
+    RankCluster<double>& cl = op.cluster();
+    const auto vol = static_cast<std::size_t>(opt.geo.volume());
+    aligned_vector<WilsonSpinorD> src(vol);
+    fill_random({src.data(), vol}, opt.seed + 1);
+    auto in = cl.make_fermion();
+    auto out = cl.make_fermion();
+    cl.extract_local(in, {src.data(), vol});
+    op.apply(out, in);  // warm-up counts toward the CRC'd state
+    std::swap(in, out);
+    op.reset_overlap_stats();
+    tp.barrier();
+    WallTimer t;
+    for (int k = 1; k < opt.dslash_applies; ++k) {
+      op.apply(out, in);
+      std::swap(in, out);
+    }
+    const int timed = opt.dslash_applies - 1;
+    rep.dslash_ms = t.seconds() * 1e3 / std::max(timed, 1);
+    rep.sites_per_s = static_cast<double>(opt.geo.volume()) /
+                      std::max(rep.dslash_ms * 1e-3, 1e-12);
+    rep.hidden_fraction = op.overlap_stats().hidden_fraction();
+    aligned_vector<WilsonSpinorD> full(rank == 0 ? vol : 0);
+    cl.gather_to_root({full.data(), full.size()}, in);
+    if (rank == 0) rep.crc = field_crc({full.data(), vol});
+  }
+  tp.barrier();
+  return rep;
+}
+
+void write_json(const std::string& path, const std::string& backend,
+                int np, const Options& opt, const RankReport& r,
+                std::uint32_t crc_virtual, bool identical) {
+  std::ofstream js(path);
+  char hex[16];
+  js << "{\n"
+     << "  \"schema\": \"lqcd.bench.transport/1\",\n"
+     << "  \"experiment\": \"transport-measured\",\n"
+     << "  \"transport\": \"" << backend << "\",\n"
+     << "  \"ranks\": " << np << ",\n"
+     << "  \"lattice\": [" << opt.geo.dim(0) << ", " << opt.geo.dim(1)
+     << ", " << opt.geo.dim(2) << ", " << opt.geo.dim(3) << "],\n"
+     << "  \"grid\": [" << opt.grid.dims()[0] << ", "
+     << opt.grid.dims()[1] << ", " << opt.grid.dims()[2] << ", "
+     << opt.grid.dims()[3] << "],\n"
+     << "  \"pingpong\": [\n";
+  for (std::size_t i = 0; i < r.pingpong.size(); ++i) {
+    const PingPoint& p = r.pingpong[i];
+    js << "    {\"bytes\": " << p.bytes << ", \"t_us\": " << p.t_us
+       << ", \"bw_gbs\": " << p.bw_gbs << "}"
+       << (i + 1 < r.pingpong.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n"
+     << "  \"alpha_us\": " << r.alpha_us << ",\n"
+     << "  \"beta_gbs\": " << r.beta_gbs << ",\n"
+     << "  \"barrier_us\": " << r.barrier_us << ",\n"
+     << "  \"allreduce_us\": " << r.allreduce_us << ",\n"
+     << "  \"allreduce_exact\": " << (r.allreduce_exact ? "true" : "false")
+     << ",\n"
+     << "  \"exchange\": {\"t_us\": " << r.xchg_t_us
+     << ", \"wire_bytes_per_rank\": " << r.xchg_wire_bytes
+     << ", \"wire_frames_per_rank\": " << r.xchg_wire_frames
+     << ", \"model_t_us\": " << r.xchg_model_us
+     << ", \"measured_over_model\": "
+     << (r.xchg_model_us > 0.0 ? r.xchg_t_us / r.xchg_model_us : 0.0)
+     << "},\n";
+  std::snprintf(hex, sizeof hex, "0x%08x", r.crc);
+  js << "  \"dslash\": {\"t_ms_per_apply\": " << r.dslash_ms
+     << ", \"sites_per_s\": " << r.sites_per_s
+     << ", \"hidden_fraction\": " << r.hidden_fraction << ", \"crc\": \""
+     << hex << "\", \"crc_virtual\": \"";
+  std::snprintf(hex, sizeof hex, "0x%08x", crc_virtual);
+  js << hex << "\", \"bitwise_identical\": "
+     << (identical ? "true" : "false") << "}\n"
+     << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const char* env = std::getenv("LQCD_TRANSPORT");
+  const std::string backend =
+      cli.get_string("transport", env != nullptr ? env : "virtual");
+  const bool quick = cli.get_flag("quick");
+  const std::string json_path = cli.get_string("json", "");
+  const int L = cli.get_int("L", quick ? 4 : 8);
+  const int T = cli.get_int("T", quick ? 8 : 16);
+  const int np = cli.get_int("np", env != nullptr ? 0 : 4);
+  const int applies = cli.get_int("reps", quick ? 5 : 10);
+  cli.finish();
+
+  Options opt;
+  opt.geo = LatticeGeometry({L, L, L, T});
+  opt.quick = quick;
+  opt.dslash_applies = applies;
+
+  if (env == nullptr && backend != "virtual") {
+    std::fprintf(stderr,
+                 "bench_transport: --transport %s needs the launcher:\n"
+                 "  lqcd_launch -n N --transport %s -- %s ...\n",
+                 backend.c_str(), backend.c_str(), argv[0]);
+    return 2;
+  }
+
+  if (env != nullptr) {
+    // SPMD mode: this process is one rank; the backend came from the
+    // launcher's environment.
+    std::unique_ptr<transport::Transport> tp =
+        transport::make_transport_from_env();
+    const int n = tp->size();
+    LQCD_REQUIRE(np == 0 || np == n,
+                 "bench_transport: --np must match lqcd_launch -n");
+    opt.grid = ProcessGrid(choose_grid(opt.geo.dims(), n));
+    GaugeFieldD u(opt.geo);
+    u.set_random(SiteRngFactory(opt.seed));
+    const RankReport rep = run_rank(*tp, u, opt);
+    if (tp->rank() != 0) return 0;
+    const std::uint32_t ref = virtual_reference_crc(u, opt);
+    const bool same = ref == rep.crc;
+    std::printf("T9 (%s, %d ranks): alpha %.2f us, beta %.2f GB/s, "
+                "barrier %.1f us, allreduce %.1f us\n",
+                backend.c_str(), n, rep.alpha_us, rep.beta_gbs,
+                rep.barrier_us, rep.allreduce_us);
+    std::printf("  exchange %.1f us vs model %.1f us; dslash %.3f "
+                "ms/apply hidden %.3f crc=0x%08x %s\n",
+                rep.xchg_t_us, rep.xchg_model_us, rep.dslash_ms,
+                rep.hidden_fraction, rep.crc,
+                same ? "== virtual" : "!= virtual (FAIL)");
+    if (!json_path.empty())
+      write_json(json_path, backend, n, opt, rep, ref, same);
+    return same ? 0 : 1;
+  }
+
+  // Virtual mode: one thread per rank over the in-process hub. The
+  // fork-join pool is pinned to a single worker first — SPMD rank
+  // threads and a shared pool would otherwise race run_chunks.
+  const int n = np > 0 ? np : 4;
+  opt.grid = ProcessGrid(choose_grid(opt.geo.dims(), n));
+  GaugeFieldD u(opt.geo);
+  u.set_random(SiteRngFactory(opt.seed));
+  const std::uint32_t ref = virtual_reference_crc(u, opt);
+  ThreadPool::set_global_threads(1);
+  std::vector<std::unique_ptr<transport::Transport>> eps =
+      transport::make_inprocess_group(n);
+  std::vector<RankReport> reps(static_cast<std::size_t>(n));
+  std::vector<std::exception_ptr> errs(static_cast<std::size_t>(n));
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    ts.emplace_back([&, r] {
+      try {
+        reps[static_cast<std::size_t>(r)] =
+            run_rank(*eps[static_cast<std::size_t>(r)], u, opt);
+      } catch (...) {
+        errs[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  for (auto& t : ts) t.join();
+  for (const std::exception_ptr& e : errs)
+    if (e) std::rethrow_exception(e);
+  const RankReport& rep = reps[0];
+  const bool same = ref == rep.crc;
+  std::printf("T9 (virtual, %d ranks): alpha %.2f us, beta %.2f GB/s, "
+              "barrier %.1f us, allreduce %.1f us\n",
+              n, rep.alpha_us, rep.beta_gbs, rep.barrier_us,
+              rep.allreduce_us);
+  std::printf("  exchange %.1f us vs model %.1f us; dslash %.3f "
+              "ms/apply hidden %.3f crc=0x%08x %s\n",
+              rep.xchg_t_us, rep.xchg_model_us, rep.dslash_ms,
+              rep.hidden_fraction, rep.crc,
+              same ? "== virtual" : "!= virtual (FAIL)");
+  if (!json_path.empty())
+    write_json(json_path, "virtual", n, opt, rep, ref, same);
+  return same ? 0 : 1;
+}

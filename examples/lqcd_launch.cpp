@@ -1,0 +1,213 @@
+// lqcd_launch: multi-process SPMD launcher for the real transport
+// backends — the moral equivalent of mpirun for this codebase.
+//
+//   lqcd_launch -n 4 -- ./dslash_rank --L 8 --T 8
+//   lqcd_launch -n 4 --transport shm -- ./dslash_rank --L 8
+//   lqcd_launch -n 4 --kill-rank 2 --kill-after-ms 300 -- ./lqcd_serve run ...
+//   lqcd_launch -n 4 --die-rank 2 --die-after-tasks 3 -- ./lqcd_serve run ...
+//
+// Forks N ranks of the given command, wiring each one up through
+// environment variables the child's make_transport_from_env() reads:
+//
+//   LQCD_TRANSPORT   socket | shm
+//   LQCD_RANK        0..N-1
+//   LQCD_SIZE        N
+//   LQCD_REND_HOST / LQCD_REND_PORT   socket rendezvous (loopback)
+//   LQCD_SHM_PATH    shared-memory segment file
+//   LQCD_RECV_TIMEOUT_MS              receive-timeout safety net
+//
+// For the socket backend the launcher runs the rendezvous itself: each
+// rank registers its listening port, and once all N have checked in the
+// full port table goes back out and the ranks build their mesh. For the
+// shared-memory backend the launcher creates and unlinks the segment,
+// and marks ranks dead in its header as waitpid reaps them, so
+// surviving ranks see the death promptly instead of blocking on a ring.
+//
+// Fault drills, which CI uses to prove the PR-1 retransmit and PR-7
+// lane-recovery paths fire on *real* process deaths:
+//   --kill-rank R --kill-after-ms M   SIGKILL rank R after M ms
+//   --die-rank R --die-after-tasks K  rank R self-exits after K tasks
+//                                     (sets LQCD_WORKER_DIE_AFTER=K in
+//                                     that rank's environment only)
+//
+// Exit code: 0 if every rank not intentionally killed exited 0;
+// otherwise the first failing rank's code (or 128+signal).
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "comm/transport/shm.hpp"
+#include "comm/transport/socket.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: lqcd_launch -n N [--transport socket|shm]\n"
+      "                   [--shm-ring-bytes B] [--recv-timeout-ms T]\n"
+      "                   [--kill-rank R --kill-after-ms M]\n"
+      "                   [--die-rank R --die-after-tasks K]\n"
+      "                   -- <binary> [args...]\n");
+  std::exit(2);
+}
+
+int to_int(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') usage_and_exit();
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 0;
+  std::string transport = "socket";
+  long shm_ring_bytes = lqcd::transport::kShmDefaultRingBytes;
+  int recv_timeout_ms = 0;
+  int kill_rank = -1;
+  int kill_after_ms = 0;
+  int die_rank = -1;
+  int die_after_tasks = -1;
+  int child_argv_at = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit();
+      return argv[++i];
+    };
+    if (a == "--") {
+      child_argv_at = i + 1;
+      break;
+    } else if (a == "-n" || a == "--np") {
+      n = to_int(next());
+    } else if (a == "--transport") {
+      transport = next();
+    } else if (a == "--shm-ring-bytes") {
+      shm_ring_bytes = to_int(next());
+    } else if (a == "--recv-timeout-ms") {
+      recv_timeout_ms = to_int(next());
+    } else if (a == "--kill-rank") {
+      kill_rank = to_int(next());
+    } else if (a == "--kill-after-ms") {
+      kill_after_ms = to_int(next());
+    } else if (a == "--die-rank") {
+      die_rank = to_int(next());
+    } else if (a == "--die-after-tasks") {
+      die_after_tasks = to_int(next());
+    } else {
+      std::fprintf(stderr, "lqcd_launch: unknown option '%s'\n", a.c_str());
+      usage_and_exit();
+    }
+  }
+  if (n <= 0 || child_argv_at < 0 || child_argv_at >= argc)
+    usage_and_exit();
+  if (transport != "socket" && transport != "shm") {
+    std::fprintf(stderr, "lqcd_launch: bad --transport '%s'\n",
+                 transport.c_str());
+    usage_and_exit();
+  }
+
+  // Rendezvous / segment setup (before any fork).
+  int rend_fd = -1;
+  int rend_port = 0;
+  std::string shm_path;
+  if (transport == "socket") {
+    rend_fd = lqcd::transport::listen_loopback(rend_port);
+  } else {
+    shm_path = "/tmp/lqcd_shm." + std::to_string(getpid());
+    lqcd::transport::shm_create(
+        shm_path, n, static_cast<std::uint32_t>(shm_ring_bytes));
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(n), -1);
+  for (int r = 0; r < n; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("lqcd_launch: fork");
+      return 1;
+    }
+    if (pid == 0) {
+      setenv("LQCD_TRANSPORT", transport.c_str(), 1);
+      setenv("LQCD_RANK", std::to_string(r).c_str(), 1);
+      setenv("LQCD_SIZE", std::to_string(n).c_str(), 1);
+      if (transport == "socket") {
+        close(rend_fd);  // only the parent serves the rendezvous
+        setenv("LQCD_REND_HOST", "127.0.0.1", 1);
+        setenv("LQCD_REND_PORT", std::to_string(rend_port).c_str(), 1);
+      } else {
+        setenv("LQCD_SHM_PATH", shm_path.c_str(), 1);
+      }
+      if (recv_timeout_ms > 0)
+        setenv("LQCD_RECV_TIMEOUT_MS",
+               std::to_string(recv_timeout_ms).c_str(), 1);
+      if (r == die_rank && die_after_tasks >= 0)
+        setenv("LQCD_WORKER_DIE_AFTER",
+               std::to_string(die_after_tasks).c_str(), 1);
+      execvp(argv[child_argv_at], argv + child_argv_at);
+      std::perror("lqcd_launch: execvp");
+      _exit(127);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  if (transport == "socket") {
+    try {
+      lqcd::transport::rendezvous_serve(rend_fd, n);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lqcd_launch: rendezvous failed: %s\n",
+                   e.what());
+      for (const pid_t p : pids) kill(p, SIGKILL);
+    }
+    close(rend_fd);
+  }
+
+  std::thread killer;
+  if (kill_rank >= 0 && kill_rank < n) {
+    const pid_t victim = pids[static_cast<std::size_t>(kill_rank)];
+    killer = std::thread([victim, kill_after_ms] {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kill_after_ms));
+      kill(victim, SIGKILL);
+    });
+  }
+
+  int exit_code = 0;
+  for (int reaped = 0; reaped < n; ++reaped) {
+    int status = 0;
+    const pid_t pid = wait(&status);
+    if (pid < 0) break;
+    int r = -1;
+    for (int i = 0; i < n; ++i)
+      if (pids[static_cast<std::size_t>(i)] == pid) r = i;
+    if (transport == "shm")
+      lqcd::transport::shm_mark_dead(shm_path, r);  // unblock survivors
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+      std::fprintf(stderr, "lqcd_launch: rank %d exited with code %d\n", r,
+                   code);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+      std::fprintf(stderr, "lqcd_launch: rank %d killed by signal %d\n", r,
+                   WTERMSIG(status));
+    }
+    const bool intentional = r == kill_rank || r == die_rank;
+    if (code != 0 && !intentional && exit_code == 0) exit_code = code;
+  }
+  if (killer.joinable()) killer.join();
+  if (!shm_path.empty()) unlink(shm_path.c_str());
+  return exit_code;
+}

@@ -33,8 +33,10 @@
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "comm/transport/transport.hpp"
 #include "core/api.hpp"
 #include "gauge/io.hpp"
+#include "serve/dist_service.hpp"
 #include "serve/service.hpp"
 #include "util/atomic_io.hpp"
 #include "util/cli.hpp"
@@ -155,6 +157,32 @@ int cmd_run(Cli& cli) {
   cli.finish();
 
   const CampaignSpec spec = load_campaign(spec_path);
+
+  // Under lqcd_launch (LQCD_TRANSPORT set) the same verb becomes one
+  // SPMD rank of a multi-process campaign: rank 0 coordinates and owns
+  // the journal, the other ranks are solver workers. The modeled fault
+  // flags above drive the *virtual* service only; multi-process drills
+  // inject real faults through the launcher (--kill-rank / --die-rank).
+  if (std::getenv("LQCD_TRANSPORT") != nullptr) {
+    const std::unique_ptr<transport::Transport> tp =
+        transport::make_transport_from_env();
+    if (tp->rank() == 0)
+      std::printf("campaign %s: %d tasks over %d worker ranks (%s)\n",
+                  spec.name.c_str(), spec.num_tasks(), tp->size() - 1,
+                  to_string(tp->kind()));
+    const CampaignOutcome out = run_distributed_campaign(spec, *tp);
+    if (tp->rank() != 0) return out.finished ? 0 : 1;
+    std::printf("done: %d completed, %d skipped (resume), %d transient "
+                "retries, %.2fs\n",
+                out.completed, out.skipped, out.transient_failures,
+                out.seconds);
+    if (out.degraded)
+      std::printf("degraded: %d lanes lost, %d tasks reassigned\n",
+                  out.lanes_lost, out.tasks_reassigned);
+    std::printf("result: %s/result.json\n", spec.output.c_str());
+    return 0;
+  }
+
   FaultInjector faults(fault_seed, {.drop_prob = drop_prob,
                                     .task_straggle_prob = straggle_prob,
                                     .task_straggle_mult = straggle_mult});

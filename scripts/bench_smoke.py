@@ -115,6 +115,13 @@ BENCHES = {
         "lqcd.bench.telemetry/1",
         ["overhead_pct", "achieved_halo_bytes_per_exchange"],
     ),
+    "bench_transport": (
+        ["--quick", "--np", "2"],
+        "lqcd.bench.transport/1",
+        ["transport", "ranks", "alpha_us", "beta_gbs", "barrier_us",
+         "allreduce_us", "allreduce_exact", "exchange", "dslash"],
+        {"elements": {"pingpong": ["bytes", "t_us", "bw_gbs"]}},
+    ),
     "bench_weak_scaling": (
         ["--quick"],
         "lqcd.bench.weak_scaling/1",

@@ -4,12 +4,17 @@
 //
 // Each rank owns a local sub-lattice stored with a depth-1 ghost frame
 // (the "halo"). The exchange is split-phase, the way a production dslash
-// drives MPI: exchange_begin() packs boundary planes into per-message
-// buffers and posts them through the fault injector / CRC framing;
-// exchange_finish() delivers, verifies, retransmits and unpacks into the
-// ghost frames. The blocking exchange() is the composition of the two.
-// Byte and message counts are recorded so the analytic network model can
-// be cross-checked against the functional path.
+// drives MPI, and since PR 9 it runs over the lqcd::transport frame
+// layer: exchange_begin() packs every rank's boundary planes and posts
+// them as tagged frames through that rank's in-process transport
+// endpoint (push model: each rank sends its own faces); the fault
+// injector and CRC framing act at the frame layer, exactly where the
+// socket and shared-memory backends apply them. exchange_finish()
+// receives, verifies, retransmits and unpacks into the ghost frames. The
+// blocking exchange() is the composition of the two. Byte and message
+// counts are recorded — payload bytes and bytes-on-the-wire separately —
+// so the analytic network model can be cross-checked against the
+// functional path, framing overhead included.
 //
 // DistributedWilsonOperator applies the full Wilson matrix through this
 // machinery with communication/computation overlap: sites at least one
@@ -20,12 +25,19 @@
 // per-site arithmetic is shared, only the order differs — and is
 // validated bit-for-bit against the single-domain operator: the
 // correctness anchor for every scaling claim in the bench harness.
+//
+// The SPMD sibling of this class — one rank per real process over the
+// socket or shared-memory backend — is RankCluster in
+// comm/transport/rank_halo.hpp; it shares the pack/unpack traversal and
+// per-site arithmetic below, which is what makes the N-process runs
+// bit-identical to this one.
 
 #include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -33,6 +45,7 @@
 
 #include "comm/fault.hpp"
 #include "comm/process_grid.hpp"
+#include "comm/transport/transport.hpp"
 #include "dirac/operator.hpp"
 #include "dirac/wilson.hpp"
 #include "gauge/gauge_field.hpp"
@@ -135,6 +148,12 @@ struct CommStats {
   std::int64_t messages = 0;  ///< first-attempt sends
   std::int64_t bytes = 0;     ///< payload bytes of first-attempt sends
   std::int64_t exchanges = 0;
+  /// Bytes actually framed onto the (modeled or real) wire: headers,
+  /// payloads, retransmits, NACKs and drop markers. Self-wrap faces on
+  /// extent-1 process dimensions never touch the wire and count zero —
+  /// the payload-vs-wire split the α–β comparison was blind to before.
+  std::int64_t wire_bytes = 0;
+  std::int64_t wire_frames = 0;
   // Resilience counters (only move when checksums / faults are active).
   std::int64_t retransmits = 0;    ///< extra sends after a detected fault
   std::int64_t crc_failures = 0;   ///< corrupted payloads caught by CRC
@@ -142,23 +161,90 @@ struct CommStats {
   std::int64_t straggler_events = 0;
   std::int64_t checksum_bytes = 0;  ///< bytes CRC-framed (sender side)
   /// Modeled resilience delay: straggler stalls plus retransmit backoff.
-  /// Charged analytically (the memcpy transport does not sleep) so the
-  /// α–β network model can price the hardened path.
+  /// Charged analytically (the in-process transport does not sleep) so
+  /// the α–β network model can price the hardened path.
   double modeled_delay_us = 0.0;
   void reset() { *this = CommStats{}; }
 };
 
-/// Hardening knobs for the halo transport.
-struct ResilienceConfig {
-  bool checksum = false;  ///< CRC-32-frame every message and verify
-  int max_retries = 3;    ///< retransmits per message before giving up
-  /// Backoff before retransmit k (1-based): backoff_us * 2^(k-1),
-  /// accumulated into CommStats::modeled_delay_us.
-  double backoff_us = 50.0;
-};
+namespace detail {
+
+/// Pack the boundary plane of `field` orthogonal to mu at x[mu] =
+/// src_coord into a byte payload (site-wise memcpy: one flat message
+/// buffer regardless of site type). The fixed x3..x0 traversal is the
+/// bit-identity anchor every backend shares: as long as pack and unpack
+/// agree on it, ghost bytes are identical on the virtual, socket and shm
+/// paths.
+template <typename SiteT>
+void pack_face(std::vector<std::byte>& out,
+               const std::vector<SiteT, AlignedAllocator<SiteT>>& field,
+               const HaloLattice& halo, int mu, int src_coord) {
+  const Coord& l = halo.local_dims();
+  out.resize(static_cast<std::size_t>(halo.face_volume(mu)) *
+             sizeof(SiteT));
+  std::size_t k = 0;
+  Coord x{};
+  for (x[3] = 0; x[3] < l[3]; ++x[3])
+    for (x[2] = 0; x[2] < l[2]; ++x[2])
+      for (x[1] = 0; x[1] < l[1]; ++x[1])
+        for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+          if (x[mu] != 0) continue;  // iterate the face once
+          Coord src = x;
+          src[mu] = src_coord;
+          std::memcpy(
+              out.data() + k * sizeof(SiteT),
+              &field[static_cast<std::size_t>(halo.ext_index(src))],
+              sizeof(SiteT));
+          ++k;
+        }
+}
+
+/// Unpack a payload into the ghost plane at x[mu] = ghost_coord, same
+/// traversal order as the pack.
+template <typename SiteT>
+void unpack_face(std::vector<SiteT, AlignedAllocator<SiteT>>& field,
+                 std::span<const std::byte> payload, const HaloLattice& halo,
+                 int mu, int ghost_coord) {
+  const Coord& l = halo.local_dims();
+  LQCD_REQUIRE(payload.size() ==
+                   static_cast<std::size_t>(halo.face_volume(mu)) *
+                       sizeof(SiteT),
+               "halo unpack: face payload size mismatch");
+  std::size_t k = 0;
+  Coord x{};
+  for (x[3] = 0; x[3] < l[3]; ++x[3])
+    for (x[2] = 0; x[2] < l[2]; ++x[2])
+      for (x[1] = 0; x[1] < l[1]; ++x[1])
+        for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+          if (x[mu] != 0) continue;
+          Coord dst = x;
+          dst[mu] = ghost_coord;
+          std::memcpy(&field[static_cast<std::size_t>(halo.ext_index(dst))],
+                      payload.data() + k * sizeof(SiteT), sizeof(SiteT));
+          ++k;
+        }
+}
+
+/// Fold one endpoint's wire-counter delta into CommStats.
+inline void merge_wire_delta(CommStats& dst, const transport::WireStats& now,
+                             transport::WireStats& base) {
+  dst.messages += now.frames - base.frames;
+  dst.bytes += now.payload_bytes - base.payload_bytes;
+  dst.wire_frames += now.wire_frames - base.wire_frames;
+  dst.wire_bytes += now.wire_bytes - base.wire_bytes;
+  dst.retransmits += now.retransmits - base.retransmits;
+  dst.crc_failures += now.crc_failures - base.crc_failures;
+  dst.timeouts += now.timeouts - base.timeouts;
+  dst.checksum_bytes += now.checksum_bytes - base.checksum_bytes;
+  dst.modeled_delay_us += now.modeled_delay_us - base.modeled_delay_us;
+  base = now;
+}
+
+}  // namespace detail
 
 /// A lattice decomposed over a virtual process grid, with resident
-/// per-rank fermion and gauge storage.
+/// per-rank fermion and gauge storage. All ranks live in this process;
+/// their endpoints share one in-process transport hub.
 template <typename T>
 class VirtualCluster {
  public:
@@ -166,7 +252,9 @@ class VirtualCluster {
       : global_(&global),
         grid_(grid),
         local_dims_(grid.local_dims(global.dims())),
-        halo_(local_dims_) {
+        halo_(local_dims_),
+        eps_(transport::make_inprocess_group(grid.size())),
+        wire_base_(static_cast<std::size_t>(grid.size())) {
     origins_.resize(static_cast<std::size_t>(grid_.size()));
     for (int r = 0; r < grid_.size(); ++r) {
       const Coord rc = grid_.coords_of(r);
@@ -194,13 +282,19 @@ class VirtualCluster {
   [[nodiscard]] CommStats& stats() const { return stats_; }
 
   /// Enable/disable the hardened transport (CRC framing + retransmit).
-  void set_resilience(const ResilienceConfig& rc) { resil_ = rc; }
+  void set_resilience(const ResilienceConfig& rc) {
+    resil_ = rc;
+    for (auto& ep : eps_) ep->set_resilience(rc);
+  }
   [[nodiscard]] const ResilienceConfig& resilience() const { return resil_; }
   /// Attach a fault injector (not owned; nullptr detaches). The injector
-  /// perturbs messages in transit; with checksums enabled the exchange
+  /// perturbs frames in transit; with checksums enabled the exchange
   /// detects and retransmits, without them corruption flows through
   /// silently — exactly the trade bench_resilience quantifies.
-  void set_fault_injector(FaultInjector* fi) { injector_ = fi; }
+  void set_fault_injector(FaultInjector* fi) {
+    injector_ = fi;
+    for (auto& ep : eps_) ep->set_fault_injector(fi);
+  }
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
   /// Per-rank fermion storage on the extended (haloed) volume.
@@ -316,17 +410,19 @@ class VirtualCluster {
     finish_impl<WilsonSpinor<T>>(f);
   }
 
-  /// Phase 1 of the split exchange: pack every rank's 8 face messages and
-  /// post them through the fault injector / CRC framing. After this call
-  /// the boundary planes of `f` may not be modified until
-  /// exchange_finish() — a detected corruption repacks from them.
-  /// Interior (overlap-partition) sites are free to be read and written.
+  /// Phase 1 of the split exchange: every rank packs its 8 boundary
+  /// planes and posts them as tagged frames through its transport
+  /// endpoint (fault injection and CRC framing act per frame). After
+  /// this call the boundary planes of `f` may not be modified until
+  /// exchange_finish(). Interior (overlap-partition) sites are free to
+  /// be read and written.
   void exchange_begin(std::vector<RankFermion>& f) const {
     begin_impl<WilsonSpinor<T>>(f, /*split=*/true);
   }
 
-  /// Phase 2: verify, retransmit on detected faults, and unpack into the
-  /// ghost frames. Must follow an exchange_begin() on the same field.
+  /// Phase 2: receive, verify, retransmit on detected faults, and unpack
+  /// into the ghost frames. Must follow an exchange_begin() on the same
+  /// field.
   void exchange_finish(std::vector<RankFermion>& f) const {
     finish_impl<WilsonSpinor<T>>(f);
   }
@@ -360,18 +456,8 @@ class VirtualCluster {
 
   enum class ExchangePhase { kIdle, kBegun };
 
-  /// One in-flight face message: type-erased payload plus the transport
-  /// state the finish phase needs to verify and retransmit.
-  struct PendingMessage {
-    std::vector<std::byte> payload;
-    std::uint32_t sent_crc = 0;
-    bool arrived = true;
-    bool tampered = false;
-  };
-
-  /// Split-exchange bookkeeping. Scalar fields are written only outside
-  /// the parallel regions; msgs slots are partitioned by rank, so the
-  /// per-rank bodies never race.
+  /// Split-exchange bookkeeping. Written only outside the parallel
+  /// regions.
   struct PendingExchange {
     ExchangePhase phase = ExchangePhase::kIdle;
     const void* field = nullptr;  ///< identity guard for finish()
@@ -379,79 +465,32 @@ class VirtualCluster {
     std::uint64_t epoch = 0;
     bool split = false;  ///< driven via the public begin/finish pair
     CommStats before;    ///< telemetry delta base, snapshot at begin
-    std::vector<PendingMessage> msgs;  ///< indexed by msg_slot()
   };
-
-  [[nodiscard]] std::size_t msg_slot(int r, int mu, int dir) const noexcept {
-    return (static_cast<std::size_t>(r) * Nd +
-            static_cast<std::size_t>(mu)) *
-               2 +
-           (dir > 0 ? 1 : 0);
-  }
-
-  /// Pack the neighbor's boundary plane orthogonal to mu at x[mu] =
-  /// src_coord into a byte payload (site-wise memcpy: one flat message
-  /// buffer regardless of site type).
-  template <typename SiteT>
-  void pack_face(std::vector<std::byte>& out,
-                 const std::vector<SiteT, AlignedAllocator<SiteT>>& theirs,
-                 int mu, int src_coord) const {
-    const Coord& l = local_dims_;
-    out.resize(static_cast<std::size_t>(halo_.face_volume(mu)) *
-               sizeof(SiteT));
-    std::size_t k = 0;
-    Coord x{};
-    for (x[3] = 0; x[3] < l[3]; ++x[3])
-      for (x[2] = 0; x[2] < l[2]; ++x[2])
-        for (x[1] = 0; x[1] < l[1]; ++x[1])
-          for (x[0] = 0; x[0] < l[0]; ++x[0]) {
-            if (x[mu] != 0) continue;  // iterate the face once
-            Coord src = x;
-            src[mu] = src_coord;
-            std::memcpy(out.data() + k * sizeof(SiteT),
-                        &theirs[static_cast<std::size_t>(
-                            halo_.ext_index(src))],
-                        sizeof(SiteT));
-            ++k;
-          }
-  }
-
-  /// Unpack a payload into our ghost plane at x[mu] = ghost_coord, same
-  /// traversal order as the pack.
-  template <typename SiteT>
-  void unpack_face(std::vector<SiteT, AlignedAllocator<SiteT>>& mine,
-                   const std::vector<std::byte>& payload, int mu,
-                   int ghost_coord) const {
-    const Coord& l = local_dims_;
-    std::size_t k = 0;
-    Coord x{};
-    for (x[3] = 0; x[3] < l[3]; ++x[3])
-      for (x[2] = 0; x[2] < l[2]; ++x[2])
-        for (x[1] = 0; x[1] < l[1]; ++x[1])
-          for (x[0] = 0; x[0] < l[0]; ++x[0]) {
-            if (x[mu] != 0) continue;
-            Coord dst = x;
-            dst[mu] = ghost_coord;
-            std::memcpy(&mine[static_cast<std::size_t>(
-                            halo_.ext_index(dst))],
-                        payload.data() + k * sizeof(SiteT), sizeof(SiteT));
-            ++k;
-          }
-  }
 
   void merge_stats(const CommStats& local) const {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.messages += local.messages;
-    stats_.bytes += local.bytes;
-    stats_.retransmits += local.retransmits;
-    stats_.crc_failures += local.crc_failures;
-    stats_.timeouts += local.timeouts;
     stats_.straggler_events += local.straggler_events;
-    stats_.checksum_bytes += local.checksum_bytes;
     stats_.modeled_delay_us += local.modeled_delay_us;
   }
 
-  /// Drop the in-flight state (payload capacities are kept for reuse).
+  /// Fold every endpoint's wire-counter delta into stats_. Called after
+  /// the parallel region joins (success and abort paths), so the counters
+  /// survive a thrown exchange and the next delta starts clean.
+  void harvest_wire() const {
+    for (int r = 0; r < ranks(); ++r)
+      detail::merge_wire_delta(
+          stats_, eps_[static_cast<std::size_t>(r)]->wire_stats(),
+          wire_base_[static_cast<std::size_t>(r)]);
+  }
+
+  /// Discard undelivered frames after an aborted exchange: the epoch
+  /// (and so every tag) is reused on retry, and stale frames must not
+  /// satisfy the retried receives.
+  void drain_all() const {
+    for (auto& ep : eps_) ep->drain();
+  }
+
+  /// Drop the in-flight state.
   void reset_pending() const {
     pending_.phase = ExchangePhase::kIdle;
     pending_.field = nullptr;
@@ -459,15 +498,14 @@ class VirtualCluster {
     pending_.split = false;
   }
 
-  // Pull model: every rank fills its 8 ghost planes by packing the
-  // matching boundary plane of the neighbor rank through a message buffer
-  // (mimicking send/recv). With resilience enabled each message is
-  // CRC-32-framed; the fault injector may corrupt or drop it in transit,
-  // and a detected fault triggers a bounded retransmit with exponential
-  // backoff (modeled, not slept). begin posts attempt 0 of every message;
-  // finish runs the verify/retransmit loop and unpacks. Injector
-  // decisions are pure functions of (epoch, rank, mu, dir, attempt), so
-  // deferring retransmits to finish leaves the fault schedule unchanged.
+  // Push model over the transport frame layer: every rank sends its own
+  // boundary plane (mu, dir-facing) to the neighbor whose (mu, dir)
+  // ghost it fills, tagged (epoch, mu, dir). The injector keys on the
+  // RECEIVER's rank decoded from the tag, so the schedule is identical
+  // to the historical pull formulation — and to the socket/shm backends,
+  // which run this exact frame path over a real wire. begin posts
+  // attempt 0 of every frame; finish runs the verify/retransmit protocol
+  // (in the transport base class) and unpacks.
 
   template <typename SiteT>
   void begin_impl(std::vector<std::vector<SiteT, AlignedAllocator<SiteT>>>&
@@ -482,12 +520,10 @@ class VirtualCluster {
     pending_.epoch = static_cast<std::uint64_t>(stats_.exchanges);
     pending_.split = split;
     pending_.before = stats_;
-    pending_.msgs.resize(static_cast<std::size_t>(ranks()) * Nd * 2);
     const std::uint64_t epoch = pending_.epoch;
-    const bool resilient = resil_.checksum || injector_ != nullptr;
     try {
       for_each_rank([&](int r) {
-        CommStats local;  // per-rank tally, merged once under the lock
+        CommStats local;  // straggle tally, merged once under the lock
         if (injector_ != nullptr) {
           if (injector_->should_kill(epoch, r)) {
             injector_->record_kill();
@@ -501,47 +537,28 @@ class VirtualCluster {
             local.modeled_delay_us += stall;
           }
         }
+        transport::Transport& tp = *eps_[static_cast<std::size_t>(r)];
+        std::vector<std::byte> buf;
         for (int mu = 0; mu < Nd; ++mu) {
           for (int dir = -1; dir <= 1; dir += 2) {
-            const int nbr = grid_.neighbor(r, mu, dir);
-            PendingMessage& msg = pending_.msgs[msg_slot(r, mu, dir)];
-            msg.sent_crc = 0;
-            msg.arrived = true;
-            msg.tampered = false;
-            // Ghost plane at x[mu] = l (dir=+1) or -1 (dir=-1) receives
-            // the neighbor's interior plane x[mu] = 0 (resp. l-1).
+            // Our plane at x[mu] = 0 (dir=+1) or l-1 (dir=-1) fills the
+            // (mu, dir) ghost of the rank one step the *other* way.
+            const int dst = grid_.neighbor(r, mu, -dir);
             const int src_coord = dir > 0 ? 0 : local_dims_[mu] - 1;
-            pack_face(msg.payload, field[static_cast<std::size_t>(nbr)],
-                      mu, src_coord);
-            const std::size_t payload_bytes = msg.payload.size();
-            if (resilient) {
-              // Sender frames the payload with its CRC; the receiver
-              // verifies in finish.
-              msg.sent_crc =
-                  resil_.checksum ? crc32(msg.payload.data(), payload_bytes)
-                                  : 0;
-              if (resil_.checksum)
-                local.checksum_bytes +=
-                    static_cast<std::int64_t>(payload_bytes);
-              if (injector_ != nullptr) {
-                msg.arrived =
-                    !injector_->should_drop(epoch, r, mu, dir, 0);
-                if (msg.arrived)
-                  msg.tampered = injector_->corrupt(
-                      {msg.payload.data(), payload_bytes}, epoch, r, mu,
-                      dir, 0);
-              }
-            }
-            local.messages += 1;
-            local.bytes += static_cast<std::int64_t>(payload_bytes);
+            detail::pack_face(buf, field[static_cast<std::size_t>(r)],
+                              halo_, mu, src_coord);
+            tp.send(dst, transport::make_halo_tag(epoch, mu, dir), buf);
           }
         }
         merge_stats(local);
       });
     } catch (...) {
-      reset_pending();  // leave the cluster reusable for a recovery retry
+      drain_all();  // stale frames must not serve the retried epoch
+      harvest_wire();
+      reset_pending();
       throw;
     }
+    harvest_wire();
   }
 
   template <typename SiteT>
@@ -559,71 +576,25 @@ class VirtualCluster {
     const std::uint64_t epoch = pending_.epoch;
     try {
       for_each_rank([&](int r) {
-        CommStats local;
+        transport::Transport& tp = *eps_[static_cast<std::size_t>(r)];
+        std::vector<std::byte> buf;
         for (int mu = 0; mu < Nd; ++mu) {
           for (int dir = -1; dir <= 1; dir += 2) {
-            PendingMessage& msg = pending_.msgs[msg_slot(r, mu, dir)];
-            const std::size_t payload_bytes = msg.payload.size();
-            // In-process transport: sender and receiver share the payload
-            // memory, so the receiver-side verify is tautological unless
-            // the injector actually touched the bytes — hash again only
-            // then. The alpha-beta model still charges both ends of the
-            // link for real networks (perf_model.cpp).
-            if (injector_ != nullptr) {
-              const int nbr = grid_.neighbor(r, mu, dir);
-              const int src_coord = dir > 0 ? 0 : l[mu] - 1;
-              int attempt = 0;
-              for (;;) {
-                if (msg.arrived &&
-                    (!msg.tampered || !resil_.checksum ||
-                     crc32(msg.payload.data(), payload_bytes) ==
-                         msg.sent_crc))
-                  break;  // intact (or corruption is undetectable)
-                if (!msg.arrived)
-                  local.timeouts += 1;
-                else
-                  local.crc_failures += 1;
-                if (attempt >= resil_.max_retries)
-                  throw FatalError(
-                      "halo exchange: message (rank " + std::to_string(r) +
-                      ", mu " + std::to_string(mu) + ", dir " +
-                      std::to_string(dir) + ") unrecoverable after " +
-                      std::to_string(attempt + 1) + " attempts");
-                ++attempt;
-                local.retransmits += 1;
-                local.modeled_delay_us +=
-                    resil_.backoff_us *
-                    static_cast<double>(1 << (attempt - 1));
-                if (resil_.checksum)
-                  local.checksum_bytes +=
-                      static_cast<std::int64_t>(payload_bytes);
-                // Retransmit the pristine payload. The overlapped
-                // interior compute never writes boundary planes, so a
-                // deferred repack reads the same data the original send
-                // did.
-                if (msg.tampered)
-                  pack_face(msg.payload,
-                            field[static_cast<std::size_t>(nbr)], mu,
-                            src_coord);
-                msg.arrived =
-                    !injector_->should_drop(epoch, r, mu, dir, attempt);
-                msg.tampered =
-                    msg.arrived &&
-                    injector_->corrupt({msg.payload.data(), payload_bytes},
-                                       epoch, r, mu, dir, attempt);
-              }
-            }
+            const int src = grid_.neighbor(r, mu, dir);
+            tp.recv(src, transport::make_halo_tag(epoch, mu, dir), buf);
             const int ghost_coord = dir > 0 ? l[mu] : -1;
-            unpack_face(field[static_cast<std::size_t>(r)], msg.payload,
-                        mu, ghost_coord);
+            detail::unpack_face(field[static_cast<std::size_t>(r)], buf,
+                                halo_, mu, ghost_coord);
           }
         }
-        merge_stats(local);
       });
     } catch (...) {
+      drain_all();
+      harvest_wire();
       reset_pending();
       throw;
     }
+    harvest_wire();
     const CommStats before = pending_.before;
     const bool split = pending_.split;
     reset_pending();
@@ -635,6 +606,10 @@ class VirtualCluster {
           telemetry::counter("comm.halo.messages");
       static telemetry::Counter& c_bytes =
           telemetry::counter("comm.halo.bytes");
+      static telemetry::Counter& c_wire_bytes =
+          telemetry::counter("comm.halo.wire_bytes");
+      static telemetry::Counter& c_wire_frames =
+          telemetry::counter("comm.halo.wire_frames");
       static telemetry::Counter& c_retransmits =
           telemetry::counter("comm.halo.retransmits");
       static telemetry::Counter& c_crc_failures =
@@ -650,6 +625,8 @@ class VirtualCluster {
       c_exchanges.add(1);
       c_messages.add(stats_.messages - before.messages);
       c_bytes.add(stats_.bytes - before.bytes);
+      c_wire_bytes.add(stats_.wire_bytes - before.wire_bytes);
+      c_wire_frames.add(stats_.wire_frames - before.wire_frames);
       c_retransmits.add(stats_.retransmits - before.retransmits);
       c_crc_failures.add(stats_.crc_failures - before.crc_failures);
       c_timeouts.add(stats_.timeouts - before.timeouts);
@@ -664,6 +641,8 @@ class VirtualCluster {
   Coord local_dims_;
   HaloLattice halo_;
   std::vector<Coord> origins_;
+  mutable std::vector<std::unique_ptr<transport::Transport>> eps_;
+  mutable std::vector<transport::WireStats> wire_base_;
   mutable CommStats stats_;
   mutable std::mutex stats_mutex_;
   mutable PendingExchange pending_;

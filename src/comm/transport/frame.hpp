@@ -1,0 +1,203 @@
+#pragma once
+// Wire framing for the transport layer.
+//
+// Every message any backend moves — halo faces, collective payloads,
+// campaign task/result records, NACKs — travels as one frame:
+//
+//   magic u32 | src u32 | dst u32 | flags u32 | tag u64 |
+//   payload_len u32 | payload_crc u32 | payload bytes
+//
+// (32-byte little-endian header). The payload CRC is the PR-1 CRC-32 of
+// the *pristine* payload, computed by the sender before the fault
+// injector touches the bytes, so a receiver-side verify catches injected
+// corruption exactly as the virtual cluster always has. The in-process
+// backend moves frames as structs; the socket and shared-memory backends
+// serialize through encode_header()/FrameReader. FrameReader is
+// incremental: feed it whatever the wire produced (partial headers, torn
+// payloads, many frames glued together) and it hands back complete
+// frames, throwing lqcd::Error on garbage (bad magic, absurd length) —
+// the torn-frame coverage in test_transport drives it byte by byte.
+//
+// The tag is the MPI tag analogue and is never interpreted by the
+// backends; the encodings below are the conventions the halo and
+// campaign layers use. Halo tags carry (epoch, mu, dir) so the frame
+// layer can key the deterministic fault injector identically on every
+// backend: the schedule a test scripts against the virtual cluster fires
+// unchanged over real sockets.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lqcd::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4654514Cu;  // "LQTF"
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+/// Upper bound on a single frame payload; a parsed length beyond this is
+/// treated as stream corruption, not a huge message.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+// Frame flags.
+/// Deterministic message loss emulated on a reliable stream: the sender
+/// ships a header-only marker instead of the payload, and the receiver
+/// books a timeout and NACKs — the real wire path for the retransmit
+/// protocol, with only the loss itself emulated.
+inline constexpr std::uint32_t kFlagDropMarker = 1u << 0;
+/// Receiver-driven retransmit request; payload is a u32 attempt number.
+inline constexpr std::uint32_t kFlagNack = 1u << 1;
+
+struct FrameHeader {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t tag = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+namespace detail {
+inline void put_u32(std::byte* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+inline void put_u64(std::byte* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+[[nodiscard]] inline std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+[[nodiscard]] inline std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+}  // namespace detail
+
+/// Serialize a header into its 32-byte wire form.
+inline void encode_header(std::byte* out, const FrameHeader& h) {
+  detail::put_u32(out + 0, kFrameMagic);
+  detail::put_u32(out + 4, h.src);
+  detail::put_u32(out + 8, h.dst);
+  detail::put_u32(out + 12, h.flags);
+  detail::put_u64(out + 16, h.tag);
+  detail::put_u32(out + 24, h.payload_len);
+  detail::put_u32(out + 28, h.payload_crc);
+}
+
+/// Parse a 32-byte wire header. Throws lqcd::Error on bad magic or an
+/// absurd payload length — the stream is torn beyond recovery.
+[[nodiscard]] inline FrameHeader decode_header(const std::byte* in) {
+  if (detail::get_u32(in + 0) != kFrameMagic)
+    throw Error("transport frame: bad magic (torn or corrupt stream)");
+  FrameHeader h;
+  h.src = detail::get_u32(in + 4);
+  h.dst = detail::get_u32(in + 8);
+  h.flags = detail::get_u32(in + 12);
+  h.tag = detail::get_u64(in + 16);
+  h.payload_len = detail::get_u32(in + 24);
+  h.payload_crc = detail::get_u32(in + 28);
+  if (h.payload_len > kMaxFramePayload)
+    throw Error("transport frame: payload length " +
+                std::to_string(h.payload_len) +
+                " exceeds limit (torn or corrupt stream)");
+  return h;
+}
+
+// --- tag conventions ------------------------------------------------------
+
+enum class TagKind : std::uint8_t {
+  kHalo = 1,     ///< face message; tag carries (epoch, mu, dir)
+  kBarrier = 2,  ///< central barrier round
+  kReduce = 3,   ///< allreduce round
+  kGather = 4,   ///< gather round
+  kBcast = 5,    ///< broadcast round
+  kTask = 6,     ///< campaign: coordinator -> worker assignment
+  kResult = 7,   ///< campaign: worker -> coordinator outcome
+  kCtrl = 8,     ///< campaign: shutdown / misc control
+};
+
+[[nodiscard]] inline TagKind tag_kind(std::uint64_t tag) noexcept {
+  return static_cast<TagKind>(tag >> 56);
+}
+
+/// Halo tag: kind | epoch (48 bits) | face (mu, dir). Epochs count halo
+/// exchanges; 2^48 of them outlives any campaign.
+[[nodiscard]] inline std::uint64_t make_halo_tag(std::uint64_t epoch, int mu,
+                                                 int dir) noexcept {
+  const std::uint64_t face = static_cast<std::uint64_t>(mu) * 2u +
+                             (dir > 0 ? 1u : 0u);
+  return (static_cast<std::uint64_t>(TagKind::kHalo) << 56) |
+         ((epoch & 0xFFFFFFFFFFFFull) << 8) | face;
+}
+[[nodiscard]] inline std::uint64_t halo_epoch(std::uint64_t tag) noexcept {
+  return (tag >> 8) & 0xFFFFFFFFFFFFull;
+}
+[[nodiscard]] inline int halo_mu(std::uint64_t tag) noexcept {
+  return static_cast<int>((tag & 0xFF) / 2);
+}
+[[nodiscard]] inline int halo_dir(std::uint64_t tag) noexcept {
+  return (tag & 1) != 0 ? +1 : -1;
+}
+
+/// Sequenced tag for collectives and campaign messages: every rank keeps
+/// a per-kind counter, and globally ordered call sequences keep the
+/// counters aligned across ranks.
+[[nodiscard]] inline std::uint64_t make_seq_tag(TagKind kind,
+                                                std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (seq & 0xFFFFFFFFFFFFFFull);
+}
+[[nodiscard]] inline std::uint64_t seq_of(std::uint64_t tag) noexcept {
+  return tag & 0xFFFFFFFFFFFFFFull;
+}
+
+// --- incremental stream parser -------------------------------------------
+
+/// Reassembles frames from an arbitrary chunking of the byte stream.
+/// feed() appends whatever arrived; next() extracts complete frames.
+/// Anything that parses but is structurally impossible throws — a TCP
+/// stream delivers bytes reliably, so a bad header means the peer (or
+/// the test) wrote garbage, and resynchronization is hopeless.
+class FrameReader {
+ public:
+  void feed(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Extract one complete frame; false when more bytes are needed.
+  bool next(FrameHeader& h, std::vector<std::byte>& payload) {
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kFrameHeaderBytes) return false;
+    const FrameHeader parsed = decode_header(buf_.data() + pos_);
+    if (avail < kFrameHeaderBytes + parsed.payload_len) return false;
+    h = parsed;
+    payload.assign(
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes),
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes +
+                                                   parsed.payload_len));
+    pos_ += kFrameHeaderBytes + parsed.payload_len;
+    // Compact once the consumed prefix dominates the buffer.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+      pos_ = 0;
+    }
+    return true;
+  }
+
+  /// Bytes buffered but not yet consumed (a nonzero value at stream EOF
+  /// means the peer died mid-frame — a torn frame).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lqcd::transport

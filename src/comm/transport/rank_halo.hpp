@@ -1,0 +1,453 @@
+#pragma once
+// SPMD rank-local halo: the multi-process twin of VirtualCluster.
+//
+// VirtualCluster (comm/halo.hpp) materializes every rank of the process
+// grid inside one process and loops over them; RankCluster owns exactly
+// ONE rank — the one its Transport endpoint was constructed with — and
+// the other ranks live in other processes reached over the socket or
+// shared-memory backend (or in sibling threads over the in-process hub,
+// which is how the unit tests drive it). The same frame tags, the same
+// detail::pack_face/unpack_face traversal and the same
+// detail::dist_hop_site arithmetic are used, so an N-process run
+// produces bit-identical ghost bytes, operator outputs and solver
+// iterates to the 1-process virtual run — the property the launcher
+// smoke drills assert with CRCs.
+//
+// RankWilsonOperator / RankSchurWilsonOperator are the ports of
+// DistributedWilsonOperator / DistributedSchurWilsonOperator onto this
+// cluster: identical overlap schedule (begin / interior / finish /
+// surface), identical per-site stores, but spans are rank-local and the
+// cross-rank planes move over the wire. Global fields for verification
+// are assembled with gather_to_root(), which rides the transport gather
+// collective.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/halo.hpp"
+#include "comm/transport/transport.hpp"
+
+namespace lqcd {
+
+/// One rank of a lattice decomposed over a real process grid. All
+/// communication goes through the Transport endpoint passed in (not
+/// owned); rank identity and world size come from it.
+template <typename T>
+class RankCluster {
+ public:
+  RankCluster(const LatticeGeometry& global, const ProcessGrid& grid,
+              transport::Transport& tp)
+      : global_(&global),
+        grid_(grid),
+        tp_(&tp),
+        local_dims_(grid.local_dims(global.dims())),
+        halo_(local_dims_) {
+    LQCD_REQUIRE(tp.size() == grid.size(),
+                 "rank cluster: transport world size != process grid size");
+    const Coord rc = grid_.coords_of(tp.rank());
+    for (int mu = 0; mu < Nd; ++mu) origin_[mu] = rc[mu] * local_dims_[mu];
+  }
+
+  [[nodiscard]] const LatticeGeometry& global_geometry() const {
+    return *global_;
+  }
+  [[nodiscard]] const ProcessGrid& grid() const { return grid_; }
+  [[nodiscard]] const HaloLattice& halo() const { return halo_; }
+  [[nodiscard]] transport::Transport& transport() const { return *tp_; }
+  [[nodiscard]] int rank() const { return tp_->rank(); }
+  [[nodiscard]] int ranks() const { return tp_->size(); }
+  [[nodiscard]] const Coord& origin() const { return origin_; }
+  [[nodiscard]] int origin_parity() const {
+    return static_cast<int>(
+        (origin_[0] + origin_[1] + origin_[2] + origin_[3]) & 1);
+  }
+  [[nodiscard]] CommStats& stats() const { return stats_; }
+
+  void set_resilience(const ResilienceConfig& rc) {
+    resil_ = rc;
+    tp_->set_resilience(rc);
+  }
+  [[nodiscard]] const ResilienceConfig& resilience() const { return resil_; }
+  void set_fault_injector(FaultInjector* fi) {
+    injector_ = fi;
+    tp_->set_fault_injector(fi);
+  }
+
+  using RankFermion = aligned_vector<WilsonSpinor<T>>;
+  using RankGauge = aligned_vector<LinkSite<T>>;
+
+  [[nodiscard]] RankFermion make_fermion() const {
+    return RankFermion(static_cast<std::size_t>(halo_.extended_volume()));
+  }
+
+  /// Global coordinate of a rank-local coordinate (periodic wrap).
+  [[nodiscard]] Coord global_coords(const Coord& xl) const {
+    Coord xg{};
+    for (int mu = 0; mu < Nd; ++mu)
+      xg[mu] = (origin_[mu] + xl[mu] + global_->dim(mu)) % global_->dim(mu);
+    return xg;
+  }
+
+  /// Copy this rank's interior out of a full global field (every rank
+  /// holds the global source — configs and point sources are built
+  /// deterministically from a seed on all ranks, so no scatter traffic).
+  void extract_local(RankFermion& dst,
+                     std::span<const WilsonSpinor<T>> src) const {
+    LQCD_REQUIRE(src.size() == static_cast<std::size_t>(global_->volume()),
+                 "extract_local: global field size");
+    for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+      const Coord xl = halo_.interior_coords(i);
+      dst[static_cast<std::size_t>(halo_.ext_index(xl))] =
+          src[static_cast<std::size_t>(
+              global_->cb_index(global_coords(xl)))];
+    }
+  }
+
+  /// Assemble the global field at root from every rank's interior
+  /// (lexicographic pack order, rank-ascending placement: deterministic
+  /// bytes). Non-root ranks contribute and leave `dst` untouched; `dst`
+  /// may be empty on non-root.
+  void gather_to_root(std::span<WilsonSpinor<T>> dst,
+                      const RankFermion& src, int root = 0) const {
+    std::vector<std::byte> mine(
+        static_cast<std::size_t>(halo_.interior_volume()) *
+        sizeof(WilsonSpinor<T>));
+    for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+      const Coord xl = halo_.interior_coords(i);
+      std::memcpy(mine.data() +
+                      static_cast<std::size_t>(i) * sizeof(WilsonSpinor<T>),
+                  &src[static_cast<std::size_t>(halo_.ext_index(xl))],
+                  sizeof(WilsonSpinor<T>));
+    }
+    std::vector<std::vector<std::byte>> parts = tp_->gather(root, mine);
+    if (rank() != root) return;
+    LQCD_REQUIRE(dst.size() == static_cast<std::size_t>(global_->volume()),
+                 "gather_to_root: global field size");
+    for (int r = 0; r < ranks(); ++r) {
+      const auto& part = parts[static_cast<std::size_t>(r)];
+      LQCD_REQUIRE(part.size() == mine.size(),
+                   "gather_to_root: rank part size");
+      const Coord rc = grid_.coords_of(r);
+      Coord ro{};
+      for (int mu = 0; mu < Nd; ++mu) ro[mu] = rc[mu] * local_dims_[mu];
+      for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+        const Coord xl = halo_.interior_coords(i);
+        Coord xg{};
+        for (int mu = 0; mu < Nd; ++mu)
+          xg[mu] = (ro[mu] + xl[mu]) % global_->dim(mu);
+        std::memcpy(&dst[static_cast<std::size_t>(global_->cb_index(xg))],
+                    part.data() + static_cast<std::size_t>(i) *
+                                      sizeof(WilsonSpinor<T>),
+                    sizeof(WilsonSpinor<T>));
+      }
+    }
+  }
+
+  /// Extract this rank's gauge links from the (replicated) global field
+  /// and fill the ghost links with one halo exchange.
+  [[nodiscard]] RankGauge scatter_gauge(const GaugeField<T>& u) const {
+    RankGauge out(static_cast<std::size_t>(halo_.extended_volume()));
+    for (std::int64_t i = 0; i < halo_.interior_volume(); ++i) {
+      const Coord xl = halo_.interior_coords(i);
+      out[static_cast<std::size_t>(halo_.ext_index(xl))] =
+          u.site(global_->cb_index(global_coords(xl)));
+    }
+    exchange_impl<LinkSite<T>>(out, /*split=*/false, /*finish_now=*/true);
+    return out;
+  }
+
+  void exchange(RankFermion& f) const {
+    exchange_impl<WilsonSpinor<T>>(f, /*split=*/false, /*finish_now=*/true);
+  }
+  void exchange_begin(RankFermion& f) const {
+    exchange_impl<WilsonSpinor<T>>(f, /*split=*/true, /*finish_now=*/false);
+  }
+  void exchange_finish(RankFermion& f) const { finish_impl(f); }
+  [[nodiscard]] bool exchange_in_flight() const noexcept { return begun_; }
+
+ private:
+  /// Fold the endpoint's wire-counter delta into stats_.
+  void harvest_wire() const {
+    detail::merge_wire_delta(stats_, tp_->wire_stats(), wire_base_);
+  }
+
+  template <typename SiteT>
+  void exchange_impl(std::vector<SiteT, AlignedAllocator<SiteT>>& field,
+                     bool split, bool finish_now) const {
+    LQCD_REQUIRE(!begun_, "rank halo exchange: double begin");
+    const std::uint64_t epoch =
+        static_cast<std::uint64_t>(stats_.exchanges);
+    const int r = rank();
+    try {
+      if (injector_ != nullptr) {
+        if (injector_->should_kill(epoch, r)) {
+          injector_->record_kill();
+          throw TransientError("halo exchange: rank " + std::to_string(r) +
+                               " died at epoch " + std::to_string(epoch));
+        }
+        const double stall = injector_->straggle_us(epoch, r);
+        if (stall > 0.0) {
+          stats_.straggler_events += 1;
+          stats_.modeled_delay_us += stall;
+        }
+      }
+      std::vector<std::byte> buf;
+      for (int mu = 0; mu < Nd; ++mu) {
+        for (int dir = -1; dir <= 1; dir += 2) {
+          const int dst = grid_.neighbor(r, mu, -dir);
+          const int src_coord = dir > 0 ? 0 : local_dims_[mu] - 1;
+          detail::pack_face(buf, field, halo_, mu, src_coord);
+          tp_->send(dst, transport::make_halo_tag(epoch, mu, dir), buf);
+        }
+      }
+    } catch (...) {
+      tp_->drain();
+      harvest_wire();
+      throw;
+    }
+    harvest_wire();
+    begun_ = true;
+    split_ = split;
+    if (finish_now) finish_impl(field);
+  }
+
+  template <typename SiteT>
+  void finish_impl(std::vector<SiteT, AlignedAllocator<SiteT>>& field)
+      const {
+    LQCD_REQUIRE(begun_,
+                 "rank halo exchange_finish without exchange_begin");
+    const std::uint64_t epoch =
+        static_cast<std::uint64_t>(stats_.exchanges);
+    const int r = rank();
+    const bool split = split_;
+    try {
+      std::vector<std::byte> buf;
+      for (int mu = 0; mu < Nd; ++mu) {
+        for (int dir = -1; dir <= 1; dir += 2) {
+          const int src = grid_.neighbor(r, mu, dir);
+          tp_->recv(src, transport::make_halo_tag(epoch, mu, dir), buf);
+          const int ghost_coord = dir > 0 ? local_dims_[mu] : -1;
+          detail::unpack_face(field, buf, halo_, mu, ghost_coord);
+        }
+      }
+    } catch (...) {
+      begun_ = false;
+      tp_->drain();
+      harvest_wire();
+      throw;
+    }
+    begun_ = false;
+    harvest_wire();
+    stats_.exchanges += 1;
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c_exchanges =
+          telemetry::counter("comm.halo.exchanges");
+      static telemetry::Counter& c_split =
+          telemetry::counter("comm.halo.overlap.split_exchanges");
+      c_exchanges.add(1);
+      if (split) c_split.add(1);
+    }
+  }
+
+  const LatticeGeometry* global_;
+  ProcessGrid grid_;
+  transport::Transport* tp_;
+  Coord local_dims_;
+  HaloLattice halo_;
+  Coord origin_{};
+  mutable CommStats stats_;
+  mutable transport::WireStats wire_base_;
+  mutable bool begun_ = false;
+  mutable bool split_ = false;
+  ResilienceConfig resil_;
+  FaultInjector* injector_ = nullptr;
+};
+
+/// Full Wilson operator on one rank of a real process grid. Spans are
+/// rank-local extended fields; apply() is collective (every rank of the
+/// grid must call it in step). Same overlap schedule and per-site
+/// arithmetic as DistributedWilsonOperator, so gather_to_root of the
+/// result is bit-identical to the virtual and single-domain operators.
+template <typename T>
+class RankWilsonOperator {
+ public:
+  RankWilsonOperator(const GaugeField<T>& u, double kappa,
+                     const ProcessGrid& grid, transport::Transport& tp,
+                     TimeBoundary bc = TimeBoundary::Antiperiodic)
+      : cluster_(u.geometry(), grid, tp), kappa_(static_cast<T>(kappa)) {
+    LQCD_REQUIRE(kappa > 0.0 && kappa < 0.25, "kappa out of (0, 0.25)");
+    const GaugeField<T> links = make_fermion_links(u, bc);
+    gauge_ = cluster_.scatter_gauge(links);
+  }
+
+  using RankFermion = typename RankCluster<T>::RankFermion;
+
+  /// out <- D in on this rank's sites (in's ghosts are clobbered).
+  void apply(RankFermion& out, RankFermion& in) const {
+    const HaloLattice& halo = cluster_.halo();
+    if (!overlap_) {
+      cluster_.exchange(in);
+      compute_sites(out, in, halo.interior_sites());
+      compute_sites(out, in, halo.surface_sites());
+      return;
+    }
+    WallTimer t;
+    cluster_.exchange_begin(in);
+    ov_.t_begin_s += t.seconds();
+    t.start();
+    compute_sites(out, in, halo.interior_sites());
+    ov_.t_interior_s += t.seconds();
+    t.start();
+    cluster_.exchange_finish(in);
+    ov_.t_finish_s += t.seconds();
+    t.start();
+    compute_sites(out, in, halo.surface_sites());
+    ov_.t_surface_s += t.seconds();
+    ov_.applies += 1;
+    ov_.interior_sites +=
+        static_cast<std::int64_t>(halo.interior_sites().size());
+    ov_.surface_sites +=
+        static_cast<std::int64_t>(halo.surface_sites().size());
+  }
+
+  [[nodiscard]] const RankCluster<T>& cluster() const { return cluster_; }
+  [[nodiscard]] RankCluster<T>& cluster() { return cluster_; }
+  [[nodiscard]] double kappa() const { return static_cast<double>(kappa_); }
+  void set_overlap(bool on) { overlap_ = on; }
+  [[nodiscard]] const OverlapStats& overlap_stats() const { return ov_; }
+  void reset_overlap_stats() { ov_.reset(); }
+
+ private:
+  void compute_sites(RankFermion& out, const RankFermion& in,
+                     std::span<const std::int64_t> sites) const {
+    const HaloLattice& halo = cluster_.halo();
+    const T k = kappa_;
+    const auto& ug = gauge_;
+    parallel_for(sites.size(), [&](std::size_t idx) {
+      const Coord x = halo.interior_coords(sites[idx]);
+      const std::int64_t xe = halo.ext_index(x);
+      WilsonSpinor<T> acc = detail::dist_hop_site(x, in, ug, halo);
+      acc *= k;
+      WilsonSpinor<T> v = in[static_cast<std::size_t>(xe)];
+      v -= acc;
+      out[static_cast<std::size_t>(xe)] = v;
+    });
+  }
+
+  RankCluster<T> cluster_;
+  typename RankCluster<T>::RankGauge gauge_;
+  T kappa_;
+  bool overlap_ = true;
+  mutable OverlapStats ov_;
+};
+
+/// Even-odd (Schur) preconditioned Wilson operator on one rank — the
+/// SPMD port of DistributedSchurWilsonOperator. apply() computes
+/// Mhat = 1 - kappa^2 D_oe D_eo on this rank's globally-odd sites;
+/// per-site stores are copied from the virtual twin so iterates match
+/// bit for bit.
+template <typename T>
+class RankSchurWilsonOperator {
+ public:
+  RankSchurWilsonOperator(const GaugeField<T>& u, double kappa,
+                          const ProcessGrid& grid, transport::Transport& tp,
+                          TimeBoundary bc = TimeBoundary::Antiperiodic)
+      : cluster_(u.geometry(), grid, tp), kappa_(static_cast<T>(kappa)) {
+    LQCD_REQUIRE(kappa > 0.0 && kappa < 0.25, "kappa out of (0, 0.25)");
+    const GaugeField<T> links = make_fermion_links(u, bc);
+    gauge_ = cluster_.scatter_gauge(links);
+    tmp_ = cluster_.make_fermion();
+  }
+
+  using RankFermion = typename RankCluster<T>::RankFermion;
+
+  /// res (odd sites) <- in_odd - kappa^2 D_oe D_eo in_odd. `in` holds
+  /// the source on globally-odd sites and zero elsewhere (ghosts are
+  /// clobbered); `out` must be zero-initialized once by the caller.
+  void apply(RankFermion& out, RankFermion& in) const {
+    hop_stage(tmp_, in, 0,
+              [](WilsonSpinor<T>& dst, const WilsonSpinor<T>& hop,
+                 const RankFermion& /*aux*/, std::size_t /*xe*/) {
+                dst = hop;
+              });
+    const T k2 = kappa_ * kappa_;
+    hop_stage(out, tmp_, 1,
+              [k2](WilsonSpinor<T>& dst, const WilsonSpinor<T>& hop,
+                   const RankFermion& aux, std::size_t xe) {
+                WilsonSpinor<T> h = hop;
+                h *= k2;
+                WilsonSpinor<T> r = aux[xe];
+                r -= h;
+                dst = r;
+              },
+              &in);
+  }
+
+  [[nodiscard]] const RankCluster<T>& cluster() const { return cluster_; }
+  [[nodiscard]] RankCluster<T>& cluster() { return cluster_; }
+  [[nodiscard]] double kappa() const { return static_cast<double>(kappa_); }
+  void set_overlap(bool on) { overlap_ = on; }
+  [[nodiscard]] const OverlapStats& overlap_stats() const { return ov_; }
+
+ private:
+  template <typename Store>
+  void hop_stage(RankFermion& dst, RankFermion& src, int target_parity,
+                 const Store& store, const RankFermion* aux = nullptr) const {
+    const HaloLattice& halo = cluster_.halo();
+    // Local checkerboard whose global parity equals target_parity.
+    const int lp = (target_parity + cluster_.origin_parity()) & 1;
+    if (!overlap_) {
+      cluster_.exchange(src);
+      run_sites(dst, src, halo.interior_sites(lp), store, aux);
+      run_sites(dst, src, halo.surface_sites(lp), store, aux);
+      return;
+    }
+    WallTimer t;
+    cluster_.exchange_begin(src);
+    ov_.t_begin_s += t.seconds();
+    t.start();
+    run_sites(dst, src, halo.interior_sites(lp), store, aux);
+    ov_.t_interior_s += t.seconds();
+    t.start();
+    cluster_.exchange_finish(src);
+    ov_.t_finish_s += t.seconds();
+    t.start();
+    run_sites(dst, src, halo.surface_sites(lp), store, aux);
+    ov_.t_surface_s += t.seconds();
+    ov_.applies += 1;
+    ov_.interior_sites +=
+        static_cast<std::int64_t>(halo.interior_sites(lp).size());
+    ov_.surface_sites +=
+        static_cast<std::int64_t>(halo.surface_sites(lp).size());
+  }
+
+  template <typename Store>
+  void run_sites(RankFermion& dst, const RankFermion& src,
+                 std::span<const std::int64_t> sites, const Store& store,
+                 const RankFermion* aux) const {
+    const HaloLattice& halo = cluster_.halo();
+    const auto& ug = gauge_;
+    const RankFermion& a = aux != nullptr ? *aux : src;
+    parallel_for(sites.size(), [&](std::size_t idx) {
+      const Coord x = halo.interior_coords(sites[idx]);
+      const auto xe = static_cast<std::size_t>(halo.ext_index(x));
+      const WilsonSpinor<T> acc = detail::dist_hop_site(x, src, ug, halo);
+      store(dst[xe], acc, a, xe);
+    });
+  }
+
+  RankCluster<T> cluster_;
+  typename RankCluster<T>::RankGauge gauge_;
+  mutable RankFermion tmp_;
+  T kappa_;
+  bool overlap_ = true;
+  mutable OverlapStats ov_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,398 @@
+#include "comm/transport/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace lqcd::transport {
+
+namespace {
+
+constexpr std::uint32_t kIdentityMagic = 0x4449514Cu;  // "LQID"
+constexpr std::size_t kReadChunk = 1 << 16;
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw Error("socket transport: " + what + ": " +
+              std::strerror(errno));
+}
+
+void write_all_blocking(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("write");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void read_all_blocking(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("read");
+    }
+    if (r == 0) throw Error("socket transport: peer closed mid-handshake");
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+std::string read_line_blocking(int fd) {
+  std::string line;
+  char c;
+  for (;;) {
+    read_all_blocking(fd, &c, 1);
+    if (c == '\n') return line;
+    line.push_back(c);
+    LQCD_REQUIRE(line.size() < 4096, "rendezvous line too long");
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    sys_fail("fcntl O_NONBLOCK");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) < 0)
+    sys_fail("setsockopt TCP_NODELAY");
+}
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // The peer's listener is up before the rendezvous releases the table,
+  // but a full accept backlog can still bounce us; retry briefly.
+  for (int attempt = 0;; ++attempt) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return fd;
+    if ((errno == ECONNREFUSED || errno == EAGAIN) && attempt < 200) {
+      ::usleep(10000);
+      continue;
+    }
+    sys_fail("connect 127.0.0.1:" + std::to_string(port));
+  }
+}
+
+}  // namespace
+
+int listen_loopback(int& port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    sys_fail("bind");
+  if (::listen(fd, SOMAXCONN) < 0) sys_fail("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    sys_fail("getsockname");
+  port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+void rendezvous_serve(int listen_fd, int n) {
+  std::vector<int> fds(static_cast<std::size_t>(n), -1);
+  std::vector<int> ports(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) sys_fail("rendezvous accept");
+    std::istringstream is(read_line_blocking(fd));
+    std::string word;
+    int rank = -1, port = 0;
+    is >> word >> rank >> port;
+    LQCD_REQUIRE(word == "HELO" && rank >= 0 && rank < n && port > 0,
+                 "rendezvous: malformed registration");
+    LQCD_REQUIRE(fds[static_cast<std::size_t>(rank)] < 0,
+                 "rendezvous: duplicate rank registration");
+    fds[static_cast<std::size_t>(rank)] = fd;
+    ports[static_cast<std::size_t>(rank)] = port;
+  }
+  std::ostringstream table;
+  table << "PEERS";
+  for (int r = 0; r < n; ++r) table << ' ' << ports[static_cast<std::size_t>(r)];
+  table << '\n';
+  const std::string line = table.str();
+  for (int r = 0; r < n; ++r) {
+    write_all_blocking(fds[static_cast<std::size_t>(r)], line.data(),
+                       line.size());
+    ::close(fds[static_cast<std::size_t>(r)]);
+  }
+}
+
+SocketTransport::SocketTransport(int rank, int size,
+                                 const std::string& rendezvous_host,
+                                 int rendezvous_port)
+    : Transport(rank, size), peers_(static_cast<std::size_t>(size)) {
+  LQCD_REQUIRE(rendezvous_host == "127.0.0.1" ||
+                   rendezvous_host == "localhost",
+               "socket transport: loopback rendezvous only");
+  int my_port = 0;
+  const int listener = listen_loopback(my_port);
+  // Register and learn every rank's listener port.
+  const int rv = connect_loopback(rendezvous_port);
+  {
+    std::ostringstream os;
+    os << "HELO " << rank << ' ' << my_port << '\n';
+    const std::string line = os.str();
+    write_all_blocking(rv, line.data(), line.size());
+  }
+  std::vector<int> ports(static_cast<std::size_t>(size), 0);
+  {
+    std::istringstream is(read_line_blocking(rv));
+    std::string word;
+    is >> word;
+    LQCD_REQUIRE(word == "PEERS", "rendezvous: malformed table");
+    for (int r = 0; r < size; ++r) is >> ports[static_cast<std::size_t>(r)];
+  }
+  ::close(rv);
+  // Mesh: dial every lower rank, accept from every higher rank. The
+  // 8-byte identity preamble maps accepted fds to ranks.
+  for (int r = 0; r < rank; ++r) {
+    const int fd = connect_loopback(ports[static_cast<std::size_t>(r)]);
+    const std::uint32_t hello[2] = {kIdentityMagic,
+                                    static_cast<std::uint32_t>(rank)};
+    write_all_blocking(fd, hello, sizeof hello);
+    peers_[static_cast<std::size_t>(r)].fd = fd;
+  }
+  for (int n = rank + 1; n < size; ++n) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) sys_fail("mesh accept");
+    std::uint32_t hello[2] = {0, 0};
+    read_all_blocking(fd, hello, sizeof hello);
+    LQCD_REQUIRE(hello[0] == kIdentityMagic,
+                 "mesh handshake: bad identity magic");
+    const int r = static_cast<int>(hello[1]);
+    LQCD_REQUIRE(r > rank && r < size &&
+                     peers_[static_cast<std::size_t>(r)].fd < 0,
+                 "mesh handshake: bad or duplicate rank identity");
+    peers_[static_cast<std::size_t>(r)].fd = fd;
+  }
+  ::close(listener);
+  for (int r = 0; r < size; ++r) {
+    if (r == rank) continue;
+    Peer& p = peers_[static_cast<std::size_t>(r)];
+    set_nodelay(p.fd);
+    set_nonblocking(p.fd);
+    p.alive = true;
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (Peer& p : peers_)
+    if (p.fd >= 0) ::close(p.fd);
+}
+
+bool SocketTransport::peer_alive(int r) const {
+  if (r == rank()) return true;
+  return peers_[static_cast<std::size_t>(r)].alive;
+}
+
+void SocketTransport::mark_dead(Peer& p) {
+  if (p.fd >= 0) ::close(p.fd);
+  p.fd = -1;
+  p.alive = false;
+  p.outbox.clear();
+  p.out_off = 0;
+}
+
+void SocketTransport::enqueue_frame(int dst, std::uint64_t tag,
+                                    std::uint32_t flags, std::uint32_t crc,
+                                    std::span<const std::byte> payload) {
+  Peer& p = peers_[static_cast<std::size_t>(dst)];
+  if (!p.alive) return;  // sends to the departed are dropped, not fatal
+  FrameHeader h;
+  h.src = static_cast<std::uint32_t>(rank());
+  h.dst = static_cast<std::uint32_t>(dst);
+  h.flags = flags;
+  h.tag = tag;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  h.payload_crc = crc;
+  std::vector<std::byte> frame(kFrameHeaderBytes + payload.size());
+  encode_header(frame.data(), h);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  wstats_.wire_frames += 1;
+  wstats_.wire_bytes += static_cast<std::int64_t>(frame.size());
+  p.outbox.push_back(std::move(frame));
+  flush_peer(p);
+}
+
+void SocketTransport::flush_peer(Peer& p) {
+  while (!p.outbox.empty()) {
+    const std::vector<std::byte>& front = p.outbox.front();
+    const ssize_t w = ::send(p.fd, front.data() + p.out_off,
+                             front.size() - p.out_off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      mark_dead(p);
+      return;
+    }
+    p.out_off += static_cast<std::size_t>(w);
+    if (p.out_off == front.size()) {
+      p.outbox.pop_front();
+      p.out_off = 0;
+    }
+  }
+}
+
+void SocketTransport::pump(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  std::vector<int> ranks;
+  for (int r = 0; r < size(); ++r) {
+    Peer& p = peers_[static_cast<std::size_t>(r)];
+    if (r == rank() || !p.alive) continue;
+    pollfd pf{};
+    pf.fd = p.fd;
+    pf.events = POLLIN;
+    if (!p.outbox.empty()) pf.events |= POLLOUT;
+    pfds.push_back(pf);
+    ranks.push_back(r);
+  }
+  if (pfds.empty()) return;
+  const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return;
+    sys_fail("poll");
+  }
+  std::vector<std::byte> chunk(kReadChunk);
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    Peer& p = peers_[static_cast<std::size_t>(ranks[i])];
+    if (!p.alive) continue;
+    if (pfds[i].revents & POLLOUT) flush_peer(p);
+    if (!p.alive) continue;
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    for (;;) {
+      const ssize_t r = ::recv(p.fd, chunk.data(), chunk.size(), 0);
+      if (r > 0) {
+        p.reader.feed({chunk.data(), static_cast<std::size_t>(r)});
+        if (r < static_cast<ssize_t>(chunk.size())) break;
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF or hard error: the peer is gone. A nonzero reader residue
+      // is a torn frame — bytes died with the sender.
+      mark_dead(p);
+      break;
+    }
+    FrameHeader h;
+    std::vector<std::byte> payload;
+    while (p.reader.next(h, payload)) {
+      LQCD_REQUIRE(static_cast<int>(h.dst) == rank(),
+                   "socket transport: misrouted frame");
+      LQCD_REQUIRE(static_cast<int>(h.src) == ranks[i],
+                   "socket transport: frame src does not match connection");
+      if (h.flags & kFlagNack) {
+        LQCD_REQUIRE(payload.size() == sizeof(std::uint32_t),
+                     "socket transport: malformed NACK");
+        std::uint32_t attempt;
+        std::memcpy(&attempt, payload.data(), sizeof attempt);
+        service_nack(static_cast<int>(h.src), h.tag, attempt);
+        continue;
+      }
+      Inbound f;
+      f.flags = h.flags;
+      f.crc = h.payload_crc;
+      f.maybe_clean = false;  // a real wire always verifies
+      f.payload = std::move(payload);
+      inbox_[InboxKey{static_cast<int>(h.src), h.tag}].push_back(
+          std::move(f));
+      payload = {};
+    }
+  }
+}
+
+bool SocketTransport::inbox_pop(int src, std::uint64_t tag, Inbound& out) {
+  const auto it = inbox_.find(InboxKey{src, tag});
+  if (it == inbox_.end() || it->second.empty()) return false;
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) inbox_.erase(it);
+  return true;
+}
+
+void SocketTransport::raw_send(int dst, std::uint64_t tag,
+                               std::uint32_t flags, std::uint32_t crc,
+                               bool tampered,
+                               std::span<const std::byte> wire,
+                               std::span<const std::byte> pristine) {
+  (void)tampered;
+  (void)pristine;  // NACK service re-reads the base-class cache
+  enqueue_frame(dst, tag, flags, crc, wire);
+}
+
+Transport::Inbound SocketTransport::raw_fetch(int src, std::uint64_t tag) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      recv_timeout_ms_ > 0
+          ? Clock::now() + std::chrono::milliseconds(recv_timeout_ms_)
+          : Clock::time_point::max();
+  Inbound f;
+  for (;;) {
+    if (inbox_pop(src, tag, f)) return f;
+    if (!peers_[static_cast<std::size_t>(src)].alive)
+      throw TransientError("socket transport: rank " + std::to_string(src) +
+                           " died before delivering tag " +
+                           std::to_string(tag));
+    if (Clock::now() >= deadline)
+      throw TransientError("socket transport: timed out waiting for rank " +
+                           std::to_string(src));
+    pump(50);
+  }
+}
+
+bool SocketTransport::raw_try_fetch(int src, std::uint64_t tag,
+                                    Inbound& out) {
+  if (inbox_pop(src, tag, out)) return true;
+  pump(0);
+  return inbox_pop(src, tag, out);
+}
+
+Transport::Inbound SocketTransport::redeliver(int src, std::uint64_t tag,
+                                              int attempt, Inbound prev) {
+  (void)prev;
+  // Receiver-driven retransmit: NACK the sender, who re-rolls the fault
+  // schedule over its pristine copy and re-sends.
+  std::uint32_t a = static_cast<std::uint32_t>(attempt);
+  std::byte buf[sizeof a];
+  std::memcpy(buf, &a, sizeof a);
+  enqueue_frame(src, tag, kFlagNack, 0, {buf, sizeof a});
+  return raw_fetch(src, tag);
+}
+
+void SocketTransport::drain_backend() {
+  pump(0);
+  inbox_.clear();
+}
+
+}  // namespace lqcd::transport

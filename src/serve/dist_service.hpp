@@ -1,0 +1,48 @@
+#pragma once
+// Multi-process campaign execution over the lqcd::transport layer: the
+// SPMD port of CampaignService, where the spec's "lanes" become real
+// worker processes.
+//
+// Rank 0 is the coordinator. It owns the journal (same format, same
+// fingerprint, same frame vocabulary as the virtual service — a
+// campaign can be started virtual and resumed distributed or vice
+// versa, provided the lane counts agree), shards tasks over the
+// size-1 worker ranks with the same deterministic LPT plan, and runs a
+// dispatch loop: task out on the kTask tag stream, result back on the
+// kResult stream, TaskRunning / TaskDone / TaskFailed journaled at the
+// coordinator so there is exactly one journal.
+//
+// Workers (ranks 1..N-1) are loops around solve_task_payload(): the
+// byte-producing solve is the *same function* the virtual service
+// calls, so the TaskDone payloads a distributed campaign journals are
+// byte-identical to a virtual run of the same spec — CI diffs the
+// result.json "results" arrays of both modes.
+//
+// Worker death is the real thing here, not a model: a SIGKILLed or
+// self-exited worker surfaces as a dead peer (socket EOF / shm dead
+// flag); the coordinator journals LaneDead, re-shards the orphans with
+// the same reshard_orphans() the virtual service uses (the in-flight
+// task rides along as the first orphan), and the campaign completes
+// degraded on the survivors — FatalError only when no worker is left.
+// The env knob LQCD_WORKER_DIE_AFTER=K (set per rank by lqcd_launch
+// --die-rank R --die-after-tasks K) makes a worker self-exit after
+// completing K tasks: the deterministic kill drill CI runs.
+
+#include <string>
+
+#include "comm/transport/transport.hpp"
+#include "serve/service.hpp"
+
+namespace lqcd::serve {
+
+/// Execute (or resume) `spec` over a live transport group. Collective:
+/// every rank of the group must call it. Returns a populated outcome on
+/// rank 0; workers return a default outcome with finished=true.
+/// The spec's `ranks` field is overridden to size-1 (the worker count).
+/// Throws FatalError (rank 0) when a task exhausts its retry budget or
+/// every worker died with tasks remaining.
+CampaignOutcome run_distributed_campaign(const CampaignSpec& spec,
+                                         transport::Transport& tp,
+                                         bool write_result = true);
+
+}  // namespace lqcd::serve

@@ -75,6 +75,60 @@ std::string reassigned_payload(int task, int from, int to,
 
 }  // namespace
 
+std::string solve_task_payload(const CampaignSpec& spec,
+                               const LatticeGeometry& geo,
+                               const GaugeFieldD& config,
+                               const SolveTask& task, int attempt) {
+  const SourceSpec source = parse_source_spec(
+      spec.sources[static_cast<std::size_t>(task.source)]);
+  const double kappa = spec.kappas[static_cast<std::size_t>(task.kappa)];
+
+  telemetry::TraceRegion trace("serve.solve");
+  PropagatorParams params;
+  params.kappa = kappa;
+  params.solver.tol = spec.tol;
+  params.solver.max_iterations = spec.max_iterations;
+  params.method = spec.solver;
+  params.block = spec.block;
+  if (attempt > 0 && spec.solver == SolverKind::BlockCg) {
+    // Retry on the scalar pipeline: eo_cg has full breakdown
+    // recovery, the block path deliberately does not.
+    params.method = SolverKind::EoCg;
+    params.block = 1;
+  }
+  Propagator prop(geo);
+  const PropagatorStats stats =
+      compute_propagator(prop, config, params, source);
+  if (!stats.converged)
+    throw TransientError("solve unconverged (worst rel " +
+                         std::to_string(stats.worst_residual) + ")");
+
+  const int t0 =
+      source.kind == SourceKind::Point ? source.point[3] : source.t0;
+  const Correlator pion = pion_correlator(prop, t0);
+
+  // Result payload: deterministic fields only (no wall time), so a
+  // resumed campaign journals bytes identical to an uninterrupted
+  // one.
+  json::Writer w;
+  w.begin_object()
+      .field("task", task.id)
+      .field("config",
+             spec.configs[static_cast<std::size_t>(task.config)])
+      .field("kappa", kappa)
+      .field("source", spec.sources[static_cast<std::size_t>(task.source)])
+      .field("solver", to_string(params.method))
+      .field("block", params.block)
+      .field("attempt", attempt)
+      .field("iterations", stats.total_iterations)
+      .field("worst_residual", stats.worst_residual);
+  w.key("pion").begin_array();
+  for (const double c : pion.c) w.value(c);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
 std::string CampaignService::journal_path() const {
   return spec_.output + "/journal.lqj";
 }
@@ -119,10 +173,6 @@ const GaugeFieldD& CampaignService::config(int index) {
 
 void CampaignService::execute_task(Journal& journal, const SolveTask& task,
                                    int lane, std::uint64_t epoch) {
-  const SourceSpec source = parse_source_spec(
-      spec_.sources[static_cast<std::size_t>(task.source)]);
-  const double kappa = spec_.kappas[static_cast<std::size_t>(task.kappa)];
-
   for (int attempt = 0;; ++attempt) {
     journal.append(RecordType::TaskRunning,
                    running_payload(task, lane, attempt));
@@ -141,51 +191,9 @@ void CampaignService::execute_task(Journal& journal, const SolveTask& task,
           opts_.faults->should_drop(epoch, lane, 0, 0, attempt))
         throw TransientError("injected transient fault");
 
-      telemetry::TraceRegion trace("serve.solve");
-      PropagatorParams params;
-      params.kappa = kappa;
-      params.solver.tol = spec_.tol;
-      params.solver.max_iterations = spec_.max_iterations;
-      params.method = spec_.solver;
-      params.block = spec_.block;
-      if (attempt > 0 && spec_.solver == SolverKind::BlockCg) {
-        // Retry on the scalar pipeline: eo_cg has full breakdown
-        // recovery, the block path deliberately does not.
-        params.method = SolverKind::EoCg;
-        params.block = 1;
-      }
-      Propagator prop(geo_);
-      const PropagatorStats stats =
-          compute_propagator(prop, config(task.config), params, source);
-      if (!stats.converged)
-        throw TransientError("solve unconverged (worst rel " +
-                             std::to_string(stats.worst_residual) + ")");
-
-      const int t0 =
-          source.kind == SourceKind::Point ? source.point[3] : source.t0;
-      const Correlator pion = pion_correlator(prop, t0);
-
-      // Result payload: deterministic fields only (no wall time), so a
-      // resumed campaign journals bytes identical to an uninterrupted
-      // one.
-      json::Writer w;
-      w.begin_object()
-          .field("task", task.id)
-          .field("config", spec_.configs[static_cast<std::size_t>(
-                               task.config)])
-          .field("kappa", kappa)
-          .field("source",
-                 spec_.sources[static_cast<std::size_t>(task.source)])
-          .field("solver", to_string(params.method))
-          .field("block", params.block)
-          .field("attempt", attempt)
-          .field("iterations", stats.total_iterations)
-          .field("worst_residual", stats.worst_residual);
-      w.key("pion").begin_array();
-      for (const double c : pion.c) w.value(c);
-      w.end_array();
-      w.end_object();
-      journal.append(RecordType::TaskDone, w.str());
+      journal.append(RecordType::TaskDone,
+                     solve_task_payload(spec_, geo_, config(task.config),
+                                        task, attempt));
       telemetry::counter("serve.tasks_done").add(1);
       telemetry::counter("serve.columns_solved").add(Ns * Nc);
       return;
@@ -503,6 +511,12 @@ CampaignOutcome CampaignService::run() {
 void CampaignService::write_result_json(
     const std::vector<Record>& records,
     const CampaignOutcome& outcome) const {
+  write_campaign_result(spec_, records, outcome);
+}
+
+void write_campaign_result(const CampaignSpec& spec,
+                           const std::vector<Record>& records,
+                           const CampaignOutcome& outcome) {
   // Degraded-mode figures are campaign-cumulative, so recount them from
   // the journal rather than trusting this run's outcome (a resume sees
   // only the deltas). Speculative wins are execution-time facts the
@@ -525,9 +539,9 @@ void CampaignService::write_result_json(
   json::Writer w;
   w.begin_object()
       .field("schema", kResultSchema)
-      .field("name", spec_.name)
+      .field("name", spec.name)
       .field("fingerprint",
-             static_cast<std::int64_t>(spec_fingerprint(spec_)))
+             static_cast<std::int64_t>(spec_fingerprint(spec)))
       .field("tasks_total", outcome.total)
       .field("tasks_skipped", outcome.skipped)
       .field("tasks_completed", outcome.completed)
@@ -558,7 +572,7 @@ void CampaignService::write_result_json(
   // The lqcd.telemetry/1 report rides along, serve.* counters included.
   w.key("telemetry").raw(telemetry::report_json(false));
   w.end_object();
-  atomic_write_file(spec_.output + "/result.json",
+  atomic_write_file(spec.output + "/result.json",
                     [&](std::ostream& os) { os << w.str() << "\n"; });
 }
 

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "gauge/gauge_field.hpp"
 #include "serve/health.hpp"
 #include "serve/journal.hpp"
 #include "serve/scheduler.hpp"
@@ -96,6 +97,24 @@ struct CampaignStatus {
   int tasks_reassigned = 0;   ///< TaskReassigned frames (reason lane_dead)
   int speculative_tasks = 0;  ///< TaskReassigned frames (speculative)
 };
+
+/// Solve one task (12 propagator columns + pion contraction) and return
+/// the TaskDone journal payload. Deterministic bytes for a given (spec,
+/// task, attempt): no wall-clock fields, fixed key order — which is what
+/// makes the virtual service and the multi-process coordinator journal
+/// identical results for identical work, and lets CI diff them.
+/// Throws TransientError on an unconverged solve.
+[[nodiscard]] std::string solve_task_payload(const CampaignSpec& spec,
+                                             const LatticeGeometry& geo,
+                                             const GaugeFieldD& config,
+                                             const SolveTask& task,
+                                             int attempt);
+
+/// Write <spec.output>/result.json from a replayed journal (shared by
+/// the virtual service and the distributed coordinator).
+void write_campaign_result(const CampaignSpec& spec,
+                           const std::vector<Record>& records,
+                           const CampaignOutcome& outcome);
 
 class CampaignService {
  public:
