@@ -115,7 +115,8 @@ void shm_mark_dead(const std::string& path, int rank) {
 
 ShmTransport::ShmTransport(int rank, int size, const std::string& path)
     : Transport(rank, size),
-      readers_(static_cast<std::size_t>(size)) {
+      readers_(static_cast<std::size_t>(size)),
+      outbox_(static_cast<std::size_t>(size)) {
   const int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) sys_fail("open " + path);
   struct stat st{};
@@ -139,6 +140,24 @@ ShmTransport::ShmTransport(int rank, int size, const std::string& path)
 
 ShmTransport::~ShmTransport() {
   if (map_ != nullptr) {
+    // Bounded best-effort flush of spilled frames, so a clean exit does
+    // not strand a final message (the deadline keeps teardown finite
+    // when the consumer is already gone or no longer draining).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(2);
+    while (!rank_dead(rank())) {  // already declared dead: peers drop us
+      bool moved = false;
+      bool pending = false;
+      for (int dst = 0; dst < size(); ++dst) {
+        if (dst == rank()) continue;
+        moved = flush_outbox(dst) || moved;
+        if (!outbox_[static_cast<std::size_t>(dst)].chunks.empty())
+          pending = true;
+      }
+      if (!pending || std::chrono::steady_clock::now() >= deadline) break;
+      if (!moved)
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
     // Cover clean exits and the thread harness; the launcher's waitpid
     // covers crashes.
     ShmHeader* h = reinterpret_cast<ShmHeader*>(map_);
@@ -166,35 +185,43 @@ bool ShmTransport::peer_alive(int r) const {
   return !rank_dead(r);
 }
 
-bool ShmTransport::ring_write(int dst, std::span<const std::byte> data) {
+std::size_t ShmTransport::ring_write_some(int dst,
+                                          std::span<const std::byte> data) {
   std::byte* ring = ring_base(rank(), dst);
   auto head = head_ref(ring);
   auto tail = tail_ref(ring);
-  std::uint64_t t = tail.load(std::memory_order_relaxed);
-  std::size_t written = 0;
-  int spins = 0;
-  while (written < data.size()) {
-    const std::uint64_t hd = head.load(std::memory_order_acquire);
-    const std::size_t free =
-        ring_bytes_ - static_cast<std::size_t>(t - hd);
-    if (free == 0) {
-      if (rank_dead(dst)) return false;  // consumer gone: drop the rest
-      // Flow control: brief spin, then yield — the consumer is a memcpy
-      // away, not a network RTT.
-      if (++spins < 64)
-        std::this_thread::yield();
-      else
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      continue;
-    }
-    spins = 0;
-    const std::size_t n = std::min(free, data.size() - written);
-    ring_copy_in(ring_buf(ring), ring_bytes_, t, data.data() + written, n);
-    t += n;
-    written += n;
-    tail.store(t, std::memory_order_release);
+  const std::uint64_t t = tail.load(std::memory_order_relaxed);
+  const std::uint64_t hd = head.load(std::memory_order_acquire);
+  const std::size_t free = ring_bytes_ - static_cast<std::size_t>(t - hd);
+  const std::size_t n = std::min(free, data.size());
+  if (n == 0) return 0;
+  ring_copy_in(ring_buf(ring), ring_bytes_, t, data.data(), n);
+  tail.store(t + n, std::memory_order_release);
+  return n;
+}
+
+bool ShmTransport::flush_outbox(int dst) {
+  Outbox& ob = outbox_[static_cast<std::size_t>(dst)];
+  if (ob.chunks.empty()) return false;
+  if (rank_dead(dst)) {  // consumer gone: the bytes die with it
+    ob.chunks.clear();
+    ob.off = 0;
+    return false;
   }
-  return true;
+  bool moved = false;
+  while (!ob.chunks.empty()) {
+    const std::vector<std::byte>& front = ob.chunks.front();
+    const std::size_t w = ring_write_some(
+        dst, {front.data() + ob.off, front.size() - ob.off});
+    if (w == 0) break;
+    moved = true;
+    ob.off += w;
+    if (ob.off == front.size()) {
+      ob.chunks.pop_front();
+      ob.off = 0;
+    }
+  }
+  return moved;
 }
 
 void ShmTransport::enqueue_frame(int dst, std::uint64_t tag,
@@ -213,12 +240,22 @@ void ShmTransport::enqueue_frame(int dst, std::uint64_t tag,
   wstats_.wire_frames += 1;
   wstats_.wire_bytes +=
       static_cast<std::int64_t>(kFrameHeaderBytes + payload.size());
-  if (!ring_write(dst, {hdr, kFrameHeaderBytes})) return;
-  ring_write(dst, payload);
+  // Never block on a full ring: what doesn't fit spills to the outbox
+  // (flushed by pump()), preserving byte order behind earlier spills.
+  flush_outbox(dst);
+  Outbox& ob = outbox_[static_cast<std::size_t>(dst)];
+  const auto put = [&](std::span<const std::byte> s) {
+    if (ob.chunks.empty()) s = s.subspan(ring_write_some(dst, s));
+    if (!s.empty()) ob.chunks.emplace_back(s.begin(), s.end());
+  };
+  put({hdr, kFrameHeaderBytes});
+  put(payload);
 }
 
 bool ShmTransport::pump() {
   bool moved = false;
+  for (int dst = 0; dst < size(); ++dst)
+    if (dst != rank()) moved = flush_outbox(dst) || moved;
   std::byte chunk[kReadChunk];
   for (int src = 0; src < size(); ++src) {
     if (src == rank()) continue;
@@ -296,13 +333,18 @@ Transport::Inbound ShmTransport::raw_fetch(int src, std::uint64_t tag) {
     if (inbox_pop(src, tag, f)) return f;
     const bool moved = pump();
     if (inbox_pop(src, tag, f)) return f;
-    // Drain-then-fail: only declare the peer dead once its ring and
-    // reader hold nothing more for us.
-    if (rank_dead(src) && !moved &&
-        readers_[static_cast<std::size_t>(src)].buffered() == 0)
-      throw TransientError("shm transport: rank " + std::to_string(src) +
-                           " died before delivering tag " +
-                           std::to_string(tag));
+    // Drain-then-fail: the peer is dead and pump() moved nothing, so
+    // every complete frame it left behind has been dispatched. Any
+    // residue still in the reader is a torn frame from a producer
+    // killed mid-write — it can never complete, so fail now rather
+    // than wait for bytes that will never arrive.
+    if (rank_dead(src) && !moved)
+      throw TransientError(
+          "shm transport: rank " + std::to_string(src) +
+          " died before delivering tag " + std::to_string(tag) +
+          (readers_[static_cast<std::size_t>(src)].buffered() != 0
+               ? " (torn frame left in ring)"
+               : ""));
     if (Clock::now() >= deadline)
       throw TransientError("shm transport: timed out waiting for rank " +
                            std::to_string(src));

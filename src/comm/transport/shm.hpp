@@ -14,17 +14,22 @@
 //
 // Frames serialize through the same encode_header()/FrameReader path as
 // the socket backend; a frame larger than the ring streams through in
-// segments (the producer waits for the consumer to free space, so the
-// ring is a flow-controlled pipe, not a bound on message size). All
-// cross-process synchronization is std::atomic_ref acquire/release on
-// the counters and relaxed flags — no futexes, no locks.
+// segments. The producer never blocks on the consumer: bytes that do
+// not fit in the ring spill to a per-peer user-space outbox (exactly
+// the socket backend's EAGAIN discipline) that pump() flushes as the
+// consumer frees space — so the ring is flow control, not a bound on
+// message size, and two ranks exchanging oversized faces cannot
+// deadlock on full rings. All cross-process synchronization is
+// std::atomic_ref acquire/release on the counters and relaxed flags —
+// no futexes, no locks.
 //
 // Peer death: the launcher (which owns waitpid) sets the dead flag of an
 // exited rank; a ShmTransport destructor sets its own, covering clean
 // exits and the in-process thread harness. Receivers drain whatever the
-// departed producer left in the ring, then raise TransientError; a
-// producer blocked on a dead consumer drops the rest of the frame
-// instead of spinning forever.
+// departed producer left in the ring, then raise TransientError — a
+// partial frame left in the reader by a producer killed mid-write is a
+// torn frame and fails immediately. A producer whose consumer died
+// drops its spilled bytes instead of retrying forever.
 
 #include <cstdint>
 #include <deque>
@@ -85,12 +90,25 @@ class ShmTransport final : public Transport {
     }
   };
 
+  /// Spilled outbound bytes a full ring could not take yet; flushed in
+  /// FIFO order by flush_outbox() before any direct ring write, so the
+  /// byte stream the consumer's FrameReader sees stays contiguous.
+  struct Outbox {
+    std::deque<std::vector<std::byte>> chunks;
+    std::size_t off = 0;  ///< partial-write offset into chunks front
+  };
+
   [[nodiscard]] std::byte* ring_base(int src, int dst) const;
   [[nodiscard]] bool rank_dead(int r) const;
-  /// Stream `data` into ring (rank() -> dst); false if dst died mid-way.
-  bool ring_write(int dst, std::span<const std::byte> data);
-  /// Drain every inbound ring into its FrameReader; dispatch complete
-  /// frames (NACK service / inbox). Returns true if anything moved.
+  /// Nonblocking write into ring (rank() -> dst): copies whatever fits
+  /// and returns the byte count (0 when the ring is full).
+  std::size_t ring_write_some(int dst, std::span<const std::byte> data);
+  /// Push spilled bytes for `dst` into its ring as space allows; drops
+  /// them if dst died. Returns true if any bytes moved.
+  bool flush_outbox(int dst);
+  /// Flush outboxes and drain every inbound ring into its FrameReader;
+  /// dispatch complete frames (NACK service / inbox). Returns true if
+  /// anything moved.
   bool pump();
   bool inbox_pop(int src, std::uint64_t tag, Inbound& out);
   void enqueue_frame(int dst, std::uint64_t tag, std::uint32_t flags,
@@ -100,6 +118,7 @@ class ShmTransport final : public Transport {
   std::size_t map_bytes_ = 0;
   std::uint32_t ring_bytes_ = 0;
   std::vector<FrameReader> readers_;  ///< one per inbound ring
+  std::vector<Outbox> outbox_;        ///< one per outbound ring
   std::unordered_map<InboxKey, std::deque<Inbound>, InboxKeyHash> inbox_;
   int recv_timeout_ms_ = -1;
 };

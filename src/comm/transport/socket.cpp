@@ -77,21 +77,26 @@ void set_nodelay(int fd) {
 }
 
 int connect_loopback(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) sys_fail("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   // The peer's listener is up before the rendezvous releases the table,
-  // but a full accept backlog can still bounce us; retry briefly.
+  // but a full accept backlog can still bounce us; retry briefly. A fd
+  // whose connect() failed is in an unspecified state, so each attempt
+  // gets a fresh socket.
   for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("socket");
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
       return fd;
-    if ((errno == ECONNREFUSED || errno == EAGAIN) && attempt < 200) {
+    const int err = errno;
+    ::close(fd);
+    if ((err == ECONNREFUSED || err == EAGAIN) && attempt < 200) {
       ::usleep(10000);
       continue;
     }
+    errno = err;
     sys_fail("connect 127.0.0.1:" + std::to_string(port));
   }
 }
@@ -205,6 +210,40 @@ SocketTransport::SocketTransport(int rank, int size,
 }
 
 SocketTransport::~SocketTransport() {
+  // Flush sent-but-EAGAIN'd outboxes with a bounded deadline before
+  // closing the fds — otherwise a final frame (e.g. a worker's kResult
+  // queued just before exit while the kernel buffer was full) would be
+  // silently discarded and the peer would see a premature EOF.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    std::vector<pollfd> pfds;
+    std::vector<int> ranks;
+    for (int r = 0; r < size(); ++r) {
+      Peer& p = peers_[static_cast<std::size_t>(r)];
+      if (r == rank() || !p.alive || p.outbox.empty()) continue;
+      pollfd pf{};
+      pf.fd = p.fd;
+      pf.events = POLLOUT;
+      pfds.push_back(pf);
+      ranks.push_back(r);
+    }
+    if (pfds.empty()) break;
+    const auto left_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (left_ms <= 0) break;
+    const int n = ::poll(pfds.data(), pfds.size(),
+                         static_cast<int>(std::min<long long>(left_ms, 100)));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i)
+      if (pfds[i].revents & (POLLOUT | POLLHUP | POLLERR))
+        flush_peer(peers_[static_cast<std::size_t>(ranks[i])]);
+  }
   for (Peer& p : peers_)
     if (p.fd >= 0) ::close(p.fd);
 }

@@ -70,8 +70,12 @@ void Transport::send(int dst, std::uint64_t tag,
   bool tampered = false;
   const bool arrived = roll_send_faults(buf, tag, dst, 0, tampered);
   const std::uint32_t flags = arrived ? 0u : kFlagDropMarker;
+  // Cache a pristine copy whenever this message could be NACKed back:
+  // under an attached injector halo frames fail on schedule, and with
+  // checksumming on, any frame can fail a genuine wire CRC check.
   const bool cacheable =
-      injector_ != nullptr && tag_kind(tag) == TagKind::kHalo;
+      resil_.checksum ||
+      (injector_ != nullptr && tag_kind(tag) == TagKind::kHalo);
   if (dst == rank_) {
     // Self route: no wire, but the same fault/verify/redeliver protocol,
     // so grids with extent-1 process dimensions keep their schedules.
@@ -190,8 +194,13 @@ void Transport::stash_pristine(int dst, std::uint64_t tag, std::uint32_t crc,
 void Transport::service_nack(int dst, std::uint64_t tag,
                              std::uint32_t attempt) {
   const auto it = pristine_cache_.find(CacheKey{dst, tag});
-  LQCD_ASSERT(it != pristine_cache_.end(),
-              "transport: NACK for a message not in the pristine cache");
+  if (it == pristine_cache_.end()) {
+    // Evicted (or stale) entry: answer with a drop marker so the
+    // receiver's bounded retry budget decides the outcome — a FatalError
+    // over there once exhausted — instead of crashing this rank.
+    raw_send(dst, tag, kFlagDropMarker, 0, false, {}, {});
+    return;
+  }
   std::vector<std::byte> buf = it->second.payload;
   bool tampered = false;
   const bool arrived = roll_send_faults(buf, tag, dst,

@@ -193,8 +193,10 @@ class Transport {
   Inbound local_redeliver(std::uint64_t tag, int attempt, Inbound prev);
 
   /// Sender-side pristine cache for wire NACK service. Keyed (dst, tag);
-  /// bounded FIFO. Only halo frames under an attached injector are
-  /// cached — on a reliable stream nothing else can fail verification.
+  /// bounded FIFO. Populated for halo frames under an attached injector
+  /// and, with checksumming on, for every frame — any of those can come
+  /// back as a NACK. An unknown-key NACK is answered with a drop marker
+  /// so the receiver's retry budget resolves it.
   void stash_pristine(int dst, std::uint64_t tag, std::uint32_t crc,
                       std::span<const std::byte> payload);
   /// Service one inbound NACK: re-send attempt `attempt` of (dst, tag)

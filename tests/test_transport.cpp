@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -675,6 +676,54 @@ TEST(ShmTransport, LargeFrameStreamsThroughSmallRing) {
   });
   EXPECT_EQ(got.size(), big.size());
   EXPECT_EQ(got, big);
+}
+
+/// Regression: two ranks pushing frames bigger than the ring at each
+/// other — every face sent before any is received, as the halo exchange
+/// does — must not deadlock on mutually full rings. Bytes that do not
+/// fit spill to the sender's outbox and pump() flushes them.
+TEST(ShmTransport, BidirectionalLargeFramesDoNotDeadlock) {
+  ShmWorld w(2, /*ring_bytes=*/4096);
+  const MakeTransport make = w.make();
+  const std::vector<std::byte> big = make_payload(256 * 1024, 7);
+  std::vector<std::byte> got[2];
+  run_spmd(2, make, [&](int r, tr::Transport& tp) {
+    tp.send(1 - r, ctrl_tag(0), big);
+    tp.recv(1 - r, ctrl_tag(0), got[r]);
+  });
+  EXPECT_EQ(got[0], big);
+  EXPECT_EQ(got[1], big);
+}
+
+/// Regression: a producer that dies mid-frame (SIGKILL leaves a torn
+/// frame in the ring) must surface TransientError promptly — the torn
+/// residue in the FrameReader can never complete, so the receiver must
+/// not wait on it. The dead flag set while the spilled remainder is
+/// still pending emulates the launcher's --kill-rank drill.
+TEST(TransportErrors, ShmTornFrameFromDeadProducerIsTransient) {
+  ShmWorld w(2, /*ring_bytes=*/4096);
+  const MakeTransport make = w.make();
+  std::atomic<bool> torn{false};
+  bool transient = false;
+  run_spmd(2, make, [&](int r, tr::Transport& tp) {
+    if (r == 1) {
+      // The ring takes the first ~4K of the frame; the rest spills to
+      // the outbox. Marking ourselves dead before it flushes strands a
+      // permanent partial frame, exactly like a mid-write SIGKILL.
+      tp.send(0, ctrl_tag(0), make_payload(64 * 1024, 9));
+      tr::shm_mark_dead(w.path(), 1);
+      torn.store(true, std::memory_order_release);
+      return;
+    }
+    while (!torn.load(std::memory_order_acquire)) std::this_thread::yield();
+    try {
+      std::vector<std::byte> never;
+      tp.recv(1, ctrl_tag(0), never);
+    } catch (const TransientError&) {
+      transient = true;
+    }
+  });
+  EXPECT_TRUE(transient);
 }
 
 }  // namespace
