@@ -1,7 +1,7 @@
 // dslash_rank: one binary, two execution modes, identical bits.
 //
 // Standalone (no LQCD_TRANSPORT in the environment):
-//   ./dslash_rank --L 8 --T 8 --np 4 --reps 3 [--schur]
+//   ./dslash_rank --L 8 --T 8 --np 4 --reps 3 [--schur] [--half]
 // runs the virtual cluster — all --np ranks in this process — and
 // prints the CRC-32 of the gathered result field.
 //
@@ -56,7 +56,10 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 4242));
   const bool schur = cli.get_flag("schur");
+  const bool half = cli.get_flag("half");
   cli.finish();
+  const HaloPrecision prec =
+      half ? HaloPrecision::kHalf : HaloPrecision::kFull;
 
   const LatticeGeometry geo({L, L, L, T});
   const ProcessGrid grid(choose_grid(geo.dims(), np));
@@ -73,23 +76,27 @@ int main(int argc, char** argv) {
     // Virtual mode: every rank lives here.
     if (schur) {
       DistributedSchurWilsonOperator<double> op(u, kappa, grid);
+      op.set_halo_precision(prec);
       aligned_vector<WilsonSpinorD> in(hv), out(hv);
       std::memcpy(in.data(), src.data() + hv, hv * sizeof(WilsonSpinorD));
       for (int k = 0; k < reps; ++k) {
         op.apply({out.data(), hv}, {in.data(), hv});
         std::swap(in, out);
       }
-      std::printf("dslash_rank: mode=virtual np=%d schur=1 crc=0x%08x\n",
-                  np, field_crc({in.data(), hv}));
+      std::printf("dslash_rank: mode=virtual np=%d schur=1 prec=%s "
+                  "crc=0x%08x\n",
+                  np, to_string(prec), field_crc({in.data(), hv}));
     } else {
       DistributedWilsonOperator<double> op(u, kappa, grid);
+      op.set_halo_precision(prec);
       aligned_vector<WilsonSpinorD> in = src, out(vol);
       for (int k = 0; k < reps; ++k) {
         op.apply({out.data(), vol}, {in.data(), vol});
         std::swap(in, out);
       }
-      std::printf("dslash_rank: mode=virtual np=%d schur=0 crc=0x%08x\n",
-                  np, field_crc({in.data(), vol}));
+      std::printf("dslash_rank: mode=virtual np=%d schur=0 prec=%s "
+                  "crc=0x%08x\n",
+                  np, to_string(prec), field_crc({in.data(), vol}));
     }
     return 0;
   }
@@ -101,6 +108,7 @@ int main(int argc, char** argv) {
                "dslash_rank: --np must match lqcd_launch -n");
   if (schur) {
     RankSchurWilsonOperator<double> op(u, kappa, grid, *tp);
+    op.set_halo_precision(prec);
     RankCluster<double>& cl = op.cluster();
     // Odd-parity source on the extended rank volume, zero elsewhere
     // (matches the virtual twin's scatter_parity into zeroed storage).
@@ -118,10 +126,12 @@ int main(int argc, char** argv) {
     cl.gather_to_root({full.data(), full.size()}, in);
     tp->barrier();
     if (tp->rank() == 0)
-      std::printf("dslash_rank: mode=%s np=%d schur=1 crc=0x%08x\n", env,
-                  np, field_crc({full.data() + hv, hv}));
+      std::printf("dslash_rank: mode=%s np=%d schur=1 prec=%s crc=0x%08x\n",
+                  env, np, to_string(prec),
+                  field_crc({full.data() + hv, hv}));
   } else {
     RankWilsonOperator<double> op(u, kappa, grid, *tp);
+    op.set_halo_precision(prec);
     RankCluster<double>& cl = op.cluster();
     auto in = cl.make_fermion();
     auto out = cl.make_fermion();
@@ -134,8 +144,9 @@ int main(int argc, char** argv) {
     cl.gather_to_root({full.data(), full.size()}, in);
     tp->barrier();
     if (tp->rank() == 0)
-      std::printf("dslash_rank: mode=%s np=%d schur=0 crc=0x%08x\n", env,
-                  np, field_crc({full.data(), vol}));
+      std::printf("dslash_rank: mode=%s np=%d schur=0 prec=%s crc=0x%08x\n",
+                  env, np, to_string(prec),
+                  field_crc({full.data(), vol}));
   }
   return 0;
 }

@@ -79,6 +79,13 @@ BENCHES = {
         "lqcd.bench.mixed_precision/1",
         ["kappas"],
     ),
+    "bench_precision": (
+        ["--quick"],
+        "lqcd.bench.precision/1",
+        ["experiment", "measured", "solver", "model", "mg", "gates",
+         "pass"],
+        {"elements": {"gates": ["name", "pass", "detail"]}},
+    ),
     "bench_resilience": (
         ["--L", "4", "--T", "8", "--reps", "2"],
         None,

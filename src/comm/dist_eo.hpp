@@ -141,6 +141,16 @@ class DistributedSchurWilsonOperator final : public LinearOperator<T> {
   [[nodiscard]] const VirtualCluster<T>& cluster() const { return cluster_; }
   [[nodiscard]] VirtualCluster<T>& cluster() { return cluster_; }
 
+  /// Fermion halo wire precision. kHalf quantizes the ghost planes (the
+  /// zero other-parity ghosts round-trip exactly, so the Schur parity
+  /// invariant is preserved); gauge ghosts stay full precision.
+  void set_halo_precision(HaloPrecision p) {
+    cluster_.set_halo_precision(p);
+  }
+  [[nodiscard]] HaloPrecision halo_precision() const {
+    return cluster_.halo_precision();
+  }
+
   /// Toggle the split-phase overlapped schedule (default on); results
   /// are bit-identical either way.
   void set_overlap(bool on) { overlap_ = on; }

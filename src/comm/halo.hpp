@@ -34,18 +34,23 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/fault.hpp"
 #include "comm/process_grid.hpp"
 #include "comm/transport/transport.hpp"
+#include "dirac/compressed.hpp"
 #include "dirac/operator.hpp"
 #include "dirac/wilson.hpp"
 #include "gauge/gauge_field.hpp"
@@ -143,6 +148,18 @@ class HaloLattice {
   std::array<std::vector<std::int64_t>, 2> surface_par_;
 };
 
+/// Wire precision of fermion halo faces. kFull ships sites verbatim;
+/// kHalf packs each spinor as int16 block float (one float scale + 24
+/// quantized components, 52 bytes/site) using the detail16 quantizers.
+/// The frame format, CRC protocol and fault injection are unchanged —
+/// compression happens strictly inside the payload. Gauge (LinkSite)
+/// exchanges always go full precision.
+enum class HaloPrecision { kFull, kHalf };
+
+[[nodiscard]] inline const char* to_string(HaloPrecision p) {
+  return p == HaloPrecision::kHalf ? "half" : "full";
+}
+
 /// Communication counters accumulated by exchange operations.
 struct CommStats {
   std::int64_t messages = 0;  ///< first-attempt sends
@@ -160,6 +177,13 @@ struct CommStats {
   std::int64_t timeouts = 0;       ///< dropped messages detected
   std::int64_t straggler_events = 0;
   std::int64_t checksum_bytes = 0;  ///< bytes CRC-framed (sender side)
+  /// Payload bytes a full-precision exchange would have shipped for the
+  /// same faces — the denominator of the compression ratio. Equals
+  /// `bytes` when every exchange ran at HaloPrecision::kFull.
+  std::int64_t full_equiv_bytes = 0;
+  /// Fermion faces sent as int16 block float (8 per rank per half-
+  /// precision exchange, self-wrap faces included).
+  std::int64_t compressed_frames = 0;
   /// Modeled resilience delay: straggler stalls plus retransmit backoff.
   /// Charged analytically (the in-process transport does not sleep) so
   /// the α–β network model can price the hardened path.
@@ -223,6 +247,171 @@ void unpack_face(std::vector<SiteT, AlignedAllocator<SiteT>>& field,
                       payload.data() + k * sizeof(SiteT), sizeof(SiteT));
           ++k;
         }
+}
+
+// --- half-precision face codec -------------------------------------------
+// Wire format per spinor site: one float scale (the site's |component|
+// max, block-float style) followed by 24 little-endian int16 quantized
+// components in the fixed (spin, color, re/im) order. 52 bytes/site
+// regardless of T, so the wire format — and therefore the frame CRCs and
+// the fault schedules keyed on them — is identical for float and double
+// fields and across all transport backends.
+
+inline constexpr std::size_t kHalfSiteBytes =
+    sizeof(float) + 2 * Ns * Nc * sizeof(std::int16_t);  // 52
+
+/// Quantize one spinor into `dst` (kHalfSiteBytes). The scale is the
+/// amax rounded through float — encode and decode use the *same* float
+/// value, so decode(encode(x)) is a pure function of the wire bytes. A
+/// zero site (amax == 0, the Schur other-parity invariant) encodes to
+/// all-zero bytes and decodes to exactly zero. Sites whose amax falls
+/// below the float normal range flush to the same zero encoding: a
+/// subnormal scale would overflow 1/scale for T = float (0 * inf = NaN
+/// on zero components) and flushing identically for every T keeps the
+/// wire bytes — and so the frame CRCs — T-independent.
+template <typename T>
+inline void encode_half_site(std::byte* dst, const WilsonSpinor<T>& psi) {
+  constexpr int n = 2 * Ns * Nc;
+  static_assert(sizeof(WilsonSpinor<T>) == n * sizeof(T),
+                "wire codec assumes a spinor is n contiguous components");
+  // Flat component view in the fixed (spin, color, re/im) wire order —
+  // the spinor's own layout — so both loops below vectorize.
+  T comp[n];
+  std::memcpy(comp, &psi, sizeof(comp));
+  T amax = T(0);
+  for (int i = 0; i < n; ++i) amax = std::max(amax, std::fabs(comp[i]));
+  float scale = static_cast<float>(amax);
+  std::int16_t q[n] = {};
+  if (scale >= std::numeric_limits<float>::min()) {
+    const T inv = T(1) / static_cast<T>(scale);
+    for (int i = 0; i < n; ++i)
+      q[i] = detail16::quantize_one(comp[i], inv);
+  } else {
+    scale = 0.0f;
+  }
+  std::memcpy(dst, &scale, sizeof(float));
+  std::memcpy(dst + sizeof(float), q, sizeof(q));
+}
+
+/// Dequantize one site from `src` (kHalfSiteBytes) into `out`.
+template <typename T>
+inline void decode_half_site(WilsonSpinor<T>& out, const std::byte* src) {
+  constexpr int n = 2 * Ns * Nc;
+  float scale = 0.0f;
+  std::memcpy(&scale, src, sizeof(float));
+  std::int16_t q[n];
+  std::memcpy(q, src + sizeof(float), sizeof(q));
+  const T s16 = static_cast<T>(scale);
+  T comp[n];
+  for (int i = 0; i < n; ++i)
+    comp[i] = detail16::dequantize_one(q[i], s16);
+  std::memcpy(&out, comp, sizeof(comp));
+}
+
+/// pack_face twin that emits int16 block-float sites — same fixed x3..x0
+/// traversal, so compressed ghost bytes are identical on every backend.
+template <typename T>
+void pack_face_half(std::vector<std::byte>& out,
+                    const aligned_vector<WilsonSpinor<T>>& field,
+                    const HaloLattice& halo, int mu, int src_coord) {
+  const Coord& l = halo.local_dims();
+  out.resize(static_cast<std::size_t>(halo.face_volume(mu)) *
+             kHalfSiteBytes);
+  std::size_t k = 0;
+  Coord x{};
+  for (x[3] = 0; x[3] < l[3]; ++x[3])
+    for (x[2] = 0; x[2] < l[2]; ++x[2])
+      for (x[1] = 0; x[1] < l[1]; ++x[1])
+        for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+          if (x[mu] != 0) continue;
+          Coord src = x;
+          src[mu] = src_coord;
+          encode_half_site(
+              out.data() + k * kHalfSiteBytes,
+              field[static_cast<std::size_t>(halo.ext_index(src))]);
+          ++k;
+        }
+}
+
+/// unpack_face twin for compressed payloads: dequantizes straight into
+/// the ghost plane, so the compute kernels never see the wire format.
+template <typename T>
+void unpack_face_half(aligned_vector<WilsonSpinor<T>>& field,
+                      std::span<const std::byte> payload,
+                      const HaloLattice& halo, int mu, int ghost_coord) {
+  const Coord& l = halo.local_dims();
+  LQCD_REQUIRE(payload.size() ==
+                   static_cast<std::size_t>(halo.face_volume(mu)) *
+                       kHalfSiteBytes,
+               "halo unpack: compressed face payload size mismatch");
+  std::size_t k = 0;
+  Coord x{};
+  for (x[3] = 0; x[3] < l[3]; ++x[3])
+    for (x[2] = 0; x[2] < l[2]; ++x[2])
+      for (x[1] = 0; x[1] < l[1]; ++x[1])
+        for (x[0] = 0; x[0] < l[0]; ++x[0]) {
+          if (x[mu] != 0) continue;
+          Coord dst = x;
+          dst[mu] = ghost_coord;
+          decode_half_site(
+              field[static_cast<std::size_t>(halo.ext_index(dst))],
+              payload.data() + k * kHalfSiteBytes);
+          ++k;
+        }
+}
+
+/// Only fermion faces compress; gauge (LinkSite) setup exchanges always
+/// ship full precision regardless of the knob.
+template <typename SiteT>
+inline constexpr bool is_spinor_site_v = false;
+template <typename T>
+inline constexpr bool is_spinor_site_v<WilsonSpinor<T>> = true;
+
+/// Precision-dispatching pack: kHalf compresses spinor faces, everything
+/// else falls through to the verbatim packer.
+template <typename SiteT>
+void pack_face_prec(std::vector<std::byte>& out,
+                    const std::vector<SiteT, AlignedAllocator<SiteT>>& field,
+                    const HaloLattice& halo, int mu, int src_coord,
+                    HaloPrecision prec) {
+  if constexpr (is_spinor_site_v<SiteT>) {
+    if (prec == HaloPrecision::kHalf) {
+      pack_face_half(out, field, halo, mu, src_coord);
+      return;
+    }
+  }
+  (void)prec;
+  pack_face(out, field, halo, mu, src_coord);
+}
+
+template <typename SiteT>
+void unpack_face_prec(std::vector<SiteT, AlignedAllocator<SiteT>>& field,
+                      std::span<const std::byte> payload,
+                      const HaloLattice& halo, int mu, int ghost_coord,
+                      HaloPrecision prec) {
+  if constexpr (is_spinor_site_v<SiteT>) {
+    if (prec == HaloPrecision::kHalf) {
+      unpack_face_half(field, payload, halo, mu, ghost_coord);
+      return;
+    }
+  }
+  (void)prec;
+  unpack_face(field, payload, halo, mu, ghost_coord);
+}
+
+/// Payload bytes one rank's 8 faces occupy at the given precision.
+template <typename SiteT>
+[[nodiscard]] inline std::int64_t face_payload_bytes(const HaloLattice& halo,
+                                                     HaloPrecision prec) {
+  std::size_t site_bytes = sizeof(SiteT);
+  if constexpr (is_spinor_site_v<SiteT>) {
+    if (prec == HaloPrecision::kHalf) site_bytes = kHalfSiteBytes;
+  }
+  std::int64_t total = 0;
+  for (int mu = 0; mu < Nd; ++mu)
+    total += 2 * halo.face_volume(mu) *
+             static_cast<std::int64_t>(site_bytes);
+  return total;
 }
 
 /// Fold one endpoint's wire-counter delta into CommStats.
@@ -296,6 +485,32 @@ class VirtualCluster {
     for (auto& ep : eps_) ep->set_fault_injector(fi);
   }
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
+  /// Emulate a shared wire of the given bandwidth (bytes/second): each
+  /// exchange sleeps for its wire-byte total at that rate, on top of
+  /// the in-process copy cost. The in-process hub moves frames at
+  /// memcpy speed, which hides every bandwidth effect the α–β model
+  /// (and a real NIC) charges for — with emulation on, wall-clock
+  /// exchange time becomes a function of bytes actually framed, so
+  /// wire-precision and payload changes are measurable. The slept time
+  /// is also charged to CommStats::modeled_delay_us. 0 disables
+  /// (default, and the only mode the bit-identity tests run in).
+  void set_wire_emulation(double bytes_per_second) {
+    wire_emulation_bps_ = bytes_per_second;
+  }
+  [[nodiscard]] double wire_emulation() const { return wire_emulation_bps_; }
+
+  /// Wire precision for fermion halo faces (gauge faces are always
+  /// full). Takes effect at the next exchange_begin(); an in-flight
+  /// exchange keeps the precision it was begun with.
+  void set_halo_precision(HaloPrecision p) {
+    LQCD_REQUIRE(pending_.phase == ExchangePhase::kIdle,
+                 "set_halo_precision: exchange in flight");
+    halo_precision_ = p;
+  }
+  [[nodiscard]] HaloPrecision halo_precision() const {
+    return halo_precision_;
+  }
 
   /// Per-rank fermion storage on the extended (haloed) volume.
   using RankFermion = aligned_vector<WilsonSpinor<T>>;
@@ -464,7 +679,10 @@ class VirtualCluster {
     std::size_t site_bytes = 0;   ///< site-type guard for finish()
     std::uint64_t epoch = 0;
     bool split = false;  ///< driven via the public begin/finish pair
-    CommStats before;    ///< telemetry delta base, snapshot at begin
+    /// Wire precision this exchange was begun with; finish must unpack
+    /// with the same codec even if the knob moves in between.
+    HaloPrecision precision = HaloPrecision::kFull;
+    CommStats before;  ///< telemetry delta base, snapshot at begin
   };
 
   void merge_stats(const CommStats& local) const {
@@ -519,8 +737,10 @@ class VirtualCluster {
     pending_.site_bytes = sizeof(SiteT);
     pending_.epoch = static_cast<std::uint64_t>(stats_.exchanges);
     pending_.split = split;
+    pending_.precision = halo_precision_;
     pending_.before = stats_;
     const std::uint64_t epoch = pending_.epoch;
+    const HaloPrecision prec = pending_.precision;
     try {
       for_each_rank([&](int r) {
         CommStats local;  // straggle tally, merged once under the lock
@@ -545,8 +765,8 @@ class VirtualCluster {
             // (mu, dir) ghost of the rank one step the *other* way.
             const int dst = grid_.neighbor(r, mu, -dir);
             const int src_coord = dir > 0 ? 0 : local_dims_[mu] - 1;
-            detail::pack_face(buf, field[static_cast<std::size_t>(r)],
-                              halo_, mu, src_coord);
+            detail::pack_face_prec(buf, field[static_cast<std::size_t>(r)],
+                                   halo_, mu, src_coord, prec);
             tp.send(dst, transport::make_halo_tag(epoch, mu, dir), buf);
           }
         }
@@ -574,6 +794,7 @@ class VirtualCluster {
                  "exchange_begin");
     const Coord& l = local_dims_;
     const std::uint64_t epoch = pending_.epoch;
+    const HaloPrecision prec = pending_.precision;
     try {
       for_each_rank([&](int r) {
         transport::Transport& tp = *eps_[static_cast<std::size_t>(r)];
@@ -583,8 +804,8 @@ class VirtualCluster {
             const int src = grid_.neighbor(r, mu, dir);
             tp.recv(src, transport::make_halo_tag(epoch, mu, dir), buf);
             const int ghost_coord = dir > 0 ? l[mu] : -1;
-            detail::unpack_face(field[static_cast<std::size_t>(r)], buf,
-                                halo_, mu, ghost_coord);
+            detail::unpack_face_prec(field[static_cast<std::size_t>(r)],
+                                     buf, halo_, mu, ghost_coord, prec);
           }
         }
       });
@@ -599,6 +820,21 @@ class VirtualCluster {
     const bool split = pending_.split;
     reset_pending();
     stats_.exchanges += 1;
+    stats_.full_equiv_bytes +=
+        ranks() * detail::face_payload_bytes<SiteT>(halo_,
+                                                    HaloPrecision::kFull);
+    if constexpr (detail::is_spinor_site_v<SiteT>) {
+      if (prec == HaloPrecision::kHalf)
+        stats_.compressed_frames += ranks() * 2 * Nd;
+    }
+    if (wire_emulation_bps_ > 0.0) {
+      const double us =
+          static_cast<double>(stats_.wire_bytes - before.wire_bytes) /
+          wire_emulation_bps_ * 1e6;
+      stats_.modeled_delay_us += us;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(us));
+    }
     if (telemetry::enabled()) {
       static telemetry::Counter& c_exchanges =
           telemetry::counter("comm.halo.exchanges");
@@ -622,6 +858,10 @@ class VirtualCluster {
           telemetry::counter("comm.halo.straggler_events");
       static telemetry::Counter& c_split =
           telemetry::counter("comm.halo.overlap.split_exchanges");
+      static telemetry::Counter& c_full_equiv =
+          telemetry::counter("comm.halo.full_equiv_bytes");
+      static telemetry::Counter& c_compressed =
+          telemetry::counter("comm.halo.compressed_frames");
       c_exchanges.add(1);
       c_messages.add(stats_.messages - before.messages);
       c_bytes.add(stats_.bytes - before.bytes);
@@ -632,6 +872,9 @@ class VirtualCluster {
       c_timeouts.add(stats_.timeouts - before.timeouts);
       c_checksum_bytes.add(stats_.checksum_bytes - before.checksum_bytes);
       c_stragglers.add(stats_.straggler_events - before.straggler_events);
+      c_full_equiv.add(stats_.full_equiv_bytes - before.full_equiv_bytes);
+      c_compressed.add(stats_.compressed_frames -
+                       before.compressed_frames);
       if (split) c_split.add(1);
     }
   }
@@ -648,6 +891,8 @@ class VirtualCluster {
   mutable PendingExchange pending_;
   ResilienceConfig resil_;
   FaultInjector* injector_ = nullptr;
+  HaloPrecision halo_precision_ = HaloPrecision::kFull;
+  double wire_emulation_bps_ = 0.0;
 };
 
 namespace detail {
@@ -788,6 +1033,17 @@ class DistributedWilsonOperator final : public LinearOperator<T> {
   [[nodiscard]] const VirtualCluster<T>& cluster() const { return cluster_; }
   /// Mutable access for attaching resilience config / fault injection.
   [[nodiscard]] VirtualCluster<T>& cluster() { return cluster_; }
+
+  /// Wire precision of the fermion halo (the gauge ghosts filled at
+  /// construction stay full precision). kHalf quantizes ghost planes to
+  /// int16 block float, so results are no longer bit-identical to the
+  /// single-domain operator — the trade bench_precision quantifies.
+  void set_halo_precision(HaloPrecision p) {
+    cluster_.set_halo_precision(p);
+  }
+  [[nodiscard]] HaloPrecision halo_precision() const {
+    return cluster_.halo_precision();
+  }
 
   /// Toggle the split-phase overlapped schedule (default on). Both
   /// schedules run the same per-site arithmetic, so results are

@@ -45,15 +45,23 @@ DslashCost model_dslash(const Coord& local, const Coord& grid,
       opt.calibration * std::max(c.flops / peak, c.mem_bytes / bw);
 
   // Halos: one face pair per decomposed direction; a projected halo
-  // carries 12 reals per site, a full spinor 24.
+  // carries 12 reals per site, a full spinor 24. The wire may run a
+  // lower precision than the math (int16 block float): each real then
+  // costs halo_precision_bytes and each face site pays a 4-byte scale —
+  // the β-term side of the precision ladder.
   const double halo_reals = opt.half_spinor_comm ? 12.0 : 24.0;
+  const double wire_prec = opt.halo_precision_bytes > 0
+                               ? static_cast<double>(opt.halo_precision_bytes)
+                               : prec;
+  const double scale_overhead = wire_prec < prec ? 4.0 : 0.0;
   int active = 0;
   double max_face_bytes = 0.0;
   for (int mu = 0; mu < Nd; ++mu) {
     if (grid[mu] <= 1) continue;
     ++active;
     const double face_sites = vloc / static_cast<double>(local[mu]);
-    const double bytes = face_sites * halo_reals * prec;
+    const double bytes =
+        face_sites * (halo_reals * wire_prec + scale_overhead);
     c.comm_bytes += 2.0 * bytes;  // forward and backward faces
     max_face_bytes = std::max(max_face_bytes, bytes);
     c.messages += 2;
@@ -271,6 +279,10 @@ MgIterationCost model_mg_vcycle(const Coord& local, const Coord& grid,
   // are so small that per-message latency dominates — which is exactly
   // why the coarse level sets the method's strong-scaling floor.
   const double prec = static_cast<double>(opt.precision_bytes);
+  const double wire_prec = opt.halo_precision_bytes > 0
+                               ? static_cast<double>(opt.halo_precision_bytes)
+                               : prec;
+  const double scale_overhead = wire_prec < prec ? 4.0 : 0.0;
   double bytes_per_apply = 0.0;
   int msgs_per_apply = 0;
   int active = 0;
@@ -278,7 +290,8 @@ MgIterationCost model_mg_vcycle(const Coord& local, const Coord& grid,
     if (grid[mu] <= 1) continue;
     ++active;
     const double face_sites = vc / static_cast<double>(coarse_local[mu]);
-    bytes_per_apply += 2.0 * face_sites * ncols * 2.0 * prec;
+    bytes_per_apply +=
+        2.0 * face_sites * (ncols * 2.0 * wire_prec + scale_overhead);
     msgs_per_apply += 2;
   }
   out.coarse_comm_bytes = iters * bytes_per_apply;

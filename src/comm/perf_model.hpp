@@ -37,6 +37,11 @@ struct DslashCost {
 
 struct PerfModelOptions {
   int precision_bytes = 8;      ///< 8 double, 4 float, 2 "half"
+  /// Wire bytes per real on halo links; 0 follows precision_bytes.
+  /// Set to 2 to price the int16 block-float halo
+  /// (HaloPrecision::kHalf): each face site then also pays a 4-byte
+  /// per-site scale, matching detail::kHalfSiteBytes exactly.
+  int halo_precision_bytes = 0;
   bool half_spinor_comm = true;  ///< send projected 2-spin halos
   double overlap = 0.8;  ///< fraction of comm hidden behind compute
   /// Multiplies the modeled kernel time; set from calibrate_node() to pin

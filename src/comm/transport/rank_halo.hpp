@@ -79,6 +79,18 @@ class RankCluster {
     tp_->set_fault_injector(fi);
   }
 
+  /// Wire precision for fermion halo faces — same knob and codec as
+  /// VirtualCluster::set_halo_precision, so compressed ghost bytes stay
+  /// bit-identical across the virtual, socket and shm paths. Collective:
+  /// every rank must set the same precision.
+  void set_halo_precision(HaloPrecision p) {
+    LQCD_REQUIRE(!begun_, "set_halo_precision: exchange in flight");
+    halo_precision_ = p;
+  }
+  [[nodiscard]] HaloPrecision halo_precision() const {
+    return halo_precision_;
+  }
+
   using RankFermion = aligned_vector<WilsonSpinor<T>>;
   using RankGauge = aligned_vector<LinkSite<T>>;
 
@@ -197,12 +209,14 @@ class RankCluster {
           stats_.modeled_delay_us += stall;
         }
       }
+      active_precision_ = halo_precision_;
       std::vector<std::byte> buf;
       for (int mu = 0; mu < Nd; ++mu) {
         for (int dir = -1; dir <= 1; dir += 2) {
           const int dst = grid_.neighbor(r, mu, -dir);
           const int src_coord = dir > 0 ? 0 : local_dims_[mu] - 1;
-          detail::pack_face(buf, field, halo_, mu, src_coord);
+          detail::pack_face_prec(buf, field, halo_, mu, src_coord,
+                                 active_precision_);
           tp_->send(dst, transport::make_halo_tag(epoch, mu, dir), buf);
         }
       }
@@ -226,6 +240,7 @@ class RankCluster {
         static_cast<std::uint64_t>(stats_.exchanges);
     const int r = rank();
     const bool split = split_;
+    const HaloPrecision prec = active_precision_;
     try {
       std::vector<std::byte> buf;
       for (int mu = 0; mu < Nd; ++mu) {
@@ -233,7 +248,8 @@ class RankCluster {
           const int src = grid_.neighbor(r, mu, dir);
           tp_->recv(src, transport::make_halo_tag(epoch, mu, dir), buf);
           const int ghost_coord = dir > 0 ? local_dims_[mu] : -1;
-          detail::unpack_face(field, buf, halo_, mu, ghost_coord);
+          detail::unpack_face_prec(field, buf, halo_, mu, ghost_coord,
+                                   prec);
         }
       }
     } catch (...) {
@@ -245,6 +261,12 @@ class RankCluster {
     begun_ = false;
     harvest_wire();
     stats_.exchanges += 1;
+    stats_.full_equiv_bytes +=
+        detail::face_payload_bytes<SiteT>(halo_, HaloPrecision::kFull);
+    if constexpr (detail::is_spinor_site_v<SiteT>) {
+      if (prec == HaloPrecision::kHalf)
+        stats_.compressed_frames += 2 * Nd;
+    }
     if (telemetry::enabled()) {
       static telemetry::Counter& c_exchanges =
           telemetry::counter("comm.halo.exchanges");
@@ -265,6 +287,10 @@ class RankCluster {
   mutable transport::WireStats wire_base_;
   mutable bool begun_ = false;
   mutable bool split_ = false;
+  HaloPrecision halo_precision_ = HaloPrecision::kFull;
+  /// Precision the in-flight exchange was begun with (finish must match
+  /// the pack even if the knob moves between begin and finish).
+  mutable HaloPrecision active_precision_ = HaloPrecision::kFull;
   ResilienceConfig resil_;
   FaultInjector* injector_ = nullptr;
 };
@@ -320,6 +346,10 @@ class RankWilsonOperator {
   [[nodiscard]] RankCluster<T>& cluster() { return cluster_; }
   [[nodiscard]] double kappa() const { return static_cast<double>(kappa_); }
   void set_overlap(bool on) { overlap_ = on; }
+  /// Fermion halo wire precision (collective; gauge ghosts stay full).
+  void set_halo_precision(HaloPrecision p) {
+    cluster_.set_halo_precision(p);
+  }
   [[nodiscard]] const OverlapStats& overlap_stats() const { return ov_; }
   void reset_overlap_stats() { ov_.reset(); }
 
@@ -393,6 +423,10 @@ class RankSchurWilsonOperator {
   [[nodiscard]] RankCluster<T>& cluster() { return cluster_; }
   [[nodiscard]] double kappa() const { return static_cast<double>(kappa_); }
   void set_overlap(bool on) { overlap_ = on; }
+  /// Fermion halo wire precision (collective; gauge ghosts stay full).
+  void set_halo_precision(HaloPrecision p) {
+    cluster_.set_halo_precision(p);
+  }
   [[nodiscard]] const OverlapStats& overlap_stats() const { return ov_; }
 
  private:

@@ -12,7 +12,10 @@
 // inner solver of a mixed-precision chain); the *bandwidth* effect is
 // modeled separately by PerfModelOptions::precision_bytes = 2.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 #include <vector>
 
@@ -45,9 +48,11 @@ inline std::int16_t quantize_one(T x, T inv_scale) {
   static_assert(std::is_floating_point_v<T>,
                 "quantize_one requires a floating-point component");
   T v = x * inv_scale * T(kQScale);
-  if (v > T(kQScale)) v = T(kQScale);
-  if (v < -T(kQScale)) v = -T(kQScale);
-  return static_cast<std::int16_t>(v >= T(0) ? v + T(0.5) : v - T(0.5));
+  // Branchless clamp + round-half-away-from-zero (min/max/copysign all
+  // compile to single instructions; the wire codec quantizes every face
+  // component through here, so this is comm-path hot).
+  v = std::min(std::max(v, -T(kQScale)), T(kQScale));
+  return static_cast<std::int16_t>(v + std::copysign(T(0.5), v));
 }
 
 template <typename T>
@@ -94,7 +99,11 @@ inline WilsonSpinor<T> quantize_spinor(const WilsonSpinor<T>& psi) {
       if (re > amax) amax = re;
       if (im > amax) amax = im;
     }
-  if (amax == T(0)) return WilsonSpinor<T>{};
+  // Subnormal amax flushes to the zero spinor: 1/amax can overflow to
+  // inf (making 0 * inf = NaN on zero components) and the dequantize
+  // step scale/2^15 underflows anyway. Values below the normal range
+  // are zero to every consumer of half storage.
+  if (!(amax >= std::numeric_limits<T>::min())) return WilsonSpinor<T>{};
   const T inv = T(1) / amax;
   WilsonSpinor<T> out;
   for (int s = 0; s < Ns; ++s)
@@ -147,23 +156,27 @@ class HalfWilsonOperator final : public LinearOperator<float> {
     for (std::int64_t s = 0; s < vol; ++s)
       for (int mu = 0; mu < Nd; ++mu)
         links_(s, mu) = quantize_link(links_(s, mu));
-    buf_.resize(static_cast<std::size_t>(vol));
   }
 
   void apply(std::span<WilsonSpinor<float>> out,
              std::span<const WilsonSpinor<float>> in) const override {
-    // Input round-trips through half storage.
+    // The quantized input lives in a per-call buffer: apply() must stay
+    // reentrant (a shared mutable member raced when two callers applied
+    // concurrently through the thread pool). The copy also makes full
+    // aliasing (out.data() == in.data()) safe — every read of `in`
+    // happens before dslash_full writes `out`.
+    aligned_vector<WilsonSpinor<float>> buf(in.size());
     parallel_for(in.size(),
-                 [&](std::size_t i) { buf_[i] = quantize_spinor(in[i]); });
+                 [&](std::size_t i) { buf[i] = quantize_spinor(in[i]); });
     dslash_full(out,
-                std::span<const WilsonSpinor<float>>(buf_.data(),
-                                                     buf_.size()),
+                std::span<const WilsonSpinor<float>>(buf.data(),
+                                                     buf.size()),
                 links_);
     const float k = kappa_;
     parallel_for(out.size(), [&](std::size_t i) {
       WilsonSpinor<float> h = out[i];
       h *= k;
-      WilsonSpinor<float> r = buf_[i];
+      WilsonSpinor<float> r = buf[i];
       r -= h;
       out[i] = r;
     });
@@ -179,7 +192,6 @@ class HalfWilsonOperator final : public LinearOperator<float> {
  private:
   GaugeField<float> links_;
   float kappa_;
-  mutable aligned_vector<WilsonSpinor<float>> buf_;
 };
 
 }  // namespace lqcd

@@ -54,7 +54,8 @@ class CoarseOperator {
   }
   [[nodiscard]] int ncols() const noexcept { return ncols_; }
 
-  /// Dense (ncols x ncols) row-major block for one (site, leg).
+  /// Dense (ncols x ncols) row-major block for one (site, leg). Only
+  /// valid while the stencil is in T storage (before compress_store()).
   [[nodiscard]] Cplx<T>* block(std::int64_t xc, int leg) noexcept {
     return stencil_.data() +
            (static_cast<std::size_t>(xc) * kLegs + leg) * ncols_ * ncols_;
@@ -64,7 +65,33 @@ class CoarseOperator {
            (static_cast<std::size_t>(xc) * kLegs + leg) * ncols_ * ncols_;
   }
 
-  /// out = A_c in.
+  /// Demote the stencil to float storage — the second rung of the
+  /// precision ladder: the coarse grid carries the low modes, whose
+  /// conditioning the outer Krylov never sees directly, so float entries
+  /// suffice while apply() keeps accumulating in T. Frees the T-storage
+  /// stencil (half the coarse-operator footprint for T = double).
+  /// Idempotent; gated in tests on unchanged V-cycle convergence.
+  void compress_store() {
+    if (single_) return;
+    stencil_single_.resize(stencil_.size());
+    for (std::size_t i = 0; i < stencil_.size(); ++i)
+      stencil_single_[i] =
+          Cplx<float>(static_cast<float>(stencil_[i].re),
+                      static_cast<float>(stencil_[i].im));
+    stencil_.clear();
+    stencil_.shrink_to_fit();
+    single_ = true;
+  }
+  /// True once the stencil lives in float storage.
+  [[nodiscard]] bool single_storage() const noexcept { return single_; }
+  /// Bytes the stencil currently occupies.
+  [[nodiscard]] std::size_t stencil_bytes() const noexcept {
+    return single_ ? stencil_single_.size() * sizeof(Cplx<float>)
+                   : stencil_.size() * sizeof(Cplx<T>);
+  }
+
+  /// out = A_c in. Accumulation is always in T (double-precision sums
+  /// over float blocks when compress_store() demoted the storage).
   void apply(CoarseVector<T>& out, const CoarseVector<T>& in) const {
     const std::int64_t nc = agg_->coarse().volume();
     LQCD_REQUIRE(out.nsites() == nc && in.nsites() == nc &&
@@ -76,17 +103,16 @@ class CoarseOperator {
       c_applies.add(1);
     }
     const LatticeGeometry& geo = agg_->coarse();
+    const std::size_t site_elems =
+        static_cast<std::size_t>(kLegs) * ncols_ * ncols_;
     parallel_for(static_cast<std::size_t>(nc), [&](std::size_t xc) {
       Cplx<T>* o = out.site(static_cast<std::int64_t>(xc));
-      for (int a = 0; a < ncols_; ++a) o[a] = Cplx<T>{};
-      accum_block(o, block(static_cast<std::int64_t>(xc), kSelf),
-                  in.site(static_cast<std::int64_t>(xc)));
-      for (int mu = 0; mu < Nd; ++mu) {
-        accum_block(o, block(static_cast<std::int64_t>(xc), leg_fwd(mu)),
-                    in.site(geo.fwd(static_cast<std::int64_t>(xc), mu)));
-        accum_block(o, block(static_cast<std::int64_t>(xc), leg_bwd(mu)),
-                    in.site(geo.bwd(static_cast<std::int64_t>(xc), mu)));
-      }
+      if (single_)
+        apply_site(o, in, geo, static_cast<std::int64_t>(xc),
+                   stencil_single_.data() + xc * site_elems);
+      else
+        apply_site(o, in, geo, static_cast<std::int64_t>(xc),
+                   stencil_.data() + xc * site_elems);
     });
   }
 
@@ -97,11 +123,38 @@ class CoarseOperator {
   }
 
  private:
-  void accum_block(Cplx<T>* out, const Cplx<T>* m, const Cplx<T>* in) const {
+  /// One site's stencil application; `base` points at its kLegs blocks
+  /// in either storage precision.
+  template <typename MT>
+  void apply_site(Cplx<T>* o, const CoarseVector<T>& in,
+                  const LatticeGeometry& geo, std::int64_t xc,
+                  const Cplx<MT>* base) const {
+    const std::size_t bs = static_cast<std::size_t>(ncols_) * ncols_;
+    for (int a = 0; a < ncols_; ++a) o[a] = Cplx<T>{};
+    accum_block(o, base + static_cast<std::size_t>(kSelf) * bs,
+                in.site(xc));
+    for (int mu = 0; mu < Nd; ++mu) {
+      accum_block(o, base + static_cast<std::size_t>(leg_fwd(mu)) * bs,
+                  in.site(geo.fwd(xc, mu)));
+      accum_block(o, base + static_cast<std::size_t>(leg_bwd(mu)) * bs,
+                  in.site(geo.bwd(xc, mu)));
+    }
+  }
+
+  /// Dense block fma with the accumulator in T regardless of the stored
+  /// element type MT. For MT == T the promotion is the identity, so the
+  /// pre-compress_store arithmetic (and bit-reproducibility) is
+  /// unchanged.
+  template <typename MT>
+  void accum_block(Cplx<T>* out, const Cplx<MT>* m, const Cplx<T>* in) const {
     for (int a = 0; a < ncols_; ++a) {
       Cplx<T> acc = out[a];
-      const Cplx<T>* row = m + static_cast<std::size_t>(a) * ncols_;
-      for (int b = 0; b < ncols_; ++b) fma_acc(acc, row[b], in[b]);
+      const Cplx<MT>* row = m + static_cast<std::size_t>(a) * ncols_;
+      for (int b = 0; b < ncols_; ++b) {
+        const Cplx<T> mv(static_cast<T>(row[b].re),
+                         static_cast<T>(row[b].im));
+        fma_acc(acc, mv, in[b]);
+      }
       out[a] = acc;
     }
   }
@@ -109,6 +162,8 @@ class CoarseOperator {
   const Aggregation* agg_;
   int ncols_;
   std::vector<Cplx<T>> stencil_;
+  std::vector<Cplx<float>> stencil_single_;
+  bool single_ = false;
 };
 
 namespace detail {

@@ -44,6 +44,11 @@ struct MgParams {
   SapParams smoother{{2, 2, 2, 2}, 2, 4};  ///< SAP smoother (also V-cycle)
   CoarseSolveParams coarse{};              ///< coarse-level GCR
   std::uint64_t seed = 0x6d67u;            ///< RNG seed for random starts
+  /// Store the assembled coarse stencil in float (coarse-solve
+  /// accumulation stays in T) — the storage tier of the precision
+  /// ladder. Off by default so existing double pipelines stay
+  /// bit-stable.
+  bool coarse_store_single = false;
 };
 
 /// The assembled two-level hierarchy. Members are held by unique_ptr so
@@ -104,6 +109,7 @@ MgHierarchy<T> mg_setup(const WilsonOperator<T>& m,
   h.prolongator->orthonormalize(params.seed ^ 0x5a5a5a5aULL);
   h.coarse = std::make_unique<CoarseOperator<T>>(
       galerkin_coarse_operator(m, *h.aggregation, *h.prolongator));
+  if (params.coarse_store_single) h.coarse->compress_store();
 
   telemetry::gauge("mg.setup.seconds").set(timer.seconds());
   return h;

@@ -3,7 +3,10 @@
 // equivalence) and the analytic machine/performance models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <span>
 
 #include "comm/halo.hpp"
 #include "comm/machine.hpp"
@@ -146,6 +149,172 @@ TEST(VirtualClusterTest, ExchangeFillsGhostsWithWrappedNeighbors) {
       }
     }
   }
+}
+
+TEST(HalfCodec, EncodeDecodeRoundTripBounded) {
+  // Per-component error of the wire codec is bounded by amax / 2^15 (the
+  // scale rides along as float, so decode(encode(x)) is exact in the
+  // scale and off by at most half an int16 step per component).
+  SiteRngFactory rngs(4100);
+  for (std::uint64_t rep = 0; rep < 64; ++rep) {
+    CounterRng rng = rngs.make(rep);
+    WilsonSpinorD psi;
+    const double scale = std::exp(rng.uniform(-12, 12));
+    double amax = 0.0;
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c) {
+        psi.s[s].c[c] = Cplxd(rng.gaussian() * scale,
+                              rng.gaussian() * scale);
+        amax = std::max({amax, std::abs(psi.s[s].c[c].re),
+                         std::abs(psi.s[s].c[c].im)});
+      }
+    std::byte wire[detail::kHalfSiteBytes];
+    detail::encode_half_site(wire, psi);
+    WilsonSpinorD back;
+    detail::decode_half_site(back, wire);
+    const double bound =
+        static_cast<double>(static_cast<float>(amax)) / 32767.0;
+    for (int s = 0; s < Ns; ++s)
+      for (int c = 0; c < Nc; ++c) {
+        EXPECT_LE(std::abs(back.s[s].c[c].re - psi.s[s].c[c].re), bound);
+        EXPECT_LE(std::abs(back.s[s].c[c].im - psi.s[s].c[c].im), bound);
+      }
+  }
+}
+
+TEST(HalfCodec, ZeroSiteEncodesToZeroBytes) {
+  // The Schur other-parity invariant: an all-zero site must ship as
+  // all-zero bytes (scale 0, no 0/0) and decode back to exactly zero.
+  const WilsonSpinorD z{};
+  std::byte wire[detail::kHalfSiteBytes];
+  std::memset(wire, 0xff, sizeof(wire));
+  detail::encode_half_site(wire, z);
+  for (std::size_t i = 0; i < detail::kHalfSiteBytes; ++i)
+    EXPECT_EQ(wire[i], std::byte{0});
+  WilsonSpinorD back;
+  detail::decode_half_site(back, wire);
+  EXPECT_EQ(norm2(back), 0.0);
+}
+
+TEST(HalfCodec, PackUnpackFaceRoundTripBothParities) {
+  // pack_face_half -> unpack_face_half across every direction, with the
+  // source field populated on one parity only (the Schur layout): live
+  // sites land in the ghost plane within the block-float bound and the
+  // masked parity stays exactly zero.
+  const HaloLattice halo({4, 4, 2, 6});
+  const auto ext = static_cast<std::size_t>(halo.extended_volume());
+  for (int parity = 0; parity < 2; ++parity) {
+    aligned_vector<WilsonSpinorD> src(ext), dst(ext);
+    SiteRngFactory rngs(4200 + static_cast<std::uint64_t>(parity));
+    for (std::int64_t i = 0; i < halo.interior_volume(); ++i) {
+      const Coord x = halo.interior_coords(i);
+      if ((x[0] + x[1] + x[2] + x[3]) % 2 != parity) continue;
+      CounterRng rng = rngs.make(static_cast<std::uint64_t>(i));
+      WilsonSpinorD& s = src[static_cast<std::size_t>(halo.ext_index(x))];
+      for (int sp = 0; sp < Ns; ++sp)
+        for (int c = 0; c < Nc; ++c)
+          s.s[sp].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+    }
+    for (int mu = 0; mu < Nd; ++mu) {
+      // Ship the x[mu] = 0 plane into the far ghost plane, the way the
+      // exchange fills a periodic neighbor's ghosts.
+      std::vector<std::byte> wire;
+      detail::pack_face_half(wire, src, halo, mu, 0);
+      ASSERT_EQ(wire.size(), static_cast<std::size_t>(halo.face_volume(mu)) *
+                                 detail::kHalfSiteBytes);
+      detail::unpack_face_half(dst, std::span<const std::byte>(wire), halo, mu,
+                       halo.local_dims()[mu]);
+      for (std::int64_t i = 0; i < halo.interior_volume(); ++i) {
+        Coord x = halo.interior_coords(i);
+        if (x[mu] != 0) continue;
+        const WilsonSpinorD& orig =
+            src[static_cast<std::size_t>(halo.ext_index(x))];
+        Coord g = x;
+        g[mu] = halo.local_dims()[mu];
+        const WilsonSpinorD& got =
+            dst[static_cast<std::size_t>(halo.ext_index(g))];
+        double amax = 0.0;
+        for (int sp = 0; sp < Ns; ++sp)
+          for (int c = 0; c < Nc; ++c)
+            amax = std::max({amax, std::abs(orig.s[sp].c[c].re),
+                             std::abs(orig.s[sp].c[c].im)});
+        if (amax == 0.0) {
+          EXPECT_EQ(norm2(got), 0.0) << "masked parity must stay zero";
+          continue;
+        }
+        const double bound = amax / 32767.0;
+        for (int sp = 0; sp < Ns; ++sp)
+          for (int c = 0; c < Nc; ++c) {
+            EXPECT_LE(std::abs(got.s[sp].c[c].re - orig.s[sp].c[c].re),
+                      bound);
+            EXPECT_LE(std::abs(got.s[sp].c[c].im - orig.s[sp].c[c].im),
+                      bound);
+          }
+      }
+    }
+  }
+}
+
+TEST(VirtualClusterTest, HalfExchangeGhostsTrackFullWithinQuantization) {
+  const ProcessGrid pg({2, 1, 1, 2});
+  VirtualCluster<double> vc(geo8(), pg);
+  FermionFieldD f(geo8());
+  SiteRngFactory rngs(4300);
+  for (std::int64_t s = 0; s < geo8().volume(); ++s) {
+    CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+    for (int sp = 0; sp < Ns; ++sp)
+      for (int c = 0; c < Nc; ++c)
+        f[s].s[sp].c[c] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+  auto full = vc.make_fermion();
+  vc.scatter(full, f.span());
+  auto half = full;  // same interiors
+  vc.exchange(full);
+
+  vc.set_halo_precision(HaloPrecision::kHalf);
+  vc.stats().reset();
+  vc.exchange(half);
+  EXPECT_EQ(vc.stats().compressed_frames,
+            static_cast<std::int64_t>(pg.size()) * 2 * Nd);
+  EXPECT_EQ(vc.stats().full_equiv_bytes,
+            static_cast<std::int64_t>(pg.size()) *
+                detail::face_payload_bytes<WilsonSpinorD>(vc.halo(),
+                                                  HaloPrecision::kFull));
+
+  double err = 0.0, ref = 0.0;
+  for (int r = 0; r < vc.ranks(); ++r) {
+    const auto& a = full[static_cast<std::size_t>(r)];
+    const auto& b = half[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      err += norm2(a[i] - b[i]);
+      ref += norm2(a[i]);
+    }
+  }
+  const double rel = std::sqrt(err / ref);
+  EXPECT_GT(rel, 0.0);    // the wire really quantized
+  EXPECT_LT(rel, 1e-4);   // ...at the int16 block-float level
+}
+
+TEST(VirtualClusterTest, WireEmulationChargesModeledDelay) {
+  // set_wire_emulation prices every wire byte at the given bandwidth:
+  // the slept time lands in modeled_delay_us and matches the counter
+  // arithmetic exactly; switching it off stops the charging.
+  const ProcessGrid pg({2, 1, 1, 2});
+  VirtualCluster<double> vc(geo8(), pg);
+  auto ranks = vc.make_fermion();
+  const double bps = 1e12;  // fast enough that the sleep is negligible
+  vc.set_wire_emulation(bps);
+  EXPECT_EQ(vc.wire_emulation(), bps);
+  vc.stats().reset();
+  vc.exchange(ranks);
+  const double expect_us =
+      static_cast<double>(vc.stats().wire_bytes) / bps * 1e6;
+  EXPECT_GT(vc.stats().modeled_delay_us, 0.0);
+  EXPECT_NEAR(vc.stats().modeled_delay_us, expect_us, 1e-9);
+  vc.set_wire_emulation(0.0);
+  vc.stats().reset();
+  vc.exchange(ranks);
+  EXPECT_EQ(vc.stats().modeled_delay_us, 0.0);
 }
 
 TEST(VirtualClusterTest, CommStatsCountMessagesAndBytes) {

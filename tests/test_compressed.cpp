@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "dirac/compressed.hpp"
 #include "dirac/normal.hpp"
@@ -74,6 +76,28 @@ TEST(Quantization, ZeroSpinorExact) {
   EXPECT_EQ(norm2(quantize_spinor(z)), 0.0f);
 }
 
+TEST(Quantization, DenormalScaleAmaxFlushesToZero) {
+  // A spinor whose amax is subnormal would overflow 1/amax to inf
+  // (turning exactly-zero components into 0 * inf = NaN, whose int16
+  // cast is UB). The quantizer flushes such sites to the exact zero
+  // spinor instead — values below the float normal range are zero to
+  // every consumer of half storage, and they must never poison a field.
+  WilsonSpinor<float> psi{};
+  psi.s[0].c[0] = Cplxf(1e-41f, -5e-42f);
+  psi.s[3].c[2] = Cplxf(0.0f, 2e-42f);
+  const WilsonSpinor<float> q = quantize_spinor(psi);
+  EXPECT_EQ(norm2(q), 0.0f);
+  // ...while the smallest *normal* amax still round-trips within the
+  // block-float bound (1/amax stays finite there).
+  WilsonSpinor<float> tiny{};
+  const float a = std::numeric_limits<float>::min();  // 2^-126
+  tiny.s[0].c[0] = Cplxf(a, -0.5f * a);
+  const WilsonSpinor<float> qt = quantize_spinor(tiny);
+  EXPECT_TRUE(std::isfinite(qt.s[0].c[0].re));
+  EXPECT_NEAR(qt.s[0].c[0].re, a, a / 32767.0f);
+  EXPECT_EQ(qt.s[1].c[1].re, 0.0f);
+}
+
 TEST(HalfOperator, CloseToFloatOperator) {
   GaugeFieldF uf(geo4());
   convert_gauge(uf, gauge());
@@ -100,6 +124,33 @@ TEST(HalfOperator, CloseToFloatOperator) {
   const double rel = std::sqrt(err / ref);
   EXPECT_GT(rel, 0.0);     // quantization must actually do something
   EXPECT_LT(rel, 5e-3);    // ...but stay at the half-precision level
+}
+
+TEST(HalfOperator, ApplyIsSafeUnderFullAliasing) {
+  // Regression: apply() used to stage the quantized input in a shared
+  // mutable member, which both raced concurrent callers and made
+  // out == in unsafe. The per-call buffer must give the aliased call
+  // the exact same bits as the distinct-buffer one.
+  GaugeFieldF uf(geo4());
+  convert_gauge(uf, gauge());
+  HalfWilsonOperator m_h(uf, 0.12);
+
+  FermionFieldF in(geo4()), out(geo4()), aliased(geo4());
+  SiteRngFactory rngs(956);
+  for (std::int64_t s = 0; s < geo4().volume(); ++s) {
+    CounterRng rng = rngs.make(static_cast<std::uint64_t>(s));
+    for (int sp = 0; sp < Ns; ++sp)
+      for (int c = 0; c < Nc; ++c)
+        in[s].s[sp].c[c] = Cplxf(static_cast<float>(rng.gaussian()),
+                                 static_cast<float>(rng.gaussian()));
+    aliased[s] = in[s];
+  }
+  m_h.apply(out.span(), in.span());
+  m_h.apply(aliased.span(), aliased.span());  // out.data() == in.data()
+  EXPECT_EQ(std::memcmp(out.span().data(), aliased.span().data(),
+                        static_cast<std::size_t>(geo4().volume()) *
+                            sizeof(WilsonSpinor<float>)),
+            0);
 }
 
 TEST(HalfOperator, CgOnHalfNormalEquationsConverges) {

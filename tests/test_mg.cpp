@@ -190,6 +190,72 @@ TEST(CoarseOperator, GalerkinIdentity) {
   EXPECT_LT(std::sqrt(err) / ref, 1e-12);
 }
 
+TEST(CoarseOperator, FloatStorageHalvesFootprintAndTracksApply) {
+  // compress_store() demotes the stencil to float (second rung of the
+  // precision ladder): half the footprint, idempotent, and apply() — which
+  // keeps accumulating in double — must track the double-stored result at
+  // the float-entry level.
+  const WilsonOperator<double> m(shared_gauge(), 0.124);
+  const mg::MgParams p = test_params();
+  const SapPreconditioner<double> smoother(m, p.smoother);
+  mg::MgHierarchy<double> h = mg_setup(m, smoother, p);
+
+  mg::CoarseVector<double> v(h.aggregation->coarse().volume(),
+                             h.prolongator->ncols());
+  SiteRngFactory rngs(2350);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    CounterRng rng = rngs.make(i);
+    v[i] = Cplxd(rng.gaussian(), rng.gaussian());
+  }
+  mg::CoarseVector<double> a(v.nsites(), v.ncols());
+  h.coarse->apply(a, v);
+
+  ASSERT_FALSE(h.coarse->single_storage());
+  const std::size_t bytes_dbl = h.coarse->stencil_bytes();
+  h.coarse->compress_store();
+  EXPECT_TRUE(h.coarse->single_storage());
+  EXPECT_EQ(h.coarse->stencil_bytes() * 2, bytes_dbl);
+  h.coarse->compress_store();  // idempotent
+  EXPECT_EQ(h.coarse->stencil_bytes() * 2, bytes_dbl);
+
+  mg::CoarseVector<double> b(v.nsites(), v.ncols());
+  h.coarse->apply(b, v);
+  const double ref = std::sqrt(mg::cblas::norm2(a));
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) err += norm2(a[i] - b[i]);
+  EXPECT_LT(std::sqrt(err) / ref, 1e-6);
+}
+
+TEST(MgSolver, FloatCoarseStorageKeepsConvergence) {
+  // The gate behind MgParams::coarse_store_single: demoting the coarse
+  // stencil must not move MG-GCR convergence.
+  FermionFieldD rhs(geo4());
+  fill_random(rhs.span(), 2550);
+  const GcrParams gp{{.tol = 1e-9, .max_iterations = 200}, 16};
+
+  mg::MgSolver<double> dbl(shared_gauge(), 0.124,
+                           TimeBoundary::Antiperiodic, test_params(), gp);
+  FermionFieldD x(geo4());
+  blas::zero(x.span());
+  const SolverResult r_dbl = dbl.solve(x.span(), rhs.span());
+
+  mg::MgParams sp = test_params();
+  sp.coarse_store_single = true;
+  mg::MgSolver<double> sgl(shared_gauge(), 0.124,
+                           TimeBoundary::Antiperiodic, sp, gp);
+  blas::zero(x.span());
+  const SolverResult r_sgl = sgl.solve(x.span(), rhs.span());
+
+  ASSERT_TRUE(r_dbl.converged);
+  ASSERT_TRUE(r_sgl.converged);
+  EXPECT_LE(std::abs(r_sgl.iterations - r_dbl.iterations),
+            std::max(1, r_dbl.iterations / 50));
+  EXPECT_TRUE(sgl.preconditioner().hierarchy().coarse->single_storage());
+  EXPECT_EQ(
+      sgl.preconditioner().hierarchy().coarse->stencil_bytes() * 2,
+      dbl.preconditioner().hierarchy().coarse->stencil_bytes());
+}
+
 TEST(Vcycle, BitIdenticalAcrossThreadCounts) {
   // The whole stack — setup RNG, relaxation, orthonormalization, Galerkin
   // assembly, V-cycle — promises bit-identical results for any pool size.

@@ -375,7 +375,9 @@ struct RankOutcome {
 std::vector<RankOutcome> exchange_drill(int n, const MakeTransport& make,
                                         FaultInjector* injector,
                                         int exchanges,
-                                        int max_retries = 3) {
+                                        int max_retries = 3,
+                                        HaloPrecision prec =
+                                            HaloPrecision::kFull) {
   const LatticeGeometry geo({4, 4, 4, 8});
   const ProcessGrid grid(choose_grid(geo.dims(), n));
   const auto vol = static_cast<std::size_t>(geo.volume());
@@ -386,6 +388,7 @@ std::vector<RankOutcome> exchange_drill(int n, const MakeTransport& make,
     rc.checksum = true;
     rc.max_retries = max_retries;
     cl.set_resilience(rc);
+    cl.set_halo_precision(prec);
     if (injector != nullptr) cl.set_fault_injector(injector);
     aligned_vector<WilsonSpinorD> src(vol);
     SiteRngFactory rngs(99);
@@ -502,6 +505,104 @@ TEST(TransportParity, CorruptionCaughtAndHealedIdentically) {
   EXPECT_EQ(in_proc[0].stats.retransmits, 1);
   EXPECT_EQ(in_proc[0].stats.timeouts, 0);
   const auto clean = exchange_drill(n, inprocess_world(n), nullptr, 2);
+  EXPECT_EQ(in_proc[0].field_crc, clean[0].field_crc);
+  EXPECT_EQ(in_proc[1].field_crc, clean[1].field_crc);
+}
+
+// --- the same parity drills with compressed (half-precision) halos ---
+
+/// Clean compressed exchange: the int16 block-float frames must be
+/// byte-identical on every backend (the codec is T-independent and
+/// deterministic), so the reconstructed ghost fields carry the same CRC
+/// and the wire accounting shrinks to 52 B/site exactly.
+TEST(TransportParity, CompressedCleanExchangeIdenticalAcrossBackends) {
+  const int n = 2;
+  const int reps = 3;
+  const auto half = [&](const MakeTransport& make) {
+    return exchange_drill(n, make, nullptr, reps, 3, HaloPrecision::kHalf);
+  };
+  const auto in_proc = half(inprocess_world(n));
+  SocketWorld sw(n);
+  const auto sock = half(sw.make());
+  ShmWorld hw(n);
+  const auto shm = half(hw.make());
+  expect_same_outcomes(in_proc, sock, "socket-vs-inprocess[half]");
+  expect_same_outcomes(in_proc, shm, "shm-vs-inprocess[half]");
+  // Compressed wire accounting: 4*4*4 face sites at 52 B (float scale +
+  // 24 int16) + 32 B header, against 192 B/site at full precision.
+  const std::int64_t face = 4 * 4 * 4 * 52 + 32;
+  const std::int64_t full_face_payload = 4 * 4 * 4 * 192;
+  for (const auto* world : {&in_proc, &sock, &shm}) {
+    for (const RankOutcome& o : *world) {
+      EXPECT_EQ(o.stats.wire_frames, 2 * reps);
+      EXPECT_EQ(o.stats.wire_bytes, 2 * reps * face);
+      EXPECT_EQ(o.stats.compressed_frames, 8 * reps);
+      EXPECT_EQ(o.stats.full_equiv_bytes, 8 * reps * full_face_payload);
+      EXPECT_EQ(o.stats.retransmits, 0);
+    }
+  }
+  // Quantization must actually have happened: the reconstructed ghosts
+  // differ from the full-precision run's.
+  const auto full = exchange_drill(n, inprocess_world(n), nullptr, reps);
+  EXPECT_NE(in_proc[0].field_crc, full[0].field_crc);
+}
+
+/// Scripted drop with compressed frames: the NACK/retransmit protocol
+/// is payload-agnostic, so the recovery fires identically on every
+/// backend and heals to the clean compressed ghosts bit for bit.
+TEST(TransportParity, CompressedDropScheduleFiresIdentically) {
+  const int n = 2;
+  const auto drill = [&](const MakeTransport& make) {
+    FaultInjector fi(2024);
+    FaultSpec drop;
+    drop.drop_prob = 1.0;
+    drop.last_epoch = 0;
+    fi.set_rank_spec(0, drop);
+    fi.set_event_budget(1);
+    return exchange_drill(n, make, &fi, 2, 3, HaloPrecision::kHalf);
+  };
+  const auto in_proc = drill(inprocess_world(n));
+  SocketWorld sw(n);
+  const auto sock = drill(sw.make());
+  ShmWorld hw(n);
+  const auto shm = drill(hw.make());
+  expect_same_outcomes(in_proc, sock, "socket-vs-inprocess[half]");
+  expect_same_outcomes(in_proc, shm, "shm-vs-inprocess[half]");
+  EXPECT_EQ(in_proc[0].stats.timeouts, 1);
+  EXPECT_EQ(in_proc[0].stats.retransmits, 1);
+  EXPECT_EQ(in_proc[0].stats.crc_failures, 0);
+  const auto clean = exchange_drill(n, inprocess_world(n), nullptr, 2, 3,
+                                    HaloPrecision::kHalf);
+  EXPECT_EQ(in_proc[0].field_crc, clean[0].field_crc);
+  EXPECT_EQ(in_proc[1].field_crc, clean[1].field_crc);
+}
+
+/// Corrupted compressed frame: the CRC covers the int16 payload the
+/// same as a full one; verify-fail -> NACK -> pristine retransmit from
+/// the sender's cache, identically on every backend.
+TEST(TransportParity, CompressedCorruptionCaughtAndHealedIdentically) {
+  const int n = 2;
+  const auto drill = [&](const MakeTransport& make) {
+    FaultInjector fi(77);
+    FaultSpec corrupt;
+    corrupt.corrupt_prob = 1.0;
+    corrupt.last_epoch = 0;
+    fi.set_rank_spec(0, corrupt);
+    fi.set_event_budget(1);
+    return exchange_drill(n, make, &fi, 2, 3, HaloPrecision::kHalf);
+  };
+  const auto in_proc = drill(inprocess_world(n));
+  SocketWorld sw(n);
+  const auto sock = drill(sw.make());
+  ShmWorld hw(n);
+  const auto shm = drill(hw.make());
+  expect_same_outcomes(in_proc, sock, "socket-vs-inprocess[half]");
+  expect_same_outcomes(in_proc, shm, "shm-vs-inprocess[half]");
+  EXPECT_EQ(in_proc[0].stats.crc_failures, 1);
+  EXPECT_EQ(in_proc[0].stats.retransmits, 1);
+  EXPECT_EQ(in_proc[0].stats.timeouts, 0);
+  const auto clean = exchange_drill(n, inprocess_world(n), nullptr, 2, 3,
+                                    HaloPrecision::kHalf);
   EXPECT_EQ(in_proc[0].field_crc, clean[0].field_crc);
   EXPECT_EQ(in_proc[1].field_crc, clean[1].field_crc);
 }
